@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation: the compiler's IADP chain coupling (Section 5).  Compares
+ * three compiler policies per workload:
+ *
+ *  - chain DP (default): row sides chosen jointly with the next
+ *    layer's coupled column side;
+ *  - strict (margin 0): every layer locally optimal, coupling only on
+ *    exact ties;
+ *  - greedy per-layer choice with no coupling consideration at all
+ *    (data must be re-laid-out between layers).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "compiler/compiler.hh"
+
+using namespace flexsim;
+using namespace flexsim::bench;
+
+namespace {
+
+struct PolicyResult
+{
+    Cycle cycles = 0;
+    int coupled = 0;
+};
+
+PolicyResult
+evaluate(const NetworkSpec &net, double margin)
+{
+    FlexFlowCompiler compiler(FlexFlowConfig::forScale(16), margin);
+    const CompilationResult compiled = compiler.compile(net);
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    PolicyResult result;
+    for (const LayerPlan &plan : compiled.layers) {
+        result.cycles +=
+            model.runLayer(plan.spec, plan.factors).cycles;
+        result.coupled += plan.coupled;
+    }
+    return result;
+}
+
+PolicyResult
+evaluateUncoupled(const NetworkSpec &net)
+{
+    // Free per-layer search: every inter-layer transition needs a
+    // re-layout pass of the activation through the buffers; charge it
+    // one cycle per word like the DP's penalty does.
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    PolicyResult result;
+    for (std::size_t i = 0; i < net.stages.size(); ++i) {
+        const ConvLayerSpec &spec = net.stages[i].conv;
+        const FactorChoice choice = searchBestFactors(spec, 16);
+        result.cycles += model.runLayer(spec, choice.factors).cycles;
+        if (i > 0)
+            result.cycles += spec.inputWords();
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Ablation: IADP inter-layer coupling in the compiler "
+                "(total cycles, 16x16)");
+
+    TextTable table;
+    table.setHeader({"Workload", "Chain DP", "coupled", "Strict(m=0)",
+                     "coupled", "Uncoupled+relayout", "DP saves"});
+    for (const NetworkSpec &net : workloads::all()) {
+        const PolicyResult dp = evaluate(net, 0.15);
+        const PolicyResult strict = evaluate(net, 0.0);
+        const PolicyResult free = evaluateUncoupled(net);
+        const Cycle worst = std::max(strict.cycles, free.cycles);
+        table.addRow(
+            {net.name, formatCount(dp.cycles),
+             std::to_string(dp.coupled) + "/" +
+                 std::to_string(net.stages.size() - 1),
+             formatCount(strict.cycles),
+             std::to_string(strict.coupled) + "/" +
+                 std::to_string(net.stages.size() - 1),
+             formatCount(free.cycles),
+             formatPercent(1.0 - static_cast<double>(dp.cycles) /
+                                     static_cast<double>(worst))});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nThe chain DP recovers the paper's Table-4 couplings "
+           "(e.g. LeNet-5 C1 <3,1,1,5,3,5>)\nby accepting a bounded "
+           "per-layer Uc loss where it unlocks a much better coupled\n"
+           "column side downstream.\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: how much do the FlexFlow dataflow mechanisms actually
+ * buy?  Disables each of the two finite-capacity mechanisms of the
+ * schedule planner and reports the buffer-traffic impact per
+ * workload:
+ *
+ *  - no row-band retention (RS windows refetched per band);
+ *  - no input-map pass splitting (kernels streamed per batch instead
+ *    of partial sums cycling through the output buffer, Fig. 13(f)).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+
+using namespace flexsim;
+using namespace flexsim::bench;
+
+namespace {
+
+WordCount
+totalTraffic(const FlexFlowConfig &config, const NetworkSpec &net)
+{
+    const FlexFlowModel model(config);
+    WordCount total = 0;
+    for (const auto &stage : net.stages)
+        total += model.runLayer(stage.conv).traffic.total();
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Ablation: FlexFlow dataflow mechanisms (buffer<->array "
+                "words, 16x16 scale)");
+
+    FlexFlowConfig full = FlexFlowConfig::forScale(16);
+    FlexFlowConfig no_retention = full;
+    no_retention.enableBandRetention = false;
+    FlexFlowConfig no_split = full;
+    no_split.enablePassSplitting = false;
+    FlexFlowConfig neither = no_retention;
+    neither.enablePassSplitting = false;
+
+    TextTable table;
+    table.setHeader({"Workload", "Full design", "No band retention",
+                     "No pass splitting", "Neither",
+                     "Worst/full"});
+    for (const NetworkSpec &net : workloads::all()) {
+        const WordCount base = totalTraffic(full, net);
+        const WordCount no_ret = totalTraffic(no_retention, net);
+        const WordCount no_spl = totalTraffic(no_split, net);
+        const WordCount none = totalTraffic(neither, net);
+        table.addRow({net.name, formatCount(base), formatCount(no_ret),
+                      formatCount(no_spl), formatCount(none),
+                      formatDouble(static_cast<double>(none) /
+                                       static_cast<double>(base),
+                                   1) +
+                          "x"});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nBand retention matters most for the small workloads "
+           "(their whole row band fits\nthe 256 B stores); pass "
+           "splitting matters most for AlexNet/VGG, whose per-PE\n"
+           "kernel slices exceed the store -- without Fig. 13(f) "
+           "partial-sum write-back the\nkernels would stream from the "
+           "buffer every batch.\n";
+    return 0;
+}

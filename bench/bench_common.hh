@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses.
+ *
+ * Each bench/ binary regenerates one table or figure of the paper's
+ * evaluation (Section 6); the mapping is indexed in DESIGN.md.  The
+ * binaries print the same rows/series the paper reports and, where
+ * the paper gives absolute numbers, a paper-vs-measured column.
+ */
+
+#ifndef FLEXSIM_BENCH_BENCH_COMMON_HH
+#define FLEXSIM_BENCH_BENCH_COMMON_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.hh"
+#include "common/table.hh"
+#include "energy/power.hh"
+#include "energy/tech.hh"
+#include "flexflow/flexflow_model.hh"
+#include "mapping2d/mapping2d_model.hh"
+#include "nn/workloads.hh"
+#include "systolic/systolic_model.hh"
+#include "tiling/tiling_model.hh"
+
+namespace flexsim {
+namespace bench {
+
+/** True when "--csv" appears on the command line. */
+inline bool
+csvMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--csv")
+            return true;
+    }
+    return false;
+}
+
+/** Print @p table as text or CSV depending on the mode. */
+inline void
+emitTable(const TextTable &table, bool csv, std::ostream &os)
+{
+    if (csv)
+        table.printCsv(os);
+    else
+        table.print(os);
+}
+
+/** The paper's Section 6.1.1 baseline set at engine scale D. */
+struct BaselineSet
+{
+    std::unique_ptr<SystolicModel> systolic;
+    std::unique_ptr<Mapping2DModel> mapping2d;
+    std::unique_ptr<TilingModel> tiling;
+    std::unique_ptr<FlexFlowModel> flexflow;
+
+    std::vector<std::pair<ArchKind, const AcceleratorModel *>>
+    all() const
+    {
+        return {{ArchKind::Systolic, systolic.get()},
+                {ArchKind::Mapping2D, mapping2d.get()},
+                {ArchKind::Tiling, tiling.get()},
+                {ArchKind::FlexFlow, flexflow.get()}};
+    }
+};
+
+/**
+ * Build the four baselines for one workload at scale @p d.  The
+ * Systolic arrays are 6x6 except for AlexNet's 11x11 configuration
+ * (paper Section 6.1.1).
+ */
+inline BaselineSet
+makeBaselines(const NetworkSpec &net, unsigned d = 16)
+{
+    BaselineSet set;
+    const int ka = net.name == "AlexNet" ? 11 : 6;
+    set.systolic = std::make_unique<SystolicModel>(
+        SystolicConfig::forScale(d, ka));
+    set.mapping2d = std::make_unique<Mapping2DModel>(
+        Mapping2DConfig::forScale(d));
+    set.tiling =
+        std::make_unique<TilingModel>(TilingConfig::forScale(d));
+    set.flexflow = std::make_unique<FlexFlowModel>(
+        FlexFlowConfig::forScale(d));
+    return set;
+}
+
+/** Work-weighted network utilization under @p model. */
+inline double
+networkUtilization(const AcceleratorModel &model, const NetworkSpec &net)
+{
+    double weighted = 0.0, macs = 0.0;
+    for (const auto &stage : net.stages) {
+        const LayerResult r = model.runLayer(stage.conv);
+        weighted += r.utilization() * static_cast<double>(r.macs);
+        macs += static_cast<double>(r.macs);
+    }
+    return weighted / macs;
+}
+
+/** Whole-network aggregate record. */
+inline LayerResult
+networkTotal(const AcceleratorModel &model, const NetworkSpec &net)
+{
+    return model.runNetwork(net).total();
+}
+
+} // namespace bench
+} // namespace flexsim
+
+#endif // FLEXSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Extension: quantitative Row-Stationary (Eyeriss-class) comparison.
+ *
+ * The paper's Table 7 compares FlexFlow against Eyeriss only on
+ * published spec numbers; with the Row-Stationary model implemented,
+ * the comparison can be run on the actual six workloads (12x14 RS
+ * array vs the 16x16 FlexFlow engine, both 65 nm at 1 GHz).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "rowstationary/rs_model.hh"
+
+using namespace flexsim;
+using namespace flexsim::bench;
+
+int
+main()
+{
+    const TechParams tech = TechParams::tsmc65();
+    const RowStationaryModel rs(RowStationaryConfig::eyeriss());
+    const FlexFlowModel ff(FlexFlowConfig::forScale(16));
+
+    printBanner(std::cout,
+                "Extension: Row-Stationary (12x14, Eyeriss-class) vs "
+                "FlexFlow (16x16)");
+
+    TextTable table;
+    table.setHeader({"Workload", "RS util", "FF util", "RS GOPs",
+                     "FF GOPs", "RS words", "FF words", "FF/RS perf"});
+    for (const NetworkSpec &net : workloads::all()) {
+        const LayerResult rs_total = rs.runNetwork(net).total();
+        const LayerResult ff_total = ff.runNetwork(net).total();
+        table.addRow({net.name,
+                      formatPercent(rs_total.utilization()),
+                      formatPercent(ff_total.utilization()),
+                      formatDouble(rs_total.gops(), 1),
+                      formatDouble(ff_total.gops(), 1),
+                      formatCount(rs_total.traffic.total()),
+                      formatCount(ff_total.traffic.total()),
+                      formatDouble(ff_total.gops() / rs_total.gops(),
+                                   2) +
+                          "x"});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nPer-layer utilization on AlexNet (RS shines on the "
+           "big-kernel strided C1 that\nruins the Systolic baseline; "
+           "FlexFlow matches or beats it everywhere):\n\n";
+    TextTable detail;
+    detail.setHeader({"Layer", "Row-Stationary", "FlexFlow"});
+    for (const auto &stage : workloads::alexnet().stages) {
+        detail.addRow(
+            {stage.conv.name,
+             formatPercent(rs.runLayer(stage.conv).utilization()),
+             formatPercent(ff.runLayer(stage.conv).utilization())});
+    }
+    detail.print(std::cout);
+
+    std::cout << "\nNote: RS has 168 PEs vs FlexFlow's 256, so the "
+                 "GOPs gap combines array size\nwith utilization; the "
+                 "utilization columns are the apples-to-apples view.\n";
+    (void)tech;
+    return 0;
+}

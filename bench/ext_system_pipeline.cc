@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Extension: dynamic system-level pipeline (double-buffered prefetch)
+ * vs. a fully serialized execution, per workload and DRAM bandwidth.
+ *
+ * Runs each compiled workload on the cycle-stepped system model
+ * (DMA engine + compute engine + controller) and reports the overlap
+ * speedup and where the engine stalls on data.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "compiler/system_sim.hh"
+
+using namespace flexsim;
+using namespace flexsim::bench;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Extension: dynamic prefetch pipeline vs serialized "
+                "execution (16x16 engine)");
+
+    FlexFlowCompiler compiler;
+    const double bandwidths[] = {1.0, 2.0, 4.0};
+
+    for (double bw : bandwidths) {
+        std::cout << "DRAM bandwidth " << formatDouble(bw * 2.0, 1)
+                  << " GB/s (" << formatDouble(bw, 1)
+                  << " words/cycle):\n\n";
+        TextTable table;
+        table.setHeader({"Workload", "Pipelined cycles",
+                         "Serialized cycles", "Overlap speedup",
+                         "Compute stall", "DMA busy"});
+        for (const NetworkSpec &net : workloads::all()) {
+            const CompilationResult compiled = compiler.compile(net);
+            const SystemRunResult run = runSystem(
+                compiled, FlexFlowConfig::forScale(16), bw);
+            table.addRow(
+                {net.name, formatCount(run.totalCycles),
+                 formatCount(run.serializedCycles),
+                 formatDouble(run.overlapSpeedup(), 2) + "x",
+                 formatPercent(
+                     static_cast<double>(run.computeStallCycles) /
+                     static_cast<double>(run.totalCycles)),
+                 formatPercent(
+                     static_cast<double>(run.dmaBusyCycles) /
+                     static_cast<double>(run.totalCycles))});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout
+        << "Double-buffered prefetch hides most transfer latency once "
+           "bandwidth covers the\nkernel streams; the residual stall "
+           "is the first layer's cold load plus layers\nwhose "
+           "successors' kernels outweigh their own compute.\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 15: computing resource utilization of the four baselines
+ * across the six workloads (work-weighted; per-layer detail printed
+ * below the summary).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+
+using namespace flexsim;
+using namespace flexsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool csv = csvMode(argc, argv);
+    printBanner(std::cout,
+                "Figure 15: Computing resource utilization (16x16 "
+                "scale)");
+
+    TextTable table;
+    table.setHeader({"Workload", "Systolic", "2D-Mapping", "Tiling",
+                     "FlexFlow"});
+    for (const NetworkSpec &net : workloads::all()) {
+        const BaselineSet set = makeBaselines(net);
+        std::vector<std::string> row = {net.name};
+        for (const auto &[kind, model] : set.all())
+            row.push_back(
+                formatPercent(networkUtilization(*model, net)));
+        table.addRow(row);
+    }
+    emitTable(table, csv, std::cout);
+
+    std::cout << "\nPer-layer detail (FlexFlow):\n\n";
+    TextTable detail;
+    detail.setHeader(
+        {"Workload", "Layer", "Factors", "Ur", "Uc", "Ut"});
+    for (const NetworkSpec &net : workloads::all()) {
+        for (const auto &stage : net.stages) {
+            const FactorChoice choice =
+                searchBestFactors(stage.conv, 16);
+            detail.addRow(
+                {net.name, stage.conv.name,
+                 choice.factors.toString(),
+                 formatPercent(choice.utilizationRows),
+                 formatPercent(choice.utilizationCols),
+                 formatPercent(choice.utilization())});
+        }
+        detail.addSeparator();
+    }
+    emitTable(detail, csv, std::cout);
+
+    std::cout << "\nPaper: FlexFlow > 80% on every workload; the "
+                 "baselines mostly < 60% and volatile.\n";
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the cycle-level simulators, the
+ * analytic models, and the compiler's factor search.  These measure
+ * simulator throughput (host-side), not modelled accelerator
+ * performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/compiler.hh"
+#include "flexflow/conv_unit.hh"
+#include "flexflow/flexflow_model.hh"
+#include "mapping2d/mapping2d_array.hh"
+#include "nn/tensor_init.hh"
+#include "nn/workloads.hh"
+#include "systolic/systolic_array.hh"
+#include "tiling/tiling_array.hh"
+
+namespace {
+
+using namespace flexsim;
+
+const ConvLayerSpec kLayer = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+
+struct LayerData
+{
+    Tensor3<> input;
+    Tensor4<> kernels;
+
+    LayerData()
+    {
+        Rng rng(1234);
+        input = makeRandomInput(rng, kLayer);
+        kernels = makeRandomKernels(rng, kLayer);
+    }
+};
+
+const LayerData &
+layerData()
+{
+    static const LayerData data;
+    return data;
+}
+
+void
+BM_SystolicCycleSim(benchmark::State &state)
+{
+    SystolicConfig cfg;
+    SystolicArraySim sim(cfg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim.runLayer(kLayer, layerData().input,
+                         layerData().kernels));
+    }
+    state.SetItemsProcessed(state.iterations() * kLayer.macs());
+}
+BENCHMARK(BM_SystolicCycleSim)->Unit(benchmark::kMillisecond);
+
+void
+BM_Mapping2DCycleSim(benchmark::State &state)
+{
+    Mapping2DArraySim sim;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim.runLayer(kLayer, layerData().input,
+                         layerData().kernels));
+    }
+    state.SetItemsProcessed(state.iterations() * kLayer.macs());
+}
+BENCHMARK(BM_Mapping2DCycleSim)->Unit(benchmark::kMillisecond);
+
+void
+BM_TilingCycleSim(benchmark::State &state)
+{
+    TilingArraySim sim;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim.runLayer(kLayer, layerData().input,
+                         layerData().kernels));
+    }
+    state.SetItemsProcessed(state.iterations() * kLayer.macs());
+}
+BENCHMARK(BM_TilingCycleSim)->Unit(benchmark::kMillisecond);
+
+void
+BM_FlexFlowCycleSim(benchmark::State &state)
+{
+    FlexFlowConvUnit unit{FlexFlowConfig{}};
+    const UnrollFactors t{16, 3, 1, 1, 1, 5};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            unit.runLayer(kLayer, t, layerData().input,
+                          layerData().kernels));
+    }
+    state.SetItemsProcessed(state.iterations() * kLayer.macs());
+}
+BENCHMARK(BM_FlexFlowCycleSim)->Unit(benchmark::kMillisecond);
+
+void
+BM_FlexFlowAnalyticModel(benchmark::State &state)
+{
+    const FlexFlowModel model;
+    const auto net = workloads::vgg11();
+    for (auto _ : state) {
+        for (const auto &stage : net.stages)
+            benchmark::DoNotOptimize(model.runLayer(stage.conv));
+    }
+}
+BENCHMARK(BM_FlexFlowAnalyticModel)->Unit(benchmark::kMicrosecond);
+
+void
+BM_FactorSearch(benchmark::State &state)
+{
+    const auto spec =
+        ConvLayerSpec::make("C5", 256, 192, 13, 3);
+    const int d = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(searchBestFactors(spec, d));
+}
+BENCHMARK(BM_FactorSearch)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_CompileAlexNet(benchmark::State &state)
+{
+    FlexFlowCompiler compiler;
+    const auto net = workloads::alexnet();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compiler.compile(net));
+}
+BENCHMARK(BM_CompileAlexNet)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompileVgg11(benchmark::State &state)
+{
+    FlexFlowCompiler compiler;
+    const auto net = workloads::vgg11();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compiler.compile(net));
+}
+BENCHMARK(BM_CompileVgg11)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

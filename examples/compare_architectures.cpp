@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Compare the four accelerator architectures on one workload (default
+ * LeNet-5; pass a workload name: PV, FR, LeNet-5, HG, AlexNet,
+ * VGG-11): utilization, performance, traffic, power, energy, area.
+ *
+ * Usage:
+ *     ./build/examples/compare_architectures [workload] [scale]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "energy/area.hh"
+#include "energy/power.hh"
+#include "flexflow/flexflow_model.hh"
+#include "mapping2d/mapping2d_model.hh"
+#include "nn/workloads.hh"
+#include "systolic/systolic_model.hh"
+#include "tiling/tiling_model.hh"
+
+using namespace flexsim;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "LeNet-5";
+    const unsigned d = argc > 2 ? std::stoul(argv[2]) : 16;
+
+    NetworkSpec net;
+    bool found = false;
+    for (const auto &w : workloads::all()) {
+        if (toLower(w.name) == toLower(name)) {
+            net = w;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::cerr << "unknown workload '" << name
+                  << "'; choose from: PV FR LeNet-5 HG AlexNet "
+                     "VGG-11\n";
+        return 1;
+    }
+
+    const int ka = net.name == "AlexNet" ? 11 : 6;
+    const SystolicModel systolic(SystolicConfig::forScale(d, ka));
+    const Mapping2DModel mapping2d(Mapping2DConfig::forScale(d));
+    const TilingModel tiling(TilingConfig::forScale(d));
+    const FlexFlowModel flexflow(FlexFlowConfig::forScale(d));
+    const std::pair<ArchKind, const AcceleratorModel *> archs[] = {
+        {ArchKind::Systolic, &systolic},
+        {ArchKind::Mapping2D, &mapping2d},
+        {ArchKind::Tiling, &tiling},
+        {ArchKind::FlexFlow, &flexflow},
+    };
+
+    const TechParams tech = TechParams::tsmc65();
+    printBanner(std::cout, net.name + " on a " + std::to_string(d) +
+                               "x" + std::to_string(d) +
+                               "-scale engine");
+
+    TextTable table;
+    table.setHeader({"Architecture", "PEs", "Cycles", "Util",
+                     "GOPs@1GHz", "Words moved", "Power mW",
+                     "Energy uJ", "GOPs/W", "Area mm^2"});
+    for (const auto &[kind, model] : archs) {
+        const LayerResult total = model->runNetwork(net).total();
+        const AreaBreakdown area =
+            computeArea(defaultAreaConfig(kind, d), tech);
+        const PowerReport report =
+            computePower(total, kind, d, tech, area.total());
+        table.addRow({model->name(),
+                      std::to_string(model->peCount()),
+                      formatCount(total.cycles),
+                      formatPercent(total.utilization()),
+                      formatDouble(total.gops(1.0), 1),
+                      formatCount(total.traffic.total()),
+                      formatDouble(report.power.total(), 0),
+                      formatDouble(report.energyUj, 1),
+                      formatDouble(report.gopsPerWatt, 0),
+                      formatDouble(area.total(), 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPer-layer utilization:\n\n";
+    TextTable layers;
+    layers.setHeader({"Layer", "MACs", "Systolic", "2D-Mapping",
+                      "Tiling", "FlexFlow"});
+    for (const auto &stage : net.stages) {
+        std::vector<std::string> row = {stage.conv.name,
+                                        formatCount(stage.conv.macs())};
+        for (const auto &[kind, model] : archs) {
+            row.push_back(formatPercent(
+                model->runLayer(stage.conv).utilization()));
+        }
+        layers.addRow(row);
+    }
+    layers.print(std::cout);
+    return 0;
+}

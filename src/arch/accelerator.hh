@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The common accelerator-model interface.
+ *
+ * Each of the four architectures (Systolic, 2D-Mapping, Tiling,
+ * FlexFlow) provides an AcceleratorModel: an analytic timing/traffic
+ * model derived from its dataflow schedule.  The cycle-level data
+ * simulators live next to each model and are cross-checked against it
+ * by the test suite (see DESIGN.md Section 3.1).
+ */
+
+#ifndef FLEXSIM_ARCH_ACCELERATOR_HH
+#define FLEXSIM_ARCH_ACCELERATOR_HH
+
+#include <string>
+
+#include "arch/result.hh"
+#include "nn/layer_spec.hh"
+
+namespace flexsim {
+
+/** Analytic model of one accelerator configuration. */
+class AcceleratorModel
+{
+  public:
+    virtual ~AcceleratorModel() = default;
+
+    /** Human-readable architecture name, e.g. "2D-Mapping". */
+    virtual std::string name() const = 0;
+
+    /** Number of MAC units in the computing engine. */
+    virtual unsigned peCount() const = 0;
+
+    /** Peak (nominal) MACs per cycle. */
+    virtual unsigned nominalMacsPerCycle() const { return peCount(); }
+
+    /** Execute one CONV layer; fills every LayerResult field. */
+    virtual LayerResult runLayer(const ConvLayerSpec &spec) const = 0;
+
+    /** Execute a whole workload. */
+    NetworkResult
+    runNetwork(const NetworkSpec &net) const
+    {
+        NetworkResult result;
+        result.networkName = net.name;
+        result.archName = name();
+        for (const NetworkSpec::Stage &stage : net.stages)
+            result.layers.push_back(runLayer(stage.conv));
+        return result;
+    }
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_ARCH_ACCELERATOR_HH

@@ -1,0 +1,67 @@
+#include "arch/dram_planner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "arch/unroll.hh"
+
+namespace flexsim {
+
+DramPlan
+planDramTraffic(const ConvLayerSpec &spec, std::size_t neuron_buf_words,
+                std::size_t kernel_buf_words, WordCount output_words)
+{
+    flexsim_assert(neuron_buf_words > 0 && kernel_buf_words > 0,
+                   "buffers must have capacity");
+    DramPlan plan;
+    const WordCount input_words = spec.inputWords();
+    const WordCount kernel_words = spec.kernelWords();
+    plan.inputsResident = input_words <= neuron_buf_words;
+    plan.kernelsResident = kernel_words <= kernel_buf_words;
+
+    // Option A (kernel-resident groups): split M so each group's
+    // kernels fit; inputs are loaded once if resident, else re-streamed
+    // per group.
+    const int groups = static_cast<int>(
+        ceilDiv(static_cast<long long>(kernel_words),
+                static_cast<long long>(kernel_buf_words)));
+    const WordCount reads_a =
+        kernel_words +
+        input_words * (plan.inputsResident ? 1 : groups);
+
+    // Option B (input-resident stripes): stream input row-stripes that
+    // fit a neuron buffer; kernels re-read per stripe unless resident.
+    const int stripes = static_cast<int>(
+        ceilDiv(static_cast<long long>(input_words),
+                static_cast<long long>(neuron_buf_words)));
+    const WordCount reads_b =
+        input_words +
+        kernel_words * (plan.kernelsResident ? 1 : stripes);
+
+    if (reads_a <= reads_b) {
+        plan.kernelGroups = groups;
+        plan.inputStripes = 1;
+        plan.kernelReadWords = kernel_words;
+        plan.inputReadWords =
+            input_words * (plan.inputsResident ? 1 : groups);
+    } else {
+        plan.kernelGroups = 1;
+        plan.inputStripes = stripes;
+        plan.kernelReadWords =
+            kernel_words * (plan.kernelsResident ? 1 : stripes);
+        plan.inputReadWords = input_words;
+    }
+    plan.traffic.reads = plan.inputReadWords + plan.kernelReadWords;
+    plan.traffic.writes = output_words;
+    return plan;
+}
+
+DramPlan
+planDramTraffic(const ConvLayerSpec &spec, std::size_t neuron_buf_words,
+                std::size_t kernel_buf_words)
+{
+    return planDramTraffic(spec, neuron_buf_words, kernel_buf_words,
+                           spec.outputWords());
+}
+
+} // namespace flexsim

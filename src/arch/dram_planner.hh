@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DRAM traffic planning under finite on-chip buffers (Table 7's
+ * "DRAM Accesses Per Operation").
+ *
+ * When a layer's kernels exceed the kernel buffer the layer is split
+ * into output-map groups; when its inputs exceed a neuron buffer they
+ * must be re-streamed per group.  The planner evaluates both loop
+ * orders (kernel-resident vs input-resident) and returns the cheaper
+ * one, which is what the paper's workload analyzer would configure.
+ */
+
+#ifndef FLEXSIM_ARCH_DRAM_PLANNER_HH
+#define FLEXSIM_ARCH_DRAM_PLANNER_HH
+
+#include "common/types.hh"
+#include "mem/traffic.hh"
+#include "nn/layer_spec.hh"
+
+namespace flexsim {
+
+/** The DRAM transfer plan for one CONV layer. */
+struct DramPlan
+{
+    DramTraffic traffic;
+    /** DRAM words read for input feature maps (incl. re-streaming). */
+    WordCount inputReadWords = 0;
+    /** DRAM words read for kernels (incl. re-streaming). */
+    WordCount kernelReadWords = 0;
+    /** Output-map groups (kernel buffer tiling), >= 1. */
+    int kernelGroups = 1;
+    /** Input row-stripes (neuron buffer tiling), >= 1. */
+    int inputStripes = 1;
+    /** True when inputs fully fit one neuron buffer. */
+    bool inputsResident = false;
+    /** True when the whole kernel stack fits the kernel buffer. */
+    bool kernelsResident = false;
+};
+
+/**
+ * Plan a layer's DRAM traffic.
+ *
+ * @param spec             the CONV layer
+ * @param neuron_buf_words capacity of one neuron buffer in words
+ * @param kernel_buf_words capacity of the kernel buffer in words
+ * @param output_words     words actually written back (post-pooling
+ *                         size when a POOL layer follows; pass
+ *                         spec.outputWords() otherwise)
+ */
+DramPlan planDramTraffic(const ConvLayerSpec &spec,
+                         std::size_t neuron_buf_words,
+                         std::size_t kernel_buf_words,
+                         WordCount output_words);
+
+/** Overload writing the full convolution output. */
+DramPlan planDramTraffic(const ConvLayerSpec &spec,
+                         std::size_t neuron_buf_words,
+                         std::size_t kernel_buf_words);
+
+} // namespace flexsim
+
+#endif // FLEXSIM_ARCH_DRAM_PLANNER_HH

@@ -1,0 +1,142 @@
+#include "arch/factor_search.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+namespace {
+
+/** One side (row or column) of the separable search. */
+struct Triple
+{
+    int a = 1;
+    int b = 1;
+    int c = 1;
+};
+
+} // namespace
+
+FactorChoice
+searchBestFactors(const ConvLayerSpec &spec, int d, int tr_tc_bound)
+{
+    flexsim_assert(d >= 1, "array edge must be positive");
+    flexsim_assert(tr_tc_bound >= 1, "Tr/Tc bound must be positive");
+    spec.validate();
+
+    const int max_tn = std::min(spec.inMaps, d);
+    const int max_ti = std::min(spec.kernel, d);
+    const int max_tj = std::min(spec.kernel, d);
+    const int max_tm = std::min(spec.outMaps, d);
+    const int max_trc = std::min({tr_tc_bound, spec.outSize, d});
+
+    // Intra-row side: maximize Ur over <Tn, Ti, Tj>.
+    Triple best_col;
+    double best_ur = -1.0;
+    for (int tn = 1; tn <= max_tn; ++tn) {
+        for (int ti = 1; ti <= max_ti; ++ti) {
+            if (tn * ti > d)
+                break;
+            for (int tj = 1; tj <= max_tj; ++tj) {
+                if (tn * ti * tj > d)
+                    break;
+                UnrollFactors t;
+                t.tn = tn;
+                t.ti = ti;
+                t.tj = tj;
+                const double ur = utilizationRows(t, spec, d);
+                const bool better =
+                    ur > best_ur + 1e-12 ||
+                    (ur > best_ur - 1e-12 &&
+                     (tn > best_col.a ||
+                      (tn == best_col.a &&
+                       (tj > best_col.c ||
+                        (tj == best_col.c && ti > best_col.b)))));
+                if (better) {
+                    best_ur = ur;
+                    best_col = {tn, ti, tj};
+                }
+            }
+        }
+    }
+
+    // Inter-row side: maximize Uc over <Tm, Tr, Tc>.
+    Triple best_row;
+    double best_uc = -1.0;
+    for (int tm = 1; tm <= max_tm; ++tm) {
+        for (int tr = 1; tr <= max_trc; ++tr) {
+            if (tm * tr > d)
+                break;
+            for (int tc = 1; tc <= max_trc; ++tc) {
+                if (tm * tr * tc > d)
+                    break;
+                UnrollFactors t;
+                t.tm = tm;
+                t.tr = tr;
+                t.tc = tc;
+                const double uc = utilizationCols(t, spec, d);
+                const bool better =
+                    uc > best_uc + 1e-12 ||
+                    (uc > best_uc - 1e-12 &&
+                     (tm > best_row.a ||
+                      (tm == best_row.a &&
+                       (tc > best_row.c ||
+                        (tc == best_row.c && tr > best_row.b)))));
+                if (better) {
+                    best_uc = uc;
+                    best_row = {tm, tr, tc};
+                }
+            }
+        }
+    }
+
+    FactorChoice choice;
+    choice.factors.tn = best_col.a;
+    choice.factors.ti = best_col.b;
+    choice.factors.tj = best_col.c;
+    choice.factors.tm = best_row.a;
+    choice.factors.tr = best_row.b;
+    choice.factors.tc = best_row.c;
+    choice.utilizationRows = best_ur;
+    choice.utilizationCols = best_uc;
+    flexsim_assert(
+        feasible(choice.factors, spec, d, tr_tc_bound),
+        "search produced infeasible factors ", choice.factors.toString(),
+        " for layer ", spec.name);
+    return choice;
+}
+
+FactorChoice
+searchBestFactors(const ConvLayerSpec &spec, int d)
+{
+    return searchBestFactors(spec, d, spec.outSize);
+}
+
+std::vector<UnrollFactors>
+enumerateFeasible(const ConvLayerSpec &spec, int d, int tr_tc_bound)
+{
+    std::vector<UnrollFactors> out;
+    const int max_trc = std::min({tr_tc_bound, spec.outSize, d});
+    for (int tm = 1; tm <= std::min(spec.outMaps, d); ++tm) {
+        for (int tr = 1; tr <= max_trc && tm * tr <= d; ++tr) {
+            for (int tc = 1; tc <= max_trc && tm * tr * tc <= d; ++tc) {
+                for (int tn = 1; tn <= std::min(spec.inMaps, d); ++tn) {
+                    for (int ti = 1;
+                         ti <= spec.kernel && tn * ti <= d; ++ti) {
+                        for (int tj = 1;
+                             tj <= spec.kernel && tn * ti * tj <= d;
+                             ++tj) {
+                            UnrollFactors t{tm, tn, tr, tc, ti, tj};
+                            if (feasible(t, spec, d, tr_tc_bound))
+                                out.push_back(t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace flexsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Exhaustive unrolling-factor optimization (paper Section 5).
+ *
+ * Ur depends only on the intra-row factors <Tn, Ti, Tj> and Uc only on
+ * the inter-row factors <Tm, Tr, Tc>, so the search optimizes the two
+ * sides independently over all factor triples whose product fits the
+ * array edge D; this is exact and fast (O(D * divisors) per side).
+ *
+ * The FlexFlow compiler (src/compiler) layers inter-layer IADP
+ * coupling and program emission on top of this core search.
+ */
+
+#ifndef FLEXSIM_ARCH_FACTOR_SEARCH_HH
+#define FLEXSIM_ARCH_FACTOR_SEARCH_HH
+
+#include <vector>
+
+#include "arch/unroll.hh"
+#include "nn/layer_spec.hh"
+
+namespace flexsim {
+
+/** Result of a factor search. */
+struct FactorChoice
+{
+    UnrollFactors factors;
+    double utilizationRows = 0.0;
+    double utilizationCols = 0.0;
+
+    double utilization() const
+    {
+        return utilizationRows * utilizationCols;
+    }
+};
+
+/**
+ * Find factors maximizing Ur * Uc subject to Constraint (1).
+ *
+ * @param spec        the CONV layer
+ * @param d           PE array edge
+ * @param tr_tc_bound upper bound on Tr/Tc (P * K' for the next layer;
+ *                    pass spec.outSize when unconstrained)
+ *
+ * Ties are broken toward larger Tn (fewer sequential input-map steps),
+ * then larger Tj/Ti, then larger Tm.
+ */
+FactorChoice searchBestFactors(const ConvLayerSpec &spec, int d,
+                               int tr_tc_bound);
+
+/** Convenience overload with Tr/Tc bounded only by the layer. */
+FactorChoice searchBestFactors(const ConvLayerSpec &spec, int d);
+
+/**
+ * Enumerate every feasible factor assignment (test/diagnostic use;
+ * exponential in nothing, but large for big D).
+ */
+std::vector<UnrollFactors> enumerateFeasible(const ConvLayerSpec &spec,
+                                             int d, int tr_tc_bound);
+
+} // namespace flexsim
+
+#endif // FLEXSIM_ARCH_FACTOR_SEARCH_HH

@@ -1,0 +1,58 @@
+#include "arch/processing_style.hh"
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+const char *
+processingStyleName(ProcessingStyle style)
+{
+    switch (style) {
+      case ProcessingStyle::SFSNSS:
+        return "SFSNSS";
+      case ProcessingStyle::SFSNMS:
+        return "SFSNMS";
+      case ProcessingStyle::SFMNSS:
+        return "SFMNSS";
+      case ProcessingStyle::SFMNMS:
+        return "SFMNMS";
+      case ProcessingStyle::MFSNSS:
+        return "MFSNSS";
+      case ProcessingStyle::MFSNMS:
+        return "MFSNMS";
+      case ProcessingStyle::MFMNSS:
+        return "MFMNSS";
+      case ProcessingStyle::MFMNMS:
+        return "MFMNMS";
+    }
+    panic("unknown ProcessingStyle");
+}
+
+bool
+usesFeatureMapParallelism(const UnrollFactors &t)
+{
+    return t.tm > 1 || t.tn > 1;
+}
+
+bool
+usesNeuronParallelism(const UnrollFactors &t)
+{
+    return t.tr > 1 || t.tc > 1;
+}
+
+bool
+usesSynapseParallelism(const UnrollFactors &t)
+{
+    return t.ti > 1 || t.tj > 1;
+}
+
+ProcessingStyle
+classifyProcessingStyle(const UnrollFactors &t)
+{
+    const int index = (usesFeatureMapParallelism(t) ? 4 : 0) +
+                      (usesNeuronParallelism(t) ? 2 : 0) +
+                      (usesSynapseParallelism(t) ? 1 : 0);
+    return static_cast<ProcessingStyle>(index);
+}
+
+} // namespace flexsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The eight processing styles of the paper's Section 2.2.
+ *
+ * A computing architecture handles Single/Multiple Feature maps,
+ * Single/Multiple Neurons, and Single/Multiple Synapses per cycle
+ * depending on which loops its dataflow unrolls; the paper names the
+ * eight combinations SFSNSS .. MFMNMS and classifies the prior
+ * architectures as SFSNMS (Systolic), SFMNSS (2D-Mapping), and MFSNSS
+ * (Tiling).  FlexFlow is the fully general MFMNMS.
+ */
+
+#ifndef FLEXSIM_ARCH_PROCESSING_STYLE_HH
+#define FLEXSIM_ARCH_PROCESSING_STYLE_HH
+
+#include "arch/unroll.hh"
+
+namespace flexsim {
+
+/** The eight feature-map/neuron/synapse parallelism combinations. */
+enum class ProcessingStyle
+{
+    SFSNSS, ///< fully sequential
+    SFSNMS, ///< synapse parallelism only (Systolic)
+    SFMNSS, ///< neuron parallelism only (2D-Mapping)
+    SFMNMS, ///< neuron + synapse
+    MFSNSS, ///< feature-map parallelism only (Tiling)
+    MFSNMS, ///< feature-map + synapse
+    MFMNSS, ///< feature-map + neuron
+    MFMNMS, ///< all three (FlexFlow)
+};
+
+/** Printable style name, e.g. "SFSNMS". */
+const char *processingStyleName(ProcessingStyle style);
+
+/** True when the factors exploit feature-map parallelism (FP). */
+bool usesFeatureMapParallelism(const UnrollFactors &t);
+
+/** True when the factors exploit neuron parallelism (NP). */
+bool usesNeuronParallelism(const UnrollFactors &t);
+
+/** True when the factors exploit synapse parallelism (SP). */
+bool usesSynapseParallelism(const UnrollFactors &t);
+
+/** Classify a factor assignment into one of the eight styles. */
+ProcessingStyle classifyProcessingStyle(const UnrollFactors &t);
+
+} // namespace flexsim
+
+#endif // FLEXSIM_ARCH_PROCESSING_STYLE_HH

@@ -1,0 +1,66 @@
+#include "arch/result.hh"
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+double
+LayerResult::utilization() const
+{
+    flexsim_assert(fillCycles <= cycles,
+                   "fill cycles cannot exceed total cycles");
+    const Cycle compute = cycles - fillCycles;
+    if (compute == 0 || peCount == 0)
+        return 0.0;
+    return static_cast<double>(activeMacCycles) /
+           (static_cast<double>(compute) * peCount);
+}
+
+double
+LayerResult::gops(double freq_ghz) const
+{
+    if (cycles == 0)
+        return 0.0;
+    // One MAC is two operations (multiply + add); cycles at freq_ghz
+    // GHz take cycles / freq_ghz nanoseconds.
+    return 2.0 * static_cast<double>(macs) /
+           (static_cast<double>(cycles) / freq_ghz);
+}
+
+LayerResult &
+LayerResult::operator+=(const LayerResult &other)
+{
+    if (layerName.empty())
+        layerName = other.layerName;
+    else if (!other.layerName.empty())
+        layerName += "+" + other.layerName;
+    cycles += other.cycles;
+    fillCycles += other.fillCycles;
+    macs += other.macs;
+    activeMacCycles += other.activeMacCycles;
+    if (peCount == 0)
+        peCount = other.peCount;
+    else if (other.peCount != 0 && other.peCount != peCount)
+        warn("aggregating layers with different PE counts (", peCount,
+             " vs ", other.peCount, ")");
+    traffic += other.traffic;
+    dram += other.dram;
+    localStoreReads += other.localStoreReads;
+    localStoreWrites += other.localStoreWrites;
+    return *this;
+}
+
+LayerResult
+NetworkResult::total() const
+{
+    LayerResult sum;
+    sum.layerName = networkName;
+    for (const LayerResult &layer : layers) {
+        LayerResult tmp = layer;
+        tmp.layerName.clear();
+        sum += tmp;
+    }
+    return sum;
+}
+
+} // namespace flexsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Uniform result records produced by every accelerator model.
+ *
+ * A LayerResult captures everything the evaluation section derives
+ * numbers from: cycle count, useful MACs, busy PE-cycles, buffer/DRAM
+ * traffic, and local-store activity.  NetworkResult aggregates a whole
+ * workload.
+ */
+
+#ifndef FLEXSIM_ARCH_RESULT_HH
+#define FLEXSIM_ARCH_RESULT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/traffic.hh"
+
+namespace flexsim {
+
+/** Execution record for one CONV layer on one accelerator. */
+struct LayerResult
+{
+    std::string layerName;
+    /** Total execution cycles (compute + unhidden fill/drain). */
+    Cycle cycles = 0;
+    /**
+     * Cycles spent filling/draining pipelines rather than streaming
+     * operands.  utilization() measures spatial occupancy over the
+     * remaining compute cycles (Figure 15); gops() always uses the
+     * full cycle count, which is how the paper's Systolic loses
+     * performance without losing utilization (Section 6.2.3).
+     */
+    Cycle fillCycles = 0;
+    /** Useful multiply-accumulates performed. */
+    MacCount macs = 0;
+    /** PE-cycles spent on useful MACs. */
+    std::uint64_t activeMacCycles = 0;
+    /** Number of MAC units in the engine. */
+    unsigned peCount = 0;
+    /** Buffer <-> PE array word traffic (Figure 17). */
+    Traffic traffic;
+    /** DRAM <-> buffer word traffic (Table 7). */
+    DramTraffic dram;
+    /** Per-PE local store activity (energy model input). */
+    WordCount localStoreReads = 0;
+    WordCount localStoreWrites = 0;
+
+    /** Computing resource utilization (PE-cycle definition, Sec. 5). */
+    double utilization() const;
+
+    /** Giga-operations per second at @p freq_ghz (1 MAC = 2 ops). */
+    double gops(double freq_ghz = 1.0) const;
+
+    /** Accumulate another layer's record (names joined with '+'). */
+    LayerResult &operator+=(const LayerResult &other);
+};
+
+/** Execution record for a whole workload. */
+struct NetworkResult
+{
+    std::string networkName;
+    std::string archName;
+    std::vector<LayerResult> layers;
+
+    /** Sum of all per-layer records. */
+    LayerResult total() const;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_ARCH_RESULT_HH

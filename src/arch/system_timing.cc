@@ -1,0 +1,38 @@
+#include "arch/system_timing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+SystemTiming
+overlapTiming(const LayerResult &result, double dram_words_per_cycle)
+{
+    flexsim_assert(dram_words_per_cycle > 0.0,
+                   "DRAM bandwidth must be positive");
+    SystemTiming timing;
+    timing.computeCycles = result.cycles;
+    timing.dramCycles = static_cast<Cycle>(
+        std::ceil(static_cast<double>(result.dram.total()) /
+                  dram_words_per_cycle));
+    timing.totalCycles =
+        std::max(timing.computeCycles, timing.dramCycles);
+    timing.memoryBound = timing.dramCycles > timing.computeCycles;
+    return timing;
+}
+
+double
+effectiveGops(const LayerResult &result, double dram_words_per_cycle,
+              double freq_ghz)
+{
+    const SystemTiming timing =
+        overlapTiming(result, dram_words_per_cycle);
+    if (timing.totalCycles == 0)
+        return 0.0;
+    return 2.0 * static_cast<double>(result.macs) /
+           (static_cast<double>(timing.totalCycles) / freq_ghz);
+}
+
+} // namespace flexsim

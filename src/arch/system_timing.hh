@@ -1,0 +1,53 @@
+/**
+ * @file
+ * System-level execution timing: compute overlapped with DRAM
+ * transfers.
+ *
+ * The paper evaluates engine performance assuming the buffers are
+ * fed; a deployment also cares where the design goes memory-bound.
+ * With double-buffered transfers a layer's wall-clock is
+ * max(compute cycles, DRAM transfer cycles); this module derives that
+ * roofline from a LayerResult and a DRAM bandwidth.
+ */
+
+#ifndef FLEXSIM_ARCH_SYSTEM_TIMING_HH
+#define FLEXSIM_ARCH_SYSTEM_TIMING_HH
+
+#include "arch/result.hh"
+
+namespace flexsim {
+
+/** Wall-clock decomposition of one layer (or aggregated network). */
+struct SystemTiming
+{
+    Cycle computeCycles = 0;
+    Cycle dramCycles = 0;
+    /** max(compute, dram) under double buffering. */
+    Cycle totalCycles = 0;
+    bool memoryBound = false;
+
+    /** Fraction of the wall-clock the engine computes. */
+    double
+    computeOccupancy() const
+    {
+        return totalCycles > 0
+                   ? static_cast<double>(computeCycles) / totalCycles
+                   : 0.0;
+    }
+};
+
+/**
+ * Overlap @p result's compute with its DRAM traffic at
+ * @p dram_words_per_cycle (16-bit words per engine cycle).
+ */
+SystemTiming overlapTiming(const LayerResult &result,
+                           double dram_words_per_cycle);
+
+/** Effective GOPs at @p freq_ghz including memory stalls. */
+double effectiveGops(const LayerResult &result,
+                     double dram_words_per_cycle,
+                     double freq_ghz = 1.0);
+
+} // namespace flexsim
+
+#endif // FLEXSIM_ARCH_SYSTEM_TIMING_HH

@@ -1,0 +1,71 @@
+#include "arch/unroll.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+std::string
+UnrollFactors::toString() const
+{
+    std::ostringstream oss;
+    oss << "<Tm=" << tm << ",Tn=" << tn << ",Tr=" << tr << ",Tc=" << tc
+        << ",Ti=" << ti << ",Tj=" << tj << ">";
+    return oss.str();
+}
+
+bool
+feasible(const UnrollFactors &t, const ConvLayerSpec &spec, int d,
+         int tr_tc_bound)
+{
+    if (t.tm < 1 || t.tn < 1 || t.tr < 1 || t.tc < 1 || t.ti < 1 ||
+        t.tj < 1) {
+        return false;
+    }
+    if (t.tm > spec.outMaps || t.tn > spec.inMaps)
+        return false;
+    if (t.ti > spec.kernel || t.tj > spec.kernel)
+        return false;
+    if (t.tr > tr_tc_bound || t.tc > tr_tc_bound)
+        return false;
+    if (t.tr > spec.outSize || t.tc > spec.outSize)
+        return false;
+    if (t.columnDemand() > d || t.rowDemand() > d)
+        return false;
+    return true;
+}
+
+double
+utilizationRows(const UnrollFactors &t, const ConvLayerSpec &spec, int d)
+{
+    flexsim_assert(d > 0, "PE array edge must be positive");
+    const long long numerator = static_cast<long long>(spec.inMaps) *
+                                spec.kernel * spec.kernel;
+    const long long denominator = ceilDiv(spec.inMaps, t.tn) *
+                                  ceilDiv(spec.kernel, t.ti) *
+                                  ceilDiv(spec.kernel, t.tj) * d;
+    return static_cast<double>(numerator) /
+           static_cast<double>(denominator);
+}
+
+double
+utilizationCols(const UnrollFactors &t, const ConvLayerSpec &spec, int d)
+{
+    flexsim_assert(d > 0, "PE array edge must be positive");
+    const long long numerator = static_cast<long long>(spec.outMaps) *
+                                spec.outSize * spec.outSize;
+    const long long denominator = ceilDiv(spec.outMaps, t.tm) *
+                                  ceilDiv(spec.outSize, t.tr) *
+                                  ceilDiv(spec.outSize, t.tc) * d;
+    return static_cast<double>(numerator) /
+           static_cast<double>(denominator);
+}
+
+double
+utilizationTotal(const UnrollFactors &t, const ConvLayerSpec &spec, int d)
+{
+    return utilizationRows(t, spec, d) * utilizationCols(t, spec, d);
+}
+
+} // namespace flexsim

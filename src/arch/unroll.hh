@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Loop-unrolling factors and the utilization model of the paper's
+ * Section 5.
+ *
+ * T = <Tm, Tn, Tr, Tc, Ti, Tj> quantifies the parallel degree of the
+ * six CONV loops (Figure 4).  For a D x D FlexFlow convolutional unit
+ * the feasible set obeys Constraint (1) and the achieved computing
+ * resource utilization is Ur * Uc with Ur and Uc from Equations (2)
+ * and (3).
+ */
+
+#ifndef FLEXSIM_ARCH_UNROLL_HH
+#define FLEXSIM_ARCH_UNROLL_HH
+
+#include <string>
+
+#include "nn/layer_spec.hh"
+
+namespace flexsim {
+
+/** The six unrolling factors <Tm, Tn, Tr, Tc, Ti, Tj>. */
+struct UnrollFactors
+{
+    int tm = 1; ///< output feature maps in parallel
+    int tn = 1; ///< input feature maps in parallel
+    int tr = 1; ///< output neuron rows in parallel
+    int tc = 1; ///< output neuron columns in parallel
+    int ti = 1; ///< kernel rows in parallel
+    int tj = 1; ///< kernel columns in parallel
+
+    /** PE rows occupied: Tm * Tr * Tc (the inter-row mix). */
+    int rowDemand() const { return tm * tr * tc; }
+
+    /** PEs per row occupied: Tn * Ti * Tj (the intra-row mix). */
+    int columnDemand() const { return tn * ti * tj; }
+
+    /** "<Tm,Tn,Tr,Tc,Ti,Tj>" for reports. */
+    std::string toString() const;
+
+    bool operator==(const UnrollFactors &) const = default;
+};
+
+/**
+ * Feasibility per the paper's Constraint (1).
+ *
+ * @param t     candidate factors
+ * @param spec  the CONV layer
+ * @param d     PE array edge (D x D PEs)
+ * @param tr_tc_bound upper bound on Tr and Tc (P * K' of the next
+ *              layer; pass spec.outSize when there is no next layer)
+ */
+bool feasible(const UnrollFactors &t, const ConvLayerSpec &spec, int d,
+              int tr_tc_bound);
+
+/** PE-row utilization Ur (Equation 2). */
+double utilizationRows(const UnrollFactors &t, const ConvLayerSpec &spec,
+                       int d);
+
+/** PE-column utilization Uc (Equation 3). */
+double utilizationCols(const UnrollFactors &t, const ConvLayerSpec &spec,
+                       int d);
+
+/** Total utilization Ut = Ur * Uc. */
+double utilizationTotal(const UnrollFactors &t, const ConvLayerSpec &spec,
+                        int d);
+
+/** Integer ceiling division. */
+constexpr long long
+ceilDiv(long long a, long long b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace flexsim
+
+#endif // FLEXSIM_ARCH_UNROLL_HH

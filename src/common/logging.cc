@@ -1,0 +1,61 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace flexsim {
+namespace logging_detail {
+
+namespace {
+
+/** Throwing hook used by unit tests to intercept panic/fatal. */
+thread_local bool throwOnError = false;
+
+} // namespace
+
+/** Exception raised instead of aborting when test interception is on. */
+void
+setThrowOnError(bool enable)
+{
+    throwOnError = enable;
+}
+
+bool
+getThrowOnError()
+{
+    return throwOnError;
+}
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " [" << file << ":" << line << "]\n";
+    if (throwOnError)
+        throw std::runtime_error("panic: " + msg);
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " [" << file << ":" << line << "]\n";
+    if (throwOnError)
+        throw std::runtime_error("fatal: " + msg);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cout << "info: " << msg << "\n";
+}
+
+} // namespace logging_detail
+} // namespace flexsim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * gem5-flavoured status/error reporting: panic(), fatal(), warn(),
+ * inform().
+ *
+ * panic() is for internal simulator bugs ("should never happen") and
+ * aborts; fatal() is for user/configuration errors and exits with an
+ * error code; warn()/inform() report conditions without stopping the
+ * simulation.
+ *
+ * All four accept any sequence of ostream-printable arguments which are
+ * concatenated into the message:
+ *
+ *     panic("bank index ", bank, " out of range [0, ", numBanks, ")");
+ */
+
+#ifndef FLEXSIM_COMMON_LOGGING_HH
+#define FLEXSIM_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace flexsim {
+
+namespace logging_detail {
+
+/** Concatenate printable arguments into a single string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+// Both may exit via exception when the test hook below is enabled;
+// they never return normally.
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/**
+ * Test hook: when enabled, panic()/fatal() throw std::runtime_error
+ * instead of terminating the process, so death paths are unit-testable.
+ */
+void setThrowOnError(bool enable);
+bool getThrowOnError();
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace logging_detail
+
+/**
+ * Abort the simulation due to an internal simulator bug.  Never returns.
+ */
+#define panic(...)                                                         \
+    ::flexsim::logging_detail::panicImpl(                                  \
+        __FILE__, __LINE__, ::flexsim::logging_detail::concat(__VA_ARGS__))
+
+/**
+ * Terminate the simulation due to a user error (bad configuration,
+ * invalid arguments).  Never returns.
+ */
+#define fatal(...)                                                         \
+    ::flexsim::logging_detail::fatalImpl(                                  \
+        __FILE__, __LINE__, ::flexsim::logging_detail::concat(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define warn(...)                                                          \
+    ::flexsim::logging_detail::warnImpl(                                   \
+        ::flexsim::logging_detail::concat(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define inform(...)                                                        \
+    ::flexsim::logging_detail::informImpl(                                 \
+        ::flexsim::logging_detail::concat(__VA_ARGS__))
+
+/**
+ * Internal invariant check that survives NDEBUG builds.  Use for
+ * simulator self-checks that must hold in release benchmarking runs.
+ */
+#define flexsim_assert(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::flexsim::logging_detail::panicImpl(                          \
+                __FILE__, __LINE__,                                        \
+                ::flexsim::logging_detail::concat(                         \
+                    "assertion '" #cond "' failed: ", ##__VA_ARGS__));     \
+        }                                                                  \
+    } while (0)
+
+} // namespace flexsim
+
+#endif // FLEXSIM_COMMON_LOGGING_HH

@@ -1,0 +1,105 @@
+#include "common/strutil.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+
+namespace flexsim {
+
+std::vector<std::string>
+split(const std::string &text, char delim)
+{
+    std::vector<std::string> out;
+    std::string field;
+    std::istringstream iss(text);
+    while (std::getline(iss, field, delim))
+        out.push_back(field);
+    if (!text.empty() && text.back() == delim)
+        out.push_back("");
+    if (text.empty())
+        out.push_back("");
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(text);
+    std::string field;
+    while (iss >> field)
+        out.push_back(field);
+    return out;
+}
+
+std::string
+trim(const std::string &text)
+{
+    auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+    auto begin = std::find_if_not(text.begin(), text.end(), is_space);
+    auto end = std::find_if_not(text.rbegin(), text.rend(), is_space).base();
+    return begin < end ? std::string(begin, end) : std::string();
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+toLower(const std::string &text)
+{
+    std::string out = text;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+formatDouble(double value, int digits)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(digits);
+    oss << value;
+    return oss.str();
+}
+
+std::string
+formatPercent(double fraction, int digits)
+{
+    return formatDouble(fraction * 100.0, digits) + "%";
+}
+
+std::string
+formatCount(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count > 0 && count % 3 == 0)
+            out += ',';
+        out += *it;
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace flexsim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small string helpers used by reports and the assembler.
+ */
+
+#ifndef FLEXSIM_COMMON_STRUTIL_HH
+#define FLEXSIM_COMMON_STRUTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flexsim {
+
+/** Split @p text on @p delim; empty fields are preserved. */
+std::vector<std::string> split(const std::string &text, char delim);
+
+/** Split on arbitrary whitespace; empty fields are dropped. */
+std::vector<std::string> splitWhitespace(const std::string &text);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &text);
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &text);
+
+/** True when @p text begins with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** Format a double with @p digits significant decimals. */
+std::string formatDouble(double value, int digits = 2);
+
+/** Format a fraction as a percentage string, e.g. 0.873 -> "87.3%". */
+std::string formatPercent(double fraction, int digits = 1);
+
+/** Group thousands for readability, e.g. 1234567 -> "1,234,567". */
+std::string formatCount(std::uint64_t value);
+
+} // namespace flexsim
+
+#endif // FLEXSIM_COMMON_STRUTIL_HH

@@ -1,0 +1,113 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace flexsim {
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row.cells);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            os << cell << std::string(widths[i] - cell.size(), ' ');
+            if (i + 1 < widths.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w;
+    if (!widths.empty())
+        total += 2 * (widths.size() - 1);
+
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_) {
+        if (row.separator)
+            os << std::string(total, '-') << "\n";
+        else
+            emit(row.cells);
+    }
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0)
+                os << ',';
+            const std::string &cell = cells[i];
+            if (cell.find_first_of(",\"\n") != std::string::npos) {
+                os << '"';
+                for (char c : cell) {
+                    if (c == '"')
+                        os << '"';
+                    os << c;
+                }
+                os << '"';
+            } else {
+                os << cell;
+            }
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const Row &row : rows_) {
+        if (!row.separator)
+            emit(row.cells);
+    }
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n\n";
+}
+
+} // namespace flexsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Console table renderer used by the benchmark harnesses to print
+ * paper-style tables and figure series.
+ */
+
+#ifndef FLEXSIM_COMMON_TABLE_HH
+#define FLEXSIM_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flexsim {
+
+/**
+ * A simple text table.  Columns are sized to fit the widest cell; the
+ * first row added with setHeader() is underlined.  Numeric cells should
+ * be pre-formatted by the caller (see strutil.hh helpers).
+ */
+class TextTable
+{
+  public:
+    /** Set (or replace) the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append one body row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Number of body rows added so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180 quoting; separators are skipped). */
+    void printCsv(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string toString() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+/** Print a titled section banner for bench output. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace flexsim
+
+#endif // FLEXSIM_COMMON_TABLE_HH

@@ -1,0 +1,126 @@
+#include "common/trace.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <set>
+
+#include "common/strutil.hh"
+
+namespace flexsim {
+namespace trace {
+
+namespace {
+
+struct TraceState
+{
+    std::set<std::string> enabled;
+    std::set<std::string> known;
+    bool all = false;
+    std::ostream *stream = &std::cerr;
+    std::mutex mutex;
+
+    TraceState()
+    {
+        if (const char *spec = std::getenv("FLEXSIM_TRACE")) {
+            for (const std::string &flag : split(spec, ',')) {
+                const std::string trimmed = trim(flag);
+                if (trimmed == "all")
+                    all = true;
+                else if (!trimmed.empty())
+                    enabled.insert(trimmed);
+            }
+        }
+    }
+};
+
+TraceState &
+state()
+{
+    static TraceState instance;
+    return instance;
+}
+
+} // namespace
+
+void
+enable(const std::string &flag)
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (flag == "all")
+        s.all = true;
+    else
+        s.enabled.insert(flag);
+}
+
+void
+disable(const std::string &flag)
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (flag == "all") {
+        s.all = false;
+        s.enabled.clear();
+    } else {
+        s.enabled.erase(flag);
+    }
+}
+
+bool
+enabled(const std::string &flag)
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.all || s.enabled.count(flag) > 0;
+}
+
+void
+enableFromSpec(const std::string &spec)
+{
+    for (const std::string &flag : split(spec, ',')) {
+        const std::string trimmed = trim(flag);
+        if (!trimmed.empty())
+            enable(trimmed);
+    }
+}
+
+void
+setStream(std::ostream *stream)
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.stream = stream != nullptr ? stream : &std::cerr;
+}
+
+std::vector<std::string>
+knownFlags()
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return {s.known.begin(), s.known.end()};
+}
+
+namespace detail {
+
+void
+registerFlag(const std::string &flag)
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.known.insert(flag);
+}
+
+void
+emit(const std::string &flag, const std::string &message)
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    (*s.stream) << flag << ": " << message << "\n";
+}
+
+} // namespace detail
+
+} // namespace trace
+} // namespace flexsim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * gem5-DPRINTF-flavoured debug tracing.
+ *
+ * Components emit trace lines under named flags; nothing is formatted
+ * unless the flag is enabled, so tracing is free in benchmarking
+ * runs.  Flags are enabled programmatically (tests) or through the
+ * FLEXSIM_TRACE environment variable, a comma-separated flag list
+ * ("ConvUnit,Dma" or "all"):
+ *
+ *     FLEXSIM_TRACE=ConvUnit,Compiler ./build/examples/quickstart
+ *
+ * Output goes to a redirectable stream (stderr by default):
+ *
+ *     trace::printf("ConvUnit", "batch ", batch, " steps ", steps);
+ */
+
+#ifndef FLEXSIM_COMMON_TRACE_HH
+#define FLEXSIM_COMMON_TRACE_HH
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace flexsim {
+namespace trace {
+
+/** Enable one flag (or "all"). */
+void enable(const std::string &flag);
+
+/** Disable one flag (or "all", which also clears the all-flags mode). */
+void disable(const std::string &flag);
+
+/** True when @p flag (or "all") is enabled. */
+bool enabled(const std::string &flag);
+
+/** Parse a comma-separated flag list (the FLEXSIM_TRACE format). */
+void enableFromSpec(const std::string &spec);
+
+/** Redirect trace output (nullptr restores stderr). */
+void setStream(std::ostream *stream);
+
+/** Flags registered by emitters so far (diagnostics/--help output). */
+std::vector<std::string> knownFlags();
+
+namespace detail {
+void emit(const std::string &flag, const std::string &message);
+void registerFlag(const std::string &flag);
+} // namespace detail
+
+/** Emit one trace line under @p flag. */
+template <typename... Args>
+void
+printf(const std::string &flag, Args &&...args)
+{
+    detail::registerFlag(flag);
+    if (!enabled(flag))
+        return;
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    detail::emit(flag, oss.str());
+}
+
+} // namespace trace
+} // namespace flexsim
+
+#endif // FLEXSIM_COMMON_TRACE_HH

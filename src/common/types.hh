@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared by every flexsim subsystem.
+ */
+
+#ifndef FLEXSIM_COMMON_TYPES_HH
+#define FLEXSIM_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flexsim {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Count of data words (one word == one 16-bit operand). */
+using WordCount = std::uint64_t;
+
+/** Count of multiply-accumulate operations. */
+using MacCount = std::uint64_t;
+
+/** Energy in picojoules. */
+using PicoJoule = double;
+
+/** Area in square millimetres. */
+using SquareMm = double;
+
+/** Bytes occupied by one accelerator data word (16-bit fixed point). */
+inline constexpr std::size_t bytesPerWord = 2;
+
+} // namespace flexsim
+
+#endif // FLEXSIM_COMMON_TYPES_HH

@@ -1,0 +1,364 @@
+#include "compiler/compiler.hh"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "arch/unroll.hh"
+#include "common/logging.hh"
+#include "common/trace.hh"
+#include "nn/golden.hh"
+
+namespace flexsim {
+
+namespace {
+
+/** A row-side candidate <Tm, Tr, Tc> with its column utilization. */
+struct RowCandidate
+{
+    int tm = 1;
+    int tr = 1;
+    int tc = 1;
+    double uc = 0.0;
+    /** Output-position batches per output-map block sweep. */
+    long long batches = 0;
+};
+
+/** Sequential steps per batch for a column side <Tn, Ti, Tj>. */
+long long
+stepsOf(const ConvLayerSpec &spec, int tn, int ti, int tj)
+{
+    return ceilDiv(spec.inMaps, tn) * ceilDiv(spec.kernel, ti) *
+           ceilDiv(spec.kernel, tj);
+}
+
+/** Tr/Tc bound for stage @p idx: P * K' of the next POOL/CONV pair. */
+int
+trTcBound(const NetworkSpec &net, std::size_t idx)
+{
+    const ConvLayerSpec &spec = net.stages[idx].conv;
+    int bound = spec.outSize;
+    if (const auto next_k = net.nextKernel(idx))
+        bound = std::min(bound, net.poolWindowAfter(idx) * *next_k);
+    return bound;
+}
+
+/** Enumerate row-side candidates within @p margin of the best Uc. */
+std::vector<RowCandidate>
+rowCandidates(const ConvLayerSpec &spec, int d, int bound,
+              double margin)
+{
+    std::vector<RowCandidate> all;
+    double best_uc = 0.0;
+    const int max_trc = std::min(bound, std::min(spec.outSize, d));
+    for (int tm = 1; tm <= std::min(spec.outMaps, d); ++tm) {
+        for (int tr = 1; tr <= max_trc && tm * tr <= d; ++tr) {
+            for (int tc = 1; tc <= max_trc && tm * tr * tc <= d;
+                 ++tc) {
+                UnrollFactors t;
+                t.tm = tm;
+                t.tr = tr;
+                t.tc = tc;
+                RowCandidate cand;
+                cand.tm = tm;
+                cand.tr = tr;
+                cand.tc = tc;
+                cand.uc = utilizationCols(t, spec, d);
+                cand.batches = ceilDiv(spec.outMaps, tm) *
+                               ceilDiv(spec.outSize, tr) *
+                               ceilDiv(spec.outSize, tc);
+                best_uc = std::max(best_uc, cand.uc);
+                all.push_back(cand);
+            }
+        }
+    }
+    std::vector<RowCandidate> kept;
+    for (const RowCandidate &cand : all) {
+        if (cand.uc + 1e-12 >= best_uc * (1.0 - margin))
+            kept.push_back(cand);
+    }
+    return kept;
+}
+
+/** Column side coupled to the previous layer's row side. */
+void
+coupledColSide(const ConvLayerSpec &spec, const RowCandidate &prev,
+               int &tn, int &ti, int &tj)
+{
+    tn = std::min(prev.tm, spec.inMaps);
+    ti = std::min(prev.tr, spec.kernel);
+    tj = std::min(prev.tc, spec.kernel);
+}
+
+} // namespace
+
+DramTraffic
+CompilationResult::totalDram() const
+{
+    DramTraffic total;
+    for (const LayerPlan &layer : layers)
+        total += layer.dram.traffic;
+    return total;
+}
+
+FlexFlowCompiler::FlexFlowCompiler(FlexFlowConfig config,
+                                   double coupling_margin)
+    : config_(config), couplingMargin_(coupling_margin)
+{
+    flexsim_assert(coupling_margin >= 0.0,
+                   "coupling margin must be non-negative");
+}
+
+FactorChoice
+FlexFlowCompiler::chooseFactors(
+    const NetworkSpec &net, std::size_t stage_index,
+    const std::optional<UnrollFactors> &prev) const
+{
+    flexsim_assert(stage_index < net.stages.size(),
+                   "stage index out of range");
+    const ConvLayerSpec &spec = net.stages[stage_index].conv;
+    const int bound = trTcBound(net, stage_index);
+
+    FactorChoice best = searchBestFactors(spec, config_.d, bound);
+
+    // Greedy variant of the IADP coupling: adopt the previous layer's
+    // <Tm,Tr,Tc> as this layer's <Tn,Ti,Tj> when the Ur loss stays
+    // within the margin.
+    if (prev) {
+        UnrollFactors coupled = best.factors;
+        coupled.tn = std::min(prev->tm, spec.inMaps);
+        coupled.ti = std::min(prev->tr, spec.kernel);
+        coupled.tj = std::min(prev->tc, spec.kernel);
+        if (feasible(coupled, spec, config_.d, bound)) {
+            const double coupled_ur =
+                utilizationRows(coupled, spec, config_.d);
+            if (coupled_ur + 1e-12 >=
+                best.utilizationRows * (1.0 - couplingMargin_)) {
+                best.factors = coupled;
+                best.utilizationRows = coupled_ur;
+            }
+        }
+    }
+    return best;
+}
+
+CompilationResult
+FlexFlowCompiler::compile(const NetworkSpec &net) const
+{
+    net.validate();
+    const std::size_t num_layers = net.stages.size();
+    const int d = config_.d;
+
+    // --- chain optimization ---------------------------------------
+    // dp[i][ri]: minimum total cycles through layer i when layer i
+    // uses row candidate ri.  Column sides are either coupled to the
+    // previous layer's row side (free) or re-optimized (charged a
+    // relayout penalty of one activation pass).
+    std::vector<std::vector<RowCandidate>> rows(num_layers);
+    std::vector<long long> free_steps(num_layers);
+    std::vector<UnrollFactors> free_cols(num_layers);
+    for (std::size_t i = 0; i < num_layers; ++i) {
+        const ConvLayerSpec &spec = net.stages[i].conv;
+        rows[i] = rowCandidates(spec, d, trTcBound(net, i),
+                                couplingMargin_);
+        flexsim_assert(!rows[i].empty(), "no row candidates for ",
+                       spec.name);
+        const FactorChoice free =
+            searchBestFactors(spec, d, trTcBound(net, i));
+        free_cols[i] = free.factors;
+        free_steps[i] = stepsOf(spec, free.factors.tn, free.factors.ti,
+                                free.factors.tj);
+    }
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<double>> dp(num_layers);
+    std::vector<std::vector<int>> prev_choice(num_layers);
+    std::vector<std::vector<bool>> used_coupling(num_layers);
+
+    for (std::size_t i = 0; i < num_layers; ++i) {
+        const ConvLayerSpec &spec = net.stages[i].conv;
+        dp[i].assign(rows[i].size(), kInf);
+        prev_choice[i].assign(rows[i].size(), -1);
+        used_coupling[i].assign(rows[i].size(), false);
+        for (std::size_t ri = 0; ri < rows[i].size(); ++ri) {
+            const double batches =
+                static_cast<double>(rows[i][ri].batches);
+            if (i == 0) {
+                dp[i][ri] =
+                    batches * static_cast<double>(free_steps[i]);
+                continue;
+            }
+            const double relayout =
+                static_cast<double>(spec.inputWords());
+            for (std::size_t pj = 0; pj < rows[i - 1].size(); ++pj) {
+                if (dp[i - 1][pj] == kInf)
+                    continue;
+                int tn, ti, tj;
+                coupledColSide(spec, rows[i - 1][pj], tn, ti, tj);
+                double coupled_cost = kInf;
+                if (tn * ti * tj <= d) {
+                    const long long csteps = stepsOf(spec, tn, ti, tj);
+                    // The margin bounds the per-layer slowdown the
+                    // coupling may introduce.
+                    if (static_cast<double>(csteps) <=
+                        static_cast<double>(free_steps[i]) *
+                                (1.0 + couplingMargin_) +
+                            1e-9) {
+                        coupled_cost =
+                            batches * static_cast<double>(csteps);
+                    }
+                }
+                const double free_cost =
+                    batches * static_cast<double>(free_steps[i]) +
+                    relayout;
+                const bool couple = coupled_cost <= free_cost;
+                const double cost = dp[i - 1][pj] +
+                                    std::min(coupled_cost, free_cost);
+                if (cost < dp[i][ri]) {
+                    dp[i][ri] = cost;
+                    prev_choice[i][ri] = static_cast<int>(pj);
+                    used_coupling[i][ri] = couple;
+                }
+            }
+        }
+    }
+
+    // Backtrack the cheapest chain.
+    std::vector<int> chosen(num_layers, 0);
+    {
+        const std::size_t last = num_layers - 1;
+        double best = kInf;
+        for (std::size_t ri = 0; ri < rows[last].size(); ++ri) {
+            if (dp[last][ri] < best) {
+                best = dp[last][ri];
+                chosen[last] = static_cast<int>(ri);
+            }
+        }
+        for (std::size_t i = last; i > 0; --i)
+            chosen[i - 1] = prev_choice[i][chosen[i]];
+    }
+
+    // Materialize per-layer factors.
+    std::vector<UnrollFactors> factors(num_layers);
+    std::vector<bool> coupled(num_layers, false);
+    for (std::size_t i = 0; i < num_layers; ++i) {
+        const ConvLayerSpec &spec = net.stages[i].conv;
+        const RowCandidate &row = rows[i][chosen[i]];
+        UnrollFactors t;
+        t.tm = row.tm;
+        t.tr = row.tr;
+        t.tc = row.tc;
+        if (i > 0 && used_coupling[i][chosen[i]]) {
+            coupledColSide(spec, rows[i - 1][chosen[i - 1]], t.tn,
+                           t.ti, t.tj);
+            coupled[i] = true;
+        } else {
+            t.tn = free_cols[i].tn;
+            t.ti = free_cols[i].ti;
+            t.tj = free_cols[i].tj;
+        }
+        flexsim_assert(feasible(t, spec, d, trTcBound(net, i)),
+                       "chain optimizer produced infeasible factors ",
+                       t.toString(), " for ", spec.name);
+        trace::printf("Compiler", net.name, " ", spec.name, " -> ",
+                      t.toString(), coupled[i] ? " (coupled)" : "",
+                      " Ut=", utilizationTotal(t, spec, d));
+        factors[i] = t;
+    }
+
+    // --- planning and program emission ------------------------------
+    CompilationResult result;
+    result.networkName = net.name;
+
+    std::ostringstream assembly;
+    assembly << "; FlexFlow program for " << net.name << " on a "
+             << config_.d << "x" << config_.d << " engine\n";
+
+    bool prev_output_on_chip = false;
+
+    for (std::size_t idx = 0; idx < num_layers; ++idx) {
+        const NetworkSpec::Stage &stage = net.stages[idx];
+        const ConvLayerSpec &spec = stage.conv;
+
+        LayerPlan plan;
+        plan.spec = spec;
+        plan.factors = factors[idx];
+        plan.utilization = utilizationTotal(plan.factors, spec, d);
+        plan.coupled = coupled[idx];
+        plan.poolAfter = stage.poolAfter;
+
+        // Output footprint after the in-flight pooling unit.
+        if (stage.poolAfter) {
+            const int pooled = pooledSize(spec.outSize,
+                                          *stage.poolAfter);
+            plan.outputWordsAfterPool =
+                static_cast<WordCount>(spec.outMaps) * pooled * pooled;
+        } else {
+            plan.outputWordsAfterPool = spec.outputWords();
+        }
+
+        plan.dram = planDramTraffic(spec, config_.neuronBufWords,
+                                    config_.kernelBufWords,
+                                    plan.outputWordsAfterPool);
+
+        // Inter-layer residency: the previous layer's pooled output
+        // sits in the other neuron buffer; if it covered the whole
+        // activation and this layer streams it only once, no DRAM
+        // reads are needed for inputs.
+        plan.inputOnChip =
+            prev_output_on_chip && plan.dram.inputStripes == 1;
+        if (plan.inputOnChip) {
+            plan.dram.inputReadWords = 0;
+            plan.dram.traffic.reads = plan.dram.kernelReadWords;
+        }
+
+        // This layer's output stays on chip when it fits a neuron
+        // buffer and a consumer exists.
+        plan.outputOnChip =
+            idx + 1 < net.stages.size() &&
+            plan.outputWordsAfterPool <= config_.neuronBufWords;
+        if (plan.outputOnChip)
+            plan.dram.traffic.writes = 0;
+
+        // --- program emission ---
+        assembly << "\n; " << spec.name << ": " << spec.inMaps << "x"
+                 << spec.outMaps << "@" << spec.kernel << "x"
+                 << spec.kernel << " -> " << spec.outMaps << "@"
+                 << spec.outSize << "x" << spec.outSize
+                 << "  util=" << plan.utilization
+                 << (plan.coupled ? "  (IADP-coupled)" : "") << "\n";
+        assembly << "cfg_layer " << spec.outMaps << " " << spec.inMaps
+                 << " " << spec.outSize << " " << spec.kernel << " "
+                 << spec.stride << "\n";
+        const UnrollFactors &t = plan.factors;
+        assembly << "cfg_factors " << t.tm << " " << t.tn << " " << t.tr
+                 << " " << t.tc << " " << t.ti << " " << t.tj << "\n";
+        assembly << "load_kernels " << plan.dram.kernelReadWords << "\n";
+        if (!plan.inputOnChip)
+            assembly << "load_input " << plan.dram.inputReadWords
+                     << "\n";
+        assembly << "conv\n";
+        if (stage.poolAfter) {
+            assembly << "pool " << stage.poolAfter->window << " "
+                     << stage.poolAfter->stride << " "
+                     << (stage.poolAfter->op == PoolOp::Max ? "max"
+                                                            : "avg")
+                     << "\n";
+        }
+        if (!plan.outputOnChip)
+            assembly << "store_output " << plan.dram.traffic.writes
+                     << "\n";
+        if (idx + 1 < net.stages.size())
+            assembly << "swap\n";
+
+        result.layers.push_back(plan);
+        prev_output_on_chip = plan.outputOnChip;
+    }
+    assembly << "halt\n";
+
+    result.assembly = assembly.str();
+    result.program = assemble(result.assembly);
+    return result;
+}
+
+} // namespace flexsim

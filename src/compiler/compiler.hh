@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The FlexFlow workload analyzer / compiler (paper Section 5).
+ *
+ * For every CONV layer the compiler:
+ *
+ *  1. determines the unrolling factors <Tm,Tn,Tr,Tc,Ti,Tj> maximizing
+ *     Ur * Uc under Constraint (1), with Tr/Tc bounded by P * K' of
+ *     the following POOL/CONV layers;
+ *  2. applies the IADP inter-layer coupling — the producing layer's
+ *     <Tm,Tr,Tc> should equal the consuming layer's <Tn,Ti,Tj> so
+ *     results land in the next layer's buffer format.  compile() runs
+ *     a dynamic program over the whole layer chain: each layer's
+ *     row-side factors are chosen jointly with the next layer's
+ *     coupled column side, minimizing total cycles; breaking the
+ *     coupling is allowed but charged a data-relayout penalty (one
+ *     extra pass of the activation through the distribution layer);
+ *  3. plans DRAM traffic under the finite buffers, keeping
+ *     intermediate activations on chip when they fit the ping-pong
+ *     neuron buffers;
+ *  4. emits the configuration program (assembly + binary) the
+ *     FlexFlowAccelerator's decoder executes.
+ */
+
+#ifndef FLEXSIM_COMPILER_COMPILER_HH
+#define FLEXSIM_COMPILER_COMPILER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/dram_planner.hh"
+#include "arch/factor_search.hh"
+#include "flexflow/flexflow_config.hh"
+#include "flexflow/isa.hh"
+#include "nn/layer_spec.hh"
+
+namespace flexsim {
+
+/** The compiler's decisions for one CONV stage. */
+struct LayerPlan
+{
+    ConvLayerSpec spec;
+    UnrollFactors factors;
+    /** Predicted computing-resource utilization (Ur * Uc). */
+    double utilization = 0.0;
+    /** True when the IADP coupling to the previous layer was kept. */
+    bool coupled = false;
+    /** Pooling applied to this layer's output, if any. */
+    std::optional<PoolLayerSpec> poolAfter;
+    /** Output words after optional pooling. */
+    WordCount outputWordsAfterPool = 0;
+    /** True when this layer's input activation stays on chip. */
+    bool inputOnChip = false;
+    /** True when this layer's output activation stays on chip. */
+    bool outputOnChip = false;
+    /** DRAM plan (input reads zeroed when the input is on chip). */
+    DramPlan dram;
+};
+
+/** Everything the compiler produces for one workload. */
+struct CompilationResult
+{
+    std::string networkName;
+    std::vector<LayerPlan> layers;
+    Program program;
+    /** The emitted assembly text. */
+    std::string assembly;
+
+    /** Total DRAM words across the network. */
+    DramTraffic totalDram() const;
+};
+
+class FlexFlowCompiler
+{
+  public:
+    /**
+     * @param config             target accelerator
+     * @param coupling_margin    max relative per-layer utilization
+     *                           loss the chain optimizer may spend in
+     *                           pursuit of a better whole-network
+     *                           schedule (0 = every layer locally
+     *                           optimal, coupling only on exact ties)
+     */
+    explicit FlexFlowCompiler(FlexFlowConfig config = FlexFlowConfig{},
+                              double coupling_margin = 0.15);
+
+    /** Compile a whole workload. */
+    CompilationResult compile(const NetworkSpec &net) const;
+
+    /** Factor determination for one stage (no program emission). */
+    FactorChoice
+    chooseFactors(const NetworkSpec &net, std::size_t stage_index,
+                  const std::optional<UnrollFactors> &prev) const;
+
+    const FlexFlowConfig &config() const { return config_; }
+
+  private:
+    FlexFlowConfig config_;
+    double couplingMargin_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_COMPILER_COMPILER_HH

@@ -1,0 +1,292 @@
+#include "compiler/system_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+#include "flexflow/flexflow_model.hh"
+#include "sim/simulator.hh"
+
+namespace flexsim {
+
+// --------------------------------------------------------------- DmaEngine
+
+DmaEngine::DmaEngine(double words_per_cycle)
+    : Clocked("dma"), wordsPerCycle_(words_per_cycle)
+{
+    flexsim_assert(words_per_cycle > 0.0,
+                   "DMA bandwidth must be positive");
+}
+
+void
+DmaEngine::submit(const DmaRequest &request)
+{
+    if (request.layer >= static_cast<int>(loadsDone_.size()))
+        loadsDone_.resize(request.layer + 1, 0);
+    if (request.words == 0) {
+        // Zero-word transfers (on-chip activations) complete
+        // immediately.
+        if (request.kind == DmaRequest::Kind::Load)
+            ++loadsDone_[request.layer];
+        return;
+    }
+    if (queue_.empty())
+        remaining_ = static_cast<double>(request.words);
+    queue_.push_back(request);
+}
+
+int
+DmaEngine::loadsComplete(int layer) const
+{
+    if (layer >= static_cast<int>(loadsDone_.size()))
+        return 0;
+    return loadsDone_[layer];
+}
+
+bool
+DmaEngine::idle() const
+{
+    return queue_.empty();
+}
+
+void
+DmaEngine::evaluate(Cycle cycle)
+{
+    (void)cycle;
+    advance_ = false;
+    if (queue_.empty())
+        return;
+    ++busyCycles_;
+    remaining_ -= wordsPerCycle_;
+    if (remaining_ <= 1e-9)
+        advance_ = true;
+}
+
+void
+DmaEngine::commit(Cycle cycle)
+{
+    (void)cycle;
+    if (!advance_)
+        return;
+    const DmaRequest done = queue_.front();
+    queue_.pop_front();
+    if (done.kind == DmaRequest::Kind::Load)
+        ++loadsDone_[done.layer];
+    if (!queue_.empty()) {
+        // Bandwidth left over from finishing the previous request
+        // (remaining_ <= 0 here) carries into the next one.
+        remaining_ += static_cast<double>(queue_.front().words);
+    }
+}
+
+// ------------------------------------------------------------ ComputeEngine
+
+ComputeEngine::ComputeEngine() : Clocked("conv-engine")
+{
+}
+
+void
+ComputeEngine::start(int layer, Cycle cycles)
+{
+    flexsim_assert(idle(), "compute engine started while busy");
+    flexsim_assert(cycles > 0, "compute job needs cycles");
+    (void)layer;
+    remaining_ = cycles;
+}
+
+void
+ComputeEngine::evaluate(Cycle cycle)
+{
+    (void)cycle;
+    finishing_ = false;
+    ticked_ = remaining_ > 0;
+    if (!ticked_)
+        return;
+    ++busyCycles_;
+    if (remaining_ == 1)
+        finishing_ = true;
+}
+
+void
+ComputeEngine::commit(Cycle cycle)
+{
+    (void)cycle;
+    // Only retire work evaluate() saw this cycle: a job started by
+    // the controller's commit phase begins next cycle.
+    if (ticked_)
+        --remaining_;
+    if (finishing_)
+        ++layersComplete_;
+    ticked_ = false;
+}
+
+// ----------------------------------------------------------------- runSystem
+
+namespace {
+
+/** The controller sequencing the program's layers. */
+class SystemController : public Clocked
+{
+  public:
+    SystemController(const std::vector<LayerPlan> &plans,
+                     const std::vector<Cycle> &compute_cycles,
+                     DmaEngine &dma, ComputeEngine &engine)
+        : Clocked("controller"), plans_(plans),
+          computeCycles_(compute_cycles), dma_(dma), engine_(engine),
+          layerStart_(plans.size(), 0)
+    {
+        // Kick off layer 0's loads; later layers prefetch when their
+        // predecessor starts computing (ping-pong buffers hold two
+        // layers' working sets).
+        issueLoads(0);
+    }
+
+    bool
+    idle() const override
+    {
+        return nextCompute_ >= static_cast<int>(plans_.size()) &&
+               storesIssued_ >= static_cast<int>(plans_.size());
+    }
+
+    void
+    evaluate(Cycle cycle) override
+    {
+        startLayer_ = -1;
+        issueStoreFor_ = -1;
+        const int done = engine_.layersComplete();
+        // Output store for a finished layer.
+        if (storesIssued_ < done)
+            issueStoreFor_ = storesIssued_;
+        // Start the next layer when the engine is free, its data has
+        // arrived, and its predecessor finished.
+        if (nextCompute_ < static_cast<int>(plans_.size()) &&
+            engine_.idle() && done == nextCompute_ &&
+            dma_.loadsComplete(nextCompute_) >= 1) {
+            startLayer_ = nextCompute_;
+            startCycle_ = cycle;
+        }
+    }
+
+    void
+    commit(Cycle cycle) override
+    {
+        (void)cycle;
+        if (issueStoreFor_ >= 0) {
+            const LayerPlan &plan = plans_[issueStoreFor_];
+            dma_.submit({DmaRequest::Kind::Store, issueStoreFor_,
+                         plan.dram.traffic.writes});
+            ++storesIssued_;
+        }
+        if (startLayer_ >= 0) {
+            trace::printf("System", "cycle ", startCycle_,
+                          ": layer ", startLayer_, " compute starts (",
+                          computeCycles_[startLayer_], " cycles)");
+            engine_.start(startLayer_, computeCycles_[startLayer_]);
+            layerStart_[startLayer_] = startCycle_;
+            ++nextCompute_;
+            // Prefetch the successor behind this layer's compute.
+            if (nextCompute_ < static_cast<int>(plans_.size()))
+                issueLoads(nextCompute_);
+        }
+    }
+
+    const std::vector<Cycle> &layerStart() const { return layerStart_; }
+
+  private:
+    void
+    issueLoads(int layer)
+    {
+        const LayerPlan &plan = plans_[layer];
+        // One combined load request per layer (kernels plus any
+        // off-chip input stream).
+        dma_.submit({DmaRequest::Kind::Load, layer,
+                     plan.dram.kernelReadWords +
+                         plan.dram.inputReadWords});
+    }
+
+    const std::vector<LayerPlan> &plans_;
+    const std::vector<Cycle> &computeCycles_;
+    DmaEngine &dma_;
+    ComputeEngine &engine_;
+    std::vector<Cycle> layerStart_;
+    int nextCompute_ = 0;
+    int storesIssued_ = 0;
+    int startLayer_ = -1;
+    int issueStoreFor_ = -1;
+    Cycle startCycle_ = 0;
+};
+
+} // namespace
+
+namespace {
+
+SystemRunResult
+runPlans(const std::vector<LayerPlan> &plans,
+         const FlexFlowConfig &config, double dram_words_per_cycle)
+{
+    flexsim_assert(!plans.empty(), "cannot run an empty program");
+    const FlexFlowModel model(config);
+    std::vector<Cycle> compute_cycles;
+    Cycle serialized = 0;
+    for (const LayerPlan &plan : plans) {
+        const LayerResult r = model.runLayer(plan.spec, plan.factors);
+        compute_cycles.push_back(r.cycles);
+        serialized +=
+            r.cycles +
+            static_cast<Cycle>(std::ceil(
+                static_cast<double>(plan.dram.traffic.total()) /
+                dram_words_per_cycle));
+    }
+
+    DmaEngine dma(dram_words_per_cycle);
+    ComputeEngine engine;
+    SystemController controller(plans, compute_cycles, dma, engine);
+
+    CycleSimulator sim;
+    sim.add(&controller);
+    sim.add(&engine);
+    sim.add(&dma);
+
+    // Generous backstop: everything serialized plus slack.
+    const Cycle budget = 2 * serialized + 1000;
+    sim.runUntilIdle(budget);
+    flexsim_assert(sim.allIdle(),
+                   "system simulation did not quiesce (budget ",
+                   budget, " cycles)");
+
+    SystemRunResult result;
+    result.totalCycles = sim.now();
+    result.computeBusyCycles = engine.busyCycles();
+    result.dmaBusyCycles = dma.busyCycles();
+    result.computeStallCycles =
+        result.totalCycles - result.computeBusyCycles;
+    result.layerStart = controller.layerStart();
+    result.serializedCycles = serialized;
+    return result;
+}
+
+} // namespace
+
+SystemRunResult
+runSystem(const CompilationResult &compiled,
+          const FlexFlowConfig &config, double dram_words_per_cycle)
+{
+    return runPlans(compiled.layers, config, dram_words_per_cycle);
+}
+
+SystemRunResult
+runSystemBatch(const CompilationResult &compiled,
+               const FlexFlowConfig &config,
+               double dram_words_per_cycle, int frames)
+{
+    flexsim_assert(frames >= 1, "batch needs at least one frame");
+    std::vector<LayerPlan> plans;
+    plans.reserve(compiled.layers.size() * frames);
+    for (int f = 0; f < frames; ++f)
+        plans.insert(plans.end(), compiled.layers.begin(),
+                     compiled.layers.end());
+    return runPlans(plans, config, dram_words_per_cycle);
+}
+
+} // namespace flexsim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Dynamic system-level simulation of a compiled workload.
+ *
+ * The analytic roofline (arch/system_timing.hh) bounds each layer in
+ * isolation; this module simulates the *dynamic* interaction on the
+ * cycle-stepped kernel (sim/): a DMA engine streams kernel/input
+ * loads and output stores at a finite bandwidth while the compute
+ * engine runs the current layer, and the controller prefetches the
+ * next layer's data into the ping-pong buffers behind the running
+ * convolution (double buffering).  Imperfect overlap — a store queued
+ * ahead of a prefetch, a short layer finishing before its successor's
+ * kernels arrive — emerges from the component interaction instead of
+ * being assumed away.
+ */
+
+#ifndef FLEXSIM_COMPILER_SYSTEM_SIM_HH
+#define FLEXSIM_COMPILER_SYSTEM_SIM_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "compiler/compiler.hh"
+#include "sim/clocked.hh"
+
+namespace flexsim {
+
+/** One DMA transfer belonging to a layer. */
+struct DmaRequest
+{
+    enum class Kind
+    {
+        Load,  ///< DRAM -> on-chip buffer (kernels or inputs)
+        Store, ///< on-chip buffer -> DRAM (outputs)
+    };
+
+    Kind kind = Kind::Load;
+    int layer = 0;
+    WordCount words = 0;
+};
+
+/**
+ * A word-granular DMA engine: services queued requests in order at a
+ * fixed words-per-cycle bandwidth.
+ */
+class DmaEngine : public Clocked
+{
+  public:
+    explicit DmaEngine(double words_per_cycle);
+
+    void submit(const DmaRequest &request);
+
+    /** Loads completed so far for @p layer. */
+    int loadsComplete(int layer) const;
+
+    /** True when every queued request has been serviced. */
+    bool idle() const override;
+
+    void evaluate(Cycle cycle) override;
+    void commit(Cycle cycle) override;
+
+    Cycle busyCycles() const { return busyCycles_; }
+
+  private:
+    double wordsPerCycle_;
+    double credit_ = 0.0;
+    std::deque<DmaRequest> queue_;
+    double remaining_ = 0.0;
+    std::vector<int> loadsDone_;
+    Cycle busyCycles_ = 0;
+    bool advance_ = false;
+};
+
+/** A compute engine running one layer's cycle count at a time. */
+class ComputeEngine : public Clocked
+{
+  public:
+    ComputeEngine();
+
+    /** Begin a job of @p cycles; the engine must be idle. */
+    void start(int layer, Cycle cycles);
+
+    bool idle() const override { return remaining_ == 0; }
+
+    /** Layers whose compute has fully finished. */
+    int layersComplete() const { return layersComplete_; }
+
+    void evaluate(Cycle cycle) override;
+    void commit(Cycle cycle) override;
+
+    Cycle busyCycles() const { return busyCycles_; }
+
+  private:
+    Cycle remaining_ = 0;
+    bool finishing_ = false;
+    bool ticked_ = false;
+    int layersComplete_ = 0;
+    Cycle busyCycles_ = 0;
+};
+
+/** Outcome of a dynamic system run. */
+struct SystemRunResult
+{
+    Cycle totalCycles = 0;
+    Cycle computeBusyCycles = 0;
+    Cycle dmaBusyCycles = 0;
+    /** Cycles the compute engine waited on data. */
+    Cycle computeStallCycles = 0;
+    /** Per-layer compute start cycle. */
+    std::vector<Cycle> layerStart;
+    /** Wall-clock of a fully serialized (no-overlap) execution. */
+    Cycle serializedCycles = 0;
+
+    double
+    overlapSpeedup() const
+    {
+        return totalCycles > 0
+                   ? static_cast<double>(serializedCycles) /
+                         static_cast<double>(totalCycles)
+                   : 0.0;
+    }
+};
+
+/**
+ * Run a compiled workload through the dynamic system model.
+ *
+ * @param compiled       compiler output (factors + DRAM plan per layer)
+ * @param config         the engine configuration the program targets
+ * @param dram_words_per_cycle DMA bandwidth in 16-bit words/cycle
+ */
+SystemRunResult runSystem(const CompilationResult &compiled,
+                          const FlexFlowConfig &config,
+                          double dram_words_per_cycle);
+
+/**
+ * Run @p frames back-to-back frames of the same compiled workload:
+ * frame f+1's layer-0 data prefetches behind frame f's tail layers,
+ * so steady-state throughput exceeds a single frame's (the
+ * video_surveillance deployment pattern).
+ */
+SystemRunResult runSystemBatch(const CompilationResult &compiled,
+                               const FlexFlowConfig &config,
+                               double dram_words_per_cycle,
+                               int frames);
+
+} // namespace flexsim
+
+#endif // FLEXSIM_COMPILER_SYSTEM_SIM_HH

@@ -1,0 +1,91 @@
+#include "energy/area.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+namespace {
+
+/** Interconnect growth law per architecture (see file comment). */
+struct InterconnectLaw
+{
+    double coef; ///< mm^2 at D^exp == 1
+    double exp;  ///< growth exponent in the array edge D
+};
+
+InterconnectLaw
+interconnectLaw(ArchKind kind)
+{
+    // Coefficients calibrated at D = 16 against the paper's totals.
+    switch (kind) {
+      case ArchKind::Systolic:
+        return {4.974e-3, 2.05};
+      case ArchKind::Mapping2D:
+        return {2.642e-3, 2.25};
+      case ArchKind::Tiling:
+        return {1.731e-3, 2.35};
+      case ArchKind::FlexFlow:
+        return {5.172e-3, 2.00};
+    }
+    panic("unknown ArchKind");
+}
+
+} // namespace
+
+AreaBreakdown
+computeArea(const AreaConfig &config, const TechParams &tech)
+{
+    flexsim_assert(config.d > 0 && config.peCount > 0,
+                   "area config needs a nonzero scale");
+    AreaBreakdown area;
+    area.peLogic = config.peCount * tech.aPeLogic;
+    area.localStores = config.peCount * config.localStoreBytesPerPe *
+                       tech.aRegFilePerByte;
+    area.buffers = config.bufferKb * tech.aSramPerKb;
+    const InterconnectLaw law = interconnectLaw(config.kind);
+    area.interconnect =
+        law.coef * std::pow(static_cast<double>(config.d), law.exp);
+    area.fixedOverhead = tech.aFixedOverhead;
+    return area;
+}
+
+AreaConfig
+defaultAreaConfig(ArchKind kind, unsigned d)
+{
+    AreaConfig config;
+    config.kind = kind;
+    config.d = d;
+    config.bufferKb = 64.0;
+    switch (kind) {
+      case ArchKind::Systolic: {
+        // round(d^2 / 36) arrays of 6x6 PEs, DC-CNN style; at d = 16
+        // this is the paper's 7-array configuration (252 PEs).
+        const unsigned arrays =
+            std::max(1u, (d * d + 18) / 36);
+        config.peCount = arrays * 36;
+        // Two registers per PE plus the inter-row FIFO provision.
+        config.localStoreBytesPerPe = 4.0 + 24.0;
+        break;
+      }
+      case ArchKind::Mapping2D:
+        config.peCount = d * d;
+        // Two small neuron-reuse FIFOs per PE.
+        config.localStoreBytesPerPe = 64.0;
+        break;
+      case ArchKind::Tiling:
+        config.peCount = d * d;
+        config.localStoreBytesPerPe = 0.0;
+        break;
+      case ArchKind::FlexFlow:
+        config.peCount = d * d;
+        // 256 B neuron store + 256 B kernel store per PE (Table 5).
+        config.localStoreBytesPerPe = 512.0;
+        break;
+    }
+    return config;
+}
+
+} // namespace flexsim

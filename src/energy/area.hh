@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Chip-area model for the four architectures (Section 6.2.1 and
+ * Figure 19c).
+ *
+ * Area = PE logic + local stores/FIFOs + SRAM buffers + interconnect +
+ * fixed overhead.  Interconnect area follows a per-architecture power
+ * law coef * D^exp: FlexFlow's common data buses grow ~quadratically
+ * with the array edge D (D lanes x D length), while the neighbour mesh
+ * of 2D-Mapping and the broadcast/reduce trees of Tiling grow faster
+ * (routing congestion); the coefficients are calibrated so the four
+ * 16x16 design points match the paper's published totals (3.52, 3.46,
+ * 3.21, 3.89 mm^2).
+ */
+
+#ifndef FLEXSIM_ENERGY_AREA_HH
+#define FLEXSIM_ENERGY_AREA_HH
+
+#include "common/types.hh"
+#include "energy/tech.hh"
+
+namespace flexsim {
+
+/** Physical configuration of one accelerator instance. */
+struct AreaConfig
+{
+    ArchKind kind = ArchKind::FlexFlow;
+    /** Engine scale: the equivalent D x D array edge. */
+    unsigned d = 16;
+    /** MAC units actually instantiated. */
+    unsigned peCount = 256;
+    /** Total on-chip buffer capacity in KiB (paper: 64). */
+    double bufferKb = 64.0;
+    /** Local store / pipeline register bytes per PE. */
+    double localStoreBytesPerPe = 0.0;
+};
+
+/** Per-component area in mm^2. */
+struct AreaBreakdown
+{
+    SquareMm peLogic = 0.0;
+    SquareMm localStores = 0.0;
+    SquareMm buffers = 0.0;
+    SquareMm interconnect = 0.0;
+    SquareMm fixedOverhead = 0.0;
+
+    SquareMm
+    total() const
+    {
+        return peLogic + localStores + buffers + interconnect +
+               fixedOverhead;
+    }
+};
+
+/** Compute the area breakdown of @p config under @p tech. */
+AreaBreakdown computeArea(const AreaConfig &config,
+                          const TechParams &tech);
+
+/** Default physical config for each architecture at scale @p d. */
+AreaConfig defaultAreaConfig(ArchKind kind, unsigned d);
+
+} // namespace flexsim
+
+#endif // FLEXSIM_ENERGY_AREA_HH

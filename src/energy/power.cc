@@ -1,0 +1,64 @@
+#include "energy/power.hh"
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+PowerReport
+computePower(const LayerResult &result, ArchKind kind, unsigned d,
+             const TechParams &tech, SquareMm area_mm2)
+{
+    (void)kind;
+    flexsim_assert(d > 0, "engine scale must be positive");
+    PowerReport report;
+    if (result.cycles == 0)
+        return report;
+
+    // With 1 pJ / 1 ns == 1 mW, power in mW is energy-pJ / time-ns.
+    const double time_ns =
+        static_cast<double>(result.cycles) / tech.freqGhz;
+    report.timeMs = time_ns * 1e-6;
+
+    const Traffic &t = result.traffic;
+    const double e_nein = t.neuronIn * tech.eBufferRead;
+    const double e_neout = (t.neuronOut + t.psumWrite) * tech.eBufferWrite +
+                           t.psumRead * tech.eBufferRead;
+    const double e_kerin = t.kernelIn * tech.eBufferRead;
+    const double e_com =
+        static_cast<double>(result.macs) * tech.eMac +
+        result.localStoreReads * tech.eLocalStoreRead +
+        result.localStoreWrites * tech.eLocalStoreWrite;
+    const double bus_word = tech.eBusBase + tech.eBusPerLane * d;
+    const double e_bus =
+        static_cast<double>(t.total()) * bus_word +
+        static_cast<double>(result.macs) * tech.eArrayTransportPerMac;
+
+    report.power.neuronIn = e_nein / time_ns;
+    report.power.neuronOut = e_neout / time_ns;
+    report.power.kernelIn = e_kerin / time_ns;
+    report.power.compute = e_com / time_ns;
+    report.power.interconnect = e_bus / time_ns;
+    report.power.leakage = tech.leakageMwPerMm2 * area_mm2;
+
+    const double dynamic_pj = e_nein + e_neout + e_kerin + e_com + e_bus;
+    const double leakage_pj = report.power.leakage * time_ns;
+    report.energyUj = (dynamic_pj + leakage_pj) * 1e-6;
+    report.dramEnergyUj =
+        static_cast<double>(result.dram.total()) * tech.eDramWord * 1e-6;
+
+    report.gops = result.gops(tech.freqGhz);
+    const double watts = report.power.total() * 1e-3;
+    report.gopsPerWatt = watts > 0.0 ? report.gops / watts : 0.0;
+    return report;
+}
+
+PowerReport
+computePower(const LayerResult &result, ArchKind kind, unsigned d,
+             const TechParams &tech)
+{
+    const AreaBreakdown area =
+        computeArea(defaultAreaConfig(kind, d), tech);
+    return computePower(result, kind, d, tech, area.total());
+}
+
+} // namespace flexsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Event-energy power model (Figures 18/19b, Table 6).
+ *
+ * Every dynamic-energy term is (event count) x (per-event energy); the
+ * event counts come from a LayerResult produced by a dataflow model or
+ * cycle simulator.  Component attribution follows the paper's Table 6:
+ * Pnein (input neuron buffer), Pneout (output neuron buffer including
+ * partial-sum traffic), Pkerin (kernel buffer), and Pcom (the computing
+ * engine: MACs plus local stores).  Interconnect and leakage are
+ * modelled separately so the Section 6.2.5 routing-power study can be
+ * reproduced.
+ */
+
+#ifndef FLEXSIM_ENERGY_POWER_HH
+#define FLEXSIM_ENERGY_POWER_HH
+
+#include "arch/result.hh"
+#include "energy/area.hh"
+#include "energy/tech.hh"
+
+namespace flexsim {
+
+/** Per-component power in milliwatts. */
+struct PowerBreakdown
+{
+    double neuronIn = 0.0;     ///< Pnein: input neuron buffer
+    double neuronOut = 0.0;    ///< Pneout: output neuron buffer (+psum)
+    double kernelIn = 0.0;     ///< Pkerin: kernel buffer
+    double compute = 0.0;      ///< Pcom: MACs + PE local stores
+    double interconnect = 0.0; ///< CDB / inter-PE transport
+    double leakage = 0.0;      ///< static power over the die area
+
+    double
+    total() const
+    {
+        return neuronIn + neuronOut + kernelIn + compute + interconnect +
+               leakage;
+    }
+};
+
+/** Full power/energy report for one layer or one aggregated network. */
+struct PowerReport
+{
+    PowerBreakdown power; ///< milliwatts
+    double timeMs = 0.0;
+    double energyUj = 0.0;     ///< on-chip energy, microjoules
+    double dramEnergyUj = 0.0; ///< DRAM access energy, microjoules
+    double gops = 0.0;
+    double gopsPerWatt = 0.0; ///< power efficiency (on-chip power)
+};
+
+/**
+ * Derive power/energy from @p result.
+ *
+ * @param result  event counts from a dataflow model
+ * @param kind    architecture (selects transport energy law)
+ * @param d       engine scale (bus length term)
+ * @param tech    process parameters
+ * @param area_mm2 die area for the leakage term
+ */
+PowerReport computePower(const LayerResult &result, ArchKind kind,
+                         unsigned d, const TechParams &tech,
+                         SquareMm area_mm2);
+
+/** Convenience overload using defaultAreaConfig(kind, d). */
+PowerReport computePower(const LayerResult &result, ArchKind kind,
+                         unsigned d, const TechParams &tech);
+
+} // namespace flexsim
+
+#endif // FLEXSIM_ENERGY_POWER_HH

@@ -1,0 +1,32 @@
+#include "energy/tech.hh"
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+const char *
+archName(ArchKind kind)
+{
+    switch (kind) {
+      case ArchKind::Systolic:
+        return "Systolic";
+      case ArchKind::Mapping2D:
+        return "2D-Mapping";
+      case ArchKind::Tiling:
+        return "Tiling";
+      case ArchKind::FlexFlow:
+        return "FlexFlow";
+    }
+    panic("unknown ArchKind");
+}
+
+TechParams
+TechParams::tsmc65()
+{
+    // Defaults in the struct definition *are* the calibrated 65 nm
+    // values; this hook exists so alternative nodes can be added
+    // without touching call sites.
+    return TechParams{};
+}
+
+} // namespace flexsim

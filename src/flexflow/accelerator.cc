@@ -1,0 +1,230 @@
+#include "flexflow/accelerator.hh"
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+#include "nn/golden.hh"
+
+namespace flexsim {
+
+FlexFlowAccelerator::FlexFlowAccelerator(FlexFlowConfig config)
+    : config_(config), convUnit_(config),
+      poolUnit_(config.poolingLanes)
+{
+    statProgramsRun_.init(&statGroup_, "programsRun",
+                          "configuration programs executed");
+    statConvLayers_.init(&statGroup_, "convLayers",
+                         "CONV instructions executed");
+    statPoolLayers_.init(&statGroup_, "poolLayers",
+                         "POOL instructions executed");
+    statCycles_.init(&statGroup_, "cycles",
+                     "convolutional-unit cycles");
+    statMacs_.init(&statGroup_, "macs", "useful multiply-accumulates");
+    statActiveMacCycles_.init(&statGroup_, "activeMacCycles",
+                              "PE-cycles spent on useful MACs");
+    statFillCycles_.init(&statGroup_, "fillCycles",
+                         "unhidden preload cycles");
+    statNeuronIn_.init(&statGroup_, "neuronInWords",
+                       "input neurons delivered to the array");
+    statNeuronOut_.init(&statGroup_, "neuronOutWords",
+                        "finished neurons written back");
+    statKernelIn_.init(&statGroup_, "kernelInWords",
+                       "synapses broadcast to the array");
+    statPsumWords_.init(&statGroup_, "psumWords",
+                        "partial-sum words cycled through the buffer");
+    statDramReads_.init(&statGroup_, "dramReadWords",
+                        "words read from external memory");
+    statDramWrites_.init(&statGroup_, "dramWriteWords",
+                         "words written to external memory");
+    statUtilization_.init(
+        &statGroup_, "utilization",
+        "activeMacCycles / (compute cycles * PEs)", [this] {
+            const double compute =
+                statCycles_.value() - statFillCycles_.value();
+            return compute > 0.0 ? statActiveMacCycles_.value() /
+                                       (compute * config_.peCount())
+                                 : 0.0;
+        });
+    statGops_.init(&statGroup_, "gopsAt1GHz",
+                   "2 * macs / cycles (GOPs at 1 GHz)", [this] {
+                       return statCycles_.value() > 0.0
+                                  ? 2.0 * statMacs_.value() /
+                                        statCycles_.value()
+                                  : 0.0;
+                   });
+}
+
+void
+FlexFlowAccelerator::dumpStats(std::ostream &os) const
+{
+    statGroup_.dump(os);
+}
+
+void
+FlexFlowAccelerator::resetStats()
+{
+    statGroup_.resetAll();
+}
+
+void
+FlexFlowAccelerator::bindInput(Tensor3<> input)
+{
+    boundInput_ = std::move(input);
+}
+
+void
+FlexFlowAccelerator::bindKernels(std::vector<Tensor4<>> kernels)
+{
+    boundKernels_ = std::move(kernels);
+}
+
+Tensor3<>
+FlexFlowAccelerator::run(const Program &program, NetworkResult *result)
+{
+    dram_.resetCounters();
+    activeBuffer_ = 0;
+
+    NetworkResult record;
+    record.archName = "FlexFlow";
+
+    std::optional<ConvLayerSpec> pending_spec;
+    std::optional<UnrollFactors> pending_factors;
+    DramTraffic pending_dram;
+    Tensor3<> activation = boundInput_;
+    std::size_t kernel_index = 0;
+    int conv_index = 0;
+    bool halted = false;
+
+    for (std::size_t pc = 0; pc < program.instructions.size(); ++pc) {
+        const Instruction &inst = program.instructions[pc];
+        trace::printf("Decoder", "pc ", pc, ": ", disassemble(inst));
+        if (halted)
+            fatal("instruction after halt at pc ", pc);
+        switch (inst.op) {
+          case Opcode::Nop:
+            break;
+          case Opcode::CfgLayer: {
+            ConvLayerSpec spec = ConvLayerSpec::make(
+                "L" + std::to_string(conv_index),
+                static_cast<int>(inst.args[1]),
+                static_cast<int>(inst.args[0]),
+                static_cast<int>(inst.args[2]),
+                static_cast<int>(inst.args[3]),
+                static_cast<int>(inst.args[4]));
+            pending_spec = spec;
+            break;
+          }
+          case Opcode::CfgFactors: {
+            UnrollFactors t;
+            t.tm = static_cast<int>(inst.args[0]);
+            t.tn = static_cast<int>(inst.args[1]);
+            t.tr = static_cast<int>(inst.args[2]);
+            t.tc = static_cast<int>(inst.args[3]);
+            t.ti = static_cast<int>(inst.args[4]);
+            t.tj = static_cast<int>(inst.args[5]);
+            pending_factors = t;
+            break;
+          }
+          case Opcode::LoadInput:
+            dram_.recordRead(inst.args[0]);
+            pending_dram.reads += inst.args[0];
+            break;
+          case Opcode::LoadKernels:
+            dram_.recordRead(inst.args[0]);
+            pending_dram.reads += inst.args[0];
+            break;
+          case Opcode::StoreOutput:
+            dram_.recordWrite(inst.args[0]);
+            pending_dram.writes += inst.args[0];
+            break;
+          case Opcode::Conv: {
+            if (!pending_spec)
+                fatal("conv at pc ", pc, " without cfg_layer");
+            if (!pending_factors)
+                fatal("conv at pc ", pc, " without cfg_factors");
+            if (kernel_index >= boundKernels_.size())
+                fatal("conv at pc ", pc, " has no bound kernels");
+            const ConvLayerSpec &spec = *pending_spec;
+            flexsim_assert(activation.maps() == spec.inMaps,
+                           "activation has ", activation.maps(),
+                           " maps, layer ", spec.name, " expects ",
+                           spec.inMaps);
+            // Published layer tables sometimes leave the pooled map a
+            // row/column larger than the next layer consumes; the
+            // reading controller drops the border.
+            if (activation.height() > spec.inSize)
+                activation = cropTopLeft(activation, spec.inSize);
+            flexsim_assert(activation.height() == spec.inSize,
+                           "activation (", activation.height(), "x",
+                           activation.width(),
+                           ") smaller than layer ", spec.name,
+                           " input (", spec.inSize, ")");
+            LayerResult layer;
+            activation = convUnit_.runLayer(
+                spec, *pending_factors, activation,
+                boundKernels_[kernel_index], &layer);
+            ++kernel_index;
+            ++conv_index;
+            // Attribute DRAM words loaded since the previous CONV.
+            layer.dram = pending_dram;
+            pending_dram = DramTraffic{};
+            ++statConvLayers_;
+            statCycles_ += static_cast<double>(layer.cycles);
+            statFillCycles_ += static_cast<double>(layer.fillCycles);
+            statMacs_ += static_cast<double>(layer.macs);
+            statActiveMacCycles_ +=
+                static_cast<double>(layer.activeMacCycles);
+            statNeuronIn_ +=
+                static_cast<double>(layer.traffic.neuronIn);
+            statNeuronOut_ +=
+                static_cast<double>(layer.traffic.neuronOut);
+            statKernelIn_ +=
+                static_cast<double>(layer.traffic.kernelIn);
+            statPsumWords_ += static_cast<double>(
+                layer.traffic.psumRead + layer.traffic.psumWrite);
+            record.layers.push_back(layer);
+            break;
+          }
+          case Opcode::Pool: {
+            if (record.layers.empty())
+                fatal("pool at pc ", pc, " before any conv");
+            PoolLayerSpec pool;
+            pool.window = static_cast<int>(inst.args[0]);
+            pool.stride = static_cast<int>(inst.args[1]);
+            pool.op = inst.args[2] == 0 ? PoolOp::Max : PoolOp::Average;
+            PoolingUnit::Stats stats;
+            activation = poolUnit_.run(activation, pool, &stats);
+            ++statPoolLayers_;
+            // The pooling unit subsamples conv results in flight, so
+            // only pooled words reach the neuron buffer; pooling
+            // lanes overlap the (much longer) convolution.
+            record.layers.back().traffic.neuronOut = stats.writes;
+            break;
+          }
+          case Opcode::Swap:
+            activeBuffer_ ^= 1;
+            break;
+          case Opcode::Halt:
+            halted = true;
+            break;
+          default:
+            fatal("unhandled opcode at pc ", pc);
+        }
+    }
+    if (!halted)
+        warn("program ended without halt");
+
+    ++statProgramsRun_;
+    statDramReads_ += static_cast<double>(dram_.traffic().reads);
+    statDramWrites_ += static_cast<double>(dram_.traffic().writes);
+
+    // Trailing stores belong to the final layer.
+    if (!record.layers.empty()) {
+        record.layers.back().dram += pending_dram;
+    }
+
+    if (result != nullptr)
+        *result = record;
+    return activation;
+}
+
+} // namespace flexsim

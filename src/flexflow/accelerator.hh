@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The FlexFlow accelerator top: instruction decoder + convolutional
+ * unit + pooling unit + ping-pong neuron buffers + external memory
+ * (paper Figure 6).
+ *
+ * The accelerator executes a configuration Program (see isa.hh),
+ * normally produced by the compiler (src/compiler).  Feature-map data
+ * and kernels are bound by the host before run(); LOAD/STORE
+ * instructions carry the DRAM word counts the workload analyzer
+ * planned, and CONV/POOL execute on the cycle-level units.
+ */
+
+#ifndef FLEXSIM_FLEXFLOW_ACCELERATOR_HH
+#define FLEXSIM_FLEXFLOW_ACCELERATOR_HH
+
+#include <optional>
+#include <vector>
+
+#include "arch/result.hh"
+#include "flexflow/conv_unit.hh"
+#include "flexflow/flexflow_config.hh"
+#include "flexflow/isa.hh"
+#include "flexflow/pooling_unit.hh"
+#include "mem/external_memory.hh"
+#include "nn/layer_spec.hh"
+#include "nn/tensor.hh"
+#include "stats/stats.hh"
+
+namespace flexsim {
+
+class FlexFlowAccelerator
+{
+  public:
+    explicit FlexFlowAccelerator(
+        FlexFlowConfig config = FlexFlowConfig{});
+
+    /** Bind the network's input activation (consumed by the first
+     * CONV). */
+    void bindInput(Tensor3<> input);
+
+    /** Bind kernel stacks, consumed by CONV instructions in order. */
+    void bindKernels(std::vector<Tensor4<>> kernels);
+
+    /**
+     * Execute @p program to its halt instruction.
+     *
+     * @param result optional per-layer execution records
+     * @return the final activation tensor
+     */
+    Tensor3<> run(const Program &program,
+                  NetworkResult *result = nullptr);
+
+    /** DRAM words moved by the last run(). */
+    const DramTraffic &dramTraffic() const { return dram_.traffic(); }
+
+    /** Which neuron buffer is currently active (0 or 1). */
+    int activeNeuronBuffer() const { return activeBuffer_; }
+
+    const FlexFlowConfig &config() const { return config_; }
+
+    /** Cumulative execution statistics across run() calls. */
+    const statistics::StatGroup &stats() const { return statGroup_; }
+
+    /** Write the "name value  # desc" statistics report. */
+    void dumpStats(std::ostream &os) const;
+
+    /** Zero the statistics. */
+    void resetStats();
+
+  private:
+    statistics::StatGroup statGroup_{"flexflow"};
+    statistics::Scalar statProgramsRun_;
+    statistics::Scalar statConvLayers_;
+    statistics::Scalar statPoolLayers_;
+    statistics::Scalar statCycles_;
+    statistics::Scalar statMacs_;
+    statistics::Scalar statActiveMacCycles_;
+    statistics::Scalar statFillCycles_;
+    statistics::Scalar statNeuronIn_;
+    statistics::Scalar statNeuronOut_;
+    statistics::Scalar statKernelIn_;
+    statistics::Scalar statPsumWords_;
+    statistics::Scalar statDramReads_;
+    statistics::Scalar statDramWrites_;
+    statistics::Formula statUtilization_;
+    statistics::Formula statGops_;
+
+    FlexFlowConfig config_;
+    FlexFlowConvUnit convUnit_;
+    PoolingUnit poolUnit_;
+    ExternalMemory dram_;
+
+    Tensor3<> boundInput_;
+    std::vector<Tensor4<>> boundKernels_;
+    int activeBuffer_ = 0;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_FLEXFLOW_ACCELERATOR_HH

@@ -1,0 +1,72 @@
+#include "flexflow/address_fsm.hh"
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+const char *
+addrStateName(AddrState state)
+{
+    switch (state) {
+      case AddrState::Init:
+        return "INIT";
+      case AddrState::Incr:
+        return "INCR";
+      case AddrState::Hold:
+        return "HOLD";
+      case AddrState::Jump:
+        return "JUMP";
+    }
+    panic("unknown AddrState");
+}
+
+AddressFsm::AddressFsm(int window, int windows_per_row, int step,
+                       int window_stride, int row_stride)
+    : window_(window), windowsPerRow_(windows_per_row), step_(step),
+      windowStride_(window_stride), rowStride_(row_stride)
+{
+    flexsim_assert(window >= 1 && windows_per_row >= 1,
+                   "address FSM needs nonempty windows");
+    flexsim_assert(step >= 0 && window_stride >= 0 && row_stride >= 0,
+                   "address FSM strides must be non-negative");
+}
+
+std::size_t
+AddressFsm::next()
+{
+    const std::size_t out = addr_;
+    ++inWindow_;
+    if (inWindow_ < window_) {
+        // M1: step within the computing window.
+        state_ = AddrState::Incr;
+        addr_ += step_;
+        return out;
+    }
+    inWindow_ = 0;
+    ++windowIndex_;
+    if (windowIndex_ < windowsPerRow_) {
+        // M2: one window completed, reposition at the next window.
+        state_ = AddrState::Hold;
+        addr_ = static_cast<std::size_t>(rowIndex_) * rowStride_ +
+                static_cast<std::size_t>(windowIndex_) * windowStride_;
+        return out;
+    }
+    // M3: the neuron row is complete, jump to the next row.
+    windowIndex_ = 0;
+    ++rowIndex_;
+    state_ = AddrState::Jump;
+    addr_ = static_cast<std::size_t>(rowIndex_) * rowStride_;
+    return out;
+}
+
+void
+AddressFsm::reset()
+{
+    state_ = AddrState::Init;
+    addr_ = 0;
+    inWindow_ = 0;
+    windowIndex_ = 0;
+    rowIndex_ = 0;
+}
+
+} // namespace flexsim

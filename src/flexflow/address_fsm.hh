@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The four-state local-store address generator of Figure 11.
+ *
+ * Read addressing of the per-PE local stores is governed by a small
+ * FSM with states M0/INIT, M1/INCR, M2/HOLD and M3/JUMP, parameterized
+ * by the feature-map size, kernel size, the counter step (Tc), and the
+ * PE's position within its logical group (paper Section 4.4):
+ *
+ *  - M1/INCR advances the address by `step` inside a computing window;
+ *  - once a window (Ti accesses) completes, the FSM moves to M2/HOLD
+ *    and repositions at the next window start;
+ *  - when a neuron row's windows complete, M3/JUMP moves to the next
+ *    stored neuron row.
+ *
+ * The conv-unit simulator uses equivalent computed addressing with a
+ * per-access self-check; this class reproduces the canonical pattern
+ * of Figures 10/11 and is exercised directly by the unit tests.
+ */
+
+#ifndef FLEXSIM_FLEXFLOW_ADDRESS_FSM_HH
+#define FLEXSIM_FLEXFLOW_ADDRESS_FSM_HH
+
+#include <cstddef>
+
+namespace flexsim {
+
+/** FSM states (Figure 11). */
+enum class AddrState
+{
+    Init, ///< M0: start of a new computation
+    Incr, ///< M1: advance the address by the step
+    Hold, ///< M2: one computing window completed
+    Jump, ///< M3: jump to the next neuron row
+};
+
+/** Printable state name ("INIT", "INCR", ...). */
+const char *addrStateName(AddrState state);
+
+class AddressFsm
+{
+  public:
+    /**
+     * @param window        accesses per computing window (= Ti)
+     * @param windows_per_row windows before jumping to the next row
+     * @param step          address increment inside a window (M1)
+     * @param window_stride distance between window start addresses (M2)
+     * @param row_stride    distance between row start addresses (M3)
+     */
+    AddressFsm(int window, int windows_per_row, int step,
+               int window_stride, int row_stride);
+
+    /** State entered by the most recent transition. */
+    AddrState state() const { return state_; }
+
+    /** Address that next() will return. */
+    std::size_t address() const { return addr_; }
+
+    /** Return the address for this access and advance the FSM. */
+    std::size_t next();
+
+    /** Restart for a new computation (back to M0/INIT, address 0). */
+    void reset();
+
+  private:
+    const int window_;
+    const int windowsPerRow_;
+    const int step_;
+    const int windowStride_;
+    const int rowStride_;
+
+    AddrState state_ = AddrState::Init;
+    std::size_t addr_ = 0;
+    int inWindow_ = 0;
+    int windowIndex_ = 0;
+    int rowIndex_ = 0;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_FLEXFLOW_ADDRESS_FSM_HH

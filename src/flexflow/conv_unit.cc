@@ -1,0 +1,347 @@
+#include "flexflow/conv_unit.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/dram_planner.hh"
+#include "common/logging.hh"
+#include "common/trace.hh"
+#include "flexflow/mapping.hh"
+#include "flexflow/schedule.hh"
+
+namespace flexsim {
+
+namespace {
+
+/** One MAC obligation of a (PE row, PE column) pair within a batch. */
+struct Task
+{
+    std::int32_t n;
+    std::int32_t i;
+    std::int32_t j;
+    std::int32_t x;
+    std::int32_t y;
+};
+
+/** Pack an input-word coordinate into a hash key. */
+std::uint64_t
+wordKey(int n, int x, int y)
+{
+    return (static_cast<std::uint64_t>(n) << 40) |
+           (static_cast<std::uint64_t>(x) << 20) |
+           static_cast<std::uint64_t>(y);
+}
+
+int
+keyY(std::uint64_t key)
+{
+    return static_cast<int>(key & 0xfffff);
+}
+
+int
+keyX(std::uint64_t key)
+{
+    return static_cast<int>((key >> 20) & 0xfffff);
+}
+
+} // namespace
+
+FlexFlowConvUnit::FlexFlowConvUnit(FlexFlowConfig config)
+    : config_(config)
+{
+    flexsim_assert(config_.d >= 1, "bad FlexFlow configuration");
+}
+
+Tensor3<>
+FlexFlowConvUnit::runLayer(const ConvLayerSpec &spec,
+                           const UnrollFactors &t, const Tensor3<> &input,
+                           const Tensor4<> &kernels, LayerResult *result,
+                           ConvUnitDiagnostics *diag)
+{
+    flexsim_assert(input.maps() == spec.inMaps &&
+                       input.height() == spec.inSize,
+                   "input tensor does not match layer ", spec.name);
+    flexsim_assert(kernels.outMaps() == spec.outMaps &&
+                       kernels.height() == spec.kernel,
+                   "kernel tensor does not match layer ", spec.name);
+    flexsim_assert(spec.stride <= spec.kernel,
+                   "stride larger than the kernel leaves input gaps "
+                   "the contiguous IADP layout does not model");
+
+    const FlexFlowSchedule sched = planSchedule(spec, t, config_);
+    flexsim_assert(!sched.kernelStreaming,
+                   "the cycle simulator models the real design; the "
+                   "kernel-streaming ablation arm is analytic only");
+    const LaneMapping map(t);
+    const int rows_used = map.usedRows();
+    const int cols_used = map.usedCols();
+    const int s = spec.outSize;
+    const int k = spec.kernel;
+    const int stride = spec.stride;
+    const int splits = sched.splits();
+
+    LayerResult record;
+    record.layerName = spec.name;
+    record.peCount = config_.peCount();
+    record.macs = spec.macs();
+
+    ConvUnitDiagnostics diagnostics;
+
+    trace::printf("ConvUnit", "layer ", spec.name, " factors ",
+                  t.toString(), ": ",
+                  sched.mBlocks * sched.rBlocks * sched.cBlocks,
+                  " batches x ", sched.stepsTotal, " steps in ",
+                  sched.splits(), " pass(es), band retention ",
+                  sched.bandRetention ? "on" : "off");
+
+    // The first pass's first preload cannot hide behind earlier
+    // compute.
+    record.cycles = static_cast<Cycle>(sched.fillCycles());
+    record.fillCycles = static_cast<Cycle>(sched.fillCycles());
+
+    const WordCount group_rows = static_cast<WordCount>(t.tr) * t.tc;
+
+    // Full-precision partial results accumulated across passes
+    // (cycled through the output neuron buffer between passes).
+    std::vector<Acc> acc(static_cast<std::size_t>(spec.outMaps) * s *
+                             s,
+                         0);
+
+    // Column-level local store contents: the words currently retained
+    // by the PEs of each column.
+    std::vector<std::unordered_map<std::uint64_t, Fixed16>> col_store(
+        cols_used);
+
+    // Per-(row, column) task queues, rebuilt per batch.
+    std::vector<std::vector<Task>> tasks(
+        static_cast<std::size_t>(rows_used) * cols_used);
+    std::vector<Acc> row_acc(rows_used);
+    std::vector<bool> row_valid(rows_used);
+    std::vector<int> row_m(rows_used), row_r(rows_used),
+        row_c(rows_used);
+
+    for (int mb = 0; mb * t.tm < spec.outMaps; ++mb) {
+        const int m_valid =
+            std::min<int>(t.tm, spec.outMaps - mb * t.tm);
+        for (int pass = 0; pass < splits; ++pass) {
+            const SchedulePass &p = sched.passes[pass];
+            const long long steps = p.steps;
+
+            // This (block, pass)'s kernels are broadcast once per
+            // logical group and latched by the group's rows (IPDR).
+            const WordCount kernel_words =
+                static_cast<WordCount>(m_valid) *
+                (p.nEnd - p.nBegin) * k * k;
+            record.traffic.kernelIn += kernel_words;
+            record.localStoreWrites += kernel_words * group_rows;
+
+            // A new (block, pass) brings a fresh n-chunk: the neuron
+            // stores restart.
+            for (auto &store : col_store)
+                store.clear();
+
+            for (int rb = 0; rb * t.tr < s; ++rb) {
+                if (sched.bandRetention) {
+                    // Retain the window; drop rows that slid out.
+                    const int x_base = rb * t.tr * stride;
+                    for (auto &store : col_store) {
+                        for (auto it = store.begin();
+                             it != store.end();) {
+                            if (keyX(it->first) < x_base)
+                                it = store.erase(it);
+                            else
+                                ++it;
+                        }
+                    }
+                } else {
+                    for (auto &store : col_store)
+                        store.clear();
+                }
+                for (int cb = 0; cb * t.tc < s; ++cb) {
+                    ++diagnostics.batches;
+
+                    // Decode this batch's rows and build the task
+                    // queues for this pass's input maps.
+                    for (auto &queue : tasks)
+                        queue.clear();
+                    for (int row = 0; row < rows_used; ++row) {
+                        const RowLane lane = map.rowLane(row);
+                        const int m = mb * t.tm + lane.mOff;
+                        const int r = rb * t.tr + lane.rOff;
+                        const int c = cb * t.tc + lane.cOff;
+                        row_valid[row] =
+                            m < spec.outMaps && r < s && c < s;
+                        row_m[row] = m;
+                        row_r[row] = r;
+                        row_c[row] = c;
+                        row_acc[row] = 0;
+                        if (!row_valid[row])
+                            continue;
+                        for (int n = p.nBegin; n < p.nEnd; ++n) {
+                            for (int i = 0; i < k; ++i) {
+                                const int x = r * stride + i;
+                                for (int j = 0; j < k; ++j) {
+                                    const int y = c * stride + j;
+                                    const int col =
+                                        map.colOf(n, x, y);
+                                    tasks[static_cast<std::size_t>(
+                                              row) *
+                                              cols_used +
+                                          col]
+                                        .push_back(
+                                            Task{n, i, j, x, y});
+                                }
+                            }
+                        }
+                    }
+
+                    // Vertical-CDB delivery: each new word reaches
+                    // its column once; PEs latch what they will use.
+                    std::size_t max_new = 0;
+                    for (int col = 0; col < cols_used; ++col) {
+                        std::size_t new_words = 0;
+                        auto &store = col_store[col];
+                        for (int row = 0; row < rows_used; ++row) {
+                            for (const Task &task :
+                                 tasks[static_cast<std::size_t>(row) *
+                                           cols_used +
+                                       col]) {
+                                const std::uint64_t key = wordKey(
+                                    task.n, task.x, task.y);
+                                if (store.find(key) == store.end()) {
+                                    store.emplace(
+                                        key,
+                                        input.at(task.n, task.x,
+                                                 task.y));
+                                    ++record.traffic.neuronIn;
+                                    ++new_words;
+                                }
+                            }
+                        }
+                        max_new = std::max(max_new, new_words);
+                        diagnostics.peakColumnStoreWords =
+                            std::max(diagnostics.peakColumnStoreWords,
+                                     store.size());
+                    }
+                    if (max_new > static_cast<std::size_t>(steps)) {
+                        diagnostics.deliveryStallCycles +=
+                            max_new - static_cast<std::size_t>(steps);
+                    }
+
+                    // Compute phase: `steps` cycles of asynchronous
+                    // (RS) per-PE task execution with row-tree
+                    // folding.
+                    std::size_t max_tasks = 0;
+                    for (const auto &queue : tasks)
+                        max_tasks = std::max(max_tasks, queue.size());
+                    flexsim_assert(
+                        max_tasks == static_cast<std::size_t>(steps),
+                        "batch task schedule length ", max_tasks,
+                        " != step count ", steps, " in layer ",
+                        spec.name);
+                    diagnostics.maxTasksPerPe = std::max(
+                        diagnostics.maxTasksPerPe, max_tasks);
+
+                    for (long long step = 0; step < steps; ++step) {
+                        for (int row = 0; row < rows_used; ++row) {
+                            if (!row_valid[row])
+                                continue;
+                            Acc tree_sum = 0;
+                            for (int col = 0; col < cols_used;
+                                 ++col) {
+                                const auto &queue = tasks
+                                    [static_cast<std::size_t>(row) *
+                                         cols_used +
+                                     col];
+                                if (static_cast<std::size_t>(step) >=
+                                    queue.size()) {
+                                    continue;
+                                }
+                                const Task &task = queue[step];
+                                const Fixed16 neuron =
+                                    col_store[col].at(wordKey(
+                                        task.n, task.x, task.y));
+                                // RA self-check: the resident word
+                                // must be the operand this (output,
+                                // synapse) pair needs.
+                                flexsim_assert(
+                                    neuron == input.at(task.n,
+                                                       task.x,
+                                                       task.y),
+                                    "FlexFlow column store delivered "
+                                    "a stale operand");
+                                const Fixed16 synapse =
+                                    kernels.at(row_m[row], task.n,
+                                               task.i, task.j);
+                                tree_sum += mulRaw(neuron, synapse);
+                                ++record.activeMacCycles;
+                                record.localStoreReads += 2;
+                                ++record.localStoreWrites;
+                            }
+                            row_acc[row] += tree_sum;
+                        }
+                        ++record.cycles;
+                    }
+
+                    // Writeback: one partial (or final) neuron per
+                    // valid row, accumulated with the buffer-resident
+                    // partial results of earlier passes (Fig. 13(f)).
+                    for (int row = 0; row < rows_used; ++row) {
+                        if (!row_valid[row])
+                            continue;
+                        acc[(static_cast<std::size_t>(row_m[row]) * s +
+                             row_r[row]) *
+                                s +
+                            row_c[row]] += row_acc[row];
+                        if (pass > 0)
+                            ++record.traffic.psumRead;
+                        if (pass + 1 < splits)
+                            ++record.traffic.psumWrite;
+                        else
+                            ++record.traffic.neuronOut;
+                    }
+
+                    if (!sched.bandRetention) {
+                        // RS retention: prune window columns that
+                        // slid out.
+                        const int next_y_base =
+                            (cb + 1) * t.tc * stride;
+                        for (auto &store : col_store) {
+                            for (auto it = store.begin();
+                                 it != store.end();) {
+                                if (keyY(it->first) < next_y_base)
+                                    it = store.erase(it);
+                                else
+                                    ++it;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    record.dram = planDramTraffic(spec, config_.neuronBufWords,
+                                  config_.kernelBufWords)
+                      .traffic;
+
+    if (result != nullptr)
+        *result = record;
+    if (diag != nullptr)
+        *diag = diagnostics;
+
+    Tensor3<> output(spec.outMaps, s, s);
+    for (int m = 0; m < spec.outMaps; ++m) {
+        for (int r = 0; r < s; ++r) {
+            for (int c = 0; c < s; ++c) {
+                output.at(m, r, c) = quantizeAcc(
+                    acc[(static_cast<std::size_t>(m) * s + r) * s +
+                        c]);
+            }
+        }
+    }
+    return output;
+}
+
+} // namespace flexsim

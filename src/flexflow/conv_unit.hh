@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cycle-level data simulator of the FlexFlow convolutional unit.
+ *
+ * Per batch, each PE row owns one output neuron (LaneMapping::rowOf)
+ * and each PE column owns the input-word residue class
+ * LaneMapping::colOf.  Every cycle each PE multiplies a resident
+ * neuron by the RA-reordered synapse and the row adder tree folds the
+ * row's lane products into the row accumulator; after
+ * ceil(N/Tn)*ceil(K/Ti)*ceil(K/Tj) cycles the batch's outputs are
+ * complete and written back (MFMNMS: no partial sums leave the
+ * engine).
+ *
+ * Operand delivery is modelled faithfully at the column level: each
+ * input word is broadcast on its column's vertical CDB exactly once
+ * per (output-map block, row band) — the local stores retain the
+ * window sliding along the column direction (RS) — and each kernel
+ * word is broadcast to its logical group (IPDR) once per output-map
+ * block while the per-PE slice stays resident.  Every operand read is
+ * self-checked against the functionally required value; outputs are
+ * bit-exact against goldenConv() and cycles/traffic match
+ * FlexFlowModel exactly.
+ */
+
+#ifndef FLEXSIM_FLEXFLOW_CONV_UNIT_HH
+#define FLEXSIM_FLEXFLOW_CONV_UNIT_HH
+
+#include <cstdint>
+
+#include "arch/result.hh"
+#include "arch/unroll.hh"
+#include "flexflow/flexflow_config.hh"
+#include "nn/layer_spec.hh"
+#include "nn/tensor.hh"
+
+namespace flexsim {
+
+/** FlexFlow-specific dataflow diagnostics. */
+struct ConvUnitDiagnostics
+{
+    /** Batches executed. */
+    std::uint64_t batches = 0;
+    /** Peak retained words in any column's local stores. */
+    std::size_t peakColumnStoreWords = 0;
+    /** Cycles the vertical CDB would stall because a batch needed
+     * more new words on one column than it has compute cycles to
+     * hide them behind (validates the RS-hiding assumption). */
+    std::uint64_t deliveryStallCycles = 0;
+    /** Largest per-(PE,batch) task count (must equal the step count). */
+    std::size_t maxTasksPerPe = 0;
+};
+
+class FlexFlowConvUnit
+{
+  public:
+    explicit FlexFlowConvUnit(FlexFlowConfig config = FlexFlowConfig{});
+
+    /**
+     * Execute one CONV layer cycle by cycle under explicit factors.
+     *
+     * @return the M output feature maps, bit-exact vs goldenConv().
+     */
+    Tensor3<> runLayer(const ConvLayerSpec &spec, const UnrollFactors &t,
+                       const Tensor3<> &input, const Tensor4<> &kernels,
+                       LayerResult *result = nullptr,
+                       ConvUnitDiagnostics *diag = nullptr);
+
+    const FlexFlowConfig &config() const { return config_; }
+
+  private:
+    FlexFlowConfig config_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_FLEXFLOW_CONV_UNIT_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Configuration of the FlexFlow accelerator (paper Section 4,
+ * Figure 6 / Table 5).
+ *
+ * A D x D convolutional unit of PEs with per-PE neuron and kernel
+ * local stores, a 1D pooling unit, two ping-pong neuron buffers and
+ * one kernel buffer, fed by vertical (neuron) and horizontal (kernel)
+ * common data buses.
+ */
+
+#ifndef FLEXSIM_FLEXFLOW_FLEXFLOW_CONFIG_HH
+#define FLEXSIM_FLEXFLOW_FLEXFLOW_CONFIG_HH
+
+#include <cstddef>
+
+namespace flexsim {
+
+struct FlexFlowConfig
+{
+    /** Convolutional unit edge: D x D PEs. */
+    int d = 16;
+    /** Per-PE neuron local store, words (256 B = 128 words). */
+    std::size_t neuronStoreWords = 128;
+    /** Per-PE kernel local store, words (256 B = 128 words). */
+    std::size_t kernelStoreWords = 128;
+    /** Each neuron buffer, words (32 KiB). */
+    std::size_t neuronBufWords = 16 * 1024;
+    /** Kernel buffer, words (32 KiB). */
+    std::size_t kernelBufWords = 16 * 1024;
+    /** Pooling unit width (lightweight ALUs). */
+    int poolingLanes = 16;
+
+    // --- ablation knobs (default = the paper's design) ---
+    /**
+     * Retain the input window in the neuron local stores across row
+     * bands when it fits (RS retention).  Disabling refetches the
+     * sliding window at every row band.
+     */
+    bool enableBandRetention = true;
+    /**
+     * Split the input maps into passes when the RA-replicated per-PE
+     * kernel slice exceeds the kernel store (Figure 13(f)).
+     * Disabling falls back to streaming the kernels per batch, which
+     * is what a design without partial-sum write-back would do; only
+     * the analytic model supports this arm.
+     */
+    bool enablePassSplitting = true;
+
+    unsigned
+    peCount() const
+    {
+        return static_cast<unsigned>(d) * d;
+    }
+
+    static FlexFlowConfig
+    forScale(unsigned scale)
+    {
+        FlexFlowConfig config;
+        config.d = static_cast<int>(scale);
+        config.poolingLanes = static_cast<int>(scale);
+        return config;
+    }
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_FLEXFLOW_FLEXFLOW_CONFIG_HH

@@ -1,0 +1,97 @@
+#include "flexflow/flexflow_model.hh"
+
+#include <algorithm>
+
+#include "arch/dram_planner.hh"
+#include "arch/unroll.hh"
+#include "common/logging.hh"
+#include "flexflow/schedule.hh"
+
+namespace flexsim {
+
+FlexFlowModel::FlexFlowModel(FlexFlowConfig config) : config_(config)
+{
+    flexsim_assert(config_.d >= 1, "bad FlexFlow configuration");
+}
+
+bool
+FlexFlowModel::kernelsResident(const ConvLayerSpec &spec,
+                               const UnrollFactors &t) const
+{
+    return planSchedule(spec, t, config_).splits() == 1;
+}
+
+LayerResult
+FlexFlowModel::runLayer(const ConvLayerSpec &spec) const
+{
+    const FactorChoice choice = searchBestFactors(spec, config_.d);
+    return runLayer(spec, choice.factors);
+}
+
+LayerResult
+FlexFlowModel::runLayer(const ConvLayerSpec &spec,
+                        const UnrollFactors &t) const
+{
+    const FlexFlowSchedule sched = planSchedule(spec, t, config_);
+
+    LayerResult result;
+    result.layerName = spec.name;
+    result.peCount = config_.peCount();
+    result.macs = spec.macs();
+    result.activeMacCycles = result.macs;
+    result.cycles = static_cast<Cycle>(sched.computeCycles() +
+                                       sched.fillCycles());
+    result.fillCycles = static_cast<Cycle>(sched.fillCycles());
+
+    // Input words reach the array once per output-map block when the
+    // row band is retained in the local stores; otherwise once per
+    // (output-map block, row band).
+    if (sched.bandRetention) {
+        result.traffic.neuronIn = static_cast<WordCount>(
+            sched.mBlocks * spec.inputWords());
+    } else {
+        WordCount row_band_words = 0;
+        for (long long rb = 0; rb < sched.rBlocks; ++rb) {
+            const int rows_valid = static_cast<int>(
+                std::min<long long>(t.tr, spec.outSize - rb * t.tr));
+            const int span =
+                (rows_valid - 1) * spec.stride + spec.kernel;
+            row_band_words +=
+                static_cast<WordCount>(span) * spec.inSize;
+        }
+        result.traffic.neuronIn = static_cast<WordCount>(
+            sched.mBlocks * spec.inMaps * row_band_words);
+    }
+
+    // Each synapse is broadcast to its logical group exactly once:
+    // within a pass the per-PE slice is resident by construction.
+    // The no-pass-splitting ablation arm instead streams every
+    // batch's kernel words from the buffer.
+    result.traffic.kernelIn =
+        sched.kernelStreaming
+            ? spec.kernelWords() *
+                  static_cast<WordCount>(sched.rBlocks * sched.cBlocks)
+            : spec.kernelWords();
+
+    // Figure 13(f): each extra input-map pass cycles partial results
+    // through the output neuron buffer.
+    const WordCount out_words = spec.outputWords();
+    result.traffic.neuronOut = out_words;
+    result.traffic.psumWrite = out_words * (sched.splits() - 1);
+    result.traffic.psumRead = out_words * (sched.splits() - 1);
+
+    // Per MAC: one neuron and one kernel local-store read; each task
+    // operand is latched once (streaming write) and every kernel
+    // broadcast is latched by its group's rows.
+    result.localStoreReads = 2 * result.macs;
+    result.localStoreWrites =
+        result.macs +
+        result.traffic.kernelIn * static_cast<WordCount>(t.tr * t.tc);
+
+    const DramPlan plan = planDramTraffic(
+        spec, config_.neuronBufWords, config_.kernelBufWords);
+    result.dram = plan.traffic;
+    return result;
+}
+
+} // namespace flexsim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Analytic timing/traffic model of the FlexFlow architecture.
+ *
+ * Schedule (paper Section 4): a batch of Tm*Tr*Tc output neurons, one
+ * per PE row, completes in ceil(N/Tn)*ceil(K/Ti)*ceil(K/Tj) cycles;
+ * every cycle each PE row's adder tree folds up to Tn*Ti*Tj lane
+ * products into the row accumulator.  RS preloading hides operand
+ * delivery behind the previous batch, so only the first batch pays a
+ * fill penalty.  Input words reach the array once per output-map block
+ * and row band (local stores retain the sliding window along the
+ * column direction); kernels reach the array once per output-map block
+ * when the per-PE kernel slice fits the kernel local store.
+ */
+
+#ifndef FLEXSIM_FLEXFLOW_FLEXFLOW_MODEL_HH
+#define FLEXSIM_FLEXFLOW_FLEXFLOW_MODEL_HH
+
+#include "arch/accelerator.hh"
+#include "arch/factor_search.hh"
+#include "flexflow/flexflow_config.hh"
+
+namespace flexsim {
+
+class FlexFlowModel : public AcceleratorModel
+{
+  public:
+    explicit FlexFlowModel(FlexFlowConfig config = FlexFlowConfig{});
+
+    std::string name() const override { return "FlexFlow"; }
+    unsigned peCount() const override { return config_.peCount(); }
+
+    /** Run with compiler-chosen factors (searchBestFactors). */
+    LayerResult runLayer(const ConvLayerSpec &spec) const override;
+
+    /** Run with explicit unrolling factors. */
+    LayerResult runLayer(const ConvLayerSpec &spec,
+                         const UnrollFactors &t) const;
+
+    /** True when the per-PE kernel slice stays resident across a
+     * whole output-map block. */
+    bool kernelsResident(const ConvLayerSpec &spec,
+                         const UnrollFactors &t) const;
+
+    const FlexFlowConfig &config() const { return config_; }
+
+  private:
+    FlexFlowConfig config_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_FLEXFLOW_FLEXFLOW_MODEL_HH

@@ -1,0 +1,101 @@
+#include "flexflow/iadp_layout.hh"
+
+#include "arch/unroll.hh"
+#include "common/logging.hh"
+
+namespace flexsim {
+
+NeuronIadpLayout::NeuronIadpLayout(const UnrollFactors &t,
+                                   const ConvLayerSpec &spec)
+    : map_(t), spec_(spec), banks_(t.columnDemand())
+{
+    spec_.validate();
+}
+
+BufferAddress
+NeuronIadpLayout::addressOf(int n, int x, int y) const
+{
+    flexsim_assert(n >= 0 && n < spec_.inMaps && x >= 0 &&
+                       x < spec_.inSize && y >= 0 && y < spec_.inSize,
+                   "neuron coordinate outside layer ", spec_.name);
+    BufferAddress addr;
+    addr.bank = static_cast<unsigned>(map_.colOf(n, x, y));
+    // Within a bank, words are stored in (n, x, y) raster order of the
+    // bank's residue class; the local index is the rank of (n, x, y)
+    // among same-class words.
+    const UnrollFactors &t = map_.factors();
+    const long long n_rank = n / t.tn;
+    const long long x_rank = x / t.ti;
+    const long long y_rank = y / t.tj;
+    const long long xs_per_class = ceilDiv(spec_.inSize, t.ti);
+    const long long ys_per_class = ceilDiv(spec_.inSize, t.tj);
+    addr.index = static_cast<std::size_t>(
+        (n_rank * xs_per_class + x_rank) * ys_per_class + y_rank);
+    return addr;
+}
+
+std::size_t
+NeuronIadpLayout::wordsPerBank() const
+{
+    const UnrollFactors &t = map_.factors();
+    return static_cast<std::size_t>(ceilDiv(spec_.inMaps, t.tn)) *
+           ceilDiv(spec_.inSize, t.ti) * ceilDiv(spec_.inSize, t.tj);
+}
+
+KernelIadpLayout::KernelIadpLayout(const UnrollFactors &t,
+                                   const ConvLayerSpec &spec)
+    : t_(t), spec_(spec), banks_(t.rowDemand())
+{
+    spec_.validate();
+}
+
+BufferAddress
+KernelIadpLayout::addressOf(int m, int n, int i, int j) const
+{
+    flexsim_assert(m >= 0 && m < spec_.outMaps && n >= 0 &&
+                       n < spec_.inMaps && i >= 0 && i < spec_.kernel &&
+                       j >= 0 && j < spec_.kernel,
+                   "synapse coordinate outside layer ", spec_.name);
+    BufferAddress addr;
+    // Group by output map; kernels are row-major inside a group and
+    // the word's serial position selects the subgroup bank so that a
+    // group's sequential reads rotate through its Tr * Tc banks.
+    const int group = m % t_.tm;
+    const long long serial =
+        (static_cast<long long>(n) * spec_.kernel + i) * spec_.kernel +
+        j;
+    const int banks_per_group = t_.tr * t_.tc;
+    addr.bank = static_cast<unsigned>(
+        group * banks_per_group +
+        static_cast<int>(serial % banks_per_group));
+    const long long kernels_per_group =
+        ceilDiv(spec_.outMaps, t_.tm);
+    const long long m_rank = m / t_.tm;
+    const long long words_per_kernel = static_cast<long long>(
+        spec_.inMaps) * spec_.kernel * spec_.kernel;
+    const long long serial_rank = serial / banks_per_group;
+    const long long slots_per_kernel =
+        ceilDiv(words_per_kernel, banks_per_group);
+    addr.index = static_cast<std::size_t>(
+        m_rank * slots_per_kernel + serial_rank);
+    (void)kernels_per_group;
+    return addr;
+}
+
+std::size_t
+KernelIadpLayout::wordsPerBank() const
+{
+    const long long words_per_kernel = static_cast<long long>(
+        spec_.inMaps) * spec_.kernel * spec_.kernel;
+    return static_cast<std::size_t>(
+        ceilDiv(spec_.outMaps, t_.tm) *
+        ceilDiv(words_per_kernel, t_.tr * t_.tc));
+}
+
+int
+KernelIadpLayout::replicationFactor() const
+{
+    return t_.tr * t_.tc;
+}
+
+} // namespace flexsim

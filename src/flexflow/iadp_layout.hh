@@ -1,0 +1,96 @@
+/**
+ * @file
+ * In-Advance Data Placement (IADP) buffer layouts (paper Section 4.5,
+ * Figures 12/13).
+ *
+ * Data is pre-arranged in the banked on-chip buffers so the reading
+ * controllers can feed one word per bus lane per cycle with no bank
+ * conflicts:
+ *
+ *  - the neuron buffer is divided into Tn groups x Ti subgroups x Tj
+ *    banks; input word (n, x, y) lives in the bank matching its column
+ *    class, so the D vertical buses each read a distinct bank;
+ *  - the kernel buffer is divided into Tm groups x Tr subgroups x Tc
+ *    banks; each kernel is row-major within its group and the groups'
+ *    reading controllers replicate words Tr*Tc times onto the free
+ *    horizontal buses (IPDR).
+ *
+ * The layouts are pure address math over SramBuffer; unit tests check
+ * the conflict-freedom property directly.
+ */
+
+#ifndef FLEXSIM_FLEXFLOW_IADP_LAYOUT_HH
+#define FLEXSIM_FLEXFLOW_IADP_LAYOUT_HH
+
+#include "arch/unroll.hh"
+#include "flexflow/mapping.hh"
+#include "nn/layer_spec.hh"
+
+namespace flexsim {
+
+/** Bank/index address inside a banked buffer. */
+struct BufferAddress
+{
+    unsigned bank = 0;
+    std::size_t index = 0;
+
+    bool operator==(const BufferAddress &) const = default;
+};
+
+/** Neuron-buffer placement for a layer consumed with factors T. */
+class NeuronIadpLayout
+{
+  public:
+    /**
+     * @param t    the consuming layer's factors (uses <Tn, Ti, Tj>)
+     * @param spec the consuming layer
+     */
+    NeuronIadpLayout(const UnrollFactors &t, const ConvLayerSpec &spec);
+
+    /** Banks used: Tn * Ti * Tj. */
+    unsigned numBanks() const { return static_cast<unsigned>(banks_); }
+
+    /** Address of input word (n, x, y). */
+    BufferAddress addressOf(int n, int x, int y) const;
+
+    /** Words stored in the fullest bank (capacity planning). */
+    std::size_t wordsPerBank() const;
+
+  private:
+    LaneMapping map_;
+    ConvLayerSpec spec_;
+    int banks_;
+};
+
+/** Kernel-buffer placement for a layer consumed with factors T. */
+class KernelIadpLayout
+{
+  public:
+    /**
+     * @param t    the consuming layer's factors (uses <Tm, Tr, Tc>)
+     * @param spec the consuming layer
+     */
+    KernelIadpLayout(const UnrollFactors &t, const ConvLayerSpec &spec);
+
+    /** Banks used: Tm * Tr * Tc. */
+    unsigned numBanks() const { return static_cast<unsigned>(banks_); }
+
+    /** Address of synapse (m, n, i, j). */
+    BufferAddress addressOf(int m, int n, int i, int j) const;
+
+    /** Words stored in the fullest bank. */
+    std::size_t wordsPerBank() const;
+
+    /** IPDR replication factor: each read word is replicated Tr * Tc
+     * times onto the horizontal buses of its group. */
+    int replicationFactor() const;
+
+  private:
+    UnrollFactors t_;
+    ConvLayerSpec spec_;
+    int banks_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_FLEXFLOW_IADP_LAYOUT_HH

@@ -1,0 +1,273 @@
+#include "flexflow/isa.hh"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace flexsim {
+
+namespace {
+
+/** Per-opcode operand bit widths within the 56-bit payload. */
+struct OpLayout
+{
+    const char *mnemonic;
+    int numArgs;
+    std::array<int, 6> widths;
+};
+
+const OpLayout &
+layoutOf(Opcode op)
+{
+    static const OpLayout layouts[] = {
+        {"nop", 0, {}},
+        {"cfg_layer", 5, {10, 10, 10, 5, 3, 0}},
+        {"cfg_factors", 6, {7, 7, 7, 7, 7, 7}},
+        {"load_input", 1, {26, 0, 0, 0, 0, 0}},
+        {"load_kernels", 1, {26, 0, 0, 0, 0, 0}},
+        {"conv", 0, {}},
+        {"pool", 3, {4, 4, 1, 0, 0, 0}},
+        {"swap", 0, {}},
+        {"store_output", 1, {26, 0, 0, 0, 0, 0}},
+        {"halt", 0, {}},
+    };
+    static_assert(sizeof(layouts) / sizeof(layouts[0]) ==
+                  static_cast<std::size_t>(Opcode::NumOpcodes));
+    const auto index = static_cast<std::size_t>(op);
+    flexsim_assert(index < static_cast<std::size_t>(Opcode::NumOpcodes),
+                   "bad opcode ", index);
+    return layouts[index];
+}
+
+} // namespace
+
+const char *
+opcodeName(Opcode op)
+{
+    return layoutOf(op).mnemonic;
+}
+
+std::uint64_t
+encode(const Instruction &inst)
+{
+    const OpLayout &layout = layoutOf(inst.op);
+    std::uint64_t word = static_cast<std::uint64_t>(inst.op) << 56;
+    int shift = 0;
+    for (int a = 0; a < layout.numArgs; ++a) {
+        const int width = layout.widths[a];
+        const std::uint32_t value = inst.args[a];
+        if (width < 32 && value >= (1u << width)) {
+            fatal("operand ", a, " of ", layout.mnemonic, " (", value,
+                  ") exceeds its ", width, "-bit field");
+        }
+        word |= static_cast<std::uint64_t>(value) << shift;
+        shift += width;
+    }
+    flexsim_assert(shift <= 56, "payload overflow in ",
+                   layout.mnemonic);
+    return word;
+}
+
+Instruction
+decode(std::uint64_t word)
+{
+    const auto op_index = static_cast<std::size_t>(word >> 56);
+    if (op_index >= static_cast<std::size_t>(Opcode::NumOpcodes))
+        fatal("cannot decode unknown opcode ", op_index);
+    Instruction inst;
+    inst.op = static_cast<Opcode>(op_index);
+    const OpLayout &layout = layoutOf(inst.op);
+    int shift = 0;
+    for (int a = 0; a < layout.numArgs; ++a) {
+        const int width = layout.widths[a];
+        inst.args[a] = static_cast<std::uint32_t>(
+            (word >> shift) & ((std::uint64_t{1} << width) - 1));
+        shift += width;
+    }
+    return inst;
+}
+
+std::vector<std::uint64_t>
+encode(const Program &program)
+{
+    std::vector<std::uint64_t> words;
+    words.reserve(program.instructions.size());
+    for (const Instruction &inst : program.instructions)
+        words.push_back(encode(inst));
+    return words;
+}
+
+Program
+decode(const std::vector<std::uint64_t> &words)
+{
+    Program program;
+    program.instructions.reserve(words.size());
+    for (std::uint64_t word : words)
+        program.instructions.push_back(decode(word));
+    return program;
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const OpLayout &layout = layoutOf(inst.op);
+    std::ostringstream oss;
+    oss << layout.mnemonic;
+    for (int a = 0; a < layout.numArgs; ++a) {
+        if (inst.op == Opcode::Pool && a == 2) {
+            oss << ' ' << (inst.args[a] == 0 ? "max" : "avg");
+        } else {
+            oss << ' ' << inst.args[a];
+        }
+    }
+    return oss.str();
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::string out;
+    for (const Instruction &inst : program.instructions) {
+        out += disassemble(inst);
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'F', 'S', 'M'};
+constexpr std::uint8_t kBinaryVersion = 1;
+
+void
+writeLe64(std::ostream &os, std::uint64_t value)
+{
+    for (int b = 0; b < 8; ++b)
+        os.put(static_cast<char>((value >> (8 * b)) & 0xff));
+}
+
+std::uint64_t
+readLe64(std::istream &is)
+{
+    std::uint64_t value = 0;
+    for (int b = 0; b < 8; ++b) {
+        const int byte = is.get();
+        if (byte == std::char_traits<char>::eof())
+            fatal("truncated FlexFlow binary program");
+        value |= static_cast<std::uint64_t>(byte & 0xff) << (8 * b);
+    }
+    return value;
+}
+
+} // namespace
+
+void
+saveBinary(const Program &program, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write program binary ", path);
+    out.write(kMagic, 4);
+    out.put(static_cast<char>(kBinaryVersion));
+    writeLe64(out, program.instructions.size());
+    for (const Instruction &inst : program.instructions)
+        writeLe64(out, encode(inst));
+    if (!out)
+        fatal("I/O error writing program binary ", path);
+}
+
+Program
+loadBinary(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot read program binary ", path);
+    char magic[4] = {};
+    in.read(magic, 4);
+    if (!in || std::memcmp(magic, kMagic, 4) != 0)
+        fatal(path, " is not a FlexFlow binary program");
+    const int version = in.get();
+    if (version != kBinaryVersion)
+        fatal(path, " has unsupported binary version ", version);
+    const std::uint64_t count = readLe64(in);
+    Program program;
+    program.instructions.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        program.instructions.push_back(decode(readLe64(in)));
+    return program;
+}
+
+Program
+assemble(const std::string &source)
+{
+    Program program;
+    std::istringstream iss(source);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(iss, line)) {
+        ++line_no;
+        const std::size_t comment = line.find_first_of(";#");
+        if (comment != std::string::npos)
+            line.erase(comment);
+        const std::vector<std::string> fields = splitWhitespace(line);
+        if (fields.empty())
+            continue;
+
+        const std::string mnemonic = toLower(fields[0]);
+        Instruction inst;
+        bool found = false;
+        for (std::size_t op = 0;
+             op < static_cast<std::size_t>(Opcode::NumOpcodes); ++op) {
+            if (layoutOf(static_cast<Opcode>(op)).mnemonic == mnemonic) {
+                inst.op = static_cast<Opcode>(op);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            fatal("line ", line_no, ": unknown mnemonic '", mnemonic,
+                  "'");
+
+        const OpLayout &layout = layoutOf(inst.op);
+        if (static_cast<int>(fields.size()) - 1 != layout.numArgs) {
+            fatal("line ", line_no, ": ", mnemonic, " expects ",
+                  layout.numArgs, " operands, got ",
+                  fields.size() - 1);
+        }
+        for (int a = 0; a < layout.numArgs; ++a) {
+            const std::string &field = fields[a + 1];
+            if (inst.op == Opcode::Pool && a == 2) {
+                const std::string op_name = toLower(field);
+                if (op_name == "max")
+                    inst.args[a] = 0;
+                else if (op_name == "avg")
+                    inst.args[a] = 1;
+                else
+                    fatal("line ", line_no,
+                          ": pool op must be max or avg, got '", field,
+                          "'");
+                continue;
+            }
+            try {
+                std::size_t pos = 0;
+                const unsigned long value = std::stoul(field, &pos);
+                if (pos != field.size())
+                    throw std::invalid_argument(field);
+                inst.args[a] = static_cast<std::uint32_t>(value);
+            } catch (const std::exception &) {
+                fatal("line ", line_no, ": bad operand '", field,
+                      "' for ", mnemonic);
+            }
+        }
+        // Round-trip through the binary encoding so field overflows
+        // are caught at assembly time.
+        program.instructions.push_back(decode(encode(inst)));
+    }
+    return program;
+}
+
+} // namespace flexsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The FlexFlow configuration instruction set.
+ *
+ * The paper's workload analyzer "produces assemble language code to
+ * configure the FlexFlow" (Section 5).  This module defines that
+ * interface: a small register-free configuration ISA, a 64-bit binary
+ * encoding consumed by the on-chip instruction decoder, and a
+ * text assembler/disassembler.
+ *
+ * Program shape for one CONV stage:
+ *
+ *     cfg_layer   <M> <N> <S> <K> <stride>
+ *     cfg_factors <Tm> <Tn> <Tr> <Tc> <Ti> <Tj>
+ *     load_kernels <words>        ; DRAM -> kernel buffer (IADP)
+ *     load_input   <words>        ; DRAM -> neuron buffer (IADP)
+ *     conv
+ *     pool <window> <stride> <max|avg>   ; optional
+ *     swap                         ; ping-pong the neuron buffers
+ *     store_output <words>         ; buffer -> DRAM (final layer)
+ *     halt
+ */
+
+#ifndef FLEXSIM_FLEXFLOW_ISA_HH
+#define FLEXSIM_FLEXFLOW_ISA_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flexsim {
+
+enum class Opcode : std::uint8_t
+{
+    Nop = 0,
+    CfgLayer,    ///< M, N, S, K, stride
+    CfgFactors,  ///< Tm, Tn, Tr, Tc, Ti, Tj
+    LoadInput,   ///< words from DRAM into the active neuron buffer
+    LoadKernels, ///< words from DRAM into the kernel buffer
+    Conv,        ///< execute the configured CONV layer
+    Pool,        ///< window, stride, op (0 = max, 1 = avg)
+    Swap,        ///< swap the ping-pong neuron buffers
+    StoreOutput, ///< words from the neuron buffer to DRAM
+    Halt,
+    NumOpcodes,
+};
+
+/** Printable mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    std::array<std::uint32_t, 6> args{};
+
+    bool operator==(const Instruction &) const = default;
+};
+
+/** A FlexFlow configuration program. */
+struct Program
+{
+    std::vector<Instruction> instructions;
+
+    bool operator==(const Program &) const = default;
+};
+
+/** Encode to the 64-bit binary format (fatal() on field overflow). */
+std::uint64_t encode(const Instruction &inst);
+
+/** Decode from the 64-bit binary format (fatal() on bad opcode). */
+Instruction decode(std::uint64_t word);
+
+/** Encode a whole program. */
+std::vector<std::uint64_t> encode(const Program &program);
+
+/** Decode a whole program. */
+Program decode(const std::vector<std::uint64_t> &words);
+
+/** Render one instruction as assembly text. */
+std::string disassemble(const Instruction &inst);
+
+/** Render a whole program as assembly text. */
+std::string disassemble(const Program &program);
+
+/**
+ * Assemble text into a program.  Supports ';' and '#' comments and
+ * blank lines; calls fatal() with the line number on syntax errors.
+ */
+Program assemble(const std::string &source);
+
+/**
+ * Write the binary encoding to a file ("FFSM" magic, version byte,
+ * little-endian instruction count, then one 64-bit word per
+ * instruction).  fatal()s on I/O errors.
+ */
+void saveBinary(const Program &program, const std::string &path);
+
+/** Read a program written by saveBinary (fatal() on bad files). */
+Program loadBinary(const std::string &path);
+
+} // namespace flexsim
+
+#endif // FLEXSIM_FLEXFLOW_ISA_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The FlexFlow data-placement mapping (paper Section 4.3).
+ *
+ * With unrolling factors T, the D x D PE array is logically divided
+ * into Tm x Tn groups.  PE rows serve output neurons:
+ *
+ *     row((m, r, c)) = (m mod Tm)*Tr*Tc + (r mod Tr)*Tc + (c mod Tc)
+ *
+ * and PE columns serve input-neuron classes: input word (n, x, y) is
+ * assigned to the single column
+ *
+ *     col((n, x, y)) = (n mod Tn)*Ti*Tj + (x mod Ti)*Tj + (y mod Tj)
+ *
+ * Relax Alignment reorders each PE's synapse accesses so the column's
+ * resident neurons serve whatever kernel offsets they correspond to
+ * for that PE's output; Relax Synchronization lets different PEs
+ * consume a broadcast word on different cycles.  This header holds the
+ * pure mapping math shared by the analytic model, the cycle simulator,
+ * and the IADP buffer layouts.
+ */
+
+#ifndef FLEXSIM_FLEXFLOW_MAPPING_HH
+#define FLEXSIM_FLEXFLOW_MAPPING_HH
+
+#include "arch/unroll.hh"
+#include "common/logging.hh"
+
+namespace flexsim {
+
+/** Decoded identity of one PE row. */
+struct RowLane
+{
+    int mOff = 0; ///< output-map offset within the Tm block
+    int rOff = 0; ///< output-row offset within the Tr block
+    int cOff = 0; ///< output-column offset within the Tc block
+};
+
+/** Decoded identity of one PE column class. */
+struct ColLane
+{
+    int nClass = 0; ///< input-map residue class (mod Tn)
+    int xClass = 0; ///< input-row residue class (mod Ti)
+    int yClass = 0; ///< input-column residue class (mod Tj)
+};
+
+class LaneMapping
+{
+  public:
+    explicit LaneMapping(const UnrollFactors &t) : t_(t)
+    {
+        flexsim_assert(t.tm >= 1 && t.tn >= 1 && t.tr >= 1 &&
+                           t.tc >= 1 && t.ti >= 1 && t.tj >= 1,
+                       "bad unrolling factors ", t.toString());
+    }
+
+    const UnrollFactors &factors() const { return t_; }
+
+    /** Rows carrying output neurons: Tm * Tr * Tc. */
+    int usedRows() const { return t_.rowDemand(); }
+
+    /** Columns carrying input classes: Tn * Ti * Tj. */
+    int usedCols() const { return t_.columnDemand(); }
+
+    /** Row index for output neuron (m, r, c). */
+    int
+    rowOf(int m, int r, int c) const
+    {
+        return (m % t_.tm) * t_.tr * t_.tc + (r % t_.tr) * t_.tc +
+               (c % t_.tc);
+    }
+
+    /** Decode a row index into its block offsets. */
+    RowLane
+    rowLane(int row) const
+    {
+        flexsim_assert(row >= 0 && row < usedRows(),
+                       "row ", row, " outside the used rows");
+        RowLane lane;
+        lane.mOff = row / (t_.tr * t_.tc);
+        lane.rOff = (row % (t_.tr * t_.tc)) / t_.tc;
+        lane.cOff = row % t_.tc;
+        return lane;
+    }
+
+    /** Column index for input word (n, x, y). */
+    int
+    colOf(int n, int x, int y) const
+    {
+        return (n % t_.tn) * t_.ti * t_.tj + (x % t_.ti) * t_.tj +
+               (y % t_.tj);
+    }
+
+    /** Decode a column index into its residue classes. */
+    ColLane
+    colLane(int col) const
+    {
+        flexsim_assert(col >= 0 && col < usedCols(),
+                       "column ", col, " outside the used columns");
+        ColLane lane;
+        lane.nClass = col / (t_.ti * t_.tj);
+        lane.xClass = (col % (t_.ti * t_.tj)) / t_.tj;
+        lane.yClass = col % t_.tj;
+        return lane;
+    }
+
+  private:
+    UnrollFactors t_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_FLEXFLOW_MAPPING_HH

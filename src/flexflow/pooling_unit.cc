@@ -1,0 +1,37 @@
+#include "flexflow/pooling_unit.hh"
+
+#include "arch/unroll.hh"
+#include "common/logging.hh"
+#include "nn/golden.hh"
+
+namespace flexsim {
+
+PoolingUnit::PoolingUnit(int lanes) : lanes_(lanes)
+{
+    flexsim_assert(lanes >= 1, "pooling unit needs at least one lane");
+}
+
+Tensor3<>
+PoolingUnit::run(const Tensor3<> &input, const PoolLayerSpec &spec,
+                 Stats *stats) const
+{
+    // Functionally the unit computes exactly the golden pooling; the
+    // timing model batches the windows over the lanes.
+    Tensor3<> output = goldenPool(input, spec);
+
+    if (stats != nullptr) {
+        const WordCount windows = static_cast<WordCount>(output.maps()) *
+                                  output.height() * output.width();
+        const WordCount window_elems =
+            static_cast<WordCount>(spec.window) * spec.window;
+        stats->reads = windows * window_elems;
+        stats->writes = windows;
+        // Each lane reduces one window in window_elems cycles.
+        stats->cycles = static_cast<Cycle>(
+            ceilDiv(static_cast<long long>(windows), lanes_) *
+            static_cast<long long>(window_elems));
+    }
+    return output;
+}
+
+} // namespace flexsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The 1D pooling unit (paper Figure 6).
+ *
+ * A row of lightweight ALUs subsamples convolution results before they
+ * reach the neuron buffer, reducing inter-layer data transmission.
+ * Each ALU reduces one pooling window sequentially (one comparison or
+ * addition per cycle); the lanes work on different windows in
+ * parallel.
+ */
+
+#ifndef FLEXSIM_FLEXFLOW_POOLING_UNIT_HH
+#define FLEXSIM_FLEXFLOW_POOLING_UNIT_HH
+
+#include "arch/result.hh"
+#include "nn/layer_spec.hh"
+#include "nn/tensor.hh"
+
+namespace flexsim {
+
+class PoolingUnit
+{
+  public:
+    /** @param lanes parallel ALUs. */
+    explicit PoolingUnit(int lanes = 16);
+
+    /** Pooling statistics for one layer. */
+    struct Stats
+    {
+        Cycle cycles = 0;
+        WordCount reads = 0;
+        WordCount writes = 0;
+    };
+
+    /**
+     * Pool @p input; bit-exact against goldenPool().
+     */
+    Tensor3<> run(const Tensor3<> &input, const PoolLayerSpec &spec,
+                  Stats *stats = nullptr) const;
+
+    int lanes() const { return lanes_; }
+
+  private:
+    int lanes_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_FLEXFLOW_POOLING_UNIT_HH

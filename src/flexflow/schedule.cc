@@ -1,0 +1,109 @@
+#include "flexflow/schedule.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+namespace {
+
+/**
+ * Distinct kernel offsets along one axis a single PE touches.
+ *
+ * A PE's residue class along the i axis is (r*stride + i) mod Ti; as
+ * the output row r sweeps the layer the class shifts by multiples of
+ * (stride mod Ti), so the PE touches ceil(K/Ti) offsets per shift and
+ * Ti/gcd(stride, Ti) distinct shifts (capped at K offsets total).
+ */
+int
+kernelSpan(int kernel, int unroll, int stride)
+{
+    const int g = std::gcd(stride, unroll);
+    const long long shifts = unroll / g;
+    const long long per_shift = ceilDiv(kernel, unroll);
+    return static_cast<int>(
+        std::min<long long>(kernel, per_shift * shifts));
+}
+
+} // namespace
+
+FlexFlowSchedule
+planSchedule(const ConvLayerSpec &spec, const UnrollFactors &t,
+             const FlexFlowConfig &config)
+{
+    spec.validate();
+    flexsim_assert(feasible(t, spec, config.d, spec.outSize),
+                   "factors ", t.toString(), " infeasible for layer ",
+                   spec.name, " on a ", config.d, "x", config.d,
+                   " engine");
+
+    FlexFlowSchedule sched;
+    sched.factors = t;
+    sched.mBlocks = ceilDiv(spec.outMaps, t.tm);
+    sched.rBlocks = ceilDiv(spec.outSize, t.tr);
+    sched.cBlocks = ceilDiv(spec.outSize, t.tc);
+
+    sched.spanI = kernelSpan(spec.kernel, t.ti, spec.stride);
+    sched.spanJ = kernelSpan(spec.kernel, t.tj, spec.stride);
+    const long long n_groups = ceilDiv(spec.inMaps, t.tn);
+    const long long words_per_group =
+        static_cast<long long>(sched.spanI) * sched.spanJ;
+    sched.sliceWords = n_groups * words_per_group;
+
+    if (words_per_group >
+        static_cast<long long>(config.kernelStoreWords)) {
+        fatal("layer ", spec.name, ": a single n-group kernel slice (",
+              words_per_group, " words) exceeds the ",
+              config.kernelStoreWords,
+              "-word kernel local store; split the kernel (Ti/Tj) "
+              "instead");
+    }
+
+    // Figure 13(f): split the input maps into passes whose kernel
+    // slice fits the local store.  Pass boundaries land on n-group
+    // boundaries so the column mapping is preserved and the summed
+    // steps stay exactly ceil(N/Tn)*ceil(K/Ti)*ceil(K/Tj).
+    long long groups_per_pass = std::max<long long>(
+        1, static_cast<long long>(config.kernelStoreWords) /
+               words_per_group);
+    if (!config.enablePassSplitting) {
+        sched.kernelStreaming = groups_per_pass < n_groups;
+        groups_per_pass = n_groups;
+    }
+    const long long step_factor =
+        ceilDiv(spec.kernel, t.ti) * ceilDiv(spec.kernel, t.tj);
+    for (long long g0 = 0; g0 < n_groups; g0 += groups_per_pass) {
+        const long long groups =
+            std::min(groups_per_pass, n_groups - g0);
+        SchedulePass pass;
+        pass.nBegin = static_cast<int>(g0 * t.tn);
+        pass.nEnd = static_cast<int>(
+            std::min<long long>(spec.inMaps, (g0 + groups) * t.tn));
+        pass.steps = groups * step_factor;
+        sched.passes.push_back(pass);
+        sched.stepsTotal += pass.steps;
+    }
+    flexsim_assert(!sched.passes.empty(), "schedule with no passes");
+
+    // Neuron retention: the largest pass's row-band footprint per
+    // column must fit the neuron local store to retain across bands.
+    long long max_pass_groups = 0;
+    for (const SchedulePass &pass : sched.passes) {
+        max_pass_groups = std::max(
+            max_pass_groups,
+            ceilDiv(pass.nEnd - pass.nBegin, t.tn));
+    }
+    const int span_x = (t.tr - 1) * spec.stride + spec.kernel;
+    sched.bandWordsPerColumn = max_pass_groups *
+                               ceilDiv(span_x, t.ti) *
+                               ceilDiv(spec.inSize, t.tj);
+    sched.bandRetention =
+        config.enableBandRetention &&
+        sched.bandWordsPerColumn <=
+            static_cast<long long>(config.neuronStoreWords);
+    return sched;
+}
+
+} // namespace flexsim

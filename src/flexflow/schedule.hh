@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The FlexFlow layer schedule: everything the dataflow does beyond the
+ * raw batch arithmetic, derived once and shared by the analytic model
+ * and the cycle simulator so the two stay consistent by construction.
+ *
+ * Two finite-capacity effects are planned here:
+ *
+ *  - **Input-map pass splitting** (paper Figure 13(f)): the RA
+ *    mechanism replicates each PE's kernel slice into its 256 B kernel
+ *    local store.  When the slice exceeds the store, the input maps
+ *    are processed in passes whose slice fits; partial results are
+ *    written back to the neuron buffer and read back for accumulation
+ *    by the following pass.  The total compute cycles are unchanged
+ *    (the per-batch steps just split across passes).
+ *
+ *  - **Row-band retention**: the neuron local stores retain the
+ *    sliding input window along the column direction (RS).  When a
+ *    whole row band also fits, the window is additionally retained
+ *    across row bands and every input word reaches the array exactly
+ *    once per output-map block sweep.
+ */
+
+#ifndef FLEXSIM_FLEXFLOW_SCHEDULE_HH
+#define FLEXSIM_FLEXFLOW_SCHEDULE_HH
+
+#include <vector>
+
+#include "arch/unroll.hh"
+#include "flexflow/flexflow_config.hh"
+#include "nn/layer_spec.hh"
+
+namespace flexsim {
+
+/** One input-map pass: a contiguous range of n-groups. */
+struct SchedulePass
+{
+    int nBegin = 0;       ///< first input map (inclusive)
+    int nEnd = 0;         ///< last input map (exclusive)
+    long long steps = 0;  ///< cycles per batch in this pass
+};
+
+struct FlexFlowSchedule
+{
+    UnrollFactors factors;
+
+    // --- batch arithmetic ---
+    long long mBlocks = 0;
+    long long rBlocks = 0;
+    long long cBlocks = 0;
+    long long stepsTotal = 0; ///< sum of per-pass steps
+
+    // --- per-PE kernel slice (RA replication) ---
+    /** Distinct kernel-row indices one PE touches per (m, n). */
+    int spanI = 0;
+    /** Distinct kernel-column indices one PE touches per (m, n). */
+    int spanJ = 0;
+    /** Per-PE slice words for the whole layer: ceil(N/Tn)*spanI*spanJ. */
+    long long sliceWords = 0;
+
+    // --- pass splitting (Figure 13(f)) ---
+    std::vector<SchedulePass> passes;
+    /**
+     * True when pass splitting is disabled but the slice does not fit
+     * the kernel store: kernels must then stream from the buffer for
+     * every batch (the ablation arm; not supported by the cycle
+     * simulator).
+     */
+    bool kernelStreaming = false;
+
+    // --- neuron retention ---
+    /** Peak per-column local-store words for one row band. */
+    long long bandWordsPerColumn = 0;
+    /** True when the window is retained across row bands. */
+    bool bandRetention = false;
+
+    int splits() const { return static_cast<int>(passes.size()); }
+
+    /** Total compute cycles (excluding the first-pass fill). */
+    long long
+    computeCycles() const
+    {
+        return mBlocks * rBlocks * cBlocks * stepsTotal;
+    }
+
+    /** First-batch preload fill cycles. */
+    long long
+    fillCycles() const
+    {
+        return passes.empty() ? 0 : passes.front().steps;
+    }
+};
+
+/**
+ * Plan the schedule of @p spec under factors @p t on @p config.
+ * fatal()s when even a single n-group's kernel slice cannot fit the
+ * kernel local store (no workload in the paper hits this).
+ */
+FlexFlowSchedule planSchedule(const ConvLayerSpec &spec,
+                              const UnrollFactors &t,
+                              const FlexFlowConfig &config);
+
+} // namespace flexsim
+
+#endif // FLEXSIM_FLEXFLOW_SCHEDULE_HH

@@ -1,0 +1,166 @@
+#include "mapping2d/mapping2d_array.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "arch/dram_planner.hh"
+#include "arch/unroll.hh"
+#include "common/logging.hh"
+
+namespace flexsim {
+
+Mapping2DArraySim::Mapping2DArraySim(Mapping2DConfig config)
+    : config_(config)
+{
+    flexsim_assert(config_.rows >= 1 && config_.cols >= 1,
+                   "bad 2D-Mapping configuration");
+}
+
+Tensor3<>
+Mapping2DArraySim::runLayer(const ConvLayerSpec &spec,
+                            const Tensor3<> &input,
+                            const Tensor4<> &kernels, LayerResult *result)
+{
+    spec.validate();
+    flexsim_assert(input.maps() == spec.inMaps &&
+                       input.height() == spec.inSize,
+                   "input tensor does not match layer ", spec.name);
+    flexsim_assert(kernels.outMaps() == spec.outMaps &&
+                       kernels.height() == spec.kernel,
+                   "kernel tensor does not match layer ", spec.name);
+
+    const int tr = config_.rows;
+    const int tc = config_.cols;
+    const int s = spec.outSize;
+    const int k = spec.kernel;
+    const int stride = spec.stride;
+
+    LayerResult record;
+    record.layerName = spec.name;
+    record.peCount = config_.peCount();
+    record.macs = spec.macs();
+
+    Tensor3<> output(spec.outMaps, s, s);
+
+    // Per-PE state for the current block.
+    std::vector<Fixed16> regs(static_cast<std::size_t>(tr) * tc);
+    std::vector<Fixed16> row_start(regs.size());
+    std::vector<Acc> accs(regs.size());
+    auto idx = [tc](int r, int c) {
+        return static_cast<std::size_t>(r) * tc + c;
+    };
+
+    for (int r0 = 0; r0 < s; r0 += tr) {
+        const int rows = std::min(tr, s - r0);
+        for (int c0 = 0; c0 < s; c0 += tc) {
+            const int cols = std::min(tc, s - c0);
+            for (int m = 0; m < spec.outMaps; ++m) {
+                std::fill(accs.begin(), accs.end(), Acc{0});
+                // Initial-window fill cycles for the first input map
+                // (later windows preload behind the computation).
+                record.cycles += cols;
+                record.fillCycles += cols;
+
+                for (int n = 0; n < spec.inMaps; ++n) {
+                    auto load = [&](int r, int c, int i, int j) {
+                        ++record.traffic.neuronIn;
+                        return input.at(n, (r0 + r) * stride + i,
+                                        (c0 + c) * stride + j);
+                    };
+
+                    if (stride == 1) {
+                        // Load the (i=0, j=0) window.
+                        for (int r = 0; r < rows; ++r)
+                            for (int c = 0; c < cols; ++c)
+                                regs[idx(r, c)] = load(r, c, 0, 0);
+                    }
+
+                    for (int i = 0; i < k; ++i) {
+                        if (stride == 1) {
+                            if (i > 0) {
+                                // Bottom-to-top shift of the row-start
+                                // values; the bottom row loads fresh
+                                // neurons.
+                                for (int r = 0; r < rows; ++r) {
+                                    for (int c = 0; c < cols; ++c) {
+                                        regs[idx(r, c)] =
+                                            r + 1 < rows
+                                                ? row_start[idx(r + 1,
+                                                                c)]
+                                                : load(r, c, i, 0);
+                                    }
+                                }
+                            }
+                            for (int r = 0; r < rows; ++r)
+                                for (int c = 0; c < cols; ++c)
+                                    row_start[idx(r, c)] =
+                                        regs[idx(r, c)];
+                        }
+                        for (int j = 0; j < k; ++j) {
+                            if (stride == 1 && j > 0) {
+                                // Right-to-left shift; the rightmost
+                                // column loads fresh neurons.
+                                for (int r = 0; r < rows; ++r) {
+                                    for (int c = 0; c < cols; ++c) {
+                                        regs[idx(r, c)] =
+                                            c + 1 < cols
+                                                ? regs[idx(r, c + 1)]
+                                                : load(r, c, i, j);
+                                    }
+                                }
+                            }
+                            const Fixed16 synapse =
+                                kernels.at(m, n, i, j);
+                            ++record.traffic.kernelIn;
+                            for (int r = 0; r < rows; ++r) {
+                                for (int c = 0; c < cols; ++c) {
+                                    Fixed16 neuron;
+                                    if (stride == 1) {
+                                        neuron = regs[idx(r, c)];
+                                        // Dataflow self-check: the
+                                        // shift network must have
+                                        // delivered the right operand.
+                                        flexsim_assert(
+                                            neuron ==
+                                                input.at(n, r0 + r + i,
+                                                         c0 + c + j),
+                                            "2D-Mapping shift network "
+                                            "misalignment at block (",
+                                            r0, ", ", c0, ")");
+                                    } else {
+                                        neuron = load(r, c, i, j);
+                                    }
+                                    accs[idx(r, c)] += mulRaw(
+                                        neuron,
+                                        synapse);
+                                    ++record.activeMacCycles;
+                                    ++record.localStoreReads;
+                                    ++record.localStoreWrites;
+                                }
+                            }
+                            ++record.cycles;
+                        }
+                    }
+                }
+
+                for (int r = 0; r < rows; ++r) {
+                    for (int c = 0; c < cols; ++c) {
+                        output.at(m, r0 + r, c0 + c) =
+                            quantizeAcc(accs[idx(r, c)]);
+                        ++record.traffic.neuronOut;
+                    }
+                }
+            }
+        }
+    }
+
+    record.dram = planDramTraffic(spec, config_.neuronBufWords,
+                                  config_.kernelBufWords)
+                      .traffic;
+
+    if (result != nullptr)
+        *result = record;
+    return output;
+}
+
+} // namespace flexsim

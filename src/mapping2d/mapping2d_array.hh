@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Cycle-level data simulator of the 2D-Mapping (SFMNSS) baseline.
+ *
+ * Every PE owns one output neuron of the current block and carries a
+ * neuron register; per cycle one synapse is broadcast to all PEs and
+ * the neuron registers shift between neighbours (right-to-left on
+ * kernel-column steps, bottom-to-top on kernel-row steps via the
+ * row-start values the FIFOs retain).  Edge PEs load new neurons from
+ * the buffer.  Every register read is self-checked against the
+ * functionally required operand; outputs are bit-exact against
+ * goldenConv() and cycles/traffic match Mapping2DModel exactly.
+ */
+
+#ifndef FLEXSIM_MAPPING2D_MAPPING2D_ARRAY_HH
+#define FLEXSIM_MAPPING2D_MAPPING2D_ARRAY_HH
+
+#include "arch/result.hh"
+#include "nn/layer_spec.hh"
+#include "nn/tensor.hh"
+#include "mapping2d/mapping2d_config.hh"
+
+namespace flexsim {
+
+class Mapping2DArraySim
+{
+  public:
+    explicit Mapping2DArraySim(
+        Mapping2DConfig config = Mapping2DConfig{});
+
+    /** Execute one CONV layer cycle by cycle; see SystolicArraySim. */
+    Tensor3<> runLayer(const ConvLayerSpec &spec, const Tensor3<> &input,
+                       const Tensor4<> &kernels,
+                       LayerResult *result = nullptr);
+
+    const Mapping2DConfig &config() const { return config_; }
+
+  private:
+    Mapping2DConfig config_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_MAPPING2D_MAPPING2D_ARRAY_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Configuration of the 2D-Mapping (SFMNSS) baseline.
+ *
+ * A ShiDiannao-style Tr x Tc PE array: each PE owns one output neuron
+ * of a Tr x Tc block of one output feature map; one synapse is
+ * broadcast per cycle while input neurons shift between neighbour PEs
+ * through small FIFOs.
+ */
+
+#ifndef FLEXSIM_MAPPING2D_MAPPING2D_CONFIG_HH
+#define FLEXSIM_MAPPING2D_MAPPING2D_CONFIG_HH
+
+#include <cstddef>
+
+namespace flexsim {
+
+struct Mapping2DConfig
+{
+    int rows = 16; ///< Tr
+    int cols = 16; ///< Tc
+    std::size_t neuronBufWords = 16 * 1024; ///< 32 KiB
+    std::size_t kernelBufWords = 16 * 1024; ///< 32 KiB
+
+    unsigned
+    peCount() const
+    {
+        return static_cast<unsigned>(rows) * cols;
+    }
+
+    /** D x D output-neuron array, the paper's 16x16 configuration. */
+    static Mapping2DConfig
+    forScale(unsigned d)
+    {
+        Mapping2DConfig config;
+        config.rows = static_cast<int>(d);
+        config.cols = static_cast<int>(d);
+        return config;
+    }
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_MAPPING2D_MAPPING2D_CONFIG_HH

@@ -1,0 +1,89 @@
+#include "mapping2d/mapping2d_model.hh"
+
+#include <algorithm>
+
+#include "arch/dram_planner.hh"
+#include "arch/unroll.hh"
+#include "common/logging.hh"
+
+namespace flexsim {
+
+Mapping2DModel::Mapping2DModel(Mapping2DConfig config) : config_(config)
+{
+    flexsim_assert(config_.rows >= 1 && config_.cols >= 1,
+                   "bad 2D-Mapping configuration");
+}
+
+WordCount
+Mapping2DModel::blockNeuronLoads(const ConvLayerSpec &spec, int rows,
+                                 int cols) const
+{
+    const long long k = spec.kernel;
+    if (spec.stride == 1) {
+        // Initial window, one new column of `rows` neurons per
+        // kernel-column step, one new bottom row of `cols` neurons per
+        // kernel-row step (the single-FIFO shift network re-fetches
+        // the right-edge columns on every kernel row).
+        return static_cast<WordCount>(rows) * cols +
+               static_cast<WordCount>(k) * (k - 1) * rows +
+               static_cast<WordCount>(k - 1) * cols;
+    }
+    // Stride > 1 defeats neighbour shifting; every operand is fetched.
+    return static_cast<WordCount>(rows) * cols * k * k;
+}
+
+LayerResult
+Mapping2DModel::runLayer(const ConvLayerSpec &spec) const
+{
+    spec.validate();
+    const int tr = config_.rows;
+    const int tc = config_.cols;
+    const long long blocks_r = ceilDiv(spec.outSize, tr);
+    const long long blocks_c = ceilDiv(spec.outSize, tc);
+    const long long kk =
+        static_cast<long long>(spec.kernel) * spec.kernel;
+
+    LayerResult result;
+    result.layerName = spec.name;
+    result.peCount = config_.peCount();
+    result.macs = spec.macs();
+    result.activeMacCycles = result.macs;
+
+    Cycle cycles = 0;
+    Cycle fill = 0;
+    for (long long rb = 0; rb < blocks_r; ++rb) {
+        const int rows = std::min<long long>(
+            tr, spec.outSize - rb * tr);
+        for (long long cb = 0; cb < blocks_c; ++cb) {
+            const int cols = std::min<long long>(
+                tc, spec.outSize - cb * tc);
+            for (int m = 0; m < spec.outMaps; ++m) {
+                cycles += static_cast<Cycle>(spec.inMaps) * kk;
+                // Initial window load for the first input map; later
+                // maps preload behind the running computation.
+                cycles += cols;
+                fill += cols;
+                result.traffic.neuronIn +=
+                    static_cast<WordCount>(spec.inMaps) *
+                    blockNeuronLoads(spec, rows, cols);
+            }
+        }
+    }
+    result.cycles = cycles;
+    result.fillCycles = fill;
+
+    result.traffic.kernelIn =
+        static_cast<WordCount>(blocks_r) * blocks_c * spec.outMaps *
+        spec.inMaps * kk;
+    result.traffic.neuronOut = spec.outputWords();
+    // One register read and one shift-network write per MAC.
+    result.localStoreReads = result.macs;
+    result.localStoreWrites = result.macs;
+
+    result.dram = planDramTraffic(spec, config_.neuronBufWords,
+                                  config_.kernelBufWords)
+                      .traffic;
+    return result;
+}
+
+} // namespace flexsim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Analytic timing/traffic model of the 2D-Mapping (SFMNSS) baseline.
+ *
+ * Schedule (paper Section 3.2): the array computes one Tr x Tc block
+ * of one output map at a time, taking N * K * K cycles per block (one
+ * synapse broadcast per cycle).  With stride 1 the neighbour-shift
+ * network reuses input neurons: a block loads the initial window, one
+ * new column per kernel-column step and one new row per kernel-row
+ * step; larger strides defeat the shift network and every operand is
+ * fetched.
+ */
+
+#ifndef FLEXSIM_MAPPING2D_MAPPING2D_MODEL_HH
+#define FLEXSIM_MAPPING2D_MAPPING2D_MODEL_HH
+
+#include "arch/accelerator.hh"
+#include "mapping2d/mapping2d_config.hh"
+
+namespace flexsim {
+
+class Mapping2DModel : public AcceleratorModel
+{
+  public:
+    explicit Mapping2DModel(Mapping2DConfig config = Mapping2DConfig{});
+
+    std::string name() const override { return "2D-Mapping"; }
+    unsigned peCount() const override { return config_.peCount(); }
+    LayerResult runLayer(const ConvLayerSpec &spec) const override;
+
+    const Mapping2DConfig &config() const { return config_; }
+
+    /** Neuron loads for one (block, input map) with @p rows x @p cols
+     * valid PEs. */
+    WordCount blockNeuronLoads(const ConvLayerSpec &spec, int rows,
+                               int cols) const;
+
+  private:
+    Mapping2DConfig config_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_MAPPING2D_MAPPING2D_MODEL_HH

@@ -1,0 +1,47 @@
+#include "mem/external_memory.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+ExternalMemory::ExternalMemory(double words_per_cycle)
+    : wordsPerCycle_(words_per_cycle)
+{
+    flexsim_assert(words_per_cycle > 0.0,
+                   "external memory bandwidth must be positive");
+}
+
+void
+ExternalMemory::recordRead(WordCount words)
+{
+    traffic_.reads += words;
+}
+
+void
+ExternalMemory::recordWrite(WordCount words)
+{
+    traffic_.writes += words;
+}
+
+Cycle
+ExternalMemory::transferCycles(WordCount words) const
+{
+    return static_cast<Cycle>(
+        std::ceil(static_cast<double>(words) / wordsPerCycle_));
+}
+
+Cycle
+ExternalMemory::totalTransferCycles() const
+{
+    return transferCycles(traffic_.total());
+}
+
+void
+ExternalMemory::resetCounters()
+{
+    traffic_ = DramTraffic{};
+}
+
+} // namespace flexsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * External DRAM model.
+ *
+ * For a dataflow study the interesting DRAM property is the access
+ * count (Table 7 reports "DRAM Accesses Per Operation"), so the model
+ * is a word-granular access counter with a simple bandwidth-derived
+ * cycle cost that the layer planner can use to reason about transfer
+ * time.  Energy is attributed by the energy model from the counters.
+ */
+
+#ifndef FLEXSIM_MEM_EXTERNAL_MEMORY_HH
+#define FLEXSIM_MEM_EXTERNAL_MEMORY_HH
+
+#include "common/types.hh"
+#include "mem/traffic.hh"
+
+namespace flexsim {
+
+class ExternalMemory
+{
+  public:
+    /** @param words_per_cycle peak transfer rate in 16-bit words. */
+    explicit ExternalMemory(double words_per_cycle = 4.0);
+
+    /** Record a burst read of @p words. */
+    void recordRead(WordCount words);
+
+    /** Record a burst write of @p words. */
+    void recordWrite(WordCount words);
+
+    const DramTraffic &traffic() const { return traffic_; }
+
+    /** Cycles to transfer @p words at peak bandwidth. */
+    Cycle transferCycles(WordCount words) const;
+
+    /** Cycles to transfer all recorded traffic at peak bandwidth. */
+    Cycle totalTransferCycles() const;
+
+    void resetCounters();
+
+  private:
+    double wordsPerCycle_;
+    DramTraffic traffic_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_MEM_EXTERNAL_MEMORY_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A bounded FIFO with occupancy accounting, used by the Systolic
+ * inter-row links and the 2D-Mapping neuron-reuse buffers.
+ */
+
+#ifndef FLEXSIM_MEM_FIFO_HH
+#define FLEXSIM_MEM_FIFO_HH
+
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace flexsim {
+
+template <typename T>
+class Fifo
+{
+  public:
+    /** @param capacity maximum entries; 0 means unbounded. */
+    explicit Fifo(std::size_t capacity = 0) : capacity_(capacity) {}
+
+    void
+    push(const T &value)
+    {
+        flexsim_assert(capacity_ == 0 || entries_.size() < capacity_,
+                       "push into full FIFO of capacity ", capacity_);
+        entries_.push_back(value);
+        ++pushes_;
+        if (entries_.size() > peak_)
+            peak_ = entries_.size();
+    }
+
+    T
+    pop()
+    {
+        flexsim_assert(!entries_.empty(), "pop from empty FIFO");
+        T value = entries_.front();
+        entries_.pop_front();
+        ++pops_;
+        return value;
+    }
+
+    const T &
+    front() const
+    {
+        flexsim_assert(!entries_.empty(), "front of empty FIFO");
+        return entries_.front();
+    }
+
+    bool empty() const { return entries_.empty(); }
+    bool full() const
+    {
+        return capacity_ != 0 && entries_.size() == capacity_;
+    }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    std::uint64_t pushes() const { return pushes_; }
+    std::uint64_t pops() const { return pops_; }
+    std::size_t peakOccupancy() const { return peak_; }
+
+    void
+    clear()
+    {
+        entries_.clear();
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> entries_;
+    std::uint64_t pushes_ = 0;
+    std::uint64_t pops_ = 0;
+    std::size_t peak_ = 0;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_MEM_FIFO_HH

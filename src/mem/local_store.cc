@@ -1,0 +1,64 @@
+#include "mem/local_store.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+LocalStore::LocalStore(std::size_t words)
+    : data_(words), valid_(words, false)
+{
+    flexsim_assert(words > 0, "local store needs nonzero capacity");
+}
+
+void
+LocalStore::write(std::size_t addr, Fixed16 value)
+{
+    flexsim_assert(addr < data_.size(), "local store write address ",
+                   addr, " exceeds capacity ", data_.size());
+    data_[addr] = value;
+    if (!valid_[addr]) {
+        valid_[addr] = true;
+        ++numValid_;
+        if (numValid_ > peakValid_)
+            peakValid_ = numValid_;
+    }
+    ++writes_;
+}
+
+Fixed16
+LocalStore::read(std::size_t addr)
+{
+    flexsim_assert(addr < data_.size(), "local store read address ",
+                   addr, " exceeds capacity ", data_.size());
+    flexsim_assert(valid_[addr], "local store read of invalid slot ",
+                   addr);
+    ++reads_;
+    return data_[addr];
+}
+
+bool
+LocalStore::valid(std::size_t addr) const
+{
+    flexsim_assert(addr < data_.size(), "local store valid() address ",
+                   addr, " exceeds capacity ", data_.size());
+    return valid_[addr];
+}
+
+void
+LocalStore::invalidateAll()
+{
+    std::fill(valid_.begin(), valid_.end(), false);
+    numValid_ = 0;
+}
+
+void
+LocalStore::resetCounters()
+{
+    reads_ = 0;
+    writes_ = 0;
+    peakValid_ = numValid_;
+}
+
+} // namespace flexsim

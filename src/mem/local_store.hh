@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The per-PE random-access local store of the FlexFlow architecture.
+ *
+ * Unlike the FIFO buffers of 2D-Mapping PEs, FlexFlow local stores are
+ * small randomly addressable memories (Section 4.4): data preloaded
+ * over the CDBs can be read multiple times, in FSM-generated order,
+ * before being replaced.  Reads and writes are counted for the energy
+ * model; capacity overflows are hard errors because they would be
+ * silently wrong hardware.
+ */
+
+#ifndef FLEXSIM_MEM_LOCAL_STORE_HH
+#define FLEXSIM_MEM_LOCAL_STORE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "nn/fixed_point.hh"
+
+namespace flexsim {
+
+class LocalStore
+{
+  public:
+    /** @param words capacity in 16-bit words (256 B => 128 words). */
+    explicit LocalStore(std::size_t words);
+
+    /** Write @p value at @p addr. */
+    void write(std::size_t addr, Fixed16 value);
+
+    /** Read the word at @p addr; the slot must have been written. */
+    Fixed16 read(std::size_t addr);
+
+    /** True when @p addr holds valid data. */
+    bool valid(std::size_t addr) const;
+
+    /** Invalidate all entries (new computation batch). */
+    void invalidateAll();
+
+    std::size_t capacityWords() const { return data_.size(); }
+    WordCount reads() const { return reads_; }
+    WordCount writes() const { return writes_; }
+    std::size_t peakValid() const { return peakValid_; }
+
+    /** Zero the access counters (capacity/contents unchanged). */
+    void resetCounters();
+
+  private:
+    std::vector<Fixed16> data_;
+    std::vector<bool> valid_;
+    std::size_t numValid_ = 0;
+    std::size_t peakValid_ = 0;
+    WordCount reads_ = 0;
+    WordCount writes_ = 0;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_MEM_LOCAL_STORE_HH

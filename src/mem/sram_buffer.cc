@@ -1,0 +1,83 @@
+#include "mem/sram_buffer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+SramBuffer::SramBuffer(std::string name, std::size_t capacity_bytes,
+                       unsigned num_banks)
+    : name_(std::move(name)), numBanks_(num_banks)
+{
+    flexsim_assert(num_banks > 0, "buffer ", name_, " needs banks");
+    const std::size_t total_words = capacity_bytes / bytesPerWord;
+    flexsim_assert(total_words >= num_banks, "buffer ", name_,
+                   " too small for ", num_banks, " banks");
+    wordsPerBank_ = total_words / num_banks;
+    data_.resize(numBanks_ * wordsPerBank_);
+    valid_.assign(data_.size(), false);
+    accessedThisCycle_.assign(numBanks_, 0);
+}
+
+std::size_t
+SramBuffer::flatIndex(unsigned bank, std::size_t index) const
+{
+    flexsim_assert(bank < numBanks_, "buffer ", name_, " bank ", bank,
+                   " out of range [0, ", numBanks_, ")");
+    flexsim_assert(index < wordsPerBank_, "buffer ", name_, " index ",
+                   index, " exceeds bank capacity ", wordsPerBank_);
+    return static_cast<std::size_t>(bank) * wordsPerBank_ + index;
+}
+
+void
+SramBuffer::write(unsigned bank, std::size_t index, Fixed16 value)
+{
+    const std::size_t flat = flatIndex(bank, index);
+    if (accessedThisCycle_[bank]++)
+        ++bankConflicts_;
+    data_[flat] = value;
+    valid_[flat] = true;
+    ++writes_;
+}
+
+Fixed16
+SramBuffer::read(unsigned bank, std::size_t index)
+{
+    const std::size_t flat = flatIndex(bank, index);
+    flexsim_assert(valid_[flat], "buffer ", name_,
+                   " read of invalid word (bank ", bank, ", index ",
+                   index, ")");
+    if (accessedThisCycle_[bank]++)
+        ++bankConflicts_;
+    ++reads_;
+    return data_[flat];
+}
+
+bool
+SramBuffer::valid(unsigned bank, std::size_t index) const
+{
+    return valid_[flatIndex(bank, index)];
+}
+
+void
+SramBuffer::beginCycle()
+{
+    std::fill(accessedThisCycle_.begin(), accessedThisCycle_.end(), 0);
+}
+
+void
+SramBuffer::invalidateAll()
+{
+    std::fill(valid_.begin(), valid_.end(), false);
+}
+
+void
+SramBuffer::resetCounters()
+{
+    reads_ = 0;
+    writes_ = 0;
+    bankConflicts_ = 0;
+}
+
+} // namespace flexsim

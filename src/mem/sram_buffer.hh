@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A banked on-chip SRAM buffer.
+ *
+ * FlexFlow's three buffers (two neuron buffers, one kernel buffer) are
+ * D-banked so that D words can feed the D vertical/horizontal bus lanes
+ * each cycle (paper Section 4.5, IADP).  The buffer stores real words;
+ * address-to-bank mapping is decided by the IADP layout classes in
+ * src/flexflow.  Per-cycle bank-conflict accounting is provided via
+ * beginCycle(): a second access to the same bank within one cycle is a
+ * recorded conflict (it would cost an extra cycle in hardware).
+ */
+
+#ifndef FLEXSIM_MEM_SRAM_BUFFER_HH
+#define FLEXSIM_MEM_SRAM_BUFFER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "nn/fixed_point.hh"
+
+namespace flexsim {
+
+class SramBuffer
+{
+  public:
+    /**
+     * @param name       for diagnostics
+     * @param capacity_bytes  total capacity (e.g. 32 KiB)
+     * @param num_banks  independently addressable banks
+     */
+    SramBuffer(std::string name, std::size_t capacity_bytes,
+               unsigned num_banks);
+
+    /** Write one word to @p bank at bank-local @p index. */
+    void write(unsigned bank, std::size_t index, Fixed16 value);
+
+    /** Read one word from @p bank at bank-local @p index. */
+    Fixed16 read(unsigned bank, std::size_t index);
+
+    /** True when (bank, index) holds valid data. */
+    bool valid(unsigned bank, std::size_t index) const;
+
+    /** Mark a new cycle for bank-conflict accounting. */
+    void beginCycle();
+
+    /** Invalidate all contents (layer switch). */
+    void invalidateAll();
+
+    const std::string &name() const { return name_; }
+    unsigned numBanks() const { return numBanks_; }
+    std::size_t wordsPerBank() const { return wordsPerBank_; }
+    std::size_t capacityWords() const { return numBanks_ * wordsPerBank_; }
+    std::size_t capacityBytes() const
+    {
+        return capacityWords() * bytesPerWord;
+    }
+
+    WordCount reads() const { return reads_; }
+    WordCount writes() const { return writes_; }
+    std::uint64_t bankConflicts() const { return bankConflicts_; }
+
+    /** Zero the access counters. */
+    void resetCounters();
+
+  private:
+    std::size_t flatIndex(unsigned bank, std::size_t index) const;
+
+    std::string name_;
+    unsigned numBanks_;
+    std::size_t wordsPerBank_;
+    std::vector<Fixed16> data_;
+    std::vector<bool> valid_;
+    std::vector<std::uint8_t> accessedThisCycle_;
+    WordCount reads_ = 0;
+    WordCount writes_ = 0;
+    std::uint64_t bankConflicts_ = 0;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_MEM_SRAM_BUFFER_HH

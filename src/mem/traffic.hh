@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Data-transmission accounting between on-chip buffers and the PE
+ * array.
+ *
+ * The paper uses "the volume of data transmission as the proxy of data
+ * reusability" (Section 6.1.3); every simulator and analytic model
+ * fills in a Traffic record with the same category definitions so
+ * Figure 17 can be reproduced uniformly.
+ */
+
+#ifndef FLEXSIM_MEM_TRAFFIC_HH
+#define FLEXSIM_MEM_TRAFFIC_HH
+
+#include "common/types.hh"
+
+namespace flexsim {
+
+/** Word counts moved between on-chip buffers and the computing engine. */
+struct Traffic
+{
+    /** Input neurons delivered to the PE array. */
+    WordCount neuronIn = 0;
+    /** Finished output neurons written back to a neuron buffer. */
+    WordCount neuronOut = 0;
+    /** Synapses delivered to the PE array. */
+    WordCount kernelIn = 0;
+    /** Partial sums read back for re-accumulation. */
+    WordCount psumRead = 0;
+    /** Partial sums written out mid-computation. */
+    WordCount psumWrite = 0;
+
+    WordCount
+    total() const
+    {
+        return neuronIn + neuronOut + kernelIn + psumRead + psumWrite;
+    }
+
+    Traffic &
+    operator+=(const Traffic &other)
+    {
+        neuronIn += other.neuronIn;
+        neuronOut += other.neuronOut;
+        kernelIn += other.kernelIn;
+        psumRead += other.psumRead;
+        psumWrite += other.psumWrite;
+        return *this;
+    }
+
+    bool operator==(const Traffic &) const = default;
+};
+
+/** Word counts moved between external DRAM and the on-chip buffers. */
+struct DramTraffic
+{
+    WordCount reads = 0;
+    WordCount writes = 0;
+
+    WordCount total() const { return reads + writes; }
+
+    DramTraffic &
+    operator+=(const DramTraffic &other)
+    {
+        reads += other.reads;
+        writes += other.writes;
+        return *this;
+    }
+
+    bool operator==(const DramTraffic &) const = default;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_MEM_TRAFFIC_HH

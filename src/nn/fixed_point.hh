@@ -1,0 +1,126 @@
+/**
+ * @file
+ * 16-bit fixed-point arithmetic (Q7.8) as used by all four simulated
+ * accelerators.
+ *
+ * The paper evaluates all baselines with 16-bit fixed-point datapaths.
+ * Every simulator and the golden reference must use bit-identical
+ * arithmetic so cycle-level outputs can be compared exactly:
+ *
+ *  - operands are Q7.8 (1 sign bit, 7 integer bits, 8 fraction bits);
+ *  - a multiply produces a raw Q14.16 product in a wide accumulator;
+ *  - accumulation happens at full Q14.16 precision (modelling the wide
+ *    accumulator register every PE carries);
+ *  - the final value is rounded to nearest and saturated back to Q7.8.
+ */
+
+#ifndef FLEXSIM_NN_FIXED_POINT_HH
+#define FLEXSIM_NN_FIXED_POINT_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace flexsim {
+
+/** Wide accumulator type holding Q14.16 partial sums. */
+using Acc = std::int64_t;
+
+/** A Q7.8 fixed-point value stored in 16 bits. */
+class Fixed16
+{
+  public:
+    /** Number of fractional bits. */
+    static constexpr int fracBits = 8;
+
+    /** Scale factor 2^fracBits. */
+    static constexpr double scale = 256.0;
+
+    constexpr Fixed16() = default;
+
+    /** Build from a raw 16-bit pattern. */
+    static constexpr Fixed16
+    fromRaw(std::int16_t raw)
+    {
+        Fixed16 v;
+        v.raw_ = raw;
+        return v;
+    }
+
+    /** Quantize a double to the nearest representable value. */
+    static Fixed16
+    fromDouble(double value)
+    {
+        double scaled = value * scale;
+        scaled += scaled >= 0.0 ? 0.5 : -0.5; // round half away from zero
+        auto wide = static_cast<std::int64_t>(scaled);
+        return fromRaw(saturate16(wide));
+    }
+
+    constexpr std::int16_t raw() const { return raw_; }
+
+    double toDouble() const { return static_cast<double>(raw_) / scale; }
+
+    constexpr bool operator==(const Fixed16 &) const = default;
+
+    /** Saturating Q7.8 addition. */
+    friend Fixed16
+    operator+(Fixed16 a, Fixed16 b)
+    {
+        return fromRaw(saturate16(static_cast<std::int32_t>(a.raw_) +
+                                  static_cast<std::int32_t>(b.raw_)));
+    }
+
+    /** Saturating Q7.8 subtraction. */
+    friend Fixed16
+    operator-(Fixed16 a, Fixed16 b)
+    {
+        return fromRaw(saturate16(static_cast<std::int32_t>(a.raw_) -
+                                  static_cast<std::int32_t>(b.raw_)));
+    }
+
+    friend constexpr bool
+    operator<(Fixed16 a, Fixed16 b)
+    {
+        return a.raw_ < b.raw_;
+    }
+
+    /** Clamp a wide integer into int16 range. */
+    static constexpr std::int16_t
+    saturate16(std::int64_t wide)
+    {
+        if (wide > std::numeric_limits<std::int16_t>::max())
+            return std::numeric_limits<std::int16_t>::max();
+        if (wide < std::numeric_limits<std::int16_t>::min())
+            return std::numeric_limits<std::int16_t>::min();
+        return static_cast<std::int16_t>(wide);
+    }
+
+  private:
+    std::int16_t raw_ = 0;
+};
+
+/** Raw Q14.16 product of two Q7.8 operands. */
+inline Acc
+mulRaw(Fixed16 a, Fixed16 b)
+{
+    return static_cast<Acc>(a.raw()) * static_cast<Acc>(b.raw());
+}
+
+/**
+ * Round a Q14.16 accumulator to nearest Q7.8 and saturate.  This is the
+ * output-quantization step every PE applies when a finished neuron
+ * leaves the accumulator.
+ */
+inline Fixed16
+quantizeAcc(Acc acc)
+{
+    const Acc half = Acc{1} << (Fixed16::fracBits - 1);
+    const Acc rounded =
+        acc >= 0 ? (acc + half) >> Fixed16::fracBits
+                 : -((-acc + half) >> Fixed16::fracBits);
+    return Fixed16::fromRaw(Fixed16::saturate16(rounded));
+}
+
+} // namespace flexsim
+
+#endif // FLEXSIM_NN_FIXED_POINT_HH

@@ -1,0 +1,252 @@
+#include "nn/golden.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+Tensor3<>
+goldenConv(const Tensor3<> &input, const Tensor4<> &kernels, int stride)
+{
+    flexsim_assert(input.maps() == kernels.inMaps(),
+                   "input maps ", input.maps(), " != kernel inMaps ",
+                   kernels.inMaps());
+    flexsim_assert(kernels.height() == kernels.width(),
+                   "only square kernels are supported");
+    flexsim_assert(stride >= 1, "stride must be positive");
+
+    const int k = kernels.height();
+    const int out_h = (input.height() - k) / stride + 1;
+    const int out_w = (input.width() - k) / stride + 1;
+    flexsim_assert(out_h >= 1 && out_w >= 1,
+                   "kernel larger than input feature map");
+
+    Tensor3<> output(kernels.outMaps(), out_h, out_w);
+    for (int m = 0; m < kernels.outMaps(); ++m) {
+        for (int r = 0; r < out_h; ++r) {
+            for (int c = 0; c < out_w; ++c) {
+                Acc acc = 0;
+                for (int n = 0; n < kernels.inMaps(); ++n) {
+                    for (int i = 0; i < k; ++i) {
+                        for (int j = 0; j < k; ++j) {
+                            acc += mulRaw(
+                                input.at(n, r * stride + i,
+                                         c * stride + j),
+                                kernels.at(m, n, i, j));
+                        }
+                    }
+                }
+                output.at(m, r, c) = quantizeAcc(acc);
+            }
+        }
+    }
+    return output;
+}
+
+Tensor3<>
+goldenConv(const ConvLayerSpec &spec, const Tensor3<> &input,
+           const Tensor4<> &kernels)
+{
+    flexsim_assert(input.maps() == spec.inMaps &&
+                       input.height() == spec.inSize &&
+                       input.width() == spec.inSize,
+                   "input tensor does not match layer ", spec.name);
+    flexsim_assert(kernels.outMaps() == spec.outMaps &&
+                       kernels.inMaps() == spec.inMaps &&
+                       kernels.height() == spec.kernel,
+                   "kernel tensor does not match layer ", spec.name);
+    Tensor3<> out = goldenConv(input, kernels, spec.stride);
+    flexsim_assert(out.height() == spec.outSize,
+                   "layer ", spec.name, " produced ", out.height(),
+                   " rows, spec says ", spec.outSize);
+    return out;
+}
+
+Tensor3<>
+goldenConvIm2col(const Tensor3<> &input, const Tensor4<> &kernels,
+                 int stride)
+{
+    flexsim_assert(input.maps() == kernels.inMaps(),
+                   "input maps mismatch");
+    const int k = kernels.height();
+    const int out_h = (input.height() - k) / stride + 1;
+    const int out_w = (input.width() - k) / stride + 1;
+    const int n_maps = kernels.inMaps();
+    const int patch = n_maps * k * k;
+    const int positions = out_h * out_w;
+
+    // Lower the input into the (positions x patch) column matrix.
+    std::vector<Fixed16> columns(
+        static_cast<std::size_t>(positions) * patch);
+    for (int r = 0; r < out_h; ++r) {
+        for (int c = 0; c < out_w; ++c) {
+            const std::size_t row_base =
+                (static_cast<std::size_t>(r) * out_w + c) * patch;
+            std::size_t idx = row_base;
+            for (int n = 0; n < n_maps; ++n)
+                for (int i = 0; i < k; ++i)
+                    for (int j = 0; j < k; ++j)
+                        columns[idx++] = input.at(
+                            n, r * stride + i, c * stride + j);
+        }
+    }
+
+    // Multiply by the (M x patch) weight matrix.
+    Tensor3<> output(kernels.outMaps(), out_h, out_w);
+    for (int m = 0; m < kernels.outMaps(); ++m) {
+        std::vector<Fixed16> weights(patch);
+        std::size_t widx = 0;
+        for (int n = 0; n < n_maps; ++n)
+            for (int i = 0; i < k; ++i)
+                for (int j = 0; j < k; ++j)
+                    weights[widx++] = kernels.at(m, n, i, j);
+        for (int pos = 0; pos < positions; ++pos) {
+            Acc acc = 0;
+            const std::size_t row_base =
+                static_cast<std::size_t>(pos) * patch;
+            for (int p = 0; p < patch; ++p)
+                acc += mulRaw(columns[row_base + p], weights[p]);
+            output.at(m, pos / out_w, pos % out_w) = quantizeAcc(acc);
+        }
+    }
+    return output;
+}
+
+Tensor3<double>
+goldenConvFloat(const Tensor3<> &input, const Tensor4<> &kernels,
+                int stride)
+{
+    flexsim_assert(input.maps() == kernels.inMaps(),
+                   "input maps mismatch");
+    const int k = kernels.height();
+    const int out_h = (input.height() - k) / stride + 1;
+    const int out_w = (input.width() - k) / stride + 1;
+    Tensor3<double> output(kernels.outMaps(), out_h, out_w);
+    for (int m = 0; m < kernels.outMaps(); ++m) {
+        for (int r = 0; r < out_h; ++r) {
+            for (int c = 0; c < out_w; ++c) {
+                double acc = 0.0;
+                for (int n = 0; n < kernels.inMaps(); ++n) {
+                    for (int i = 0; i < k; ++i) {
+                        for (int j = 0; j < k; ++j) {
+                            acc += input.at(n, r * stride + i,
+                                            c * stride + j)
+                                       .toDouble() *
+                                   kernels.at(m, n, i, j).toDouble();
+                        }
+                    }
+                }
+                output.at(m, r, c) = acc;
+            }
+        }
+    }
+    return output;
+}
+
+QuantizationError
+measureQuantizationError(const Tensor3<> &fixed,
+                         const Tensor3<double> &ref)
+{
+    flexsim_assert(fixed.maps() == ref.maps() &&
+                       fixed.height() == ref.height() &&
+                       fixed.width() == ref.width(),
+                   "error measurement over mismatched tensors");
+    QuantizationError err;
+    double sum_sq = 0.0;
+    std::size_t count = 0;
+    for (int m = 0; m < fixed.maps(); ++m) {
+        for (int r = 0; r < fixed.height(); ++r) {
+            for (int c = 0; c < fixed.width(); ++c) {
+                const double delta =
+                    fixed.at(m, r, c).toDouble() - ref.at(m, r, c);
+                err.maxAbs = std::max(err.maxAbs, std::abs(delta));
+                err.refPeak =
+                    std::max(err.refPeak, std::abs(ref.at(m, r, c)));
+                sum_sq += delta * delta;
+                ++count;
+            }
+        }
+    }
+    if (count > 0)
+        err.rms = std::sqrt(sum_sq / static_cast<double>(count));
+    return err;
+}
+
+Tensor3<>
+cropTopLeft(const Tensor3<> &input, int size)
+{
+    if (input.height() < size || input.width() < size) {
+        fatal("cannot crop a ", input.height(), "x", input.width(),
+              " map to ", size, "x", size);
+    }
+    if (input.height() == size && input.width() == size)
+        return input;
+    Tensor3<> out(input.maps(), size, size);
+    for (int m = 0; m < input.maps(); ++m)
+        for (int r = 0; r < size; ++r)
+            for (int c = 0; c < size; ++c)
+                out.at(m, r, c) = input.at(m, r, c);
+    return out;
+}
+
+int
+pooledSize(int in_size, const PoolLayerSpec &spec)
+{
+    flexsim_assert(spec.window >= 1 && spec.stride >= 1,
+                   "bad pooling spec");
+    if (in_size < spec.window)
+        return 0;
+    return (in_size - spec.window) / spec.stride + 1;
+}
+
+Tensor3<>
+goldenPool(const Tensor3<> &input, const PoolLayerSpec &spec)
+{
+    const int out_h = pooledSize(input.height(), spec);
+    const int out_w = pooledSize(input.width(), spec);
+    Tensor3<> output(input.maps(), out_h, out_w);
+
+    const int window_elems = spec.window * spec.window;
+    for (int m = 0; m < input.maps(); ++m) {
+        for (int r = 0; r < out_h; ++r) {
+            for (int c = 0; c < out_w; ++c) {
+                if (spec.op == PoolOp::Max) {
+                    Fixed16 best = input.at(m, r * spec.stride,
+                                            c * spec.stride);
+                    for (int i = 0; i < spec.window; ++i) {
+                        for (int j = 0; j < spec.window; ++j) {
+                            const Fixed16 v =
+                                input.at(m, r * spec.stride + i,
+                                         c * spec.stride + j);
+                            if (best < v)
+                                best = v;
+                        }
+                    }
+                    output.at(m, r, c) = best;
+                } else {
+                    Acc acc = 0;
+                    for (int i = 0; i < spec.window; ++i) {
+                        for (int j = 0; j < spec.window; ++j) {
+                            acc += input.at(m, r * spec.stride + i,
+                                            c * spec.stride + j)
+                                       .raw();
+                        }
+                    }
+                    // Average with round-to-nearest on the raw sum.
+                    const Acc half = window_elems / 2;
+                    const Acc avg =
+                        acc >= 0 ? (acc + half) / window_elems
+                                 : -((-acc + half) / window_elems);
+                    output.at(m, r, c) =
+                        Fixed16::fromRaw(Fixed16::saturate16(avg));
+                }
+            }
+        }
+    }
+    return output;
+}
+
+} // namespace flexsim

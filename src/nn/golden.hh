@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bit-exact golden reference for CONV and POOL layers.
+ *
+ * Every cycle-level accelerator simulator is verified against these
+ * functions: identical fixed-point semantics (see fixed_point.hh) mean
+ * outputs must match exactly, not approximately.
+ */
+
+#ifndef FLEXSIM_NN_GOLDEN_HH
+#define FLEXSIM_NN_GOLDEN_HH
+
+#include "nn/layer_spec.hh"
+#include "nn/tensor.hh"
+
+namespace flexsim {
+
+/**
+ * Valid (unpadded) convolution.
+ *
+ * @param input   N maps of inSize x inSize
+ * @param kernels M x N kernels of K x K
+ * @param stride  convolution stride
+ * @return M maps of S x S where S = (inSize - K) / stride + 1
+ */
+Tensor3<> goldenConv(const Tensor3<> &input, const Tensor4<> &kernels,
+                     int stride = 1);
+
+/** Convolution checked against an explicit layer spec. */
+Tensor3<> goldenConv(const ConvLayerSpec &spec, const Tensor3<> &input,
+                     const Tensor4<> &kernels);
+
+/**
+ * Independent reference: the same convolution computed by explicit
+ * im2col lowering + matrix multiply (a structurally different
+ * algorithm that must produce bit-identical results; used by the test
+ * suite to cross-check goldenConv itself).
+ */
+Tensor3<> goldenConvIm2col(const Tensor3<> &input,
+                           const Tensor4<> &kernels, int stride = 1);
+
+/**
+ * Double-precision reference convolution over the dequantized
+ * operands.  Used to quantify the Q7.8 datapath's quantization error
+ * (the paper's 16-bit fixed-point design choice); see the
+ * ext_quantization bench.
+ */
+Tensor3<double> goldenConvFloat(const Tensor3<> &input,
+                                const Tensor4<> &kernels,
+                                int stride = 1);
+
+/** Error statistics of the fixed-point result vs the float reference. */
+struct QuantizationError
+{
+    double maxAbs = 0.0;
+    double rms = 0.0;
+    /** Largest |float reference| (for relative-error context). */
+    double refPeak = 0.0;
+};
+
+/** Compare a Q7.8 output tensor against its float reference. */
+QuantizationError measureQuantizationError(const Tensor3<> &fixed,
+                                           const Tensor3<double> &ref);
+
+/**
+ * Pooling over non-overlapping (or strided) windows.  Windows that
+ * would run past the input edge are dropped (floor semantics), matching
+ * the feature-map sizes in the paper's Table 1.
+ */
+Tensor3<> goldenPool(const Tensor3<> &input, const PoolLayerSpec &spec);
+
+/** Output edge size of pooling an @p in_size input. */
+int pooledSize(int in_size, const PoolLayerSpec &spec);
+
+/**
+ * Crop a feature-map stack to @p size x @p size (top-left corner).
+ *
+ * Some published layer tables (e.g. FR and HG in the paper's Table 1)
+ * list a pooled map one row/column larger than the next CONV layer
+ * consumes; the extra border is simply dropped, which is what this
+ * models.  fatal()s if the input is smaller than the target.
+ */
+Tensor3<> cropTopLeft(const Tensor3<> &input, int size);
+
+} // namespace flexsim
+
+#endif // FLEXSIM_NN_GOLDEN_HH

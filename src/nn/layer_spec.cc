@@ -1,0 +1,102 @@
+#include "nn/layer_spec.hh"
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+ConvLayerSpec
+ConvLayerSpec::make(std::string name, int in_maps, int out_maps,
+                    int out_size, int kernel_size, int stride)
+{
+    ConvLayerSpec spec;
+    spec.name = std::move(name);
+    spec.inMaps = in_maps;
+    spec.outMaps = out_maps;
+    spec.outSize = out_size;
+    spec.kernel = kernel_size;
+    spec.stride = stride;
+    spec.inSize = (out_size - 1) * stride + kernel_size;
+    spec.validate();
+    return spec;
+}
+
+ConvLayerSpec
+ConvLayerSpec::fullyConnected(std::string name, int inputs, int outputs)
+{
+    return make(std::move(name), inputs, outputs, 1, 1);
+}
+
+MacCount
+ConvLayerSpec::macs() const
+{
+    return static_cast<MacCount>(outMaps) * inMaps * outSize * outSize *
+           kernel * kernel;
+}
+
+WordCount
+ConvLayerSpec::inputWords() const
+{
+    return static_cast<WordCount>(inMaps) * inSize * inSize;
+}
+
+WordCount
+ConvLayerSpec::kernelWords() const
+{
+    return static_cast<WordCount>(outMaps) * inMaps * kernel * kernel;
+}
+
+WordCount
+ConvLayerSpec::outputWords() const
+{
+    return static_cast<WordCount>(outMaps) * outSize * outSize;
+}
+
+void
+ConvLayerSpec::validate() const
+{
+    if (inMaps < 1 || outMaps < 1)
+        fatal("layer ", name, ": feature map counts must be positive");
+    if (outSize < 1 || kernel < 1 || stride < 1)
+        fatal("layer ", name, ": sizes and stride must be positive");
+    if (inSize < (outSize - 1) * stride + kernel) {
+        fatal("layer ", name, ": input size ", inSize,
+              " too small for ", outSize, " outputs of a ", kernel, "x",
+              kernel, " kernel at stride ", stride);
+    }
+}
+
+MacCount
+NetworkSpec::totalMacs() const
+{
+    MacCount total = 0;
+    for (const Stage &stage : stages)
+        total += stage.conv.macs();
+    return total;
+}
+
+std::optional<int>
+NetworkSpec::nextKernel(std::size_t stage_index) const
+{
+    if (stage_index + 1 < stages.size())
+        return stages[stage_index + 1].conv.kernel;
+    return std::nullopt;
+}
+
+int
+NetworkSpec::poolWindowAfter(std::size_t stage_index) const
+{
+    if (stage_index < stages.size() && stages[stage_index].poolAfter)
+        return stages[stage_index].poolAfter->window;
+    return 1;
+}
+
+void
+NetworkSpec::validate() const
+{
+    if (stages.empty())
+        fatal("network ", name, " has no layers");
+    for (const Stage &stage : stages)
+        stage.conv.validate();
+}
+
+} // namespace flexsim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Declarative CNN layer and network descriptions.
+ *
+ * A ConvLayerSpec captures the four object-related parameters from the
+ * paper's Section 2 (M, N, S, K) plus stride and the derived input map
+ * size.  A NetworkSpec is the ordered layer list of one workload; the
+ * compiler consults the *next* CONV kernel size K' and the intervening
+ * pooling window P when bounding <Tr, Tc> (paper Section 5).
+ */
+
+#ifndef FLEXSIM_NN_LAYER_SPEC_HH
+#define FLEXSIM_NN_LAYER_SPEC_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace flexsim {
+
+/** Pooling operator kinds supported by the 1D pooling unit. */
+enum class PoolOp
+{
+    Max,
+    Average,
+};
+
+/** A subsampling layer between two CONV layers. */
+struct PoolLayerSpec
+{
+    int window = 2; ///< pooling window edge (P in the paper)
+    int stride = 2; ///< subsampling stride
+    PoolOp op = PoolOp::Max;
+};
+
+/**
+ * One convolutional layer.
+ *
+ * The paper's notation:  N input feature maps, M output feature maps,
+ * output maps of size S x S, kernels of size K x K.  inSize is the
+ * input feature-map edge consistent with a valid (unpadded)
+ * convolution: inSize == (S - 1) * stride + K.
+ */
+struct ConvLayerSpec
+{
+    std::string name;  ///< e.g. "C3"
+    int inMaps = 1;    ///< N
+    int outMaps = 1;   ///< M
+    int inSize = 1;    ///< input feature-map edge
+    int outSize = 1;   ///< S
+    int kernel = 1;    ///< K
+    int stride = 1;
+
+    /** Construct with inSize derived for a valid convolution. */
+    static ConvLayerSpec make(std::string name, int in_maps, int out_maps,
+                              int out_size, int kernel_size,
+                              int stride = 1);
+
+    /**
+     * A fully-connected (classifier) layer expressed as a CONV layer
+     * with 1x1 maps and a 1x1 kernel: every accelerator dataflow then
+     * executes it unchanged (N = inputs, M = outputs, S = K = 1).
+     */
+    static ConvLayerSpec fullyConnected(std::string name, int inputs,
+                                        int outputs);
+
+    /** True for layers built by fullyConnected(). */
+    bool isFullyConnected() const
+    {
+        return outSize == 1 && kernel == 1;
+    }
+
+    /** Multiply-accumulates to compute the layer. */
+    MacCount macs() const;
+
+    /** Words in the input feature-map stack. */
+    WordCount inputWords() const;
+
+    /** Words in the kernel stack. */
+    WordCount kernelWords() const;
+
+    /** Words in the output feature-map stack. */
+    WordCount outputWords() const;
+
+    /** Check internal consistency; calls fatal() on bad specs. */
+    void validate() const;
+};
+
+/**
+ * An ordered network description: CONV layers with optional pooling
+ * between them.
+ */
+struct NetworkSpec
+{
+    struct Stage
+    {
+        ConvLayerSpec conv;
+        /** Pooling applied to this layer's output, if any. */
+        std::optional<PoolLayerSpec> poolAfter;
+    };
+
+    std::string name;
+    std::vector<Stage> stages;
+
+    /** Total MACs over all CONV layers. */
+    MacCount totalMacs() const;
+
+    /** Kernel size of the next CONV layer (K'), if any. */
+    std::optional<int> nextKernel(std::size_t stage_index) const;
+
+    /** Pooling window between stage i and i+1 (P; 1 when no pooling). */
+    int poolWindowAfter(std::size_t stage_index) const;
+
+    /** Validate every stage. */
+    void validate() const;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_NN_LAYER_SPEC_HH

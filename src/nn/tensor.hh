@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Dense tensor containers for feature maps and kernel stacks.
+ *
+ * Tensor3 indexes (map, row, col) and stores input/output feature map
+ * stacks; Tensor4 indexes (outMap, inMap, row, col) and stores the
+ * kernels of one CONV layer.  Both are bounds-checked via
+ * flexsim_assert in all build types: the simulators use tensor access
+ * as a dataflow self-check.
+ */
+
+#ifndef FLEXSIM_NN_TENSOR_HH
+#define FLEXSIM_NN_TENSOR_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "nn/fixed_point.hh"
+
+namespace flexsim {
+
+/** A stack of 2D feature maps indexed (map, row, col). */
+template <typename T = Fixed16>
+class Tensor3
+{
+  public:
+    Tensor3() = default;
+
+    Tensor3(int maps, int height, int width)
+        : maps_(maps), height_(height), width_(width),
+          data_(static_cast<std::size_t>(maps) * height * width)
+    {
+        flexsim_assert(maps >= 0 && height >= 0 && width >= 0,
+                       "negative tensor dimension");
+    }
+
+    int maps() const { return maps_; }
+    int height() const { return height_; }
+    int width() const { return width_; }
+    std::size_t size() const { return data_.size(); }
+
+    T &
+    at(int map, int row, int col)
+    {
+        checkBounds(map, row, col);
+        return data_[index(map, row, col)];
+    }
+
+    const T &
+    at(int map, int row, int col) const
+    {
+        checkBounds(map, row, col);
+        return data_[index(map, row, col)];
+    }
+
+    /** In-range predicate for window edges. */
+    bool
+    contains(int map, int row, int col) const
+    {
+        return map >= 0 && map < maps_ && row >= 0 && row < height_ &&
+               col >= 0 && col < width_;
+    }
+
+    bool operator==(const Tensor3 &) const = default;
+
+  private:
+    std::size_t
+    index(int map, int row, int col) const
+    {
+        return (static_cast<std::size_t>(map) * height_ + row) * width_ +
+               col;
+    }
+
+    void
+    checkBounds(int map, int row, int col) const
+    {
+        flexsim_assert(contains(map, row, col), "Tensor3 index (", map,
+                       ", ", row, ", ", col, ") outside (", maps_, ", ",
+                       height_, ", ", width_, ")");
+    }
+
+    int maps_ = 0;
+    int height_ = 0;
+    int width_ = 0;
+    std::vector<T> data_;
+};
+
+/** The kernel stack of one CONV layer, indexed (outMap, inMap, i, j). */
+template <typename T = Fixed16>
+class Tensor4
+{
+  public:
+    Tensor4() = default;
+
+    Tensor4(int outMaps, int inMaps, int height, int width)
+        : outMaps_(outMaps), inMaps_(inMaps), height_(height),
+          width_(width),
+          data_(static_cast<std::size_t>(outMaps) * inMaps * height *
+                width)
+    {
+        flexsim_assert(outMaps >= 0 && inMaps >= 0 && height >= 0 &&
+                           width >= 0,
+                       "negative tensor dimension");
+    }
+
+    int outMaps() const { return outMaps_; }
+    int inMaps() const { return inMaps_; }
+    int height() const { return height_; }
+    int width() const { return width_; }
+    std::size_t size() const { return data_.size(); }
+
+    T &
+    at(int m, int n, int i, int j)
+    {
+        checkBounds(m, n, i, j);
+        return data_[index(m, n, i, j)];
+    }
+
+    const T &
+    at(int m, int n, int i, int j) const
+    {
+        checkBounds(m, n, i, j);
+        return data_[index(m, n, i, j)];
+    }
+
+    bool operator==(const Tensor4 &) const = default;
+
+  private:
+    std::size_t
+    index(int m, int n, int i, int j) const
+    {
+        return ((static_cast<std::size_t>(m) * inMaps_ + n) * height_ +
+                i) *
+                   width_ +
+               j;
+    }
+
+    void
+    checkBounds(int m, int n, int i, int j) const
+    {
+        flexsim_assert(m >= 0 && m < outMaps_ && n >= 0 && n < inMaps_ &&
+                           i >= 0 && i < height_ && j >= 0 && j < width_,
+                       "Tensor4 index (", m, ", ", n, ", ", i, ", ", j,
+                       ") outside (", outMaps_, ", ", inMaps_, ", ",
+                       height_, ", ", width_, ")");
+    }
+
+    int outMaps_ = 0;
+    int inMaps_ = 0;
+    int height_ = 0;
+    int width_ = 0;
+    std::vector<T> data_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_NN_TENSOR_HH

@@ -1,0 +1,49 @@
+#include "nn/tensor_init.hh"
+
+namespace flexsim {
+
+Tensor3<>
+makeRandomInput(Rng &rng, int maps, int size)
+{
+    Tensor3<> t(maps, size, size);
+    for (int m = 0; m < maps; ++m) {
+        for (int r = 0; r < size; ++r) {
+            for (int c = 0; c < size; ++c) {
+                t.at(m, r, c) =
+                    Fixed16::fromDouble(rng.uniformReal(-1.0, 1.0));
+            }
+        }
+    }
+    return t;
+}
+
+Tensor3<>
+makeRandomInput(Rng &rng, const ConvLayerSpec &spec)
+{
+    return makeRandomInput(rng, spec.inMaps, spec.inSize);
+}
+
+Tensor4<>
+makeRandomKernels(Rng &rng, int out_maps, int in_maps, int kernel)
+{
+    Tensor4<> t(out_maps, in_maps, kernel, kernel);
+    for (int m = 0; m < out_maps; ++m) {
+        for (int n = 0; n < in_maps; ++n) {
+            for (int i = 0; i < kernel; ++i) {
+                for (int j = 0; j < kernel; ++j) {
+                    t.at(m, n, i, j) = Fixed16::fromDouble(
+                        rng.uniformReal(-0.25, 0.25));
+                }
+            }
+        }
+    }
+    return t;
+}
+
+Tensor4<>
+makeRandomKernels(Rng &rng, const ConvLayerSpec &spec)
+{
+    return makeRandomKernels(rng, spec.outMaps, spec.inMaps, spec.kernel);
+}
+
+} // namespace flexsim

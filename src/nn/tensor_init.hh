@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Deterministic synthetic tensor generation.
+ *
+ * The paper's experiments use trained networks; utilization, cycle
+ * counts, and traffic are data-independent for dense CONV layers, so we
+ * substitute reproducible pseudo-random contents (see DESIGN.md,
+ * substitution 2).  Values are kept small enough that Q7.8 accumulation
+ * does not saturate, so golden-vs-simulator comparisons stay exact.
+ */
+
+#ifndef FLEXSIM_NN_TENSOR_INIT_HH
+#define FLEXSIM_NN_TENSOR_INIT_HH
+
+#include "common/random.hh"
+#include "nn/layer_spec.hh"
+#include "nn/tensor.hh"
+
+namespace flexsim {
+
+/** A feature-map stack with values drawn uniformly from [-1, 1). */
+Tensor3<> makeRandomInput(Rng &rng, int maps, int size);
+
+/** Input stack sized for @p spec. */
+Tensor3<> makeRandomInput(Rng &rng, const ConvLayerSpec &spec);
+
+/** A kernel stack with values drawn uniformly from [-0.25, 0.25). */
+Tensor4<> makeRandomKernels(Rng &rng, int out_maps, int in_maps,
+                            int kernel);
+
+/** Kernel stack sized for @p spec. */
+Tensor4<> makeRandomKernels(Rng &rng, const ConvLayerSpec &spec);
+
+} // namespace flexsim
+
+#endif // FLEXSIM_NN_TENSOR_INIT_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The six practical CNN workloads of the paper's Table 1.
+ *
+ * Only the CONV layers the paper lists are encoded (the paper's
+ * evaluation covers exactly those); pooling layers between CONV stages
+ * are reconstructed from the published inter-layer feature-map sizes
+ * and drive both the pooling-unit simulation and the compiler's
+ * <Tr, Tc> bound (P * K').
+ */
+
+#ifndef FLEXSIM_NN_WORKLOADS_HH
+#define FLEXSIM_NN_WORKLOADS_HH
+
+#include <vector>
+
+#include "nn/layer_spec.hh"
+
+namespace flexsim {
+namespace workloads {
+
+/** PV: pedestrian and vehicle recognition [28]. */
+NetworkSpec pv();
+
+/** FR: face recognition [5]. */
+NetworkSpec fr();
+
+/** LeNet-5 handwriting recognition [16]. */
+NetworkSpec lenet5();
+
+/**
+ * LeNet-5 including its classifier tail (C5 as a 5x5 CONV producing
+ * 120 1x1 maps, then the F6 and OUTPUT fully-connected layers).  The
+ * paper's evaluation covers only the Table-1 CONV layers; this
+ * variant exercises the accelerator's FC path end to end.
+ */
+NetworkSpec lenet5WithClassifier();
+
+/** HG: hand gesture recognition [17]. */
+NetworkSpec hg();
+
+/** AlexNet [13] (one of the two identical halves, as in the paper). */
+NetworkSpec alexnet();
+
+/** VGG-11 [25] (the CONV layers the paper lists). */
+NetworkSpec vgg11();
+
+/** All six, in the paper's order: PV, FR, LeNet-5, HG, AlexNet, VGG. */
+std::vector<NetworkSpec> all();
+
+/** The four small workloads used by Tables 3 and 4. */
+std::vector<NetworkSpec> smallFour();
+
+} // namespace workloads
+} // namespace flexsim
+
+#endif // FLEXSIM_NN_WORKLOADS_HH

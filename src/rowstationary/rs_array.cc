@@ -1,0 +1,133 @@
+#include "rowstationary/rs_array.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "arch/dram_planner.hh"
+#include "arch/unroll.hh"
+#include "common/logging.hh"
+#include "rowstationary/rs_model.hh"
+
+namespace flexsim {
+
+RowStationaryArraySim::RowStationaryArraySim(RowStationaryConfig config)
+    : config_(config)
+{
+    flexsim_assert(config_.physRows >= 1 && config_.physCols >= 1,
+                   "bad row-stationary configuration");
+}
+
+Tensor3<>
+RowStationaryArraySim::runLayer(const ConvLayerSpec &spec,
+                                const Tensor3<> &input,
+                                const Tensor4<> &kernels,
+                                LayerResult *result)
+{
+    spec.validate();
+    flexsim_assert(input.maps() == spec.inMaps &&
+                       input.height() == spec.inSize,
+                   "input tensor does not match layer ", spec.name);
+    flexsim_assert(kernels.outMaps() == spec.outMaps &&
+                       kernels.height() == spec.kernel,
+                   "kernel tensor does not match layer ", spec.name);
+
+    const RowStationaryModel model(config_);
+    const int k = spec.kernel;
+    const int s = spec.outSize;
+    const int stride = spec.stride;
+    const int e = model.stripWidth(spec);
+    const int row_groups = static_cast<int>(
+        ceilDiv(k, config_.physRows));
+
+    LayerResult record;
+    record.layerName = spec.name;
+    record.peCount = config_.peCount();
+    record.macs = spec.macs();
+
+    std::vector<Acc> acc(
+        static_cast<std::size_t>(spec.outMaps) * s * s, 0);
+
+    for (int g = 0; g < row_groups; ++g) {
+        const int i0 = g * config_.physRows;
+        const int kg = std::min(config_.physRows, k - i0);
+        const int conc = model.concurrentSets(kg);
+        for (int m0 = 0; m0 < spec.outMaps; m0 += conc) {
+            const int m_valid = std::min(conc, spec.outMaps - m0);
+            for (int n = 0; n < spec.inMaps; ++n) {
+                // The filter rows of this group become stationary in
+                // the PE spads of each concurrent set: kg rows of K
+                // taps per (m, n), retained across the strips.
+                record.traffic.kernelIn +=
+                    static_cast<WordCount>(m_valid) * kg * k;
+                for (int strip = 0; strip * e < s; ++strip) {
+                    const int rows_valid =
+                        std::min(e, s - strip * e);
+                    // Diagonal input-row delivery, shared by the
+                    // concurrent sets: `span` input rows of the full
+                    // map width.
+                    const int span = (rows_valid - 1) * stride + kg;
+                    record.traffic.neuronIn +=
+                        static_cast<WordCount>(span) * spec.inSize;
+
+                    // Every PE slides its K-tap filter row across its
+                    // input row: one MAC per cycle, s * k cycles for
+                    // the whole unit; the concurrent sets process
+                    // their own output maps in lockstep.
+                    for (int mo = 0; mo < m_valid; ++mo) {
+                        const int m = m0 + mo;
+                        for (int el = 0; el < rows_valid; ++el) {
+                            const int r = strip * e + el;
+                            for (int i = 0; i < kg; ++i) {
+                                const int x = r * stride + i0 + i;
+                                for (int c = 0; c < s; ++c) {
+                                    Acc pe_acc = 0;
+                                    for (int j = 0; j < k; ++j) {
+                                        pe_acc += mulRaw(
+                                            input.at(n, x,
+                                                     c * stride + j),
+                                            kernels.at(m, n, i0 + i,
+                                                       j));
+                                        ++record.activeMacCycles;
+                                        record.localStoreReads += 3;
+                                        ++record.localStoreWrites;
+                                    }
+                                    acc[(static_cast<std::size_t>(m) *
+                                             s +
+                                         r) *
+                                            s +
+                                        c] += pe_acc;
+                                }
+                            }
+                        }
+                    }
+                    record.cycles += static_cast<Cycle>(s) * k;
+                }
+            }
+        }
+    }
+
+    // Partial sums cross the output buffer only between kernel-row
+    // groups.
+    const WordCount out_words = spec.outputWords();
+    record.traffic.neuronOut = out_words;
+    record.traffic.psumWrite = out_words * (row_groups - 1);
+    record.traffic.psumRead = out_words * (row_groups - 1);
+
+    record.dram = planDramTraffic(spec, config_.neuronBufWords,
+                                  config_.kernelBufWords)
+                      .traffic;
+
+    if (result != nullptr)
+        *result = record;
+
+    Tensor3<> output(spec.outMaps, s, s);
+    for (int m = 0; m < spec.outMaps; ++m)
+        for (int r = 0; r < s; ++r)
+            for (int c = 0; c < s; ++c)
+                output.at(m, r, c) = quantizeAcc(
+                    acc[(static_cast<std::size_t>(m) * s + r) * s +
+                        c]);
+    return output;
+}
+
+} // namespace flexsim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Cycle-level data simulator of the Row-Stationary extension
+ * baseline.
+ *
+ * Simulates the 1-D convolution primitives directly: for each
+ * (output-map group, kernel-row group, strip, input map) unit, every
+ * PE (filter row i, output row e) slides its stationary filter row
+ * over its input row one MAC per cycle, and the set's column reduces
+ * the partial rows into the output row.  Outputs are bit-exact
+ * against goldenConv(); cycles and traffic match RowStationaryModel
+ * exactly.
+ */
+
+#ifndef FLEXSIM_ROWSTATIONARY_RS_ARRAY_HH
+#define FLEXSIM_ROWSTATIONARY_RS_ARRAY_HH
+
+#include "arch/result.hh"
+#include "nn/layer_spec.hh"
+#include "nn/tensor.hh"
+#include "rowstationary/rs_config.hh"
+
+namespace flexsim {
+
+class RowStationaryArraySim
+{
+  public:
+    explicit RowStationaryArraySim(
+        RowStationaryConfig config = RowStationaryConfig{});
+
+    /** Execute one CONV layer cycle by cycle; see SystolicArraySim. */
+    Tensor3<> runLayer(const ConvLayerSpec &spec, const Tensor3<> &input,
+                       const Tensor4<> &kernels,
+                       LayerResult *result = nullptr);
+
+    const RowStationaryConfig &config() const { return config_; }
+
+  private:
+    RowStationaryConfig config_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_ROWSTATIONARY_RS_ARRAY_HH

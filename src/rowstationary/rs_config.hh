@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Configuration of the Row-Stationary (Eyeriss-style) extension
+ * baseline.
+ *
+ * The paper's related work (Section 7) discusses Eyeriss's row
+ * stationary dataflow as the closest contemporary design; this module
+ * adds it as a fifth architecture beyond the paper's three baselines
+ * so the Table-7 comparison can be made quantitative.  The model
+ * follows the published RS mapping at the 1-D-convolution-primitive
+ * level: each PE convolves one filter row with one input row,
+ * producing one partial output row; a K-row PE set accumulates
+ * vertically into one output row; sets replicate vertically across
+ * output maps and output-row strips fold horizontally.
+ */
+
+#ifndef FLEXSIM_ROWSTATIONARY_RS_CONFIG_HH
+#define FLEXSIM_ROWSTATIONARY_RS_CONFIG_HH
+
+#include <cstddef>
+
+namespace flexsim {
+
+struct RowStationaryConfig
+{
+    /** Physical PE rows (Eyeriss: 12). */
+    int physRows = 12;
+    /** Physical PE columns (Eyeriss: 14). */
+    int physCols = 14;
+    std::size_t neuronBufWords = 16 * 1024; ///< 32 KiB
+    std::size_t kernelBufWords = 16 * 1024; ///< 32 KiB
+
+    unsigned
+    peCount() const
+    {
+        return static_cast<unsigned>(physRows) * physCols;
+    }
+
+    /** Eyeriss's published 12x14 array. */
+    static RowStationaryConfig
+    eyeriss()
+    {
+        return RowStationaryConfig{};
+    }
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_ROWSTATIONARY_RS_CONFIG_HH

@@ -1,0 +1,102 @@
+#include "rowstationary/rs_model.hh"
+
+#include <algorithm>
+
+#include "arch/dram_planner.hh"
+#include "arch/unroll.hh"
+#include "common/logging.hh"
+
+namespace flexsim {
+
+RowStationaryModel::RowStationaryModel(RowStationaryConfig config)
+    : config_(config)
+{
+    flexsim_assert(config_.physRows >= 1 && config_.physCols >= 1,
+                   "bad row-stationary configuration");
+}
+
+int
+RowStationaryModel::stripWidth(const ConvLayerSpec &spec) const
+{
+    return std::min(spec.outSize, config_.physCols);
+}
+
+int
+RowStationaryModel::concurrentSets(int kg) const
+{
+    return std::max(1, config_.physRows / kg);
+}
+
+LayerResult
+RowStationaryModel::runLayer(const ConvLayerSpec &spec) const
+{
+    spec.validate();
+    const int k = spec.kernel;
+    const int s = spec.outSize;
+    const int e = stripWidth(spec);
+    const long long strips = ceilDiv(s, e);
+    const int row_groups = static_cast<int>(
+        ceilDiv(k, config_.physRows));
+
+    LayerResult result;
+    result.layerName = spec.name;
+    result.peCount = config_.peCount();
+    result.macs = spec.macs();
+    result.activeMacCycles = result.macs;
+
+    Cycle cycles = 0;
+    for (int g = 0; g < row_groups; ++g) {
+        const int kg = std::min(config_.physRows,
+                                k - g * config_.physRows);
+        const long long m_groups =
+            ceilDiv(spec.outMaps, concurrentSets(kg));
+        // One unit: each PE runs the 1-D convolution of its
+        // stationary K-tap filter row over its input row, producing
+        // one S-element output row in s * k cycles (one MAC/cycle).
+        (void)kg;
+        cycles += static_cast<Cycle>(m_groups) * spec.inMaps * strips *
+                  static_cast<Cycle>(s) * k;
+    }
+    result.cycles = cycles;
+    result.fillCycles = 0;
+
+    // Input rows are delivered once per (map-group, strip, input map)
+    // and shared diagonally by the concurrent sets.
+    WordCount neuron_in = 0;
+    for (int g = 0; g < row_groups; ++g) {
+        const int kg = std::min(config_.physRows,
+                                k - g * config_.physRows);
+        const long long m_groups =
+            ceilDiv(spec.outMaps, concurrentSets(kg));
+        for (long long strip = 0; strip < strips; ++strip) {
+            const int rows_valid = static_cast<int>(std::min<long long>(
+                e, s - strip * e));
+            const int span = (rows_valid - 1) * spec.stride + kg;
+            neuron_in += static_cast<WordCount>(m_groups) *
+                         spec.inMaps * span * spec.inSize;
+        }
+    }
+    result.traffic.neuronIn = neuron_in;
+
+    // Filter rows stay stationary in the spads across strips; each
+    // synapse is loaded once per (m, n).
+    result.traffic.kernelIn = spec.kernelWords();
+
+    // Partial sums only cross the buffer when the kernel folds.
+    const WordCount out_words = spec.outputWords();
+    result.traffic.neuronOut = out_words;
+    result.traffic.psumWrite = out_words * (row_groups - 1);
+    result.traffic.psumRead = out_words * (row_groups - 1);
+
+    // Per MAC: filter spad read, input spad read, psum spad
+    // read+write.
+    result.localStoreReads = 3 * result.macs;
+    result.localStoreWrites = result.macs;
+
+    result.dram = planDramTraffic(spec, config_.neuronBufWords,
+                                  config_.kernelBufWords)
+                      .traffic;
+    return result;
+}
+
+} // namespace flexsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Analytic timing/traffic model of the Row-Stationary extension
+ * baseline (see rs_config.hh).
+ *
+ * Schedule: a logical PE set is Kg rows (one filter-row group) by E
+ * columns (E output rows, E = min(S, physCols)); each PE performs the
+ * 1-D convolution of its filter row with its input row, one MAC per
+ * cycle, so one (output map, input map, strip, row group) unit takes
+ * S*K... more precisely S*Kg cycles for a group of Kg filter rows.
+ * floor(physRows / Kg) sets run concurrently on different output maps
+ * and share the diagonal input-row broadcast.  Filter rows stay
+ * stationary in the PE spads; input rows are delivered once per
+ * (map-group, strip, input map); partial sums cross the output buffer
+ * only when the kernel folds into more than one row group.
+ */
+
+#ifndef FLEXSIM_ROWSTATIONARY_RS_MODEL_HH
+#define FLEXSIM_ROWSTATIONARY_RS_MODEL_HH
+
+#include "arch/accelerator.hh"
+#include "rowstationary/rs_config.hh"
+
+namespace flexsim {
+
+class RowStationaryModel : public AcceleratorModel
+{
+  public:
+    explicit RowStationaryModel(
+        RowStationaryConfig config = RowStationaryConfig{});
+
+    std::string name() const override { return "Row-Stationary"; }
+    unsigned peCount() const override { return config_.peCount(); }
+    LayerResult runLayer(const ConvLayerSpec &spec) const override;
+
+    const RowStationaryConfig &config() const { return config_; }
+
+    /** Output rows processed per strip. */
+    int stripWidth(const ConvLayerSpec &spec) const;
+
+    /** Concurrent PE sets for a kernel-row group of height @p kg. */
+    int concurrentSets(int kg) const;
+
+  private:
+    RowStationaryConfig config_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_ROWSTATIONARY_RS_MODEL_HH

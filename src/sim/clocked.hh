@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Interface for cycle-stepped hardware components.
+ *
+ * flexsim uses a synchronous two-phase cycle model: every cycle the
+ * simulator calls evaluate() on all components (combinational work,
+ * reading the state published in the previous cycle) and then commit()
+ * (latch next-cycle state).  This avoids intra-cycle ordering hazards
+ * between components without an event queue.
+ */
+
+#ifndef FLEXSIM_SIM_CLOCKED_HH
+#define FLEXSIM_SIM_CLOCKED_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace flexsim {
+
+/** A component driven by the global clock. */
+class Clocked
+{
+  public:
+    explicit Clocked(std::string name) : name_(std::move(name)) {}
+    virtual ~Clocked() = default;
+
+    Clocked(const Clocked &) = delete;
+    Clocked &operator=(const Clocked &) = delete;
+
+    /** Combinational phase: read previous state, compute next. */
+    virtual void evaluate(Cycle cycle) = 0;
+
+    /** Sequential phase: latch the state computed by evaluate(). */
+    virtual void commit(Cycle cycle) = 0;
+
+    /** True when this component has no pending work. */
+    virtual bool idle() const = 0;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_SIM_CLOCKED_HH

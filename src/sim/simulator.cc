@@ -1,0 +1,54 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace flexsim {
+
+void
+CycleSimulator::add(Clocked *component)
+{
+    flexsim_assert(component != nullptr, "cannot register null component");
+    components_.push_back(component);
+}
+
+void
+CycleSimulator::step()
+{
+    for (Clocked *c : components_)
+        c->evaluate(now_);
+    for (Clocked *c : components_)
+        c->commit(now_);
+    ++now_;
+}
+
+void
+CycleSimulator::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        step();
+}
+
+Cycle
+CycleSimulator::runUntilIdle(Cycle maxCycles)
+{
+    Cycle executed = 0;
+    while (executed < maxCycles && !allIdle()) {
+        step();
+        ++executed;
+    }
+    if (executed == maxCycles && !allIdle())
+        warn("simulation did not quiesce within ", maxCycles, " cycles");
+    return executed;
+}
+
+bool
+CycleSimulator::allIdle() const
+{
+    for (const Clocked *c : components_) {
+        if (!c->idle())
+            return false;
+    }
+    return true;
+}
+
+} // namespace flexsim

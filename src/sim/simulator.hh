@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The cycle-stepped simulation driver.
+ */
+
+#ifndef FLEXSIM_SIM_SIMULATOR_HH
+#define FLEXSIM_SIM_SIMULATOR_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/clocked.hh"
+
+namespace flexsim {
+
+/**
+ * Steps a set of Clocked components in lockstep.  Components are
+ * evaluated in registration order, then committed in registration
+ * order, once per cycle.
+ */
+class CycleSimulator
+{
+  public:
+    /** Register a component; not owned. */
+    void add(Clocked *component);
+
+    /** Advance one cycle. */
+    void step();
+
+    /** Advance @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Run until every component reports idle() or @p maxCycles elapse.
+     * @return the number of cycles actually executed.
+     */
+    Cycle runUntilIdle(Cycle maxCycles);
+
+    /** True when every registered component is idle. */
+    bool allIdle() const;
+
+    /** Cycles executed since construction. */
+    Cycle now() const { return now_; }
+
+  private:
+    std::vector<Clocked *> components_;
+    Cycle now_ = 0;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_SIM_SIMULATOR_HH

@@ -1,0 +1,154 @@
+#include "stats/stats.hh"
+
+#include <iomanip>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace flexsim {
+namespace statistics {
+
+Scalar &
+Scalar::init(StatGroup *group, const std::string &name,
+             const std::string &desc)
+{
+    flexsim_assert(group != nullptr, "scalar '", name, "' needs a group");
+    flexsim_assert(!name.empty(), "scalar stats must be named");
+    name_ = name;
+    desc_ = desc;
+    group->addScalar(this);
+    return *this;
+}
+
+Formula &
+Formula::init(StatGroup *group, const std::string &name,
+              const std::string &desc, Eval eval)
+{
+    flexsim_assert(group != nullptr, "formula '", name, "' needs a group");
+    flexsim_assert(!name.empty(), "formula stats must be named");
+    name_ = name;
+    desc_ = desc;
+    eval_ = std::move(eval);
+    group->addFormula(this);
+    return *this;
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+}
+
+StatGroup::StatGroup(StatGroup *parent, std::string name)
+    : name_(std::move(name)), parent_(parent)
+{
+    flexsim_assert(parent_ != nullptr, "child StatGroup needs a parent");
+    parent_->addChild(this);
+}
+
+std::string
+StatGroup::path() const
+{
+    if (parent_ == nullptr)
+        return name_;
+    return parent_->path() + "." + name_;
+}
+
+void
+StatGroup::addScalar(Scalar *stat)
+{
+    scalars_.push_back(stat);
+}
+
+void
+StatGroup::addFormula(Formula *stat)
+{
+    formulas_.push_back(stat);
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    const std::string prefix = path() + ".";
+    for (const Scalar *s : scalars_) {
+        os << std::left << std::setw(48) << (prefix + s->name())
+           << std::right << std::setw(16) << s->value();
+        if (!s->desc().empty())
+            os << "  # " << s->desc();
+        os << "\n";
+    }
+    for (const Formula *f : formulas_) {
+        os << std::left << std::setw(48) << (prefix + f->name())
+           << std::right << std::setw(16) << f->value();
+        if (!f->desc().empty())
+            os << "  # " << f->desc();
+        os << "\n";
+    }
+    for (const StatGroup *child : children_)
+        child->dump(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Scalar *s : scalars_)
+        s->reset();
+    for (StatGroup *child : children_)
+        child->resetAll();
+}
+
+const Scalar *
+StatGroup::findScalar(const std::string &dotted) const
+{
+    const auto parts = split(dotted, '.');
+    const StatGroup *group = this;
+    for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+        const StatGroup *next = nullptr;
+        for (const StatGroup *child : group->children_) {
+            if (child->name() == parts[i]) {
+                next = child;
+                break;
+            }
+        }
+        if (next == nullptr)
+            return nullptr;
+        group = next;
+    }
+    for (const Scalar *s : group->scalars_) {
+        if (s->name() == parts.back())
+            return s;
+    }
+    return nullptr;
+}
+
+const Formula *
+StatGroup::findFormula(const std::string &dotted) const
+{
+    const auto parts = split(dotted, '.');
+    const StatGroup *group = this;
+    for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+        const StatGroup *next = nullptr;
+        for (const StatGroup *child : group->children_) {
+            if (child->name() == parts[i]) {
+                next = child;
+                break;
+            }
+        }
+        if (next == nullptr)
+            return nullptr;
+        group = next;
+    }
+    for (const Formula *f : group->formulas_) {
+        if (f->name() == parts.back())
+            return f;
+    }
+    return nullptr;
+}
+
+} // namespace statistics
+} // namespace flexsim

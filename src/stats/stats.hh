@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Components own a StatGroup and register named Scalar counters and
+ * Formula statistics against it.  At the end of a simulation the group
+ * renders a name/value/description report.  Formulas are evaluated
+ * lazily at dump time so they always reflect final counter values.
+ */
+
+#ifndef FLEXSIM_STATS_STATS_HH
+#define FLEXSIM_STATS_STATS_HH
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace flexsim {
+namespace statistics {
+
+class StatGroup;
+
+/** A named scalar counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    /** Register this scalar with @p group under @p name. */
+    Scalar &init(StatGroup *group, const std::string &name,
+                 const std::string &desc);
+
+    Scalar &operator+=(double delta) { value_ += delta; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Reset the counter to zero. */
+    void reset() { value_ = 0.0; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double value_ = 0.0;
+};
+
+/** A derived statistic evaluated at dump time. */
+class Formula
+{
+  public:
+    using Eval = std::function<double()>;
+
+    Formula() = default;
+
+    /** Register this formula with @p group under @p name. */
+    Formula &init(StatGroup *group, const std::string &name,
+                  const std::string &desc, Eval eval);
+
+    double value() const { return eval_ ? eval_() : 0.0; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    Eval eval_;
+};
+
+/**
+ * A named collection of statistics.  Groups can nest; dump() renders
+ * the whole subtree with dotted names (group.sub.stat).
+ */
+class StatGroup
+{
+  public:
+    /** Root group. */
+    explicit StatGroup(std::string name);
+
+    /** Child group registered under @p parent. */
+    StatGroup(StatGroup *parent, std::string name);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Fully dotted path from the root. */
+    std::string path() const;
+
+    /** Write a "name value  # desc" report for this subtree. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every scalar in this subtree. */
+    void resetAll();
+
+    /** Look up a scalar by dotted path relative to this group. */
+    const Scalar *findScalar(const std::string &dotted) const;
+
+    /** Look up a formula by dotted path relative to this group. */
+    const Formula *findFormula(const std::string &dotted) const;
+
+  private:
+    friend class Scalar;
+    friend class Formula;
+
+    void addScalar(Scalar *stat);
+    void addFormula(Formula *stat);
+    void addChild(StatGroup *child);
+
+    std::string name_;
+    StatGroup *parent_ = nullptr;
+    std::vector<Scalar *> scalars_;
+    std::vector<Formula *> formulas_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace statistics
+} // namespace flexsim
+
+#endif // FLEXSIM_STATS_STATS_HH

@@ -1,0 +1,198 @@
+#include "systolic/systolic_array.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "arch/dram_planner.hh"
+#include "arch/unroll.hh"
+#include "common/logging.hh"
+
+namespace flexsim {
+
+SystolicArraySim::SystolicArraySim(SystolicConfig config)
+    : config_(config)
+{
+    flexsim_assert(config_.arrayEdge >= 1 && config_.numArrays >= 1,
+                   "bad systolic configuration");
+}
+
+SystolicArraySim::PassStats
+SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
+                               const Tensor3<> &input,
+                               const Tensor4<> &kernels, int m, int n,
+                               int i0, int j0, std::vector<Acc> &accs)
+{
+    const int ka = config_.arrayEdge;
+    const int w = input.width();
+    const int h = input.height();
+    const int k = spec.kernel;
+    const int s = spec.outSize;
+    const int stride = spec.stride;
+    const int ti_span = std::min(ka, k - i0);
+    const int tj_span = std::min(ka, k - j0);
+    const int depth = (ka - 1) * w + ka;
+
+    PassStats stats;
+    stats.kernelLoads =
+        static_cast<WordCount>(ti_span) * tj_span;
+
+    std::vector<Token> chain(depth);
+    const int stream = h * w;
+
+    for (int t = 0; t < stream + depth; ++t) {
+        const bool have_input = t < stream;
+        Fixed16 broadcast;
+        if (have_input)
+            broadcast = input.at(n, t / w, t % w);
+
+        // Sequential phase first: emit the tail token, shift the
+        // chain, and inject this cycle's new token at the head.
+        const Token leaving = chain[depth - 1];
+        if (leaving.valid) {
+            accs[(static_cast<std::size_t>(m) * s + leaving.outR) * s +
+                 leaving.outC] += leaving.acc;
+            ++stats.validEmissions;
+        }
+        for (int p = depth - 1; p > 0; --p)
+            chain[p] = chain[p - 1];
+        chain[0] = Token{};
+        if (have_input) {
+            const int a = t / w;
+            const int b = t % w;
+            const int orig_r = a - i0;
+            const int orig_c = b - j0;
+            if (orig_r >= 0 && orig_c >= 0 && orig_r % stride == 0 &&
+                orig_c % stride == 0 && orig_r / stride < s &&
+                orig_c / stride < s) {
+                chain[0].valid = true;
+                chain[0].outR = orig_r / stride;
+                chain[0].outC = orig_c / stride;
+            }
+        }
+
+        // Combinational phase: every PE multiplies the broadcast
+        // neuron by its resident synapse and accumulates into the
+        // token currently in its stage.
+        if (have_input) {
+            for (int i = 0; i < ti_span; ++i) {
+                for (int j = 0; j < tj_span; ++j) {
+                    Token &token = chain[i * w + j];
+                    if (!token.valid)
+                        continue;
+                    // Self-check: the broadcast must be the operand
+                    // this token needs at this stage.
+                    flexsim_assert(
+                        t / w == token.outR * stride + i0 + i &&
+                            t % w == token.outC * stride + j0 + j,
+                        "systolic pipeline misalignment at cycle ", t);
+                    token.acc +=
+                        mulRaw(broadcast, kernels.at(m, n, i0 + i,
+                                                     j0 + j));
+                    ++stats.activeMacs;
+                }
+            }
+        }
+    }
+    return stats;
+}
+
+Tensor3<>
+SystolicArraySim::runLayer(const ConvLayerSpec &spec,
+                           const Tensor3<> &input,
+                           const Tensor4<> &kernels, LayerResult *result)
+{
+    spec.validate();
+    flexsim_assert(input.maps() == spec.inMaps &&
+                       input.height() == spec.inSize,
+                   "input tensor does not match layer ", spec.name);
+    flexsim_assert(kernels.outMaps() == spec.outMaps &&
+                       kernels.height() == spec.kernel,
+                   "kernel tensor does not match layer ", spec.name);
+    flexsim_assert(spec.inSize >= config_.arrayEdge,
+                   "input map edge ", spec.inSize,
+                   " smaller than the systolic array edge ",
+                   config_.arrayEdge,
+                   "; configure a smaller array for layer ", spec.name);
+
+    const int ka = config_.arrayEdge;
+    const unsigned arrays = config_.numArrays;
+    const int s = spec.outSize;
+    const long long stream =
+        static_cast<long long>(spec.inSize) * spec.inSize;
+    const Cycle depth =
+        static_cast<Cycle>(ka - 1) * spec.inSize + ka;
+
+    std::vector<Acc> accs(
+        static_cast<std::size_t>(spec.outMaps) * s * s, 0);
+
+    LayerResult record;
+    record.layerName = spec.name;
+    record.peCount = config_.peCount();
+    record.macs = spec.macs();
+
+    const long long slots = ceilDiv(spec.outMaps, arrays);
+    std::uint64_t emissions = 0;
+
+    for (long long slot = 0; slot < slots; ++slot) {
+        for (int n = 0; n < spec.inMaps; ++n) {
+            for (int i0 = 0; i0 < spec.kernel; i0 += ka) {
+                for (int j0 = 0; j0 < spec.kernel; j0 += ka) {
+                    // All arrays run this pass concurrently on their
+                    // assigned output maps, sharing the broadcast.
+                    for (unsigned a = 0; a < arrays; ++a) {
+                        const long long m = slot * arrays + a;
+                        if (m >= spec.outMaps)
+                            break;
+                        const PassStats stats = simulatePass(
+                            spec, input, kernels,
+                            static_cast<int>(m), n, i0, j0, accs);
+                        record.activeMacCycles += stats.activeMacs;
+                        record.traffic.kernelIn += stats.kernelLoads;
+                        emissions += stats.validEmissions;
+                        record.localStoreReads += 2 * stats.activeMacs;
+                        record.localStoreWrites += stats.activeMacs;
+                        record.localStoreReads +=
+                            static_cast<WordCount>(ka - 1) *
+                            (stream + depth);
+                        record.localStoreWrites +=
+                            static_cast<WordCount>(ka - 1) *
+                            (stream + depth);
+                    }
+                    record.cycles += stream + depth;
+                    record.fillCycles += depth;
+                    record.traffic.neuronIn += stream;
+                }
+            }
+        }
+    }
+
+    // Partial-sum accounting: every emission lands in the output
+    // buffer; all but the final write per output neuron are partial.
+    const WordCount out_words = spec.outputWords();
+    flexsim_assert(emissions % out_words == 0,
+                   "ragged emission count ", emissions);
+    record.traffic.neuronOut = out_words;
+    record.traffic.psumWrite = emissions - out_words;
+    record.traffic.psumRead = emissions - out_words;
+
+    record.dram = planDramTraffic(spec, config_.neuronBufWords,
+                                  config_.kernelBufWords)
+                      .traffic;
+
+    if (result != nullptr)
+        *result = record;
+
+    Tensor3<> output(spec.outMaps, s, s);
+    for (int m = 0; m < spec.outMaps; ++m) {
+        for (int r = 0; r < s; ++r) {
+            for (int c = 0; c < s; ++c) {
+                output.at(m, r, c) = quantizeAcc(
+                    accs[(static_cast<std::size_t>(m) * s + r) * s +
+                         c]);
+            }
+        }
+    }
+    return output;
+}
+
+} // namespace flexsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cycle-level data simulator of the Systolic (SFSNMS) baseline.
+ *
+ * The simulator moves real Q7.8 operands through the PE pipeline: one
+ * input neuron is broadcast to all PEs per cycle, partial outputs shift
+ * through the PE chain and the inter-row FIFOs, and finished neurons
+ * emerge from the last stage after the pipeline depth.  Outputs are
+ * bit-exact against goldenConv(); cycle counts and traffic match
+ * SystolicModel exactly (asserted by the integration tests).
+ */
+
+#ifndef FLEXSIM_SYSTOLIC_SYSTOLIC_ARRAY_HH
+#define FLEXSIM_SYSTOLIC_SYSTOLIC_ARRAY_HH
+
+#include "arch/result.hh"
+#include "nn/layer_spec.hh"
+#include "nn/tensor.hh"
+#include "systolic/systolic_config.hh"
+
+namespace flexsim {
+
+class SystolicArraySim
+{
+  public:
+    explicit SystolicArraySim(SystolicConfig config = SystolicConfig{});
+
+    /**
+     * Execute one CONV layer cycle by cycle.
+     *
+     * @param spec    layer description (validated against the tensors)
+     * @param input   N maps of inSize x inSize
+     * @param kernels M x N kernels
+     * @param result  optional execution record (cycles, traffic, ...)
+     * @return the M output feature maps
+     */
+    Tensor3<> runLayer(const ConvLayerSpec &spec, const Tensor3<> &input,
+                       const Tensor4<> &kernels,
+                       LayerResult *result = nullptr);
+
+    const SystolicConfig &config() const { return config_; }
+
+  private:
+    /** One token flowing through the pipeline. */
+    struct Token
+    {
+        bool valid = false;
+        int outR = 0;
+        int outC = 0;
+        Acc acc = 0;
+    };
+
+    /** Counters from one (m, n, sub-tile) pass of a single array. */
+    struct PassStats
+    {
+        std::uint64_t activeMacs = 0;
+        std::uint64_t validEmissions = 0;
+        WordCount kernelLoads = 0;
+    };
+
+    PassStats simulatePass(const ConvLayerSpec &spec,
+                           const Tensor3<> &input,
+                           const Tensor4<> &kernels, int m, int n,
+                           int i0, int j0, std::vector<Acc> &accs);
+
+    SystolicConfig config_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_SYSTOLIC_SYSTOLIC_ARRAY_HH

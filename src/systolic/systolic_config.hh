@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Configuration of the Systolic (SFSNMS) baseline.
+ *
+ * The paper's Systolic baseline (DC-CNN style) is a set of identical
+ * Ka x Ka PE pipelines; each array convolves one input map into one
+ * output map, and the arrays split the output feature maps between
+ * them in a Tiling-like mode.  The paper's 16x16-scale configuration
+ * is seven 6x6 arrays (252 PEs), with 11x11 arrays for AlexNet.
+ */
+
+#ifndef FLEXSIM_SYSTOLIC_SYSTOLIC_CONFIG_HH
+#define FLEXSIM_SYSTOLIC_SYSTOLIC_CONFIG_HH
+
+#include <cstddef>
+
+namespace flexsim {
+
+struct SystolicConfig
+{
+    /** Array edge Ka: each array has Ka x Ka PEs (<Ti, Tj> = Ka). */
+    int arrayEdge = 6;
+    /** Number of identical arrays working DC-CNN style. */
+    unsigned numArrays = 7;
+    /** One neuron buffer, in words (32 KiB). */
+    std::size_t neuronBufWords = 16 * 1024;
+    /** Kernel buffer, in words (32 KiB). */
+    std::size_t kernelBufWords = 16 * 1024;
+
+    unsigned
+    peCount() const
+    {
+        return numArrays * arrayEdge * arrayEdge;
+    }
+
+    /**
+     * Configuration matching a D x D computing-engine scale:
+     * round(D^2 / Ka^2) arrays.  D = 16, Ka = 6 reproduces the paper's
+     * 7-array baseline.
+     */
+    static SystolicConfig
+    forScale(unsigned d, int array_edge = 6)
+    {
+        SystolicConfig config;
+        config.arrayEdge = array_edge;
+        const unsigned per_array =
+            static_cast<unsigned>(array_edge) * array_edge;
+        config.numArrays =
+            (d * d + per_array / 2) / per_array;
+        if (config.numArrays == 0)
+            config.numArrays = 1;
+        return config;
+    }
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_SYSTOLIC_SYSTOLIC_CONFIG_HH

@@ -1,0 +1,90 @@
+#include "systolic/systolic_model.hh"
+
+#include "arch/dram_planner.hh"
+#include "arch/unroll.hh"
+#include "common/logging.hh"
+
+namespace flexsim {
+
+SystolicModel::SystolicModel(SystolicConfig config) : config_(config)
+{
+    flexsim_assert(config_.arrayEdge >= 1 && config_.numArrays >= 1,
+                   "bad systolic configuration");
+}
+
+Cycle
+SystolicModel::pipelineDepth(int in_size) const
+{
+    const int ka = config_.arrayEdge;
+    return static_cast<Cycle>(ka - 1) * in_size + ka;
+}
+
+int
+SystolicModel::subtilePasses(int kernel) const
+{
+    const int per_edge =
+        static_cast<int>(ceilDiv(kernel, config_.arrayEdge));
+    return per_edge * per_edge;
+}
+
+LayerResult
+SystolicModel::runLayer(const ConvLayerSpec &spec) const
+{
+    spec.validate();
+    const int ka = config_.arrayEdge;
+    const unsigned arrays = config_.numArrays;
+    const long long h = spec.inSize;
+    const long long stream = h * h;
+    const Cycle depth = pipelineDepth(spec.inSize);
+
+    const long long map_groups = ceilDiv(spec.outMaps, arrays);
+    const int subtiles = subtilePasses(spec.kernel);
+    const long long passes =
+        map_groups * spec.inMaps * subtiles;
+
+    LayerResult result;
+    result.layerName = spec.name;
+    result.peCount = config_.peCount();
+    result.macs = spec.macs();
+    result.activeMacCycles = result.macs;
+    result.cycles = static_cast<Cycle>(passes) * (stream + depth);
+    result.fillCycles = static_cast<Cycle>(passes) * depth;
+
+    // Input neurons are broadcast once per pass and shared by all
+    // arrays; each synapse is loaded into its PE register once per
+    // pass set.
+    result.traffic.neuronIn =
+        static_cast<WordCount>(passes) * stream;
+    result.traffic.kernelIn = spec.kernelWords();
+
+    // Each (output map, input map, sub-tile) pass emits S^2 partial
+    // outputs; all but the final pass per output map cycle through the
+    // output buffer as partial sums.
+    const WordCount out_words = spec.outputWords();
+    const long long passes_per_map =
+        static_cast<long long>(spec.inMaps) * subtiles;
+    result.traffic.neuronOut = out_words;
+    result.traffic.psumWrite = out_words * (passes_per_map - 1);
+    result.traffic.psumRead = out_words * (passes_per_map - 1);
+
+    // Per-MAC register activity: read the synapse register and the
+    // partial-sum register, write the partial sum back.
+    result.localStoreReads = 2 * result.macs;
+    result.localStoreWrites = result.macs;
+    // Each of the ka-1 inter-row FIFOs of an *active* array takes one
+    // push and one pop per pipeline cycle (idle arrays in a ragged
+    // final map-group are clock gated).
+    const long long array_passes =
+        static_cast<long long>(spec.outMaps) * spec.inMaps * subtiles;
+    const WordCount fifo_words = static_cast<WordCount>(array_passes) *
+                                 (ka - 1) * (stream + depth);
+    result.localStoreReads += fifo_words;
+    result.localStoreWrites += fifo_words;
+
+    const DramPlan plan = planDramTraffic(
+        spec, config_.neuronBufWords, config_.kernelBufWords);
+    result.dram = plan.traffic;
+    return result;
+}
+
+} // namespace flexsim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Analytic timing/traffic model of the Systolic (SFSNMS) baseline.
+ *
+ * Schedule (paper Section 3.1): each Ka x Ka array is a deep pipeline
+ * whose depth is roughly the input map width times Ka.  One pass
+ * streams all inSize^2 input neurons of one (output map, input map,
+ * kernel sub-tile) combination; kernels larger than the array take
+ * ceil(K/Ka)^2 sub-tile passes with partial-sum read-back.  The arrays
+ * split the output maps DC-CNN style and share the input broadcast.
+ */
+
+#ifndef FLEXSIM_SYSTOLIC_SYSTOLIC_MODEL_HH
+#define FLEXSIM_SYSTOLIC_SYSTOLIC_MODEL_HH
+
+#include "arch/accelerator.hh"
+#include "systolic/systolic_config.hh"
+
+namespace flexsim {
+
+class SystolicModel : public AcceleratorModel
+{
+  public:
+    explicit SystolicModel(SystolicConfig config = SystolicConfig{});
+
+    std::string name() const override { return "Systolic"; }
+    unsigned peCount() const override { return config_.peCount(); }
+    LayerResult runLayer(const ConvLayerSpec &spec) const override;
+
+    const SystolicConfig &config() const { return config_; }
+
+    /** Pipeline depth for an input map of edge @p in_size. */
+    Cycle pipelineDepth(int in_size) const;
+
+    /** Kernel sub-tile passes for a K x K kernel. */
+    int subtilePasses(int kernel) const;
+
+  private:
+    SystolicConfig config_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_SYSTOLIC_SYSTOLIC_MODEL_HH

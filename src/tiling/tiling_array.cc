@@ -1,0 +1,97 @@
+#include "tiling/tiling_array.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "arch/dram_planner.hh"
+#include "common/logging.hh"
+
+namespace flexsim {
+
+TilingArraySim::TilingArraySim(TilingConfig config) : config_(config)
+{
+    flexsim_assert(config_.tm >= 1 && config_.tn >= 1,
+                   "bad tiling configuration");
+}
+
+Tensor3<>
+TilingArraySim::runLayer(const ConvLayerSpec &spec,
+                         const Tensor3<> &input, const Tensor4<> &kernels,
+                         LayerResult *result)
+{
+    spec.validate();
+    flexsim_assert(input.maps() == spec.inMaps &&
+                       input.height() == spec.inSize,
+                   "input tensor does not match layer ", spec.name);
+    flexsim_assert(kernels.outMaps() == spec.outMaps &&
+                       kernels.height() == spec.kernel,
+                   "kernel tensor does not match layer ", spec.name);
+
+    const int tm = config_.tm;
+    const int tn = config_.tn;
+    const int s = spec.outSize;
+    const int k = spec.kernel;
+    const int stride = spec.stride;
+
+    LayerResult record;
+    record.layerName = spec.name;
+    record.peCount = config_.peCount();
+    record.macs = spec.macs();
+
+    Tensor3<> output(spec.outMaps, s, s);
+    std::vector<Acc> accs(tm);
+
+    for (int m0 = 0; m0 < spec.outMaps; m0 += tm) {
+        const int m_valid = std::min(tm, spec.outMaps - m0);
+        for (int r = 0; r < s; ++r) {
+            for (int c = 0; c < s; ++c) {
+                std::fill(accs.begin(), accs.begin() + m_valid, Acc{0});
+                for (int n0 = 0; n0 < spec.inMaps; n0 += tn) {
+                    const int n_valid =
+                        std::min(tn, spec.inMaps - n0);
+                    for (int i = 0; i < k; ++i) {
+                        for (int j = 0; j < k; ++j) {
+                            // Broadcast the n_valid input neurons,
+                            // shared by all PEs.
+                            record.traffic.neuronIn += n_valid;
+                            for (int mo = 0; mo < m_valid; ++mo) {
+                                // The PE's adder tree reduces its
+                                // n_valid lane products in one cycle.
+                                Acc lane_sum = 0;
+                                for (int no = 0; no < n_valid; ++no) {
+                                    const Fixed16 neuron = input.at(
+                                        n0 + no, r * stride + i,
+                                        c * stride + j);
+                                    const Fixed16 synapse = kernels.at(
+                                        m0 + mo, n0 + no, i, j);
+                                    ++record.traffic.kernelIn;
+                                    lane_sum +=
+                                        mulRaw(neuron, synapse);
+                                    ++record.activeMacCycles;
+                                }
+                                accs[mo] += lane_sum;
+                                ++record.localStoreReads;
+                                ++record.localStoreWrites;
+                            }
+                            ++record.cycles;
+                        }
+                    }
+                }
+                for (int mo = 0; mo < m_valid; ++mo) {
+                    output.at(m0 + mo, r, c) = quantizeAcc(accs[mo]);
+                    ++record.traffic.neuronOut;
+                }
+            }
+        }
+    }
+
+    record.dram = planDramTraffic(spec, config_.neuronBufWords,
+                                  config_.kernelBufWords)
+                      .traffic;
+
+    if (result != nullptr)
+        *result = record;
+    return output;
+}
+
+} // namespace flexsim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Cycle-level data simulator of the Tiling (MFSNSS) baseline.
+ *
+ * Per cycle: Tn input neurons are broadcast, each of the Tm PEs
+ * fetches its Tn private synapses, multiplies, reduces through its
+ * adder tree, and accumulates into its current output neuron.
+ * Outputs are bit-exact against goldenConv(); cycles and traffic match
+ * TilingModel exactly.
+ */
+
+#ifndef FLEXSIM_TILING_TILING_ARRAY_HH
+#define FLEXSIM_TILING_TILING_ARRAY_HH
+
+#include "arch/result.hh"
+#include "nn/layer_spec.hh"
+#include "nn/tensor.hh"
+#include "tiling/tiling_config.hh"
+
+namespace flexsim {
+
+class TilingArraySim
+{
+  public:
+    explicit TilingArraySim(TilingConfig config = TilingConfig{});
+
+    /** Execute one CONV layer cycle by cycle; see SystolicArraySim. */
+    Tensor3<> runLayer(const ConvLayerSpec &spec, const Tensor3<> &input,
+                       const Tensor4<> &kernels,
+                       LayerResult *result = nullptr);
+
+    const TilingConfig &config() const { return config_; }
+
+  private:
+    TilingConfig config_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_TILING_TILING_ARRAY_HH

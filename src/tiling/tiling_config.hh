@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Configuration of the Tiling (MFSNSS) baseline.
+ *
+ * A DianNao-style engine: Tm PEs, each with Tn multipliers and an
+ * adder tree, computing one neuron position of Tm output maps from Tn
+ * input maps per cycle.  There is no local storage, so synapses are
+ * re-fetched every cycle (the paper's "poorest data sharing").
+ */
+
+#ifndef FLEXSIM_TILING_TILING_CONFIG_HH
+#define FLEXSIM_TILING_TILING_CONFIG_HH
+
+#include <cstddef>
+
+namespace flexsim {
+
+struct TilingConfig
+{
+    int tm = 16; ///< output feature maps in parallel
+    int tn = 16; ///< input feature maps in parallel
+    std::size_t neuronBufWords = 16 * 1024; ///< 32 KiB
+    std::size_t kernelBufWords = 16 * 1024; ///< 32 KiB
+
+    unsigned
+    peCount() const
+    {
+        return static_cast<unsigned>(tm) * tn;
+    }
+
+    /** Tm = Tn = D, the paper's 16x16 configuration. */
+    static TilingConfig
+    forScale(unsigned d)
+    {
+        TilingConfig config;
+        config.tm = static_cast<int>(d);
+        config.tn = static_cast<int>(d);
+        return config;
+    }
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_TILING_TILING_CONFIG_HH

@@ -1,0 +1,55 @@
+#include "tiling/tiling_model.hh"
+
+#include <algorithm>
+
+#include "arch/dram_planner.hh"
+#include "arch/unroll.hh"
+#include "common/logging.hh"
+
+namespace flexsim {
+
+TilingModel::TilingModel(TilingConfig config) : config_(config)
+{
+    flexsim_assert(config_.tm >= 1 && config_.tn >= 1,
+                   "bad tiling configuration");
+}
+
+LayerResult
+TilingModel::runLayer(const ConvLayerSpec &spec) const
+{
+    spec.validate();
+    const long long map_groups = ceilDiv(spec.outMaps, config_.tm);
+    const long long in_groups = ceilDiv(spec.inMaps, config_.tn);
+    const long long positions =
+        static_cast<long long>(spec.outSize) * spec.outSize;
+    const long long kk =
+        static_cast<long long>(spec.kernel) * spec.kernel;
+
+    LayerResult result;
+    result.layerName = spec.name;
+    result.peCount = config_.peCount();
+    result.macs = spec.macs();
+    result.activeMacCycles = result.macs;
+    result.cycles = static_cast<Cycle>(map_groups) * in_groups *
+                    positions * kk;
+
+    // Per cycle the engine loads the valid input-lane neurons (shared
+    // across PEs) and one private synapse per valid (m, n) lane.
+    result.traffic.neuronIn = static_cast<WordCount>(map_groups) *
+                              positions * kk * spec.inMaps;
+    result.traffic.kernelIn = result.macs;
+    result.traffic.neuronOut = spec.outputWords();
+
+    // The only storage is the per-PE accumulator register, read and
+    // written once per cycle by each valid output lane.
+    result.localStoreReads = static_cast<WordCount>(spec.outMaps) *
+                             in_groups * positions * kk;
+    result.localStoreWrites = result.localStoreReads;
+
+    result.dram = planDramTraffic(spec, config_.neuronBufWords,
+                                  config_.kernelBufWords)
+                      .traffic;
+    return result;
+}
+
+} // namespace flexsim

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Analytic timing/traffic model of the Tiling (MFSNSS) baseline.
+ *
+ * Schedule (paper Section 3.3): per cycle, Tn input neurons and
+ * Tm x Tn synapses are loaded; each PE sums its Tn products into one
+ * output neuron, switching neurons every K*K cycles.  Input-map groups
+ * accumulate inside the PE, so no partial sums leave the engine.
+ */
+
+#ifndef FLEXSIM_TILING_TILING_MODEL_HH
+#define FLEXSIM_TILING_TILING_MODEL_HH
+
+#include "arch/accelerator.hh"
+#include "tiling/tiling_config.hh"
+
+namespace flexsim {
+
+class TilingModel : public AcceleratorModel
+{
+  public:
+    explicit TilingModel(TilingConfig config = TilingConfig{});
+
+    std::string name() const override { return "Tiling"; }
+    unsigned peCount() const override { return config_.peCount(); }
+    LayerResult runLayer(const ConvLayerSpec &spec) const override;
+
+    const TilingConfig &config() const { return config_; }
+
+  private:
+    TilingConfig config_;
+};
+
+} // namespace flexsim
+
+#endif // FLEXSIM_TILING_TILING_MODEL_HH

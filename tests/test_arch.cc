@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Unit tests for the shared architecture layer: unrolling factors and
+ * the Section-5 utilization equations, the factor search, the DRAM
+ * planner, and result records.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/dram_planner.hh"
+#include "arch/factor_search.hh"
+#include "arch/result.hh"
+#include "arch/unroll.hh"
+#include "common/logging.hh"
+#include "nn/workloads.hh"
+
+namespace flexsim {
+namespace {
+
+// ------------------------------------------------------------------ unroll
+
+TEST(UnrollTest, DemandProducts)
+{
+    const UnrollFactors t{2, 3, 4, 5, 6, 7};
+    EXPECT_EQ(t.rowDemand(), 2 * 4 * 5);
+    EXPECT_EQ(t.columnDemand(), 3 * 6 * 7);
+}
+
+TEST(UnrollTest, ToStringReadable)
+{
+    const UnrollFactors t{1, 2, 3, 4, 5, 6};
+    EXPECT_EQ(t.toString(), "<Tm=1,Tn=2,Tr=3,Tc=4,Ti=5,Tj=6>");
+}
+
+TEST(UnrollTest, FeasibilityConstraint1)
+{
+    const auto spec = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    const int d = 16;
+    // The paper's Table 4 LeNet-5 C3 factors are feasible.
+    EXPECT_TRUE(feasible({16, 3, 1, 1, 1, 5}, spec, d, 10));
+    // Row demand above D is not.
+    EXPECT_FALSE(feasible({16, 1, 2, 1, 1, 1}, spec, d, 10));
+    // Column demand above D is not.
+    EXPECT_FALSE(feasible({1, 6, 1, 1, 1, 5}, spec, d, 10));
+    // Factor above the layer dimension is not.
+    EXPECT_FALSE(feasible({17, 1, 1, 1, 1, 1}, spec, d, 10));
+    EXPECT_FALSE(feasible({1, 7, 1, 1, 1, 1}, spec, d, 10));
+    EXPECT_FALSE(feasible({1, 1, 1, 1, 6, 1}, spec, d, 10));
+    // Tr/Tc bound (P * K') enforced.
+    EXPECT_FALSE(feasible({1, 1, 4, 1, 1, 1}, spec, d, 3));
+    // Non-positive factors rejected.
+    EXPECT_FALSE(feasible({0, 1, 1, 1, 1, 1}, spec, d, 10));
+}
+
+TEST(UnrollTest, Equation2RowUtilization)
+{
+    // LeNet-5 C3 with the paper's factors: Ur = 6*25/(2*5*1*16).
+    const auto spec = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    const UnrollFactors t{16, 3, 1, 1, 1, 5};
+    EXPECT_DOUBLE_EQ(utilizationRows(t, spec, 16),
+                     (6.0 * 25) / (2.0 * 5 * 1 * 16));
+}
+
+TEST(UnrollTest, Equation3ColUtilization)
+{
+    const auto spec = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    const UnrollFactors t{16, 3, 1, 1, 1, 5};
+    EXPECT_DOUBLE_EQ(utilizationCols(t, spec, 16),
+                     (16.0 * 100) / (1.0 * 10 * 10 * 16));
+}
+
+TEST(UnrollTest, TotalIsProduct)
+{
+    const auto spec = ConvLayerSpec::make("C1", 1, 6, 28, 5);
+    const UnrollFactors t{3, 1, 1, 5, 3, 5};
+    EXPECT_DOUBLE_EQ(utilizationTotal(t, spec, 16),
+                     utilizationRows(t, spec, 16) *
+                         utilizationCols(t, spec, 16));
+}
+
+TEST(UnrollTest, FullUnrollGivesFullUtilization)
+{
+    // A layer that exactly tiles the array reaches Ut = 1.
+    const auto spec = ConvLayerSpec::make("X", 4, 4, 2, 2);
+    const UnrollFactors t{4, 4, 2, 2, 2, 1};
+    // rows: 4*2*2 = 16 = D; cols: 4*2*1 = 8... choose D = 16/8 split.
+    EXPECT_DOUBLE_EQ(utilizationCols(t, spec, 16), 1.0);
+}
+
+TEST(UnrollTest, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(1, 16), 1);
+}
+
+// ----------------------------------------------------------- factor search
+
+TEST(FactorSearchTest, ResultIsFeasible)
+{
+    for (const auto &net : workloads::smallFour()) {
+        for (const auto &stage : net.stages) {
+            const FactorChoice choice =
+                searchBestFactors(stage.conv, 16);
+            EXPECT_TRUE(feasible(choice.factors, stage.conv, 16,
+                                 stage.conv.outSize))
+                << net.name << " " << stage.conv.name;
+        }
+    }
+}
+
+TEST(FactorSearchTest, BeatsOrMatchesExhaustiveEnumeration)
+{
+    // The separable search must find the global optimum.
+    const auto spec = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    const FactorChoice best = searchBestFactors(spec, 8, 10);
+    double brute_best = 0.0;
+    for (const UnrollFactors &t : enumerateFeasible(spec, 8, 10)) {
+        brute_best =
+            std::max(brute_best, utilizationTotal(t, spec, 8));
+    }
+    EXPECT_NEAR(best.utilization(), brute_best, 1e-12);
+}
+
+TEST(FactorSearchTest, MatchesPaperTable4Utilization)
+{
+    // Our chosen factors must achieve at least the utilization of the
+    // paper's published Table 4 factors (ties are equally good).
+    struct Row
+    {
+        ConvLayerSpec spec;
+        UnrollFactors paper;
+    };
+    const std::vector<Row> rows = {
+        {ConvLayerSpec::make("PV-C1", 1, 8, 45, 6),
+         {8, 1, 1, 2, 2, 6}},
+        {ConvLayerSpec::make("PV-C3", 8, 12, 20, 3),
+         {3, 8, 1, 5, 1, 2}},
+        {ConvLayerSpec::make("FR-C1", 1, 4, 28, 5),
+         {4, 1, 1, 4, 3, 15 > 5 ? 5 : 15}}, // Tj clamped to K
+        {ConvLayerSpec::make("FR-C3", 4, 16, 10, 4),
+         {16, 4, 1, 1, 1, 4}},
+        {ConvLayerSpec::make("LeNet-C1", 1, 6, 28, 5),
+         {3, 1, 1, 5, 3, 5}},
+        {ConvLayerSpec::make("LeNet-C3", 6, 16, 10, 5),
+         {16, 3, 1, 1, 1, 5}},
+        {ConvLayerSpec::make("HG-C1", 1, 6, 24, 5),
+         {3, 1, 1, 5, 3, 5}},
+        {ConvLayerSpec::make("HG-C3", 6, 12, 8, 4),
+         {4, 2, 1, 4, 2, 4}},
+    };
+    for (const Row &row : rows) {
+        const FactorChoice ours = searchBestFactors(row.spec, 16);
+        if (feasible(row.paper, row.spec, 16, row.spec.outSize)) {
+            EXPECT_GE(ours.utilization() + 1e-9,
+                      utilizationTotal(row.paper, row.spec, 16))
+                << row.spec.name;
+        }
+    }
+}
+
+TEST(FactorSearchTest, RespectsTrTcBound)
+{
+    const auto spec = ConvLayerSpec::make("C1", 1, 6, 28, 5);
+    const FactorChoice choice = searchBestFactors(spec, 16, 4);
+    EXPECT_LE(choice.factors.tr, 4);
+    EXPECT_LE(choice.factors.tc, 4);
+}
+
+TEST(FactorSearchTest, SmallArray)
+{
+    const auto spec = ConvLayerSpec::make("C1", 1, 6, 28, 5);
+    const FactorChoice choice = searchBestFactors(spec, 1);
+    EXPECT_EQ(choice.factors, (UnrollFactors{1, 1, 1, 1, 1, 1}));
+}
+
+TEST(FactorSearchTest, UtilizationComponentsConsistent)
+{
+    const auto spec = ConvLayerSpec::make("C3", 8, 12, 20, 3);
+    const FactorChoice choice = searchBestFactors(spec, 16);
+    EXPECT_DOUBLE_EQ(choice.utilizationRows,
+                     utilizationRows(choice.factors, spec, 16));
+    EXPECT_DOUBLE_EQ(choice.utilizationCols,
+                     utilizationCols(choice.factors, spec, 16));
+}
+
+TEST(FactorSearchTest, EnumerationAllFeasible)
+{
+    const auto spec = ConvLayerSpec::make("X", 3, 4, 6, 3);
+    const auto all = enumerateFeasible(spec, 4, 6);
+    EXPECT_FALSE(all.empty());
+    for (const UnrollFactors &t : all)
+        EXPECT_TRUE(feasible(t, spec, 4, 6));
+}
+
+// ------------------------------------------------------------ dram planner
+
+TEST(DramPlannerTest, EverythingResidentReadsOnce)
+{
+    const auto spec = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    const DramPlan plan = planDramTraffic(spec, 16 * 1024, 16 * 1024);
+    EXPECT_TRUE(plan.inputsResident);
+    EXPECT_TRUE(plan.kernelsResident);
+    EXPECT_EQ(plan.kernelGroups, 1);
+    EXPECT_EQ(plan.traffic.reads,
+              spec.inputWords() + spec.kernelWords());
+    EXPECT_EQ(plan.traffic.writes, spec.outputWords());
+}
+
+TEST(DramPlannerTest, OversizedKernelsSplitIntoGroups)
+{
+    // AlexNet C5: 256x192@3x3 kernels = 442k words >> 16k-word buffer.
+    const auto spec = ConvLayerSpec::make("C5", 256, 192, 13, 3);
+    const DramPlan plan = planDramTraffic(spec, 16 * 1024, 16 * 1024);
+    EXPECT_FALSE(plan.kernelsResident);
+    EXPECT_GT(plan.kernelGroups * plan.inputStripes, 1);
+    EXPECT_GT(plan.traffic.reads,
+              spec.inputWords() + spec.kernelWords());
+}
+
+TEST(DramPlannerTest, ChoosesCheaperLoopOrder)
+{
+    const auto spec = ConvLayerSpec::make("C5", 256, 192, 13, 3);
+    const std::size_t buf = 16 * 1024;
+    const DramPlan plan = planDramTraffic(spec, buf, buf);
+    const long long groups =
+        ceilDiv(static_cast<long long>(spec.kernelWords()),
+                static_cast<long long>(buf));
+    const long long stripes =
+        ceilDiv(static_cast<long long>(spec.inputWords()),
+                static_cast<long long>(buf));
+    const WordCount option_a =
+        spec.kernelWords() + spec.inputWords() * groups;
+    const WordCount option_b =
+        spec.inputWords() + spec.kernelWords() * stripes;
+    EXPECT_EQ(plan.traffic.reads, std::min(option_a, option_b));
+}
+
+TEST(DramPlannerTest, SplitReadFieldsSum)
+{
+    const auto spec = ConvLayerSpec::make("C3", 48, 128, 27, 5);
+    const DramPlan plan = planDramTraffic(spec, 16 * 1024, 16 * 1024);
+    EXPECT_EQ(plan.traffic.reads,
+              plan.inputReadWords + plan.kernelReadWords);
+}
+
+TEST(DramPlannerTest, PooledOutputReducesWrites)
+{
+    const auto spec = ConvLayerSpec::make("C1", 1, 6, 28, 5);
+    const DramPlan plan =
+        planDramTraffic(spec, 16 * 1024, 16 * 1024, 6 * 14 * 14);
+    EXPECT_EQ(plan.traffic.writes, 6u * 14 * 14);
+}
+
+// ------------------------------------------------------------------ result
+
+TEST(LayerResultTest, UtilizationExcludesFill)
+{
+    LayerResult r;
+    r.cycles = 120;
+    r.fillCycles = 20;
+    r.peCount = 10;
+    r.activeMacCycles = 500;
+    EXPECT_DOUBLE_EQ(r.utilization(), 500.0 / (100.0 * 10));
+}
+
+TEST(LayerResultTest, GopsUsesFullCycleCount)
+{
+    LayerResult r;
+    r.cycles = 1000;
+    r.macs = 100000;
+    // 2 ops per MAC at 1 GHz: 200000 ops / 1000 ns = 200 GOPs.
+    EXPECT_DOUBLE_EQ(r.gops(1.0), 200.0);
+    EXPECT_DOUBLE_EQ(r.gops(0.5), 100.0);
+}
+
+TEST(LayerResultTest, EmptyResultSafe)
+{
+    LayerResult r;
+    EXPECT_DOUBLE_EQ(r.utilization(), 0.0);
+    EXPECT_DOUBLE_EQ(r.gops(), 0.0);
+}
+
+TEST(LayerResultTest, AccumulationSumsEverything)
+{
+    LayerResult a;
+    a.layerName = "C1";
+    a.cycles = 10;
+    a.fillCycles = 2;
+    a.macs = 100;
+    a.activeMacCycles = 100;
+    a.peCount = 4;
+    a.traffic.neuronIn = 7;
+    a.dram.reads = 3;
+    a.localStoreReads = 200;
+    LayerResult b = a;
+    b.layerName = "C3";
+    a += b;
+    EXPECT_EQ(a.layerName, "C1+C3");
+    EXPECT_EQ(a.cycles, 20u);
+    EXPECT_EQ(a.fillCycles, 4u);
+    EXPECT_EQ(a.macs, 200u);
+    EXPECT_EQ(a.traffic.neuronIn, 14u);
+    EXPECT_EQ(a.dram.reads, 6u);
+    EXPECT_EQ(a.localStoreReads, 400u);
+    EXPECT_EQ(a.peCount, 4u);
+}
+
+TEST(NetworkResultTest, TotalAggregates)
+{
+    NetworkResult net;
+    net.networkName = "X";
+    LayerResult l1;
+    l1.cycles = 5;
+    l1.macs = 10;
+    l1.peCount = 2;
+    LayerResult l2 = l1;
+    net.layers = {l1, l2};
+    const LayerResult total = net.total();
+    EXPECT_EQ(total.cycles, 10u);
+    EXPECT_EQ(total.macs, 20u);
+    EXPECT_EQ(total.layerName, "X");
+}
+
+} // namespace
+} // namespace flexsim

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Unit tests for src/common: logging, deterministic RNG, string
+ * helpers, and the table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+
+namespace flexsim {
+namespace {
+
+// ---------------------------------------------------------------- logging
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { logging_detail::setThrowOnError(true); }
+    void TearDown() override { logging_detail::setThrowOnError(false); }
+};
+
+TEST_F(LoggingTest, PanicThrowsWithMessage)
+{
+    try {
+        panic("bank ", 3, " broken");
+        FAIL() << "panic returned";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("bank 3 broken"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, FatalThrowsWithMessage)
+{
+    EXPECT_THROW(fatal("bad config"), std::runtime_error);
+}
+
+TEST_F(LoggingTest, AssertPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(flexsim_assert(1 + 1 == 2, "math works"));
+}
+
+TEST_F(LoggingTest, AssertThrowsOnFalseCondition)
+{
+    EXPECT_THROW(flexsim_assert(false, "expected"), std::runtime_error);
+}
+
+TEST_F(LoggingTest, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(warn("just a warning ", 42));
+    EXPECT_NO_THROW(inform("status ", 1.5));
+}
+
+TEST_F(LoggingTest, ThrowOnErrorHookReadable)
+{
+    EXPECT_TRUE(logging_detail::getThrowOnError());
+}
+
+// ------------------------------------------------------------------ random
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformIntRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(-5, 9);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(RngTest, UniformIntSingletonRange)
+{
+    Rng rng(8);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntCoversRange)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.uniformInt(0, 7));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRealInUnitInterval)
+{
+    Rng rng(10);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRealRangeMapped)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformReal(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(12);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+// ----------------------------------------------------------------- strutil
+
+TEST(StrUtilTest, SplitBasic)
+{
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrUtilTest, SplitKeepsEmptyFields)
+{
+    const auto parts = split("a..b", '.');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(StrUtilTest, SplitTrailingDelimiter)
+{
+    const auto parts = split("x.", '.');
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(StrUtilTest, SplitWhitespaceDropsEmpties)
+{
+    const auto parts = splitWhitespace("  cfg_layer  6 \t 16 ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "cfg_layer");
+    EXPECT_EQ(parts[2], "16");
+}
+
+TEST(StrUtilTest, TrimBothEnds)
+{
+    EXPECT_EQ(trim("  hello\t\n"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StrUtilTest, JoinWithSeparator)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(StrUtilTest, ToLowerAscii)
+{
+    EXPECT_EQ(toLower("FlexFlow"), "flexflow");
+}
+
+TEST(StrUtilTest, StartsWith)
+{
+    EXPECT_TRUE(startsWith("cfg_layer 6", "cfg_"));
+    EXPECT_FALSE(startsWith("cfg", "cfg_layer"));
+}
+
+TEST(StrUtilTest, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(StrUtilTest, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.873, 1), "87.3%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+TEST(StrUtilTest, FormatCountGroupsThousands)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(1234567), "1,234,567");
+}
+
+// ------------------------------------------------------------------- table
+
+TEST(TextTableTest, RendersHeaderAndRows)
+{
+    TextTable table;
+    table.setHeader({"Arch", "GOPs"});
+    table.addRow({"FlexFlow", "430"});
+    table.addRow({"Tiling", "45"});
+    const std::string text = table.toString();
+    EXPECT_NE(text.find("Arch"), std::string::npos);
+    EXPECT_NE(text.find("FlexFlow"), std::string::npos);
+    EXPECT_NE(text.find("430"), std::string::npos);
+    EXPECT_EQ(table.numRows(), 2u);
+}
+
+TEST(TextTableTest, ColumnsAligned)
+{
+    TextTable table;
+    table.setHeader({"A", "B"});
+    table.addRow({"xxxxxx", "1"});
+    table.addRow({"y", "2"});
+    const std::string text = table.toString();
+    // The "1" and "2" cells must start at the same column.
+    const auto lines = split(text, '\n');
+    ASSERT_GE(lines.size(), 4u);
+    EXPECT_EQ(lines[2].find('1'), lines[3].find('2'));
+}
+
+TEST(TextTableTest, SeparatorRendered)
+{
+    TextTable table;
+    table.setHeader({"A"});
+    table.addRow({"x"});
+    table.addSeparator();
+    table.addRow({"y"});
+    const std::string text = table.toString();
+    // Header underline plus explicit separator.
+    int dashes = 0;
+    for (const auto &line : split(text, '\n'))
+        if (!line.empty() && line.find_first_not_of('-') ==
+                                 std::string::npos)
+            ++dashes;
+    EXPECT_EQ(dashes, 2);
+}
+
+TEST(TextTableTest, CsvOutput)
+{
+    TextTable table;
+    table.setHeader({"Arch", "GOPs"});
+    table.addRow({"FlexFlow", "430"});
+    table.addSeparator();
+    table.addRow({"Tiling, small", "45"});
+    std::ostringstream oss;
+    table.printCsv(oss);
+    EXPECT_EQ(oss.str(), "Arch,GOPs\n"
+                         "FlexFlow,430\n"
+                         "\"Tiling, small\",45\n");
+}
+
+TEST(TextTableTest, CsvQuotesEmbeddedQuotes)
+{
+    TextTable table;
+    table.addRow({"say \"hi\"", "x"});
+    std::ostringstream oss;
+    table.printCsv(oss);
+    EXPECT_EQ(oss.str(), "\"say \"\"hi\"\"\",x\n");
+}
+
+TEST(TextTableTest, RaggedRowsTolerated)
+{
+    TextTable table;
+    table.setHeader({"A", "B", "C"});
+    table.addRow({"1"});
+    EXPECT_NO_THROW(table.toString());
+}
+
+} // namespace
+} // namespace flexsim

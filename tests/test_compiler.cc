@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the FlexFlow workload analyzer / compiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "compiler/compiler.hh"
+#include "nn/golden.hh"
+#include "nn/workloads.hh"
+
+namespace flexsim {
+namespace {
+
+TEST(CompilerTest, CompilesAllSixWorkloads)
+{
+    FlexFlowCompiler compiler;
+    for (const auto &net : workloads::all()) {
+        const CompilationResult result = compiler.compile(net);
+        EXPECT_EQ(result.layers.size(), net.stages.size()) << net.name;
+        EXPECT_FALSE(result.program.instructions.empty()) << net.name;
+        EXPECT_EQ(result.program.instructions.back().op, Opcode::Halt)
+            << net.name;
+    }
+}
+
+TEST(CompilerTest, FactorsAlwaysFeasible)
+{
+    FlexFlowCompiler compiler;
+    for (const auto &net : workloads::all()) {
+        const CompilationResult result = compiler.compile(net);
+        for (std::size_t i = 0; i < result.layers.size(); ++i) {
+            const LayerPlan &plan = result.layers[i];
+            EXPECT_TRUE(feasible(plan.factors, plan.spec, 16,
+                                 plan.spec.outSize))
+                << net.name << " " << plan.spec.name;
+        }
+    }
+}
+
+TEST(CompilerTest, UtilizationHighOnAllWorkloads)
+{
+    // The paper's headline claim (Fig. 15): FlexFlow sustains > 80%
+    // resource utilization.  PV's dominant C1 layer (K = 6, N = 1)
+    // caps at Ur = 36/48 = 0.75 on a 16-wide row — a bound implied by
+    // the paper's own Table 4 factors — so the reproduction asserts
+    // >= 72% everywhere and > 80% on the rest (see EXPERIMENTS.md).
+    FlexFlowCompiler compiler;
+    int above_80 = 0;
+    for (const auto &net : workloads::all()) {
+        const CompilationResult result = compiler.compile(net);
+        double macs = 0.0;
+        double weighted = 0.0;
+        for (const LayerPlan &plan : result.layers) {
+            weighted += plan.utilization *
+                        static_cast<double>(plan.spec.macs());
+            macs += static_cast<double>(plan.spec.macs());
+        }
+        const double util = weighted / macs;
+        EXPECT_GT(util, 0.72) << net.name;
+        above_80 += util > 0.80;
+    }
+    EXPECT_GE(above_80, 5);
+}
+
+TEST(CompilerTest, TrTcBoundFromPoolAndNextKernel)
+{
+    FlexFlowCompiler compiler;
+    const auto net = workloads::lenet5();
+    // C1 is followed by a 2x2 pool and a K'=5 conv: Tr, Tc <= 10.
+    const FactorChoice c1 =
+        compiler.chooseFactors(net, 0, std::nullopt);
+    EXPECT_LE(c1.factors.tr, 10);
+    EXPECT_LE(c1.factors.tc, 10);
+}
+
+TEST(CompilerTest, IadpCouplingAppliedWhenCheap)
+{
+    // LeNet-5: coupling C3's <Tn,Ti,Tj> to C1's <Tm,Tr,Tc> costs
+    // nothing, so the compiler must keep it.
+    FlexFlowCompiler compiler;
+    const CompilationResult result =
+        compiler.compile(workloads::lenet5());
+    ASSERT_EQ(result.layers.size(), 2u);
+    const LayerPlan &c1 = result.layers[0];
+    const LayerPlan &c3 = result.layers[1];
+    EXPECT_TRUE(c3.coupled);
+    EXPECT_EQ(c3.factors.tn, std::min(c1.factors.tm, c3.spec.inMaps));
+    EXPECT_EQ(c3.factors.ti, std::min(c1.factors.tr, c3.spec.kernel));
+    EXPECT_EQ(c3.factors.tj, std::min(c1.factors.tc, c3.spec.kernel));
+}
+
+TEST(CompilerTest, CouplingNotForcedWhenExpensive)
+{
+    // With a zero margin the compiler only couples on exact ties; the
+    // chosen factors must still be optimal.
+    FlexFlowCompiler strict(FlexFlowConfig{}, 0.0);
+    for (const auto &net : workloads::smallFour()) {
+        const CompilationResult result = strict.compile(net);
+        for (std::size_t i = 0; i < result.layers.size(); ++i) {
+            const LayerPlan &plan = result.layers[i];
+            int bound = plan.spec.outSize;
+            if (const auto next_k = net.nextKernel(i)) {
+                bound = std::min(bound,
+                                 net.poolWindowAfter(i) * *next_k);
+            }
+            const FactorChoice free =
+                searchBestFactors(plan.spec, 16, bound);
+            EXPECT_GE(plan.utilization + 1e-9, free.utilization())
+                << net.name << " " << plan.spec.name;
+        }
+    }
+}
+
+TEST(CompilerTest, SmallActivationsStayOnChip)
+{
+    FlexFlowCompiler compiler;
+    const CompilationResult result =
+        compiler.compile(workloads::lenet5());
+    // C1's pooled output (6@14x14 = 1176 words) fits a 16k-word
+    // buffer, so C3 reads no input from DRAM.
+    EXPECT_TRUE(result.layers[0].outputOnChip);
+    EXPECT_TRUE(result.layers[1].inputOnChip);
+    EXPECT_EQ(result.layers[1].dram.inputReadWords, 0u);
+    // The final output leaves the chip.
+    EXPECT_FALSE(result.layers[1].outputOnChip);
+    EXPECT_GT(result.layers[1].dram.traffic.writes, 0u);
+}
+
+TEST(CompilerTest, LargeActivationsSpill)
+{
+    FlexFlowCompiler compiler;
+    const CompilationResult result =
+        compiler.compile(workloads::vgg11());
+    // VGG's early activations (e.g. 64@111x111 pooled) exceed 16k
+    // words and must go through DRAM.
+    EXPECT_FALSE(result.layers[0].outputOnChip);
+    EXPECT_GT(result.layers[1].dram.inputReadWords, 0u);
+}
+
+TEST(CompilerTest, AssemblyRoundTripsThroughAssembler)
+{
+    FlexFlowCompiler compiler;
+    for (const auto &net : workloads::smallFour()) {
+        const CompilationResult result = compiler.compile(net);
+        EXPECT_EQ(assemble(result.assembly), result.program)
+            << net.name;
+    }
+}
+
+TEST(CompilerTest, ProgramStructurePerStage)
+{
+    FlexFlowCompiler compiler;
+    const CompilationResult result =
+        compiler.compile(workloads::fr());
+    int convs = 0, cfg_layers = 0, pools = 0, halts = 0;
+    for (const Instruction &inst : result.program.instructions) {
+        convs += inst.op == Opcode::Conv;
+        cfg_layers += inst.op == Opcode::CfgLayer;
+        pools += inst.op == Opcode::Pool;
+        halts += inst.op == Opcode::Halt;
+    }
+    EXPECT_EQ(convs, 2);
+    EXPECT_EQ(cfg_layers, 2);
+    EXPECT_EQ(pools, 1); // FR pools after C1 only
+    EXPECT_EQ(halts, 1);
+}
+
+TEST(CompilerTest, TotalDramAggregates)
+{
+    FlexFlowCompiler compiler;
+    const CompilationResult result =
+        compiler.compile(workloads::lenet5());
+    DramTraffic manual;
+    for (const LayerPlan &plan : result.layers)
+        manual += plan.dram.traffic;
+    EXPECT_EQ(result.totalDram(), manual);
+}
+
+TEST(CompilerTest, AlexNetDramAccPerOpNearPaper)
+{
+    // Table 7 reports 0.0049 DRAM accesses per operation for AlexNet;
+    // our planner should land in the same regime (same order, within
+    // ~2x), since buffer sizes match and loop orders are comparable.
+    FlexFlowCompiler compiler;
+    const auto net = workloads::alexnet();
+    const CompilationResult result = compiler.compile(net);
+    const double ops = 2.0 * static_cast<double>(net.totalMacs());
+    const double acc =
+        static_cast<double>(result.totalDram().total());
+    const double acc_per_op = acc / ops;
+    EXPECT_GT(acc_per_op, 0.001);
+    EXPECT_LT(acc_per_op, 0.012);
+}
+
+} // namespace
+} // namespace flexsim

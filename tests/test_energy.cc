@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the 65 nm area/power models, including the paper
+ * calibration points of Section 6.2.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/area.hh"
+#include "energy/power.hh"
+#include "energy/tech.hh"
+
+namespace flexsim {
+namespace {
+
+TEST(TechTest, ArchNames)
+{
+    EXPECT_STREQ(archName(ArchKind::Systolic), "Systolic");
+    EXPECT_STREQ(archName(ArchKind::Mapping2D), "2D-Mapping");
+    EXPECT_STREQ(archName(ArchKind::Tiling), "Tiling");
+    EXPECT_STREQ(archName(ArchKind::FlexFlow), "FlexFlow");
+}
+
+TEST(AreaTest, DefaultConfigsAtPaperScale)
+{
+    const AreaConfig sys = defaultAreaConfig(ArchKind::Systolic, 16);
+    EXPECT_EQ(sys.peCount, 7u * 36); // the paper's 7 arrays
+    const AreaConfig ff = defaultAreaConfig(ArchKind::FlexFlow, 16);
+    EXPECT_EQ(ff.peCount, 256u);
+    EXPECT_DOUBLE_EQ(ff.localStoreBytesPerPe, 512.0);
+    const AreaConfig map = defaultAreaConfig(ArchKind::Mapping2D, 16);
+    EXPECT_EQ(map.peCount, 256u);
+    const AreaConfig til = defaultAreaConfig(ArchKind::Tiling, 16);
+    EXPECT_DOUBLE_EQ(til.localStoreBytesPerPe, 0.0);
+}
+
+TEST(AreaTest, MatchesPaperSection621Totals)
+{
+    // Paper: Systolic 3.52, 2D-Mapping 3.46, Tiling 3.21,
+    // FlexFlow 3.89 mm^2 at the 16x16 scale.
+    const TechParams tech = TechParams::tsmc65();
+    const struct
+    {
+        ArchKind kind;
+        double paper;
+    } rows[] = {
+        {ArchKind::Systolic, 3.52},
+        {ArchKind::Mapping2D, 3.46},
+        {ArchKind::Tiling, 3.21},
+        {ArchKind::FlexFlow, 3.89},
+    };
+    for (const auto &row : rows) {
+        const AreaBreakdown area =
+            computeArea(defaultAreaConfig(row.kind, 16), tech);
+        EXPECT_NEAR(area.total(), row.paper, 0.12)
+            << archName(row.kind);
+    }
+}
+
+TEST(AreaTest, FlexFlowLargestAtPaperScale)
+{
+    const TechParams tech = TechParams::tsmc65();
+    const double ff =
+        computeArea(defaultAreaConfig(ArchKind::FlexFlow, 16), tech)
+            .total();
+    for (ArchKind kind : {ArchKind::Systolic, ArchKind::Mapping2D,
+                          ArchKind::Tiling}) {
+        EXPECT_GT(ff,
+                  computeArea(defaultAreaConfig(kind, 16), tech)
+                      .total());
+    }
+}
+
+TEST(AreaTest, FlexFlowScalesSlowerThanMeshArchitectures)
+{
+    // Figure 19c: FlexFlow's relative area growth from 16x16 to 64x64
+    // is milder than 2D-Mapping's and Tiling's.
+    const TechParams tech = TechParams::tsmc65();
+    auto growth = [&](ArchKind kind) {
+        const double small =
+            computeArea(defaultAreaConfig(kind, 16), tech).total();
+        const double large =
+            computeArea(defaultAreaConfig(kind, 64), tech).total();
+        return large / small;
+    };
+    EXPECT_LT(growth(ArchKind::FlexFlow), growth(ArchKind::Mapping2D));
+    EXPECT_LT(growth(ArchKind::FlexFlow), growth(ArchKind::Tiling));
+}
+
+TEST(AreaTest, ComponentsAllPositive)
+{
+    const TechParams tech = TechParams::tsmc65();
+    const AreaBreakdown area =
+        computeArea(defaultAreaConfig(ArchKind::FlexFlow, 32), tech);
+    EXPECT_GT(area.peLogic, 0.0);
+    EXPECT_GT(area.localStores, 0.0);
+    EXPECT_GT(area.buffers, 0.0);
+    EXPECT_GT(area.interconnect, 0.0);
+    EXPECT_GT(area.fixedOverhead, 0.0);
+    EXPECT_DOUBLE_EQ(area.total(),
+                     area.peLogic + area.localStores + area.buffers +
+                         area.interconnect + area.fixedOverhead);
+}
+
+TEST(AreaTest, MonotonicInScale)
+{
+    const TechParams tech = TechParams::tsmc65();
+    for (ArchKind kind : {ArchKind::Systolic, ArchKind::Mapping2D,
+                          ArchKind::Tiling, ArchKind::FlexFlow}) {
+        double prev = 0.0;
+        for (unsigned d : {8u, 16u, 32u, 64u}) {
+            const double total =
+                computeArea(defaultAreaConfig(kind, d), tech).total();
+            EXPECT_GT(total, prev) << archName(kind) << " at " << d;
+            prev = total;
+        }
+    }
+}
+
+// ------------------------------------------------------------------- power
+
+LayerResult
+syntheticResult()
+{
+    LayerResult r;
+    r.cycles = 1000;
+    r.macs = 200000;
+    r.activeMacCycles = 200000;
+    r.peCount = 256;
+    r.traffic.neuronIn = 2000;
+    r.traffic.neuronOut = 1000;
+    r.traffic.kernelIn = 500;
+    r.traffic.psumRead = 100;
+    r.traffic.psumWrite = 100;
+    r.localStoreReads = 400000;
+    r.localStoreWrites = 200000;
+    r.dram.reads = 5000;
+    r.dram.writes = 1000;
+    return r;
+}
+
+TEST(PowerTest, ComponentsPositiveAndSum)
+{
+    const PowerReport report = computePower(
+        syntheticResult(), ArchKind::FlexFlow, 16,
+        TechParams::tsmc65());
+    EXPECT_GT(report.power.neuronIn, 0.0);
+    EXPECT_GT(report.power.neuronOut, 0.0);
+    EXPECT_GT(report.power.kernelIn, 0.0);
+    EXPECT_GT(report.power.compute, 0.0);
+    EXPECT_GT(report.power.interconnect, 0.0);
+    EXPECT_GT(report.power.leakage, 0.0);
+    EXPECT_NEAR(report.power.total(),
+                report.power.neuronIn + report.power.neuronOut +
+                    report.power.kernelIn + report.power.compute +
+                    report.power.interconnect + report.power.leakage,
+                1e-9);
+}
+
+TEST(PowerTest, EnergyEqualsPowerTimesTime)
+{
+    const PowerReport report = computePower(
+        syntheticResult(), ArchKind::FlexFlow, 16,
+        TechParams::tsmc65());
+    // P[mW] * t[ms] = E[uJ].
+    EXPECT_NEAR(report.energyUj, report.power.total() * report.timeMs,
+                report.energyUj * 1e-9);
+}
+
+TEST(PowerTest, DramEnergySeparate)
+{
+    const TechParams tech = TechParams::tsmc65();
+    const PowerReport report =
+        computePower(syntheticResult(), ArchKind::FlexFlow, 16, tech);
+    EXPECT_NEAR(report.dramEnergyUj, 6000 * tech.eDramWord * 1e-6,
+                1e-9);
+}
+
+TEST(PowerTest, GopsPerWattConsistent)
+{
+    const PowerReport report = computePower(
+        syntheticResult(), ArchKind::FlexFlow, 16,
+        TechParams::tsmc65());
+    EXPECT_NEAR(report.gopsPerWatt,
+                report.gops / (report.power.total() * 1e-3), 1e-9);
+}
+
+TEST(PowerTest, ZeroCycleResultIsZero)
+{
+    LayerResult empty;
+    const PowerReport report = computePower(
+        empty, ArchKind::Tiling, 16, TechParams::tsmc65());
+    EXPECT_DOUBLE_EQ(report.power.total(), 0.0);
+    EXPECT_DOUBLE_EQ(report.energyUj, 0.0);
+}
+
+TEST(PowerTest, BusEnergyGrowsWithScale)
+{
+    const LayerResult r = syntheticResult();
+    const TechParams tech = TechParams::tsmc65();
+    const double area = 4.0;
+    const PowerReport small =
+        computePower(r, ArchKind::FlexFlow, 16, tech, area);
+    const PowerReport large =
+        computePower(r, ArchKind::FlexFlow, 64, tech, area);
+    EXPECT_GT(large.power.interconnect, small.power.interconnect);
+}
+
+TEST(PowerTest, LeakageScalesWithArea)
+{
+    const LayerResult r = syntheticResult();
+    const TechParams tech = TechParams::tsmc65();
+    const PowerReport a =
+        computePower(r, ArchKind::FlexFlow, 16, tech, 2.0);
+    const PowerReport b =
+        computePower(r, ArchKind::FlexFlow, 16, tech, 4.0);
+    EXPECT_NEAR(b.power.leakage, 2.0 * a.power.leakage, 1e-9);
+}
+
+} // namespace
+} // namespace flexsim

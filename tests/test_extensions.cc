@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Tests for the extension features: the Section-2.2 processing-style
+ * taxonomy, fully-connected layers, activation cropping, the
+ * accelerator statistics group, the dataflow ablation knobs, and the
+ * LeNet-5 classifier-tail network end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/processing_style.hh"
+#include "arch/system_timing.hh"
+#include "common/logging.hh"
+#include "compiler/compiler.hh"
+#include "flexflow/accelerator.hh"
+#include "flexflow/conv_unit.hh"
+#include "flexflow/flexflow_model.hh"
+#include "flexflow/schedule.hh"
+#include "nn/golden.hh"
+#include "nn/tensor_init.hh"
+#include "nn/workloads.hh"
+
+namespace flexsim {
+namespace {
+
+// ------------------------------------------------------- processing styles
+
+TEST(ProcessingStyleTest, ClassifiesTheRigidArchitectures)
+{
+    // Systolic: SP only.
+    EXPECT_EQ(classifyProcessingStyle({1, 1, 1, 1, 6, 6}),
+              ProcessingStyle::SFSNMS);
+    // 2D-Mapping: NP only.
+    EXPECT_EQ(classifyProcessingStyle({1, 1, 16, 16, 1, 1}),
+              ProcessingStyle::SFMNSS);
+    // Tiling: FP only.
+    EXPECT_EQ(classifyProcessingStyle({16, 16, 1, 1, 1, 1}),
+              ProcessingStyle::MFSNSS);
+}
+
+TEST(ProcessingStyleTest, FlexFlowMixesAreMfmnms)
+{
+    // The paper's Table 4 LeNet-5 C1 mixes all three.
+    EXPECT_EQ(classifyProcessingStyle({3, 1, 1, 5, 3, 5}),
+              ProcessingStyle::MFMNMS);
+}
+
+TEST(ProcessingStyleTest, AllEightStylesReachable)
+{
+    EXPECT_EQ(classifyProcessingStyle({1, 1, 1, 1, 1, 1}),
+              ProcessingStyle::SFSNSS);
+    EXPECT_EQ(classifyProcessingStyle({1, 1, 2, 1, 2, 1}),
+              ProcessingStyle::SFMNMS);
+    EXPECT_EQ(classifyProcessingStyle({2, 1, 1, 1, 2, 1}),
+              ProcessingStyle::MFSNMS);
+    EXPECT_EQ(classifyProcessingStyle({1, 2, 2, 1, 1, 1}),
+              ProcessingStyle::MFMNSS);
+}
+
+TEST(ProcessingStyleTest, PredicatesMatchDefinition)
+{
+    const UnrollFactors t{1, 2, 1, 1, 1, 1};
+    EXPECT_TRUE(usesFeatureMapParallelism(t));
+    EXPECT_FALSE(usesNeuronParallelism(t));
+    EXPECT_FALSE(usesSynapseParallelism(t));
+}
+
+TEST(ProcessingStyleTest, NamesMatchPaper)
+{
+    EXPECT_STREQ(processingStyleName(ProcessingStyle::SFSNMS),
+                 "SFSNMS");
+    EXPECT_STREQ(processingStyleName(ProcessingStyle::MFMNMS),
+                 "MFMNMS");
+}
+
+// --------------------------------------------------------------- FC layers
+
+TEST(FullyConnectedTest, SpecShape)
+{
+    const auto fc = ConvLayerSpec::fullyConnected("F6", 120, 84);
+    EXPECT_TRUE(fc.isFullyConnected());
+    EXPECT_EQ(fc.inMaps, 120);
+    EXPECT_EQ(fc.outMaps, 84);
+    EXPECT_EQ(fc.inSize, 1);
+    EXPECT_EQ(fc.macs(), 120ull * 84);
+    const auto conv = ConvLayerSpec::make("C", 1, 1, 4, 3);
+    EXPECT_FALSE(conv.isFullyConnected());
+}
+
+TEST(FullyConnectedTest, GoldenMatchesMatrixVector)
+{
+    // A 1x1-map FC layer is a matrix-vector product.
+    const auto fc = ConvLayerSpec::fullyConnected("F", 5, 3);
+    Rng rng(61);
+    const Tensor3<> in = makeRandomInput(rng, fc);
+    const Tensor4<> w = makeRandomKernels(rng, fc);
+    const Tensor3<> out = goldenConv(fc, in, w);
+    for (int m = 0; m < 3; ++m) {
+        Acc acc = 0;
+        for (int n = 0; n < 5; ++n)
+            acc += mulRaw(in.at(n, 0, 0), w.at(m, n, 0, 0));
+        EXPECT_EQ(out.at(m, 0, 0), quantizeAcc(acc));
+    }
+}
+
+TEST(FullyConnectedTest, FlexFlowConvUnitRunsFcLayers)
+{
+    const auto fc = ConvLayerSpec::fullyConnected("F6", 120, 84);
+    const FactorChoice choice = searchBestFactors(fc, 16);
+    Rng rng(62);
+    const Tensor3<> in = makeRandomInput(rng, fc);
+    const Tensor4<> w = makeRandomKernels(rng, fc);
+    FlexFlowConvUnit unit{FlexFlowConfig{}};
+    LayerResult result;
+    const Tensor3<> out =
+        unit.runLayer(fc, choice.factors, in, w, &result);
+    EXPECT_EQ(out, goldenConv(fc, in, w));
+    // FC layers keep the engine reasonably busy via FP on both sides.
+    EXPECT_GT(result.utilization(), 0.4);
+}
+
+TEST(FullyConnectedTest, ClassifierNetworkValidates)
+{
+    const auto net = workloads::lenet5WithClassifier();
+    ASSERT_EQ(net.stages.size(), 5u);
+    EXPECT_EQ(net.stages[2].conv.name, "C5");
+    EXPECT_EQ(net.stages[2].conv.inSize, 5);
+    EXPECT_TRUE(net.stages[3].conv.isFullyConnected());
+    EXPECT_EQ(net.stages[4].conv.outMaps, 10);
+}
+
+TEST(FullyConnectedTest, ClassifierNetworkEndToEnd)
+{
+    const auto net = workloads::lenet5WithClassifier();
+    FlexFlowCompiler compiler;
+    const CompilationResult compiled = compiler.compile(net);
+
+    Rng rng(63);
+    const Tensor3<> input = makeRandomInput(rng, net.stages[0].conv);
+    std::vector<Tensor4<>> kernels;
+    for (const auto &stage : net.stages)
+        kernels.push_back(makeRandomKernels(rng, stage.conv));
+
+    FlexFlowAccelerator accel;
+    accel.bindInput(input);
+    accel.bindKernels(kernels);
+    const Tensor3<> out = accel.run(compiled.program);
+
+    Tensor3<> golden = input;
+    for (std::size_t i = 0; i < net.stages.size(); ++i) {
+        golden = cropTopLeft(golden, net.stages[i].conv.inSize);
+        golden = goldenConv(net.stages[i].conv, golden, kernels[i]);
+        if (net.stages[i].poolAfter)
+            golden = goldenPool(golden, *net.stages[i].poolAfter);
+    }
+    EXPECT_EQ(out, golden);
+    EXPECT_EQ(out.maps(), 10);
+    EXPECT_EQ(out.height(), 1);
+}
+
+// -------------------------------------------------------------------- crop
+
+TEST(CropTest, IdentityWhenAlreadySized)
+{
+    Rng rng(64);
+    const Tensor3<> t = makeRandomInput(rng, 2, 5);
+    EXPECT_EQ(cropTopLeft(t, 5), t);
+}
+
+TEST(CropTest, DropsBorder)
+{
+    Rng rng(65);
+    const Tensor3<> t = makeRandomInput(rng, 2, 5);
+    const Tensor3<> c = cropTopLeft(t, 3);
+    EXPECT_EQ(c.height(), 3);
+    for (int m = 0; m < 2; ++m)
+        for (int r = 0; r < 3; ++r)
+            for (int col = 0; col < 3; ++col)
+                EXPECT_EQ(c.at(m, r, col), t.at(m, r, col));
+}
+
+TEST(CropTest, RejectsUpscaling)
+{
+    logging_detail::setThrowOnError(true);
+    Rng rng(66);
+    const Tensor3<> t = makeRandomInput(rng, 1, 3);
+    EXPECT_THROW(cropTopLeft(t, 4), std::runtime_error);
+    logging_detail::setThrowOnError(false);
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(AcceleratorStatsTest, CountersTrackExecution)
+{
+    const auto spec = ConvLayerSpec::make("L0", 2, 3, 6, 3);
+    Rng rng(67);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    const Program program = assemble(R"(
+        cfg_layer 3 2 6 3 1
+        cfg_factors 3 2 1 2 1 3
+        conv
+        halt
+    )");
+    FlexFlowAccelerator accel;
+    accel.bindInput(input);
+    accel.bindKernels({kernels});
+    NetworkResult result;
+    accel.run(program, &result);
+
+    const auto &stats = accel.stats();
+    EXPECT_DOUBLE_EQ(stats.findScalar("programsRun")->value(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.findScalar("convLayers")->value(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.findScalar("macs")->value(),
+                     static_cast<double>(spec.macs()));
+    EXPECT_DOUBLE_EQ(
+        stats.findScalar("cycles")->value(),
+        static_cast<double>(result.layers[0].cycles));
+    EXPECT_NEAR(stats.findFormula("utilization")->value(),
+                result.layers[0].utilization(), 1e-12);
+}
+
+TEST(AcceleratorStatsTest, AccumulatesAcrossRunsAndResets)
+{
+    const auto spec = ConvLayerSpec::make("L0", 1, 2, 4, 3);
+    Rng rng(68);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    const Program program = assemble(R"(
+        cfg_layer 2 1 4 3 1
+        cfg_factors 2 1 1 4 1 3
+        conv
+        halt
+    )");
+    FlexFlowAccelerator accel;
+    accel.bindInput(input);
+    accel.bindKernels({kernels});
+    accel.run(program);
+    accel.run(program);
+    EXPECT_DOUBLE_EQ(accel.stats().findScalar("programsRun")->value(),
+                     2.0);
+    accel.resetStats();
+    EXPECT_DOUBLE_EQ(accel.stats().findScalar("programsRun")->value(),
+                     0.0);
+}
+
+TEST(AcceleratorStatsTest, DumpContainsNames)
+{
+    FlexFlowAccelerator accel;
+    std::ostringstream oss;
+    accel.dumpStats(oss);
+    EXPECT_NE(oss.str().find("flexflow.macs"), std::string::npos);
+    EXPECT_NE(oss.str().find("flexflow.utilization"),
+              std::string::npos);
+}
+
+// ----------------------------------------------------------- ablation knobs
+
+TEST(AblationKnobTest, DisablingRetentionIncreasesNeuronTraffic)
+{
+    const auto spec = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    const UnrollFactors t{16, 3, 1, 1, 1, 5};
+    FlexFlowConfig on = FlexFlowConfig::forScale(16);
+    FlexFlowConfig off = on;
+    off.enableBandRetention = false;
+    const WordCount with_ret =
+        FlexFlowModel(on).runLayer(spec, t).traffic.neuronIn;
+    const WordCount without =
+        FlexFlowModel(off).runLayer(spec, t).traffic.neuronIn;
+    EXPECT_GT(without, with_ret);
+}
+
+TEST(AblationKnobTest, RetentionKnobKeepsSimModelAgreement)
+{
+    // The cycle simulator supports the no-retention arm; it must
+    // still match the model exactly.
+    const auto spec = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    const UnrollFactors t{16, 3, 1, 1, 1, 5};
+    FlexFlowConfig off = FlexFlowConfig::forScale(16);
+    off.enableBandRetention = false;
+    Rng rng(69);
+    const Tensor3<> in = makeRandomInput(rng, spec);
+    const Tensor4<> w = makeRandomKernels(rng, spec);
+    FlexFlowConvUnit unit(off);
+    LayerResult sim;
+    const Tensor3<> out = unit.runLayer(spec, t, in, w, &sim);
+    EXPECT_EQ(out, goldenConv(spec, in, w));
+    const LayerResult model = FlexFlowModel(off).runLayer(spec, t);
+    EXPECT_EQ(sim.traffic, model.traffic);
+    EXPECT_EQ(sim.cycles, model.cycles);
+}
+
+TEST(AblationKnobTest, DisablingPassSplittingStreamsKernels)
+{
+    // AlexNet C5's slice exceeds the store: without Fig. 13(f)
+    // splitting the kernels stream per batch.
+    const auto spec = ConvLayerSpec::make("C5", 256, 192, 13, 3);
+    const UnrollFactors t{16, 16, 1, 1, 1, 1};
+    FlexFlowConfig on = FlexFlowConfig::forScale(16);
+    FlexFlowConfig off = on;
+    off.enablePassSplitting = false;
+    const LayerResult split = FlexFlowModel(on).runLayer(spec, t);
+    const LayerResult stream = FlexFlowModel(off).runLayer(spec, t);
+    EXPECT_EQ(split.traffic.kernelIn, spec.kernelWords());
+    EXPECT_EQ(stream.traffic.kernelIn,
+              spec.kernelWords() * 13ull * 13ull);
+    EXPECT_EQ(stream.traffic.psumWrite, 0u);
+    EXPECT_GT(split.traffic.psumWrite, 0u);
+    // Compute cycles are identical either way.
+    EXPECT_EQ(split.cycles - split.fillCycles,
+              stream.cycles - stream.fillCycles);
+}
+
+TEST(AblationKnobTest, SimulatorRejectsKernelStreamingArm)
+{
+    logging_detail::setThrowOnError(true);
+    const auto spec = ConvLayerSpec::make("C5", 256, 8, 5, 3);
+    const UnrollFactors t{8, 16, 1, 1, 1, 1};
+    FlexFlowConfig off = FlexFlowConfig::forScale(16);
+    off.enablePassSplitting = false;
+    Rng rng(70);
+    const Tensor3<> in = makeRandomInput(rng, spec);
+    const Tensor4<> w = makeRandomKernels(rng, spec);
+    FlexFlowConvUnit unit(off);
+    EXPECT_THROW(unit.runLayer(spec, t, in, w), std::runtime_error);
+    logging_detail::setThrowOnError(false);
+}
+
+TEST(AblationKnobTest, KnobsDefaultToThePaperDesign)
+{
+    const FlexFlowConfig config;
+    EXPECT_TRUE(config.enableBandRetention);
+    EXPECT_TRUE(config.enablePassSplitting);
+}
+
+// ----------------------------------------------------------- system timing
+
+TEST(SystemTimingTest, ComputeBoundWhenBandwidthAmple)
+{
+    LayerResult r;
+    r.cycles = 1000;
+    r.macs = 50000;
+    r.dram.reads = 800;
+    r.dram.writes = 200;
+    const SystemTiming t = overlapTiming(r, 4.0);
+    EXPECT_EQ(t.computeCycles, 1000u);
+    EXPECT_EQ(t.dramCycles, 250u);
+    EXPECT_EQ(t.totalCycles, 1000u);
+    EXPECT_FALSE(t.memoryBound);
+    EXPECT_DOUBLE_EQ(t.computeOccupancy(), 1.0);
+}
+
+TEST(SystemTimingTest, MemoryBoundWhenStarved)
+{
+    LayerResult r;
+    r.cycles = 1000;
+    r.macs = 50000;
+    r.dram.reads = 8000;
+    const SystemTiming t = overlapTiming(r, 1.0);
+    EXPECT_EQ(t.totalCycles, 8000u);
+    EXPECT_TRUE(t.memoryBound);
+    EXPECT_DOUBLE_EQ(t.computeOccupancy(), 0.125);
+}
+
+TEST(SystemTimingTest, EffectiveGopsMonotoneInBandwidth)
+{
+    LayerResult r;
+    r.cycles = 1000;
+    r.macs = 100000;
+    r.dram.reads = 4000;
+    double prev = 0.0;
+    for (double bw : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+        const double gops = effectiveGops(r, bw);
+        EXPECT_GE(gops, prev);
+        prev = gops;
+    }
+    // Saturates at the compute roofline.
+    EXPECT_DOUBLE_EQ(prev, r.gops(1.0));
+}
+
+// ------------------------------------------------- quantization reference
+
+TEST(QuantizationTest, ErrorBoundedByHalfLsb)
+{
+    // With exact Q7.8 operands the wide accumulator is exact, so the
+    // only error is the final rounding: <= 1/512 per output.
+    Rng rng(72);
+    const auto spec = ConvLayerSpec::make("X", 4, 6, 8, 3);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    const Tensor3<> fixed = goldenConv(spec, input, kernels);
+    const Tensor3<double> ref =
+        goldenConvFloat(input, kernels, spec.stride);
+    const QuantizationError err =
+        measureQuantizationError(fixed, ref);
+    EXPECT_LE(err.maxAbs, 0.5 / 256.0 + 1e-12);
+    EXPECT_LE(err.rms, err.maxAbs);
+    EXPECT_GT(err.refPeak, 0.0);
+}
+
+TEST(QuantizationTest, SaturationShowsUpAsLargeError)
+{
+    // Saturating outputs diverge from the float reference by much
+    // more than an LSB -- the measurement must expose that.
+    Tensor3<> in(1, 1, 1);
+    in.at(0, 0, 0) = Fixed16::fromDouble(127.0);
+    Tensor4<> w(1, 1, 1, 1);
+    w.at(0, 0, 0, 0) = Fixed16::fromDouble(127.0);
+    const Tensor3<> fixed = goldenConv(in, w, 1);
+    const Tensor3<double> ref = goldenConvFloat(in, w, 1);
+    const QuantizationError err =
+        measureQuantizationError(fixed, ref);
+    EXPECT_GT(err.maxAbs, 100.0); // 127*127 saturates to ~128
+}
+
+// ------------------------------------------------------ im2col cross-check
+
+TEST(Im2colCrossCheckTest, MatchesDirectGolden)
+{
+    Rng rng(71);
+    for (int i = 0; i < 12; ++i) {
+        const int kernel = static_cast<int>(rng.uniformInt(1, 5));
+        const int stride =
+            static_cast<int>(rng.uniformInt(1, std::min(2, kernel)));
+        const auto spec = ConvLayerSpec::make(
+            "x", static_cast<int>(rng.uniformInt(1, 6)),
+            static_cast<int>(rng.uniformInt(1, 8)),
+            static_cast<int>(rng.uniformInt(1, 9)), kernel, stride);
+        const Tensor3<> in = makeRandomInput(rng, spec);
+        const Tensor4<> w = makeRandomKernels(rng, spec);
+        EXPECT_EQ(goldenConvIm2col(in, w, stride),
+                  goldenConv(in, w, stride))
+            << "iteration " << i;
+    }
+}
+
+} // namespace
+} // namespace flexsim

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Randomized property tests: for seeded-random layer shapes and
+ * configurations, every cycle simulator must (a) be bit-exact against
+ * the golden convolution and (b) agree with its analytic model on
+ * every counter.  These sweeps cover corners the hand-picked grids in
+ * the per-architecture suites do not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "flexflow/conv_unit.hh"
+#include "flexflow/flexflow_model.hh"
+#include "mapping2d/mapping2d_array.hh"
+#include "mapping2d/mapping2d_model.hh"
+#include "nn/golden.hh"
+#include "nn/tensor_init.hh"
+#include "systolic/systolic_array.hh"
+#include "systolic/systolic_model.hh"
+#include "tiling/tiling_array.hh"
+#include "tiling/tiling_model.hh"
+
+namespace flexsim {
+namespace {
+
+ConvLayerSpec
+randomLayer(Rng &rng)
+{
+    const int kernel = static_cast<int>(rng.uniformInt(1, 7));
+    const int stride =
+        static_cast<int>(rng.uniformInt(1, std::min(3, kernel)));
+    return ConvLayerSpec::make(
+        "fuzz", static_cast<int>(rng.uniformInt(1, 10)),
+        static_cast<int>(rng.uniformInt(1, 18)),
+        static_cast<int>(rng.uniformInt(1, 12)), kernel, stride);
+}
+
+void
+expectCountersEqual(const LayerResult &sim, const LayerResult &model,
+                    const std::string &context)
+{
+    EXPECT_EQ(sim.cycles, model.cycles) << context;
+    EXPECT_EQ(sim.fillCycles, model.fillCycles) << context;
+    EXPECT_EQ(sim.activeMacCycles, model.activeMacCycles) << context;
+    EXPECT_EQ(sim.traffic, model.traffic) << context;
+    EXPECT_EQ(sim.localStoreReads, model.localStoreReads) << context;
+    EXPECT_EQ(sim.localStoreWrites, model.localStoreWrites) << context;
+    EXPECT_EQ(sim.dram, model.dram) << context;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzSweep, SystolicSimEquivalences)
+{
+    Rng rng(0x51000 + GetParam());
+    const ConvLayerSpec spec = randomLayer(rng);
+    SystolicConfig cfg;
+    cfg.arrayEdge = static_cast<int>(
+        rng.uniformInt(1, std::min(6, spec.inSize)));
+    cfg.numArrays = static_cast<unsigned>(rng.uniformInt(1, 4));
+
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    SystolicArraySim sim(cfg);
+    LayerResult sim_result;
+    const Tensor3<> out =
+        sim.runLayer(spec, input, kernels, &sim_result);
+    EXPECT_EQ(out, goldenConv(spec, input, kernels));
+    expectCountersEqual(sim_result, SystolicModel(cfg).runLayer(spec),
+                        "systolic seed " +
+                            std::to_string(GetParam()));
+}
+
+TEST_P(FuzzSweep, Mapping2DSimEquivalences)
+{
+    Rng rng(0x2d000 + GetParam());
+    const ConvLayerSpec spec = randomLayer(rng);
+    Mapping2DConfig cfg;
+    cfg.rows = static_cast<int>(rng.uniformInt(1, 9));
+    cfg.cols = static_cast<int>(rng.uniformInt(1, 9));
+
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    Mapping2DArraySim sim(cfg);
+    LayerResult sim_result;
+    const Tensor3<> out =
+        sim.runLayer(spec, input, kernels, &sim_result);
+    EXPECT_EQ(out, goldenConv(spec, input, kernels));
+    expectCountersEqual(sim_result,
+                        Mapping2DModel(cfg).runLayer(spec),
+                        "mapping2d seed " +
+                            std::to_string(GetParam()));
+}
+
+TEST_P(FuzzSweep, TilingSimEquivalences)
+{
+    Rng rng(0x71000 + GetParam());
+    const ConvLayerSpec spec = randomLayer(rng);
+    TilingConfig cfg;
+    cfg.tm = static_cast<int>(rng.uniformInt(1, 8));
+    cfg.tn = static_cast<int>(rng.uniformInt(1, 8));
+
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    TilingArraySim sim(cfg);
+    LayerResult sim_result;
+    const Tensor3<> out =
+        sim.runLayer(spec, input, kernels, &sim_result);
+    EXPECT_EQ(out, goldenConv(spec, input, kernels));
+    expectCountersEqual(sim_result, TilingModel(cfg).runLayer(spec),
+                        "tiling seed " + std::to_string(GetParam()));
+}
+
+TEST_P(FuzzSweep, FlexFlowSimEquivalences)
+{
+    Rng rng(0xff000 + GetParam());
+    const ConvLayerSpec spec = randomLayer(rng);
+    FlexFlowConfig cfg;
+    cfg.d = static_cast<int>(rng.uniformInt(2, 12));
+
+    // Pick a random feasible factor assignment, not just the optimum.
+    const auto feasible_set =
+        enumerateFeasible(spec, cfg.d, spec.outSize);
+    ASSERT_FALSE(feasible_set.empty());
+    const UnrollFactors t = feasible_set[static_cast<std::size_t>(
+        rng.uniformInt(0,
+                       static_cast<std::int64_t>(feasible_set.size()) -
+                           1))];
+
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    FlexFlowConvUnit unit(cfg);
+    LayerResult sim_result;
+    ConvUnitDiagnostics diag;
+    const Tensor3<> out =
+        unit.runLayer(spec, t, input, kernels, &sim_result, &diag);
+    EXPECT_EQ(out, goldenConv(spec, input, kernels))
+        << spec.name << " " << t.toString() << " d=" << cfg.d;
+    expectCountersEqual(sim_result,
+                        FlexFlowModel(cfg).runLayer(spec, t),
+                        "flexflow seed " + std::to_string(GetParam()) +
+                            " " + t.toString());
+    // The RS scheduling property: no (PE, batch) ever has more tasks
+    // than the step count.
+    const long long steps = ceilDiv(spec.inMaps, t.tn) *
+                            ceilDiv(spec.kernel, t.ti) *
+                            ceilDiv(spec.kernel, t.tj);
+    EXPECT_LE(diag.maxTasksPerPe, static_cast<std::size_t>(steps));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0, 25));
+
+/** Tensor with extreme Q7.8 values that force accumulator saturation
+ * at quantization time. */
+Tensor3<>
+makeExtremeInput(Rng &rng, const ConvLayerSpec &spec)
+{
+    Tensor3<> t(spec.inMaps, spec.inSize, spec.inSize);
+    for (int m = 0; m < spec.inMaps; ++m) {
+        for (int r = 0; r < spec.inSize; ++r) {
+            for (int c = 0; c < spec.inSize; ++c) {
+                const std::int16_t raw =
+                    rng.chance(0.5) ? 32767 : -32768;
+                t.at(m, r, c) = Fixed16::fromRaw(
+                    rng.chance(0.2) ? 0 : raw);
+            }
+        }
+    }
+    return t;
+}
+
+Tensor4<>
+makeExtremeKernels(Rng &rng, const ConvLayerSpec &spec)
+{
+    Tensor4<> t(spec.outMaps, spec.inMaps, spec.kernel, spec.kernel);
+    for (int m = 0; m < spec.outMaps; ++m)
+        for (int n = 0; n < spec.inMaps; ++n)
+            for (int i = 0; i < spec.kernel; ++i)
+                for (int j = 0; j < spec.kernel; ++j)
+                    t.at(m, n, i, j) = Fixed16::fromRaw(
+                        static_cast<std::int16_t>(
+                            rng.uniformInt(-32768, 32767)));
+    return t;
+}
+
+TEST(FuzzSaturationTest, AllSimulatorsMatchGoldenUnderSaturation)
+{
+    // Extreme operand values drive the output quantization into
+    // saturation; every simulator accumulates at full width and
+    // quantizes once, so outputs must still be bit-exact.
+    Rng rng(0x5a7);
+    for (int iter = 0; iter < 8; ++iter) {
+        const ConvLayerSpec spec = randomLayer(rng);
+        const Tensor3<> input = makeExtremeInput(rng, spec);
+        const Tensor4<> kernels = makeExtremeKernels(rng, spec);
+        const Tensor3<> gold = goldenConv(spec, input, kernels);
+
+        // At least one output must actually saturate for the test to
+        // mean anything (overwhelmingly likely with these operands).
+        bool saturated = false;
+        for (int m = 0; m < gold.maps() && !saturated; ++m)
+            for (int r = 0; r < gold.height() && !saturated; ++r)
+                for (int c = 0; c < gold.width() && !saturated; ++c)
+                    saturated = gold.at(m, r, c).raw() == 32767 ||
+                                gold.at(m, r, c).raw() == -32768;
+
+        SystolicConfig scfg;
+        scfg.arrayEdge = std::min(3, spec.inSize);
+        EXPECT_EQ(SystolicArraySim(scfg).runLayer(spec, input,
+                                                  kernels),
+                  gold);
+        EXPECT_EQ(Mapping2DArraySim().runLayer(spec, input, kernels),
+                  gold);
+        EXPECT_EQ(TilingArraySim().runLayer(spec, input, kernels),
+                  gold);
+        FlexFlowConfig fcfg;
+        fcfg.d = 8;
+        const FactorChoice choice = searchBestFactors(spec, fcfg.d);
+        FlexFlowConvUnit unit(fcfg);
+        EXPECT_EQ(unit.runLayer(spec, choice.factors, input, kernels),
+                  gold);
+        EXPECT_EQ(goldenConvIm2col(input, kernels, spec.stride),
+                  gold);
+        (void)saturated;
+    }
+}
+
+TEST(FuzzInvariantTest, UtilizationNeverExceedsOne)
+{
+    Rng rng(0xabcd);
+    for (int i = 0; i < 50; ++i) {
+        const ConvLayerSpec spec = randomLayer(rng);
+        const int d = static_cast<int>(rng.uniformInt(1, 16));
+        const FactorChoice choice = searchBestFactors(spec, d);
+        EXPECT_LE(choice.utilization(), 1.0 + 1e-9)
+            << spec.name << " d=" << d;
+        EXPECT_GT(choice.utilization(), 0.0);
+    }
+}
+
+TEST(FuzzInvariantTest, ModelMacsAlwaysMatchSpec)
+{
+    Rng rng(0xbeef);
+    for (int i = 0; i < 30; ++i) {
+        const ConvLayerSpec spec = randomLayer(rng);
+        EXPECT_EQ(FlexFlowModel().runLayer(spec).macs, spec.macs());
+        EXPECT_EQ(TilingModel().runLayer(spec).macs, spec.macs());
+        EXPECT_EQ(Mapping2DModel().runLayer(spec).macs, spec.macs());
+    }
+}
+
+} // namespace
+} // namespace flexsim

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the FlexFlow configuration ISA: encoding round-trips, the
+ * assembler, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "flexflow/isa.hh"
+
+namespace flexsim {
+namespace {
+
+class IsaTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { logging_detail::setThrowOnError(true); }
+    void TearDown() override { logging_detail::setThrowOnError(false); }
+};
+
+TEST_F(IsaTest, OpcodeNames)
+{
+    EXPECT_STREQ(opcodeName(Opcode::CfgLayer), "cfg_layer");
+    EXPECT_STREQ(opcodeName(Opcode::Conv), "conv");
+    EXPECT_STREQ(opcodeName(Opcode::Halt), "halt");
+}
+
+TEST_F(IsaTest, EncodeDecodeRoundTripAllOpcodes)
+{
+    const std::vector<Instruction> insts = {
+        {Opcode::Nop, {}},
+        {Opcode::CfgLayer, {512, 256, 224, 11, 4}},
+        {Opcode::CfgFactors, {16, 3, 1, 1, 1, 5}},
+        {Opcode::LoadInput, {150528}},
+        {Opcode::LoadKernels, {442368}},
+        {Opcode::Conv, {}},
+        {Opcode::Pool, {3, 2, 1}},
+        {Opcode::Swap, {}},
+        {Opcode::StoreOutput, {1600}},
+        {Opcode::Halt, {}},
+    };
+    for (const Instruction &inst : insts) {
+        EXPECT_EQ(decode(encode(inst)), inst)
+            << disassemble(inst);
+    }
+}
+
+TEST_F(IsaTest, EncodeRejectsFieldOverflow)
+{
+    // cfg_factors fields are 7 bits.
+    Instruction inst{Opcode::CfgFactors, {200, 1, 1, 1, 1, 1}};
+    EXPECT_THROW(encode(inst), std::runtime_error);
+}
+
+TEST_F(IsaTest, DecodeRejectsUnknownOpcode)
+{
+    EXPECT_THROW(decode(std::uint64_t{200} << 56),
+                 std::runtime_error);
+}
+
+TEST_F(IsaTest, ProgramEncodeDecodeRoundTrip)
+{
+    Program program;
+    program.instructions = {
+        {Opcode::CfgLayer, {6, 1, 28, 5, 1}},
+        {Opcode::Conv, {}},
+        {Opcode::Halt, {}},
+    };
+    EXPECT_EQ(decode(encode(program)), program);
+}
+
+TEST_F(IsaTest, AssembleBasicProgram)
+{
+    const Program program = assemble(R"(
+        ; a comment
+        cfg_layer 16 6 10 5 1
+        cfg_factors 16 3 1 1 1 5   # trailing comment
+        load_kernels 2400
+        conv
+        pool 2 2 max
+        swap
+        halt
+    )");
+    ASSERT_EQ(program.instructions.size(), 7u);
+    EXPECT_EQ(program.instructions[0].op, Opcode::CfgLayer);
+    EXPECT_EQ(program.instructions[0].args[0], 16u);
+    EXPECT_EQ(program.instructions[1].args[5], 5u);
+    EXPECT_EQ(program.instructions[4].op, Opcode::Pool);
+    EXPECT_EQ(program.instructions[4].args[2], 0u); // max
+    EXPECT_EQ(program.instructions[6].op, Opcode::Halt);
+}
+
+TEST_F(IsaTest, AssemblePoolAvg)
+{
+    const Program program = assemble("pool 3 2 avg\n");
+    EXPECT_EQ(program.instructions[0].args[2], 1u);
+}
+
+TEST_F(IsaTest, AssembleRejectsUnknownMnemonic)
+{
+    EXPECT_THROW(assemble("frobnicate 1 2\n"), std::runtime_error);
+}
+
+TEST_F(IsaTest, AssembleRejectsWrongArity)
+{
+    EXPECT_THROW(assemble("cfg_layer 1 2 3\n"), std::runtime_error);
+    EXPECT_THROW(assemble("conv 7\n"), std::runtime_error);
+}
+
+TEST_F(IsaTest, AssembleRejectsBadOperand)
+{
+    EXPECT_THROW(assemble("load_input many\n"), std::runtime_error);
+    EXPECT_THROW(assemble("pool 2 2 median\n"), std::runtime_error);
+}
+
+TEST_F(IsaTest, AssembleRejectsFieldOverflow)
+{
+    EXPECT_THROW(assemble("cfg_factors 200 1 1 1 1 1\n"),
+                 std::runtime_error);
+}
+
+TEST_F(IsaTest, AssembleEmptySourceIsEmptyProgram)
+{
+    EXPECT_TRUE(assemble("\n; nothing\n").instructions.empty());
+}
+
+TEST_F(IsaTest, DisassembleReadable)
+{
+    const Instruction inst{Opcode::CfgFactors, {8, 1, 1, 2, 2, 6}};
+    EXPECT_EQ(disassemble(inst), "cfg_factors 8 1 1 2 2 6");
+    const Instruction pool{Opcode::Pool, {2, 2, 0}};
+    EXPECT_EQ(disassemble(pool), "pool 2 2 max");
+}
+
+TEST_F(IsaTest, AssembleDisassembleRoundTrip)
+{
+    const std::string source = "cfg_layer 6 1 28 5 1\n"
+                               "cfg_factors 3 1 1 5 3 5\n"
+                               "load_kernels 150\n"
+                               "load_input 1024\n"
+                               "conv\n"
+                               "pool 2 2 max\n"
+                               "store_output 1176\n"
+                               "halt\n";
+    const Program program = assemble(source);
+    EXPECT_EQ(disassemble(program), source);
+    EXPECT_EQ(assemble(disassemble(program)), program);
+}
+
+TEST_F(IsaTest, BinarySaveLoadRoundTrip)
+{
+    const Program program = assemble("cfg_layer 6 1 28 5 1\n"
+                                     "cfg_factors 3 1 1 5 3 5\n"
+                                     "load_kernels 150\n"
+                                     "conv\n"
+                                     "halt\n");
+    const std::string path =
+        ::testing::TempDir() + "/flexsim_isa_roundtrip.bin";
+    saveBinary(program, path);
+    EXPECT_EQ(loadBinary(path), program);
+}
+
+TEST_F(IsaTest, BinaryLoadRejectsGarbage)
+{
+    const std::string path =
+        ::testing::TempDir() + "/flexsim_isa_garbage.bin";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "cfg_layer 6 1 28 5 1\n"; // assembly, not binary
+    }
+    EXPECT_THROW(loadBinary(path), std::runtime_error);
+    EXPECT_THROW(loadBinary(path + ".missing"), std::runtime_error);
+}
+
+TEST_F(IsaTest, BinaryLoadRejectsTruncation)
+{
+    const Program program = assemble("conv\nhalt\n");
+    const std::string path =
+        ::testing::TempDir() + "/flexsim_isa_trunc.bin";
+    saveBinary(program, path);
+    // Chop off the final instruction word.
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string bytes = buf.str();
+        bytes.resize(bytes.size() - 4);
+        std::ofstream out(path, std::ios::binary);
+        out << bytes;
+    }
+    EXPECT_THROW(loadBinary(path), std::runtime_error);
+}
+
+TEST_F(IsaTest, CaseInsensitiveMnemonics)
+{
+    const Program program = assemble("CONV\nHaLt\n");
+    EXPECT_EQ(program.instructions[0].op, Opcode::Conv);
+    EXPECT_EQ(program.instructions[1].op, Opcode::Halt);
+}
+
+} // namespace
+} // namespace flexsim

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the 2D-Mapping (SFMNSS) baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "mapping2d/mapping2d_array.hh"
+#include "mapping2d/mapping2d_model.hh"
+#include "nn/golden.hh"
+#include "nn/tensor_init.hh"
+
+namespace flexsim {
+namespace {
+
+// ------------------------------------------------------------------- model
+
+TEST(Mapping2DModelTest, ConfigForScale)
+{
+    const Mapping2DConfig cfg = Mapping2DConfig::forScale(16);
+    EXPECT_EQ(cfg.rows, 16);
+    EXPECT_EQ(cfg.cols, 16);
+    EXPECT_EQ(cfg.peCount(), 256u);
+}
+
+TEST(Mapping2DModelTest, PaperTable3LeNetUtilization)
+{
+    // LeNet-5 "C3 on C1-opt": a 28x28 array running the 10x10 layer
+    // uses 100/784 = 12.7% of the PEs (paper Table 3).
+    Mapping2DConfig cfg;
+    cfg.rows = 28;
+    cfg.cols = 28;
+    const auto c3 = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    const LayerResult r = Mapping2DModel(cfg).runLayer(c3);
+    EXPECT_NEAR(r.utilization(), 100.0 / 784.0, 1e-9);
+}
+
+TEST(Mapping2DModelTest, PaperTable3LeNetReverseUtilization)
+{
+    // LeNet-5 "C1 on C3-opt": a 10x10 array running the 28x28 layer
+    // reaches 784/(9*100) = 87% (paper Table 3).
+    Mapping2DConfig cfg;
+    cfg.rows = 10;
+    cfg.cols = 10;
+    const auto c1 = ConvLayerSpec::make("C1", 1, 6, 28, 5);
+    const LayerResult r = Mapping2DModel(cfg).runLayer(c1);
+    EXPECT_NEAR(r.utilization(), 784.0 / 900.0, 1e-9);
+}
+
+TEST(Mapping2DModelTest, BlockCyclesAreNKK)
+{
+    Mapping2DConfig cfg;
+    cfg.rows = 10;
+    cfg.cols = 10;
+    const auto spec = ConvLayerSpec::make("X", 3, 2, 10, 4);
+    const LayerResult r = Mapping2DModel(cfg).runLayer(spec);
+    // 2 output maps * 1 block each * (N*K*K) + fill.
+    EXPECT_EQ(r.cycles - r.fillCycles, 2u * 3 * 16);
+}
+
+TEST(Mapping2DModelTest, NeuronLoadsWithShiftReuse)
+{
+    Mapping2DConfig cfg;
+    const Mapping2DModel model(cfg);
+    const auto spec = ConvLayerSpec::make("X", 1, 1, 16, 5);
+    // Full block: Tr*Tc + K(K-1)Tr + (K-1)Tc.
+    EXPECT_EQ(model.blockNeuronLoads(spec, 16, 16),
+              16u * 16 + 5 * 4 * 16 + 4 * 16);
+}
+
+TEST(Mapping2DModelTest, StrideDefeatsShiftReuse)
+{
+    Mapping2DConfig cfg;
+    const Mapping2DModel model(cfg);
+    const auto strided = ConvLayerSpec::make("X", 1, 1, 8, 5, 2);
+    EXPECT_EQ(model.blockNeuronLoads(strided, 8, 8),
+              8u * 8 * 25);
+}
+
+TEST(Mapping2DModelTest, NoPsumTraffic)
+{
+    const auto spec = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    const LayerResult r = Mapping2DModel().runLayer(spec);
+    EXPECT_EQ(r.traffic.psumRead, 0u);
+    EXPECT_EQ(r.traffic.psumWrite, 0u);
+}
+
+TEST(Mapping2DModelTest, InputsRereadPerOutputMap)
+{
+    // The paper notes 2D-Mapping re-reads inputs per output map; the
+    // neuron traffic must scale with M.
+    Mapping2DConfig cfg;
+    const auto m1 = ConvLayerSpec::make("M1", 2, 1, 10, 3);
+    const auto m4 = ConvLayerSpec::make("M4", 2, 4, 10, 3);
+    const Mapping2DModel model(cfg);
+    EXPECT_EQ(model.runLayer(m4).traffic.neuronIn,
+              4 * model.runLayer(m1).traffic.neuronIn);
+}
+
+// --------------------------------------------------------------- cycle sim
+
+struct Mapping2DCase
+{
+    const char *name;
+    int in_maps, out_maps, out_size, kernel, stride;
+    int rows, cols;
+};
+
+class Mapping2DSweep : public ::testing::TestWithParam<Mapping2DCase>
+{
+};
+
+TEST_P(Mapping2DSweep, SimMatchesGoldenAndModel)
+{
+    const Mapping2DCase &p = GetParam();
+    const auto spec = ConvLayerSpec::make(p.name, p.in_maps, p.out_maps,
+                                          p.out_size, p.kernel,
+                                          p.stride);
+    Mapping2DConfig cfg;
+    cfg.rows = p.rows;
+    cfg.cols = p.cols;
+
+    Rng rng(0x2d + p.out_size * 3 + p.kernel);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+
+    Mapping2DArraySim sim(cfg);
+    LayerResult sim_result;
+    const Tensor3<> out =
+        sim.runLayer(spec, input, kernels, &sim_result);
+
+    EXPECT_EQ(out, goldenConv(spec, input, kernels));
+
+    const LayerResult model_result = Mapping2DModel(cfg).runLayer(spec);
+    EXPECT_EQ(sim_result.cycles, model_result.cycles);
+    EXPECT_EQ(sim_result.fillCycles, model_result.fillCycles);
+    EXPECT_EQ(sim_result.activeMacCycles,
+              model_result.activeMacCycles);
+    EXPECT_EQ(sim_result.traffic, model_result.traffic);
+    EXPECT_EQ(sim_result.localStoreReads,
+              model_result.localStoreReads);
+    EXPECT_EQ(sim_result.localStoreWrites,
+              model_result.localStoreWrites);
+    EXPECT_EQ(sim_result.dram, model_result.dram);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayerGrid, Mapping2DSweep,
+    ::testing::Values(
+        Mapping2DCase{"tiny", 1, 1, 2, 2, 1, 2, 2},
+        Mapping2DCase{"exact_block", 1, 1, 8, 3, 1, 8, 8},
+        Mapping2DCase{"ragged_blocks", 2, 3, 10, 3, 1, 4, 4},
+        Mapping2DCase{"lenet_c1", 1, 6, 28, 5, 1, 16, 16},
+        Mapping2DCase{"lenet_c3", 6, 16, 10, 5, 1, 16, 16},
+        Mapping2DCase{"array_bigger_than_map", 3, 2, 5, 3, 1, 9, 9},
+        Mapping2DCase{"tall_array", 2, 2, 9, 4, 1, 6, 3},
+        Mapping2DCase{"wide_array", 2, 2, 9, 4, 1, 3, 6},
+        Mapping2DCase{"strided", 3, 4, 6, 5, 2, 4, 4},
+        Mapping2DCase{"strided_large", 1, 2, 7, 4, 3, 5, 5}),
+    [](const ::testing::TestParamInfo<Mapping2DCase> &param_info) {
+        return param_info.param.name;
+    });
+
+TEST(Mapping2DSimTest, MismatchedTensorsCaught)
+{
+    logging_detail::setThrowOnError(true);
+    Mapping2DArraySim sim;
+    const auto spec = ConvLayerSpec::make("C1", 1, 6, 28, 5);
+    Rng rng(2);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> wrong = makeRandomKernels(rng, 6, 1, 3);
+    EXPECT_THROW(sim.runLayer(spec, input, wrong),
+                 std::runtime_error);
+    logging_detail::setThrowOnError(false);
+}
+
+TEST(Mapping2DSimTest, UtilizationDropsOnSmallMaps)
+{
+    // Fig. 15's 2D-Mapping weakness: later layers smaller than the
+    // array waste PEs.
+    Mapping2DConfig cfg = Mapping2DConfig::forScale(16);
+    Mapping2DArraySim sim(cfg);
+    const auto small = ConvLayerSpec::make("small", 2, 2, 6, 3);
+    Rng rng(5);
+    const Tensor3<> input = makeRandomInput(rng, small);
+    const Tensor4<> kernels = makeRandomKernels(rng, small);
+    LayerResult r;
+    sim.runLayer(small, input, kernels, &r);
+    EXPECT_NEAR(r.utilization(), 36.0 / 256.0, 1e-9);
+}
+
+} // namespace
+} // namespace flexsim

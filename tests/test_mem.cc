@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: FIFO, local store, banked SRAM
+ * buffer, external memory, and traffic records.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "mem/external_memory.hh"
+#include "mem/fifo.hh"
+#include "mem/local_store.hh"
+#include "mem/sram_buffer.hh"
+#include "mem/traffic.hh"
+
+namespace flexsim {
+namespace {
+
+class MemTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { logging_detail::setThrowOnError(true); }
+    void TearDown() override { logging_detail::setThrowOnError(false); }
+};
+
+// -------------------------------------------------------------------- fifo
+
+TEST_F(MemTest, FifoOrdering)
+{
+    Fifo<int> fifo;
+    fifo.push(1);
+    fifo.push(2);
+    fifo.push(3);
+    EXPECT_EQ(fifo.pop(), 1);
+    EXPECT_EQ(fifo.pop(), 2);
+    EXPECT_EQ(fifo.front(), 3);
+    EXPECT_EQ(fifo.pop(), 3);
+    EXPECT_TRUE(fifo.empty());
+}
+
+TEST_F(MemTest, FifoCapacityEnforced)
+{
+    Fifo<int> fifo(2);
+    fifo.push(1);
+    fifo.push(2);
+    EXPECT_TRUE(fifo.full());
+    EXPECT_THROW(fifo.push(3), std::runtime_error);
+}
+
+TEST_F(MemTest, FifoUnderflowCaught)
+{
+    Fifo<int> fifo;
+    EXPECT_THROW(fifo.pop(), std::runtime_error);
+    EXPECT_THROW(fifo.front(), std::runtime_error);
+}
+
+TEST_F(MemTest, FifoCounters)
+{
+    Fifo<int> fifo;
+    fifo.push(1);
+    fifo.push(2);
+    fifo.pop();
+    fifo.push(3);
+    fifo.push(4);
+    EXPECT_EQ(fifo.pushes(), 4u);
+    EXPECT_EQ(fifo.pops(), 1u);
+    EXPECT_EQ(fifo.peakOccupancy(), 3u);
+}
+
+TEST_F(MemTest, FifoClear)
+{
+    Fifo<int> fifo;
+    fifo.push(1);
+    fifo.clear();
+    EXPECT_TRUE(fifo.empty());
+}
+
+// ------------------------------------------------------------- local store
+
+TEST_F(MemTest, LocalStoreReadBack)
+{
+    LocalStore store(8);
+    store.write(3, Fixed16::fromDouble(1.5));
+    EXPECT_DOUBLE_EQ(store.read(3).toDouble(), 1.5);
+    EXPECT_EQ(store.reads(), 1u);
+    EXPECT_EQ(store.writes(), 1u);
+}
+
+TEST_F(MemTest, LocalStoreRandomAccess)
+{
+    // Unlike a FIFO, any valid slot can be read repeatedly in any
+    // order (the paper's key PE difference, Section 4.4).
+    LocalStore store(4);
+    store.write(0, Fixed16::fromDouble(1.0));
+    store.write(2, Fixed16::fromDouble(2.0));
+    EXPECT_DOUBLE_EQ(store.read(2).toDouble(), 2.0);
+    EXPECT_DOUBLE_EQ(store.read(0).toDouble(), 1.0);
+    EXPECT_DOUBLE_EQ(store.read(2).toDouble(), 2.0);
+    EXPECT_EQ(store.reads(), 3u);
+}
+
+TEST_F(MemTest, LocalStoreInvalidReadCaught)
+{
+    LocalStore store(4);
+    EXPECT_THROW(store.read(1), std::runtime_error);
+}
+
+TEST_F(MemTest, LocalStoreCapacityEnforced)
+{
+    LocalStore store(2);
+    EXPECT_THROW(store.write(2, Fixed16{}), std::runtime_error);
+    EXPECT_THROW(store.read(5), std::runtime_error);
+}
+
+TEST_F(MemTest, LocalStoreInvalidate)
+{
+    LocalStore store(4);
+    store.write(1, Fixed16::fromDouble(1.0));
+    EXPECT_TRUE(store.valid(1));
+    store.invalidateAll();
+    EXPECT_FALSE(store.valid(1));
+    EXPECT_THROW(store.read(1), std::runtime_error);
+}
+
+TEST_F(MemTest, LocalStorePeakOccupancy)
+{
+    LocalStore store(4);
+    store.write(0, Fixed16{});
+    store.write(1, Fixed16{});
+    store.write(1, Fixed16{}); // rewrite, no occupancy change
+    EXPECT_EQ(store.peakValid(), 2u);
+    store.invalidateAll();
+    store.write(2, Fixed16{});
+    EXPECT_EQ(store.peakValid(), 2u);
+}
+
+TEST_F(MemTest, LocalStoreCounterReset)
+{
+    LocalStore store(4);
+    store.write(0, Fixed16{});
+    store.read(0);
+    store.resetCounters();
+    EXPECT_EQ(store.reads(), 0u);
+    EXPECT_EQ(store.writes(), 0u);
+}
+
+// ------------------------------------------------------------- sram buffer
+
+TEST_F(MemTest, BufferGeometry)
+{
+    SramBuffer buf("neuron", 32 * 1024, 16);
+    EXPECT_EQ(buf.numBanks(), 16u);
+    EXPECT_EQ(buf.capacityWords(), 16u * 1024);
+    EXPECT_EQ(buf.wordsPerBank(), 1024u);
+    EXPECT_EQ(buf.capacityBytes(), 32u * 1024);
+}
+
+TEST_F(MemTest, BufferReadBack)
+{
+    SramBuffer buf("b", 1024, 4);
+    buf.write(2, 7, Fixed16::fromDouble(-2.5));
+    EXPECT_DOUBLE_EQ(buf.read(2, 7).toDouble(), -2.5);
+    EXPECT_EQ(buf.reads(), 1u);
+    EXPECT_EQ(buf.writes(), 1u);
+}
+
+TEST_F(MemTest, BufferInvalidReadCaught)
+{
+    SramBuffer buf("b", 1024, 4);
+    EXPECT_THROW(buf.read(0, 0), std::runtime_error);
+}
+
+TEST_F(MemTest, BufferBoundsChecked)
+{
+    SramBuffer buf("b", 1024, 4);
+    EXPECT_THROW(buf.write(4, 0, Fixed16{}), std::runtime_error);
+    EXPECT_THROW(buf.write(0, 128, Fixed16{}), std::runtime_error);
+}
+
+TEST_F(MemTest, BufferBankConflictAccounting)
+{
+    SramBuffer buf("b", 1024, 4);
+    buf.write(0, 0, Fixed16{});
+    buf.write(1, 0, Fixed16{});
+    buf.beginCycle();
+    // Parallel accesses to distinct banks: no conflict.
+    buf.read(0, 0);
+    buf.read(1, 0);
+    EXPECT_EQ(buf.bankConflicts(), 0u);
+    // Second access to bank 0 in the same cycle: conflict.
+    buf.read(0, 0);
+    EXPECT_EQ(buf.bankConflicts(), 1u);
+    buf.beginCycle();
+    buf.read(0, 0);
+    EXPECT_EQ(buf.bankConflicts(), 1u);
+}
+
+TEST_F(MemTest, BufferInvalidateAll)
+{
+    SramBuffer buf("b", 1024, 4);
+    buf.write(1, 1, Fixed16{});
+    EXPECT_TRUE(buf.valid(1, 1));
+    buf.invalidateAll();
+    EXPECT_FALSE(buf.valid(1, 1));
+}
+
+TEST_F(MemTest, BufferCounterReset)
+{
+    SramBuffer buf("b", 1024, 4);
+    buf.write(0, 0, Fixed16{});
+    buf.read(0, 0);
+    buf.read(0, 0);
+    buf.resetCounters();
+    EXPECT_EQ(buf.reads(), 0u);
+    EXPECT_EQ(buf.writes(), 0u);
+    EXPECT_EQ(buf.bankConflicts(), 0u);
+}
+
+// --------------------------------------------------------- external memory
+
+TEST_F(MemTest, DramCounters)
+{
+    ExternalMemory dram(4.0);
+    dram.recordRead(100);
+    dram.recordWrite(40);
+    dram.recordRead(10);
+    EXPECT_EQ(dram.traffic().reads, 110u);
+    EXPECT_EQ(dram.traffic().writes, 40u);
+    EXPECT_EQ(dram.traffic().total(), 150u);
+}
+
+TEST_F(MemTest, DramTransferCycles)
+{
+    ExternalMemory dram(4.0);
+    EXPECT_EQ(dram.transferCycles(16), 4u);
+    EXPECT_EQ(dram.transferCycles(17), 5u);
+    dram.recordRead(8);
+    dram.recordWrite(8);
+    EXPECT_EQ(dram.totalTransferCycles(), 4u);
+}
+
+TEST_F(MemTest, DramReset)
+{
+    ExternalMemory dram;
+    dram.recordRead(5);
+    dram.resetCounters();
+    EXPECT_EQ(dram.traffic().total(), 0u);
+}
+
+// ----------------------------------------------------------------- traffic
+
+TEST_F(MemTest, TrafficTotals)
+{
+    Traffic t;
+    t.neuronIn = 10;
+    t.neuronOut = 5;
+    t.kernelIn = 3;
+    t.psumRead = 2;
+    t.psumWrite = 2;
+    EXPECT_EQ(t.total(), 22u);
+}
+
+TEST_F(MemTest, TrafficAccumulation)
+{
+    Traffic a, b;
+    a.neuronIn = 1;
+    a.kernelIn = 2;
+    b.neuronIn = 10;
+    b.psumWrite = 4;
+    a += b;
+    EXPECT_EQ(a.neuronIn, 11u);
+    EXPECT_EQ(a.kernelIn, 2u);
+    EXPECT_EQ(a.psumWrite, 4u);
+}
+
+} // namespace
+} // namespace flexsim

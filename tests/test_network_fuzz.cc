@@ -1,0 +1,252 @@
+/**
+ * @file
+ * End-to-end randomized network tests: random multi-layer CONV/POOL
+ * chains are compiled, executed instruction-by-instruction on the
+ * cycle-level accelerator, and verified bit-exactly against golden
+ * inference.  Also validates the compiler's chain DP against brute
+ * force on two-layer networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.hh"
+#include "compiler/compiler.hh"
+#include "flexflow/accelerator.hh"
+#include "nn/golden.hh"
+#include "nn/tensor_init.hh"
+
+namespace flexsim {
+namespace {
+
+/** A random but chain-consistent CONV/POOL network. */
+NetworkSpec
+randomNetwork(Rng &rng)
+{
+    NetworkSpec net;
+    net.name = "fuzznet";
+    const int layers = static_cast<int>(rng.uniformInt(2, 4));
+    int maps = static_cast<int>(rng.uniformInt(1, 4));
+    // Work backwards from a generous first input so deeper layers
+    // still have room.
+    int available = static_cast<int>(rng.uniformInt(14, 24));
+    for (int i = 0; i < layers; ++i) {
+        const int kernel = static_cast<int>(
+            rng.uniformInt(2, std::min(4, available - 1)));
+        const int max_out = available - kernel + 1;
+        if (max_out < 1)
+            break;
+        const int out_size = static_cast<int>(rng.uniformInt(
+            std::max(1, max_out / 2), max_out));
+        const int out_maps = static_cast<int>(rng.uniformInt(1, 6));
+        NetworkSpec::Stage stage;
+        stage.conv = ConvLayerSpec::make(
+            "L" + std::to_string(i), maps, out_maps, out_size, kernel);
+        int next_available = out_size;
+        if (out_size >= 4 && rng.chance(0.5)) {
+            PoolLayerSpec pool;
+            pool.window = 2;
+            pool.stride = 2;
+            pool.op = rng.chance(0.5) ? PoolOp::Max : PoolOp::Average;
+            stage.poolAfter = pool;
+            next_available = pooledSize(out_size, pool);
+        }
+        net.stages.push_back(stage);
+        maps = out_maps;
+        available = next_available;
+        if (available < 3)
+            break;
+    }
+    net.validate();
+    return net;
+}
+
+class NetworkFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NetworkFuzz, CompiledNetworkMatchesGoldenInference)
+{
+    Rng rng(0xae7 + 0x1000 * GetParam());
+    const NetworkSpec net = randomNetwork(rng);
+
+    FlexFlowCompiler compiler(FlexFlowConfig::forScale(8));
+    const CompilationResult compiled = compiler.compile(net);
+
+    const Tensor3<> input = makeRandomInput(rng, net.stages[0].conv);
+    std::vector<Tensor4<>> kernels;
+    for (const auto &stage : net.stages)
+        kernels.push_back(makeRandomKernels(rng, stage.conv));
+
+    FlexFlowAccelerator accel(FlexFlowConfig::forScale(8));
+    accel.bindInput(input);
+    accel.bindKernels(kernels);
+    NetworkResult result;
+    const Tensor3<> out = accel.run(compiled.program, &result);
+
+    Tensor3<> golden = input;
+    for (std::size_t i = 0; i < net.stages.size(); ++i) {
+        golden = cropTopLeft(golden, net.stages[i].conv.inSize);
+        golden = goldenConv(net.stages[i].conv, golden, kernels[i]);
+        if (net.stages[i].poolAfter)
+            golden = goldenPool(golden, *net.stages[i].poolAfter);
+    }
+    EXPECT_EQ(out, golden) << net.stages.size() << "-layer net, seed "
+                           << GetParam();
+    EXPECT_EQ(result.layers.size(), net.stages.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFuzz, ::testing::Range(0, 15));
+
+// ------------------------------------------------- chain DP optimality
+
+/** Re-derive the DP's cost model for an independent brute force. */
+struct ChainCost
+{
+    static long long
+    steps(const ConvLayerSpec &spec, int tn, int ti, int tj)
+    {
+        return ceilDiv(spec.inMaps, tn) * ceilDiv(spec.kernel, ti) *
+               ceilDiv(spec.kernel, tj);
+    }
+
+    static long long
+    batches(const ConvLayerSpec &spec, int tm, int tr, int tc)
+    {
+        return ceilDiv(spec.outMaps, tm) *
+               ceilDiv(spec.outSize, tr) * ceilDiv(spec.outSize, tc);
+    }
+};
+
+TEST(ChainDpTest, MatchesBruteForceOnTwoLayerNetworks)
+{
+    // For every two-layer workload-like network: enumerate all
+    // feasible (factors1, factors2) pairs under the DP's rules
+    // (margin-filtered row sides; coupled column side, or the free
+    // optimum plus a relayout penalty) and check the compiler's total
+    // cost is the minimum.
+    Rng rng(0xd9);
+    for (int iter = 0; iter < 6; ++iter) {
+        NetworkSpec net;
+        net.name = "dp";
+        const int maps0 = static_cast<int>(rng.uniformInt(1, 4));
+        const int maps1 = static_cast<int>(rng.uniformInt(2, 8));
+        net.stages.push_back(
+            {ConvLayerSpec::make(
+                 "A", maps0, maps1,
+                 static_cast<int>(rng.uniformInt(6, 12)),
+                 static_cast<int>(rng.uniformInt(2, 4))),
+             std::nullopt});
+        const int s1 = net.stages[0].conv.outSize;
+        const int k1 = static_cast<int>(
+            rng.uniformInt(2, std::min(4, s1 - 1)));
+        net.stages.push_back(
+            {ConvLayerSpec::make(
+                 "B", maps1,
+                 static_cast<int>(rng.uniformInt(1, 6)),
+                 s1 - k1 + 1, k1),
+             std::nullopt});
+        net.validate();
+
+        const int d = 8;
+        const double margin = 0.15;
+        FlexFlowCompiler compiler(FlexFlowConfig::forScale(d), margin);
+        const CompilationResult compiled = compiler.compile(net);
+
+        // Compiler's achieved cost under the DP's cost model.
+        auto costOf = [&](const UnrollFactors &t0,
+                          const UnrollFactors &t1, bool coupled) {
+            long long cost =
+                ChainCost::batches(net.stages[0].conv, t0.tm, t0.tr,
+                                   t0.tc) *
+                    ChainCost::steps(net.stages[0].conv, t0.tn, t0.ti,
+                                     t0.tj) +
+                ChainCost::batches(net.stages[1].conv, t1.tm, t1.tr,
+                                   t1.tc) *
+                    ChainCost::steps(net.stages[1].conv, t1.tn, t1.ti,
+                                     t1.tj);
+            if (!coupled) {
+                cost += static_cast<long long>(
+                    net.stages[1].conv.inputWords());
+            }
+            return cost;
+        };
+        const long long dp_cost =
+            costOf(compiled.layers[0].factors,
+                   compiled.layers[1].factors,
+                   compiled.layers[1].coupled);
+
+        // Brute force over all feasible assignments respecting the
+        // layer-0 free column side (the DP fixes it to the Ur
+        // optimum, so only compare chains with the same layer-0 Ur).
+        const ConvLayerSpec &l0 = net.stages[0].conv;
+        const ConvLayerSpec &l1 = net.stages[1].conv;
+        const FactorChoice free0 = searchBestFactors(l0, d);
+        const FactorChoice free1 = searchBestFactors(l1, d);
+        const long long free1_steps = ChainCost::steps(
+            l1, free1.factors.tn, free1.factors.ti, free1.factors.tj);
+
+        // Layer 0's Tr/Tc are bounded by P * K' of the next layer
+        // (Section 5), exactly as the compiler bounds them.
+        const int bound0 =
+            std::min(l0.outSize,
+                     net.poolWindowAfter(0) * *net.nextKernel(0));
+        const auto rows0 = enumerateFeasible(l0, d, bound0);
+        const auto rows1 = enumerateFeasible(l1, d, l1.outSize);
+        double best_uc0 = 0.0, best_uc1 = 0.0;
+        for (const UnrollFactors &r : rows0)
+            best_uc0 = std::max(best_uc0, utilizationCols(r, l0, d));
+        for (const UnrollFactors &r : rows1)
+            best_uc1 = std::max(best_uc1, utilizationCols(r, l1, d));
+
+        long long best = std::numeric_limits<long long>::max();
+        for (const UnrollFactors &r0 : rows0) {
+            // The DP only considers margin-qualified row sides.
+            if (utilizationCols(r0, l0, d) + 1e-12 <
+                best_uc0 * (1.0 - margin)) {
+                continue;
+            }
+            UnrollFactors t0 = r0;
+            t0.tn = free0.factors.tn;
+            t0.ti = free0.factors.ti;
+            t0.tj = free0.factors.tj;
+            if (!feasible(t0, l0, d, bound0))
+                continue;
+            for (const UnrollFactors &r1 : rows1) {
+                if (utilizationCols(r1, l1, d) + 1e-12 <
+                    best_uc1 * (1.0 - margin)) {
+                    continue;
+                }
+                // Coupled option.
+                UnrollFactors c1 = r1;
+                c1.tn = std::min(t0.tm, l1.inMaps);
+                c1.ti = std::min(t0.tr, l1.kernel);
+                c1.tj = std::min(t0.tc, l1.kernel);
+                if (feasible(c1, l1, d, l1.outSize) &&
+                    static_cast<double>(ChainCost::steps(
+                        l1, c1.tn, c1.ti, c1.tj)) <=
+                        static_cast<double>(free1_steps) *
+                                (1.0 + margin) +
+                            1e-9) {
+                    best = std::min(best, costOf(t0, c1, true));
+                }
+                // Free option.
+                UnrollFactors f1 = r1;
+                f1.tn = free1.factors.tn;
+                f1.ti = free1.factors.ti;
+                f1.tj = free1.factors.tj;
+                if (feasible(f1, l1, d, l1.outSize))
+                    best = std::min(best, costOf(t0, f1, false));
+            }
+        }
+        EXPECT_EQ(dp_cost, best)
+            << "iter " << iter << " net A" << l0.inMaps << "->"
+            << l0.outMaps << "@" << l0.outSize << "k" << l0.kernel
+            << " B->" << l1.outMaps << "@" << l1.outSize << "k"
+            << l1.kernel;
+    }
+}
+
+} // namespace
+} // namespace flexsim

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Unit tests for the nn substrate: Q7.8 fixed point, tensors, layer
+ * specs, the six Table-1 workloads, and the golden CONV/POOL
+ * references.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/fixed_point.hh"
+#include "nn/golden.hh"
+#include "nn/layer_spec.hh"
+#include "nn/tensor.hh"
+#include "nn/tensor_init.hh"
+#include "nn/workloads.hh"
+
+namespace flexsim {
+namespace {
+
+// ------------------------------------------------------------- fixed point
+
+TEST(FixedPointTest, RoundTripExactValues)
+{
+    for (double v : {0.0, 1.0, -1.0, 0.5, -0.25, 127.0, -128.0}) {
+        EXPECT_DOUBLE_EQ(Fixed16::fromDouble(v).toDouble(), v);
+    }
+}
+
+TEST(FixedPointTest, QuantizationError)
+{
+    // Any representable-range double lands within half an LSB.
+    for (double v : {0.1, -0.37, 3.14159, -99.99}) {
+        EXPECT_NEAR(Fixed16::fromDouble(v).toDouble(), v,
+                    0.5 / Fixed16::scale + 1e-12);
+    }
+}
+
+TEST(FixedPointTest, SaturationOnConstruction)
+{
+    EXPECT_EQ(Fixed16::fromDouble(1000.0).raw(), 32767);
+    EXPECT_EQ(Fixed16::fromDouble(-1000.0).raw(), -32768);
+}
+
+TEST(FixedPointTest, AdditionSaturates)
+{
+    const Fixed16 big = Fixed16::fromRaw(32000);
+    EXPECT_EQ((big + big).raw(), 32767);
+    const Fixed16 small = Fixed16::fromRaw(-32000);
+    EXPECT_EQ((small + small).raw(), -32768);
+}
+
+TEST(FixedPointTest, SubtractionMatchesDoubles)
+{
+    const Fixed16 a = Fixed16::fromDouble(2.5);
+    const Fixed16 b = Fixed16::fromDouble(1.25);
+    EXPECT_DOUBLE_EQ((a - b).toDouble(), 1.25);
+}
+
+TEST(FixedPointTest, MulRawIsExactProduct)
+{
+    const Fixed16 a = Fixed16::fromDouble(1.5);  // 384 raw
+    const Fixed16 b = Fixed16::fromDouble(-2.0); // -512 raw
+    EXPECT_EQ(mulRaw(a, b), static_cast<Acc>(384) * -512);
+}
+
+TEST(FixedPointTest, QuantizeAccRoundsToNearest)
+{
+    // 1.5 * 2.0 = 3.0 exactly representable.
+    const Acc acc = mulRaw(Fixed16::fromDouble(1.5),
+                           Fixed16::fromDouble(2.0));
+    EXPECT_DOUBLE_EQ(quantizeAcc(acc).toDouble(), 3.0);
+}
+
+TEST(FixedPointTest, QuantizeAccSymmetricRounding)
+{
+    // +0.5 LSB and -0.5 LSB round away from zero symmetrically.
+    const Acc half = Acc{1} << (Fixed16::fracBits - 1);
+    EXPECT_EQ(quantizeAcc(half).raw(), 1);
+    EXPECT_EQ(quantizeAcc(-half).raw(), -1);
+}
+
+TEST(FixedPointTest, QuantizeAccSaturates)
+{
+    const Acc huge = Acc{1} << 40;
+    EXPECT_EQ(quantizeAcc(huge).raw(), 32767);
+    EXPECT_EQ(quantizeAcc(-huge).raw(), -32768);
+}
+
+TEST(FixedPointTest, ComparisonOperators)
+{
+    EXPECT_TRUE(Fixed16::fromDouble(-1.0) < Fixed16::fromDouble(1.0));
+    EXPECT_EQ(Fixed16::fromDouble(0.5), Fixed16::fromDouble(0.5));
+}
+
+// ----------------------------------------------------------------- tensors
+
+TEST(TensorTest, Tensor3Dimensions)
+{
+    Tensor3<> t(3, 4, 5);
+    EXPECT_EQ(t.maps(), 3);
+    EXPECT_EQ(t.height(), 4);
+    EXPECT_EQ(t.width(), 5);
+    EXPECT_EQ(t.size(), 60u);
+}
+
+TEST(TensorTest, Tensor3ZeroInitialized)
+{
+    Tensor3<> t(2, 2, 2);
+    EXPECT_EQ(t.at(1, 1, 1).raw(), 0);
+}
+
+TEST(TensorTest, Tensor3ReadWrite)
+{
+    Tensor3<> t(2, 3, 3);
+    t.at(1, 2, 0) = Fixed16::fromDouble(1.5);
+    EXPECT_DOUBLE_EQ(t.at(1, 2, 0).toDouble(), 1.5);
+    EXPECT_EQ(t.at(0, 2, 0).raw(), 0);
+}
+
+TEST(TensorTest, Tensor3BoundsChecked)
+{
+    logging_detail::setThrowOnError(true);
+    Tensor3<> t(1, 2, 2);
+    EXPECT_THROW(t.at(0, 2, 0), std::runtime_error);
+    EXPECT_THROW(t.at(1, 0, 0), std::runtime_error);
+    EXPECT_THROW(t.at(0, 0, -1), std::runtime_error);
+    logging_detail::setThrowOnError(false);
+}
+
+TEST(TensorTest, Tensor3Contains)
+{
+    Tensor3<> t(1, 2, 2);
+    EXPECT_TRUE(t.contains(0, 1, 1));
+    EXPECT_FALSE(t.contains(0, 2, 0));
+    EXPECT_FALSE(t.contains(-1, 0, 0));
+}
+
+TEST(TensorTest, Tensor4ReadWriteAndBounds)
+{
+    logging_detail::setThrowOnError(true);
+    Tensor4<> t(2, 3, 4, 4);
+    t.at(1, 2, 3, 3) = Fixed16::fromDouble(-2.0);
+    EXPECT_DOUBLE_EQ(t.at(1, 2, 3, 3).toDouble(), -2.0);
+    EXPECT_EQ(t.size(), 2u * 3 * 4 * 4);
+    EXPECT_THROW(t.at(2, 0, 0, 0), std::runtime_error);
+    EXPECT_THROW(t.at(0, 0, 4, 0), std::runtime_error);
+    logging_detail::setThrowOnError(false);
+}
+
+TEST(TensorTest, EqualityComparison)
+{
+    Tensor3<> a(1, 2, 2), b(1, 2, 2);
+    EXPECT_EQ(a, b);
+    b.at(0, 0, 0) = Fixed16::fromDouble(1.0);
+    EXPECT_NE(a, b);
+}
+
+// -------------------------------------------------------------- layer spec
+
+TEST(LayerSpecTest, MakeDerivesInputSize)
+{
+    const auto spec = ConvLayerSpec::make("C1", 1, 6, 28, 5);
+    EXPECT_EQ(spec.inSize, 32);
+    const auto strided = ConvLayerSpec::make("S", 3, 48, 55, 11, 4);
+    EXPECT_EQ(strided.inSize, (55 - 1) * 4 + 11);
+}
+
+TEST(LayerSpecTest, MacCount)
+{
+    const auto spec = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    EXPECT_EQ(spec.macs(), 16ull * 6 * 10 * 10 * 5 * 5);
+}
+
+TEST(LayerSpecTest, WordCounts)
+{
+    const auto spec = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    EXPECT_EQ(spec.inputWords(), 6ull * 14 * 14);
+    EXPECT_EQ(spec.kernelWords(), 16ull * 6 * 5 * 5);
+    EXPECT_EQ(spec.outputWords(), 16ull * 10 * 10);
+}
+
+TEST(LayerSpecTest, ValidateRejectsBadSpecs)
+{
+    logging_detail::setThrowOnError(true);
+    ConvLayerSpec bad = ConvLayerSpec::make("ok", 1, 1, 4, 3);
+    bad.inSize = 5; // too small for 4 outputs of a 3x3 kernel
+    EXPECT_THROW(bad.validate(), std::runtime_error);
+    ConvLayerSpec neg = ConvLayerSpec::make("ok", 1, 1, 4, 3);
+    neg.outMaps = 0;
+    EXPECT_THROW(neg.validate(), std::runtime_error);
+    logging_detail::setThrowOnError(false);
+}
+
+TEST(LayerSpecTest, NetworkNextKernelAndPoolWindow)
+{
+    const auto net = workloads::lenet5();
+    ASSERT_EQ(net.stages.size(), 2u);
+    EXPECT_EQ(net.nextKernel(0), std::optional<int>(5));
+    EXPECT_EQ(net.nextKernel(1), std::nullopt);
+    EXPECT_EQ(net.poolWindowAfter(0), 2);
+    EXPECT_EQ(net.poolWindowAfter(1), 1);
+}
+
+// --------------------------------------------------------------- workloads
+
+TEST(WorkloadsTest, AllSixPresent)
+{
+    const auto nets = workloads::all();
+    ASSERT_EQ(nets.size(), 6u);
+    EXPECT_EQ(nets[0].name, "PV");
+    EXPECT_EQ(nets[1].name, "FR");
+    EXPECT_EQ(nets[2].name, "LeNet-5");
+    EXPECT_EQ(nets[3].name, "HG");
+    EXPECT_EQ(nets[4].name, "AlexNet");
+    EXPECT_EQ(nets[5].name, "VGG-11");
+}
+
+TEST(WorkloadsTest, Table1LayerShapes)
+{
+    const auto pv = workloads::pv();
+    ASSERT_EQ(pv.stages.size(), 5u);
+    EXPECT_EQ(pv.stages[0].conv.outMaps, 8);
+    EXPECT_EQ(pv.stages[0].conv.outSize, 45);
+    EXPECT_EQ(pv.stages[0].conv.kernel, 6);
+    EXPECT_EQ(pv.stages[4].conv.outMaps, 6);
+    EXPECT_EQ(pv.stages[4].conv.outSize, 4);
+
+    const auto alex = workloads::alexnet();
+    ASSERT_EQ(alex.stages.size(), 5u);
+    EXPECT_EQ(alex.stages[0].conv.stride, 4);
+    EXPECT_EQ(alex.stages[0].conv.kernel, 11);
+    EXPECT_EQ(alex.stages[2].conv.inMaps, 256);
+}
+
+TEST(WorkloadsTest, AllNetworksValidate)
+{
+    for (const auto &net : workloads::all())
+        EXPECT_NO_THROW(net.validate());
+}
+
+TEST(WorkloadsTest, VggIsLargestByMacs)
+{
+    const auto nets = workloads::all();
+    const MacCount vgg = nets[5].totalMacs();
+    for (std::size_t i = 0; i + 1 < nets.size(); ++i)
+        EXPECT_LT(nets[i].totalMacs(), vgg);
+}
+
+TEST(WorkloadsTest, SmallFourSubset)
+{
+    const auto small = workloads::smallFour();
+    ASSERT_EQ(small.size(), 4u);
+    EXPECT_EQ(small[3].name, "HG");
+}
+
+// ------------------------------------------------------------------ golden
+
+TEST(GoldenConvTest, IdentityKernelCopiesInput)
+{
+    // A 1x1 kernel of value 1.0 reproduces the input map.
+    Rng rng(5);
+    const Tensor3<> in = makeRandomInput(rng, 1, 4);
+    Tensor4<> ker(1, 1, 1, 1);
+    ker.at(0, 0, 0, 0) = Fixed16::fromDouble(1.0);
+    const Tensor3<> out = goldenConv(in, ker, 1);
+    EXPECT_EQ(out, in);
+}
+
+TEST(GoldenConvTest, HandComputedExample)
+{
+    // 2x2 input, 2x2 kernel, single output neuron.
+    Tensor3<> in(1, 2, 2);
+    in.at(0, 0, 0) = Fixed16::fromDouble(1.0);
+    in.at(0, 0, 1) = Fixed16::fromDouble(2.0);
+    in.at(0, 1, 0) = Fixed16::fromDouble(-1.0);
+    in.at(0, 1, 1) = Fixed16::fromDouble(0.5);
+    Tensor4<> ker(1, 1, 2, 2);
+    ker.at(0, 0, 0, 0) = Fixed16::fromDouble(2.0);
+    ker.at(0, 0, 0, 1) = Fixed16::fromDouble(1.0);
+    ker.at(0, 0, 1, 0) = Fixed16::fromDouble(0.5);
+    ker.at(0, 0, 1, 1) = Fixed16::fromDouble(4.0);
+    const Tensor3<> out = goldenConv(in, ker, 1);
+    ASSERT_EQ(out.height(), 1);
+    // 1*2 + 2*1 + (-1)*0.5 + 0.5*4 = 5.5
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 0).toDouble(), 5.5);
+}
+
+TEST(GoldenConvTest, MultiMapAccumulation)
+{
+    // Two identical input maps with 1x1 unit kernels double the value.
+    Tensor3<> in(2, 1, 1);
+    in.at(0, 0, 0) = Fixed16::fromDouble(1.25);
+    in.at(1, 0, 0) = Fixed16::fromDouble(2.0);
+    Tensor4<> ker(1, 2, 1, 1);
+    ker.at(0, 0, 0, 0) = Fixed16::fromDouble(1.0);
+    ker.at(0, 1, 0, 0) = Fixed16::fromDouble(1.0);
+    const Tensor3<> out = goldenConv(in, ker, 1);
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 0).toDouble(), 3.25);
+}
+
+TEST(GoldenConvTest, StrideSelectsPositions)
+{
+    Rng rng(6);
+    const Tensor3<> in = makeRandomInput(rng, 1, 7);
+    const Tensor4<> ker = makeRandomKernels(rng, 1, 1, 3);
+    const Tensor3<> s1 = goldenConv(in, ker, 1);
+    const Tensor3<> s2 = goldenConv(in, ker, 2);
+    ASSERT_EQ(s2.height(), 3);
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c)
+            EXPECT_EQ(s2.at(0, r, c), s1.at(0, 2 * r, 2 * c));
+}
+
+TEST(GoldenConvTest, SpecOverloadChecksShapes)
+{
+    logging_detail::setThrowOnError(true);
+    const auto spec = ConvLayerSpec::make("X", 2, 3, 4, 3);
+    Rng rng(7);
+    const Tensor3<> wrong = makeRandomInput(rng, 1, spec.inSize);
+    const Tensor4<> ker = makeRandomKernels(rng, spec);
+    EXPECT_THROW(goldenConv(spec, wrong, ker), std::runtime_error);
+    logging_detail::setThrowOnError(false);
+}
+
+TEST(GoldenPoolTest, MaxPoolHandExample)
+{
+    Tensor3<> in(1, 2, 2);
+    in.at(0, 0, 0) = Fixed16::fromDouble(1.0);
+    in.at(0, 0, 1) = Fixed16::fromDouble(-3.0);
+    in.at(0, 1, 0) = Fixed16::fromDouble(2.5);
+    in.at(0, 1, 1) = Fixed16::fromDouble(0.0);
+    PoolLayerSpec pool{2, 2, PoolOp::Max};
+    const Tensor3<> out = goldenPool(in, pool);
+    ASSERT_EQ(out.height(), 1);
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 0).toDouble(), 2.5);
+}
+
+TEST(GoldenPoolTest, AveragePoolRounds)
+{
+    Tensor3<> in(1, 2, 2);
+    in.at(0, 0, 0) = Fixed16::fromRaw(1);
+    in.at(0, 0, 1) = Fixed16::fromRaw(2);
+    in.at(0, 1, 0) = Fixed16::fromRaw(3);
+    in.at(0, 1, 1) = Fixed16::fromRaw(4);
+    PoolLayerSpec pool{2, 2, PoolOp::Average};
+    const Tensor3<> out = goldenPool(in, pool);
+    // (1+2+3+4)/4 = 2.5 -> rounds away from zero to 3.
+    EXPECT_EQ(out.at(0, 0, 0).raw(), 3);
+}
+
+TEST(GoldenPoolTest, FloorSemanticsDropPartialWindows)
+{
+    PoolLayerSpec pool{2, 2, PoolOp::Max};
+    EXPECT_EQ(pooledSize(45, pool), 22);
+    EXPECT_EQ(pooledSize(5, pool), 2);
+    EXPECT_EQ(pooledSize(1, pool), 0);
+}
+
+TEST(GoldenPoolTest, PreservesMapCount)
+{
+    Rng rng(8);
+    const Tensor3<> in = makeRandomInput(rng, 3, 6);
+    PoolLayerSpec pool{2, 2, PoolOp::Max};
+    const Tensor3<> out = goldenPool(in, pool);
+    EXPECT_EQ(out.maps(), 3);
+    EXPECT_EQ(out.height(), 3);
+}
+
+// ------------------------------------------------------------- tensor init
+
+TEST(TensorInitTest, Deterministic)
+{
+    Rng a(3), b(3);
+    EXPECT_EQ(makeRandomInput(a, 2, 5), makeRandomInput(b, 2, 5));
+}
+
+TEST(TensorInitTest, ValueRanges)
+{
+    Rng rng(4);
+    const Tensor3<> in = makeRandomInput(rng, 1, 10);
+    for (int r = 0; r < 10; ++r) {
+        for (int c = 0; c < 10; ++c) {
+            const double v = in.at(0, r, c).toDouble();
+            EXPECT_GE(v, -1.01);
+            EXPECT_LE(v, 1.01);
+        }
+    }
+    const Tensor4<> ker = makeRandomKernels(rng, 2, 2, 3);
+    for (int i = 0; i < 3; ++i) {
+        const double v = ker.at(1, 1, i, i).toDouble();
+        EXPECT_GE(v, -0.26);
+        EXPECT_LE(v, 0.26);
+    }
+}
+
+TEST(TensorInitTest, SpecOverloadsMatchShapes)
+{
+    Rng rng(5);
+    const auto spec = ConvLayerSpec::make("X", 3, 4, 6, 3, 2);
+    const Tensor3<> in = makeRandomInput(rng, spec);
+    EXPECT_EQ(in.maps(), 3);
+    EXPECT_EQ(in.height(), spec.inSize);
+    const Tensor4<> ker = makeRandomKernels(rng, spec);
+    EXPECT_EQ(ker.outMaps(), 4);
+    EXPECT_EQ(ker.height(), 3);
+}
+
+} // namespace
+} // namespace flexsim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Golden-value regression pins.
+ *
+ * EXPERIMENTS.md records specific measured numbers for the paper's
+ * tables and figures; this suite pins the headline ones so an
+ * innocent-looking model change that silently shifts the reproduction
+ * fails loudly (and EXPERIMENTS.md gets updated deliberately).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hh"
+#include "energy/area.hh"
+#include "flexflow/flexflow_model.hh"
+#include "mapping2d/mapping2d_model.hh"
+#include "nn/workloads.hh"
+#include "systolic/systolic_model.hh"
+#include "tiling/tiling_model.hh"
+
+namespace flexsim {
+namespace {
+
+double
+networkUtilization(const AcceleratorModel &model, const NetworkSpec &net)
+{
+    double weighted = 0.0, macs = 0.0;
+    for (const auto &stage : net.stages) {
+        const LayerResult r = model.runLayer(stage.conv);
+        weighted += r.utilization() * static_cast<double>(r.macs);
+        macs += static_cast<double>(r.macs);
+    }
+    return weighted / macs;
+}
+
+TEST(RegressionPins, Figure15FlexFlowUtilization)
+{
+    // EXPERIMENTS.md Figure 15 row (percent, +-0.2).
+    const FlexFlowModel ff(FlexFlowConfig::forScale(16));
+    const struct
+    {
+        const char *name;
+        double util;
+    } pins[] = {
+        {"PV", 75.2},      {"FR", 90.5},     {"LeNet-5", 88.6},
+        {"HG", 88.2},      {"AlexNet", 97.5}, {"VGG-11", 99.3},
+    };
+    for (const auto &pin : pins) {
+        for (const auto &net : workloads::all()) {
+            if (net.name != pin.name)
+                continue;
+            EXPECT_NEAR(networkUtilization(ff, net) * 100.0, pin.util,
+                        0.2)
+                << net.name;
+        }
+    }
+}
+
+TEST(RegressionPins, LeNetCompiledSchedule)
+{
+    // The DP compiler's LeNet-5 outcome: the paper's Table-4 C1
+    // factors plus an IADP-coupled C3, 1684 total engine cycles.
+    FlexFlowCompiler compiler;
+    const CompilationResult result =
+        compiler.compile(workloads::lenet5());
+    EXPECT_EQ(result.layers[0].factors,
+              (UnrollFactors{3, 1, 1, 5, 3, 5}));
+    EXPECT_TRUE(result.layers[1].coupled);
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    Cycle total = 0;
+    for (const LayerPlan &plan : result.layers)
+        total += model.runLayer(plan.spec, plan.factors).cycles;
+    EXPECT_EQ(total, 1684u);
+}
+
+TEST(RegressionPins, Table7DramAccPerOp)
+{
+    // EXPERIMENTS.md Table 7: 0.0068 Acc/Op on AlexNet (+-0.0003).
+    FlexFlowCompiler compiler;
+    const auto net = workloads::alexnet();
+    const CompilationResult result = compiler.compile(net);
+    const double acc_per_op =
+        static_cast<double>(result.totalDram().total()) /
+        (2.0 * static_cast<double>(net.totalMacs()));
+    EXPECT_NEAR(acc_per_op, 0.0068, 0.0003);
+}
+
+TEST(RegressionPins, AreaTotals)
+{
+    // Section 6.2.1 calibration (+-0.01 mm^2).
+    const TechParams tech = TechParams::tsmc65();
+    const struct
+    {
+        ArchKind kind;
+        double mm2;
+    } pins[] = {
+        {ArchKind::Systolic, 3.52},
+        {ArchKind::Mapping2D, 3.46},
+        {ArchKind::Tiling, 3.21},
+        {ArchKind::FlexFlow, 3.89},
+    };
+    for (const auto &pin : pins) {
+        EXPECT_NEAR(
+            computeArea(defaultAreaConfig(pin.kind, 16), tech).total(),
+            pin.mm2, 0.01)
+            << archName(pin.kind);
+    }
+}
+
+TEST(RegressionPins, Figure16LeNetGops)
+{
+    // EXPERIMENTS.md Figure 16: LeNet-5 at the 16x16 scale (+-1).
+    const auto net = workloads::lenet5();
+    EXPECT_NEAR(FlexFlowModel(FlexFlowConfig::forScale(16))
+                    .runNetwork(net)
+                    .total()
+                    .gops(),
+                447.0, 1.0);
+    const SystolicModel systolic(SystolicConfig::forScale(16, 6));
+    EXPECT_NEAR(systolic.runNetwork(net).total().gops(), 117.5, 1.0);
+    const Mapping2DModel map(Mapping2DConfig::forScale(16));
+    EXPECT_NEAR(map.runNetwork(net).total().gops(), 204.6, 1.0);
+    const TilingModel tiling(TilingConfig::forScale(16));
+    EXPECT_NEAR(tiling.runNetwork(net).total().gops(), 32.4, 1.0);
+}
+
+TEST(RegressionPins, Figure17FlexFlowTrafficWords)
+{
+    // EXPERIMENTS.md Figure 17 FlexFlow column (exact words).
+    const FlexFlowModel ff(FlexFlowConfig::forScale(16));
+    const struct
+    {
+        const char *name;
+        WordCount words;
+    } pins[] = {
+        {"PV", 45784},
+        {"FR", 7560},
+        {"LeNet-5", 13102},
+        {"HG", 10056},
+        {"AlexNet", 8442863},
+        {"VGG-11", 132440896},
+    };
+    for (const auto &pin : pins) {
+        for (const auto &net : workloads::all()) {
+            if (net.name != pin.name)
+                continue;
+            EXPECT_EQ(ff.runNetwork(net).total().traffic.total(),
+                      pin.words)
+                << net.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace flexsim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the cycle-stepped simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clocked.hh"
+#include "sim/simulator.hh"
+
+namespace flexsim {
+namespace {
+
+/** Counts down to idle; records evaluate/commit interleaving. */
+class Countdown : public Clocked
+{
+  public:
+    Countdown(std::string name, int remaining,
+              std::vector<std::string> *trace = nullptr)
+        : Clocked(std::move(name)), remaining_(remaining),
+          trace_(trace)
+    {
+    }
+
+    void
+    evaluate(Cycle cycle) override
+    {
+        (void)cycle;
+        next_ = remaining_ > 0 ? remaining_ - 1 : 0;
+        if (trace_)
+            trace_->push_back("eval:" + name());
+    }
+
+    void
+    commit(Cycle cycle) override
+    {
+        (void)cycle;
+        remaining_ = next_;
+        if (trace_)
+            trace_->push_back("commit:" + name());
+    }
+
+    bool idle() const override { return remaining_ == 0; }
+
+    int remaining() const { return remaining_; }
+
+  private:
+    int remaining_;
+    int next_ = 0;
+    std::vector<std::string> *trace_;
+};
+
+TEST(CycleSimulatorTest, StepAdvancesTime)
+{
+    CycleSimulator sim;
+    Countdown c("c", 3);
+    sim.add(&c);
+    EXPECT_EQ(sim.now(), 0u);
+    sim.step();
+    EXPECT_EQ(sim.now(), 1u);
+    EXPECT_EQ(c.remaining(), 2);
+}
+
+TEST(CycleSimulatorTest, TwoPhaseOrdering)
+{
+    // All evaluates must precede all commits within one cycle.
+    CycleSimulator sim;
+    std::vector<std::string> trace;
+    Countdown a("a", 1, &trace);
+    Countdown b("b", 1, &trace);
+    sim.add(&a);
+    sim.add(&b);
+    sim.step();
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace[0], "eval:a");
+    EXPECT_EQ(trace[1], "eval:b");
+    EXPECT_EQ(trace[2], "commit:a");
+    EXPECT_EQ(trace[3], "commit:b");
+}
+
+TEST(CycleSimulatorTest, RunExecutesExactCount)
+{
+    CycleSimulator sim;
+    Countdown c("c", 100);
+    sim.add(&c);
+    sim.run(40);
+    EXPECT_EQ(sim.now(), 40u);
+    EXPECT_EQ(c.remaining(), 60);
+}
+
+TEST(CycleSimulatorTest, RunUntilIdleStopsAtQuiesce)
+{
+    CycleSimulator sim;
+    Countdown fast("fast", 2);
+    Countdown slow("slow", 5);
+    sim.add(&fast);
+    sim.add(&slow);
+    const Cycle executed = sim.runUntilIdle(100);
+    EXPECT_EQ(executed, 5u);
+    EXPECT_TRUE(sim.allIdle());
+}
+
+TEST(CycleSimulatorTest, RunUntilIdleRespectsBudget)
+{
+    CycleSimulator sim;
+    Countdown c("c", 1000);
+    sim.add(&c);
+    const Cycle executed = sim.runUntilIdle(10);
+    EXPECT_EQ(executed, 10u);
+    EXPECT_FALSE(sim.allIdle());
+}
+
+TEST(CycleSimulatorTest, EmptySimulatorIsIdle)
+{
+    CycleSimulator sim;
+    EXPECT_TRUE(sim.allIdle());
+    EXPECT_EQ(sim.runUntilIdle(10), 0u);
+}
+
+TEST(CycleSimulatorTest, IdleComponentRunsNoExtraWork)
+{
+    CycleSimulator sim;
+    Countdown c("c", 0);
+    sim.add(&c);
+    EXPECT_TRUE(sim.allIdle());
+    EXPECT_EQ(sim.runUntilIdle(5), 0u);
+}
+
+} // namespace
+} // namespace flexsim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace flexsim {
+namespace {
+
+using statistics::Formula;
+using statistics::Scalar;
+using statistics::StatGroup;
+
+TEST(StatsTest, ScalarAccumulates)
+{
+    StatGroup root("root");
+    Scalar s;
+    s.init(&root, "count", "a counter");
+    s += 2.0;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+}
+
+TEST(StatsTest, ScalarAssignmentOverwrites)
+{
+    StatGroup root("root");
+    Scalar s;
+    s.init(&root, "gauge", "");
+    s = 5.0;
+    s = 1.5;
+    EXPECT_DOUBLE_EQ(s.value(), 1.5);
+}
+
+TEST(StatsTest, ScalarReset)
+{
+    StatGroup root("root");
+    Scalar s;
+    s.init(&root, "count", "");
+    s += 7.0;
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(StatsTest, FormulaEvaluatesLazily)
+{
+    StatGroup root("root");
+    Scalar macs, cycles;
+    macs.init(&root, "macs", "");
+    cycles.init(&root, "cycles", "");
+    Formula util;
+    util.init(&root, "utilization", "", [&] {
+        return cycles.value() > 0 ? macs.value() / cycles.value() : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(util.value(), 0.0);
+    macs += 80.0;
+    cycles += 100.0;
+    EXPECT_DOUBLE_EQ(util.value(), 0.8);
+}
+
+TEST(StatsTest, DumpContainsDottedNamesAndDescriptions)
+{
+    StatGroup root("engine");
+    StatGroup child(&root, "pe0");
+    Scalar s;
+    s.init(&child, "macs", "useful MACs");
+    s += 42.0;
+    std::ostringstream oss;
+    root.dump(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("engine.pe0.macs"), std::string::npos);
+    EXPECT_NE(text.find("useful MACs"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(StatsTest, PathNestsThroughParents)
+{
+    StatGroup root("a");
+    StatGroup mid(&root, "b");
+    StatGroup leaf(&mid, "c");
+    EXPECT_EQ(leaf.path(), "a.b.c");
+}
+
+TEST(StatsTest, ResetAllRecursive)
+{
+    StatGroup root("root");
+    StatGroup child(&root, "sub");
+    Scalar s1, s2;
+    s1.init(&root, "x", "");
+    s2.init(&child, "y", "");
+    s1 += 3;
+    s2 += 4;
+    root.resetAll();
+    EXPECT_DOUBLE_EQ(s1.value(), 0.0);
+    EXPECT_DOUBLE_EQ(s2.value(), 0.0);
+}
+
+TEST(StatsTest, FindScalarByDottedPath)
+{
+    StatGroup root("root");
+    StatGroup child(&root, "sub");
+    Scalar s;
+    s.init(&child, "hits", "");
+    s += 9;
+    const Scalar *found = root.findScalar("sub.hits");
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->value(), 9.0);
+    EXPECT_EQ(root.findScalar("sub.misses"), nullptr);
+    EXPECT_EQ(root.findScalar("nothere.hits"), nullptr);
+}
+
+TEST(StatsTest, FindFormulaByDottedPath)
+{
+    StatGroup root("root");
+    Formula f;
+    f.init(&root, "two", "", [] { return 2.0; });
+    const Formula *found = root.findFormula("two");
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->value(), 2.0);
+    EXPECT_EQ(root.findFormula("three"), nullptr);
+}
+
+TEST(StatsTest, TopLevelScalarLookup)
+{
+    StatGroup root("root");
+    Scalar s;
+    s.init(&root, "direct", "");
+    s += 1;
+    ASSERT_NE(root.findScalar("direct"), nullptr);
+}
+
+} // namespace
+} // namespace flexsim

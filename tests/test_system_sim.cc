@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the dynamic system-level simulation (DMA + compute +
+ * controller on the cycle-stepped kernel).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "compiler/system_sim.hh"
+#include "flexflow/flexflow_model.hh"
+#include "nn/workloads.hh"
+#include "sim/simulator.hh"
+
+namespace flexsim {
+namespace {
+
+// -------------------------------------------------------------- DmaEngine
+
+TEST(DmaEngineTest, ServicesRequestsAtBandwidth)
+{
+    DmaEngine dma(4.0);
+    dma.submit({DmaRequest::Kind::Load, 0, 16});
+    CycleSimulator sim;
+    sim.add(&dma);
+    EXPECT_EQ(sim.runUntilIdle(100), 4u);
+    EXPECT_EQ(dma.loadsComplete(0), 1);
+    EXPECT_EQ(dma.busyCycles(), 4u);
+}
+
+TEST(DmaEngineTest, QueuesInOrderWithCarryover)
+{
+    DmaEngine dma(4.0);
+    dma.submit({DmaRequest::Kind::Load, 0, 6});
+    dma.submit({DmaRequest::Kind::Load, 1, 6});
+    CycleSimulator sim;
+    sim.add(&dma);
+    // 12 words at 4/cycle: 3 cycles total thanks to carryover.
+    EXPECT_EQ(sim.runUntilIdle(100), 3u);
+    EXPECT_EQ(dma.loadsComplete(0), 1);
+    EXPECT_EQ(dma.loadsComplete(1), 1);
+}
+
+TEST(DmaEngineTest, ZeroWordLoadCompletesImmediately)
+{
+    DmaEngine dma(1.0);
+    dma.submit({DmaRequest::Kind::Load, 3, 0});
+    EXPECT_TRUE(dma.idle());
+    EXPECT_EQ(dma.loadsComplete(3), 1);
+}
+
+TEST(DmaEngineTest, FractionalBandwidth)
+{
+    DmaEngine dma(0.5);
+    dma.submit({DmaRequest::Kind::Store, 0, 3});
+    CycleSimulator sim;
+    sim.add(&dma);
+    EXPECT_EQ(sim.runUntilIdle(100), 6u);
+}
+
+// ----------------------------------------------------------- ComputeEngine
+
+TEST(ComputeEngineTest, CountsDownAndCompletes)
+{
+    ComputeEngine engine;
+    EXPECT_TRUE(engine.idle());
+    engine.start(0, 5);
+    CycleSimulator sim;
+    sim.add(&engine);
+    EXPECT_EQ(sim.runUntilIdle(100), 5u);
+    EXPECT_EQ(engine.layersComplete(), 1);
+    EXPECT_EQ(engine.busyCycles(), 5u);
+}
+
+TEST(ComputeEngineTest, StartWhileBusyIsFatal)
+{
+    logging_detail::setThrowOnError(true);
+    ComputeEngine engine;
+    engine.start(0, 5);
+    EXPECT_THROW(engine.start(1, 3), std::runtime_error);
+    logging_detail::setThrowOnError(false);
+}
+
+// ---------------------------------------------------------------- runSystem
+
+class SystemRunTest : public ::testing::Test
+{
+  protected:
+    CompilationResult
+    compiled(const NetworkSpec &net) const
+    {
+        return FlexFlowCompiler(FlexFlowConfig::forScale(16))
+            .compile(net);
+    }
+};
+
+TEST_F(SystemRunTest, OverlapBeatsSerialization)
+{
+    const auto net = workloads::lenet5();
+    const CompilationResult result = compiled(net);
+    const SystemRunResult run =
+        runSystem(result, FlexFlowConfig::forScale(16), 2.0);
+    EXPECT_GT(run.totalCycles, 0u);
+    EXPECT_LE(run.totalCycles, run.serializedCycles);
+    EXPECT_GE(run.overlapSpeedup(), 1.0);
+}
+
+TEST_F(SystemRunTest, BoundsRespectRoofline)
+{
+    // The dynamic run can never beat the compute-only or DMA-only
+    // lower bounds.
+    const auto net = workloads::pv();
+    const CompilationResult result = compiled(net);
+    const double bw = 1.0;
+    const SystemRunResult run =
+        runSystem(result, FlexFlowConfig::forScale(16), bw);
+
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    Cycle compute_total = 0;
+    WordCount dram_total = 0;
+    for (const LayerPlan &plan : result.layers) {
+        compute_total +=
+            model.runLayer(plan.spec, plan.factors).cycles;
+        dram_total += plan.dram.traffic.total();
+    }
+    EXPECT_GE(run.totalCycles, compute_total);
+    EXPECT_GE(run.totalCycles,
+              static_cast<Cycle>(dram_total / bw));
+    EXPECT_EQ(run.computeBusyCycles, compute_total);
+}
+
+TEST_F(SystemRunTest, AmpleBandwidthIsComputeBound)
+{
+    const auto net = workloads::lenet5();
+    const CompilationResult result = compiled(net);
+    const SystemRunResult run =
+        runSystem(result, FlexFlowConfig::forScale(16), 1e6);
+    // Only the first layer's load latency (1 cycle at this bandwidth)
+    // and scheduling skew separate the run from pure compute.
+    EXPECT_LE(run.computeStallCycles, 10u);
+}
+
+TEST_F(SystemRunTest, StarvedBandwidthIsDmaBound)
+{
+    const auto net = workloads::lenet5();
+    const CompilationResult result = compiled(net);
+    const SystemRunResult run =
+        runSystem(result, FlexFlowConfig::forScale(16), 0.05);
+    EXPECT_GT(run.computeStallCycles, run.computeBusyCycles);
+    // The DMA is the bottleneck: it is busy almost the whole run.
+    EXPECT_GT(static_cast<double>(run.dmaBusyCycles),
+              0.9 * static_cast<double>(run.totalCycles));
+}
+
+TEST_F(SystemRunTest, LayerStartsAreMonotone)
+{
+    const auto net = workloads::pv();
+    const CompilationResult result = compiled(net);
+    const SystemRunResult run =
+        runSystem(result, FlexFlowConfig::forScale(16), 2.0);
+    ASSERT_EQ(run.layerStart.size(), result.layers.size());
+    for (std::size_t i = 1; i < run.layerStart.size(); ++i)
+        EXPECT_GT(run.layerStart[i], run.layerStart[i - 1]);
+}
+
+TEST_F(SystemRunTest, BatchPipeliningAmortizesColdStart)
+{
+    // Back-to-back frames prefetch the next frame's data behind the
+    // current one, so per-frame cycles shrink toward steady state.
+    const auto net = workloads::lenet5();
+    const CompilationResult result = compiled(net);
+    const double bw = 2.0;
+    const SystemRunResult one =
+        runSystem(result, FlexFlowConfig::forScale(16), bw);
+    const SystemRunResult eight =
+        runSystemBatch(result, FlexFlowConfig::forScale(16), bw, 8);
+    const double per_frame =
+        static_cast<double>(eight.totalCycles) / 8.0;
+    EXPECT_LT(per_frame, static_cast<double>(one.totalCycles));
+    EXPECT_EQ(eight.layerStart.size(), 8 * result.layers.size());
+}
+
+TEST_F(SystemRunTest, BatchOfOneMatchesSingleRun)
+{
+    const auto net = workloads::hg();
+    const CompilationResult result = compiled(net);
+    const SystemRunResult single =
+        runSystem(result, FlexFlowConfig::forScale(16), 1.0);
+    const SystemRunResult batch =
+        runSystemBatch(result, FlexFlowConfig::forScale(16), 1.0, 1);
+    EXPECT_EQ(single.totalCycles, batch.totalCycles);
+    EXPECT_EQ(single.serializedCycles, batch.serializedCycles);
+}
+
+TEST_F(SystemRunTest, MoreBandwidthNeverSlower)
+{
+    const auto net = workloads::hg();
+    const CompilationResult result = compiled(net);
+    Cycle prev = ~Cycle{0};
+    for (double bw : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+        const SystemRunResult run =
+            runSystem(result, FlexFlowConfig::forScale(16), bw);
+        EXPECT_LE(run.totalCycles, prev) << "bw " << bw;
+        prev = run.totalCycles;
+    }
+}
+
+} // namespace
+} // namespace flexsim

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the Systolic (SFSNMS) baseline: analytic model properties,
+ * cycle-simulator bit-exactness vs the golden convolution, and exact
+ * sim-vs-model agreement across a parameterized layer sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "nn/golden.hh"
+#include "nn/tensor_init.hh"
+#include "systolic/systolic_array.hh"
+#include "systolic/systolic_model.hh"
+
+namespace flexsim {
+namespace {
+
+// ------------------------------------------------------------------- model
+
+TEST(SystolicModelTest, ConfigForScaleMatchesPaper)
+{
+    const SystolicConfig cfg = SystolicConfig::forScale(16, 6);
+    EXPECT_EQ(cfg.numArrays, 7u);
+    EXPECT_EQ(cfg.peCount(), 252u);
+    const SystolicConfig alex = SystolicConfig::forScale(16, 11);
+    EXPECT_EQ(alex.numArrays, 2u);
+}
+
+TEST(SystolicModelTest, PipelineDepth)
+{
+    SystolicConfig cfg;
+    cfg.arrayEdge = 3;
+    const SystolicModel model(cfg);
+    // (Ka-1)*W + Ka
+    EXPECT_EQ(model.pipelineDepth(12), 2u * 12 + 3);
+}
+
+TEST(SystolicModelTest, SubtilePasses)
+{
+    SystolicConfig cfg;
+    cfg.arrayEdge = 6;
+    const SystolicModel model(cfg);
+    EXPECT_EQ(model.subtilePasses(5), 1);
+    EXPECT_EQ(model.subtilePasses(6), 1);
+    EXPECT_EQ(model.subtilePasses(7), 4);
+    EXPECT_EQ(model.subtilePasses(13), 9);
+}
+
+TEST(SystolicModelTest, SpatialUtilizationIsKernelRatio)
+{
+    // For a single-map layer that fills the stream, utilization ~
+    // (K/Ka)^2 scaled by output/input area (Section 3.1 analysis).
+    SystolicConfig cfg;
+    cfg.arrayEdge = 6;
+    cfg.numArrays = 1;
+    const SystolicModel model(cfg);
+    const auto spec = ConvLayerSpec::make("X", 1, 1, 27, 6);
+    const LayerResult r = model.runLayer(spec);
+    const double expected =
+        (27.0 * 27 * 36) / (32.0 * 32 * 36); // S^2 K^2 / (H^2 Ka^2)
+    EXPECT_NEAR(r.utilization(), expected, 1e-12);
+}
+
+TEST(SystolicModelTest, SmallKernelWastesPes)
+{
+    SystolicConfig cfg;
+    cfg.arrayEdge = 6;
+    cfg.numArrays = 1;
+    const SystolicModel model(cfg);
+    const auto k3 = ConvLayerSpec::make("K3", 1, 1, 27, 3);
+    // 3x3 kernel on a 6x6 array: at most 25% spatial utilization.
+    EXPECT_LT(model.runLayer(k3).utilization(), 0.25 + 1e-9);
+}
+
+TEST(SystolicModelTest, FillCyclesHurtPerformanceNotUtilization)
+{
+    const SystolicModel model;
+    const auto spec = ConvLayerSpec::make("C1", 1, 6, 28, 5);
+    const LayerResult r = model.runLayer(spec);
+    EXPECT_GT(r.fillCycles, 0u);
+    // GOPs (which includes fill) is strictly below what the spatial
+    // utilization alone would suggest.
+    const double gops_no_fill =
+        2.0 * r.macs / static_cast<double>(r.cycles - r.fillCycles);
+    EXPECT_LT(r.gops(1.0), gops_no_fill);
+}
+
+TEST(SystolicModelTest, PsumTrafficScalesWithInputMaps)
+{
+    const SystolicModel model;
+    const auto n1 = ConvLayerSpec::make("N1", 1, 4, 10, 5);
+    const auto n4 = ConvLayerSpec::make("N4", 4, 4, 10, 5);
+    EXPECT_EQ(model.runLayer(n1).traffic.psumRead, 0u);
+    EXPECT_EQ(model.runLayer(n4).traffic.psumRead,
+              3u * 4 * 10 * 10);
+}
+
+TEST(SystolicModelTest, KernelTrafficIsOneLoadPerSynapse)
+{
+    const SystolicModel model;
+    const auto spec = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    EXPECT_EQ(model.runLayer(spec).traffic.kernelIn,
+              spec.kernelWords());
+}
+
+// --------------------------------------------------------------- cycle sim
+
+struct SystolicCase
+{
+    const char *name;
+    int in_maps, out_maps, out_size, kernel, stride;
+    int array_edge;
+    unsigned arrays;
+};
+
+class SystolicSweep : public ::testing::TestWithParam<SystolicCase>
+{
+};
+
+TEST_P(SystolicSweep, SimMatchesGoldenAndModel)
+{
+    const SystolicCase &p = GetParam();
+    const auto spec = ConvLayerSpec::make(p.name, p.in_maps, p.out_maps,
+                                          p.out_size, p.kernel,
+                                          p.stride);
+    SystolicConfig cfg;
+    cfg.arrayEdge = p.array_edge;
+    cfg.numArrays = p.arrays;
+
+    Rng rng(0x5e5e + p.out_size);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+
+    SystolicArraySim sim(cfg);
+    LayerResult sim_result;
+    const Tensor3<> out =
+        sim.runLayer(spec, input, kernels, &sim_result);
+
+    // Bit-exact functional equivalence.
+    EXPECT_EQ(out, goldenConv(spec, input, kernels));
+
+    // Exact agreement with the analytic model.
+    const LayerResult model_result = SystolicModel(cfg).runLayer(spec);
+    EXPECT_EQ(sim_result.cycles, model_result.cycles);
+    EXPECT_EQ(sim_result.fillCycles, model_result.fillCycles);
+    EXPECT_EQ(sim_result.activeMacCycles,
+              model_result.activeMacCycles);
+    EXPECT_EQ(sim_result.traffic, model_result.traffic);
+    EXPECT_EQ(sim_result.localStoreReads,
+              model_result.localStoreReads);
+    EXPECT_EQ(sim_result.localStoreWrites,
+              model_result.localStoreWrites);
+    EXPECT_EQ(sim_result.dram, model_result.dram);
+    EXPECT_EQ(sim_result.macs, spec.macs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayerGrid, SystolicSweep,
+    ::testing::Values(
+        SystolicCase{"tiny", 1, 1, 3, 3, 1, 3, 1},
+        SystolicCase{"lenet_c1", 1, 6, 28, 5, 1, 6, 7},
+        SystolicCase{"lenet_c3", 6, 16, 10, 5, 1, 6, 7},
+        SystolicCase{"pv_c3", 8, 12, 20, 3, 1, 6, 7},
+        SystolicCase{"hg_c3", 6, 12, 8, 4, 1, 6, 7},
+        SystolicCase{"kernel_gt_array", 2, 3, 8, 7, 1, 3, 2},
+        SystolicCase{"kernel_eq_array", 1, 2, 6, 4, 1, 4, 1},
+        SystolicCase{"strided", 3, 4, 6, 5, 2, 5, 3},
+        SystolicCase{"strided_big_kernel", 1, 2, 5, 7, 3, 4, 2},
+        SystolicCase{"many_arrays", 2, 9, 7, 3, 1, 3, 4},
+        SystolicCase{"single_output", 2, 1, 4, 3, 1, 3, 1},
+        SystolicCase{"wide", 1, 2, 30, 3, 1, 3, 2}),
+    [](const ::testing::TestParamInfo<SystolicCase> &param_info) {
+        return param_info.param.name;
+    });
+
+TEST(SystolicSimTest, RejectsTinyInputMaps)
+{
+    logging_detail::setThrowOnError(true);
+    SystolicConfig cfg;
+    cfg.arrayEdge = 6;
+    SystolicArraySim sim(cfg);
+    // 3x3 input is smaller than the 6x6 array edge.
+    const auto spec = ConvLayerSpec::make("tiny", 1, 1, 1, 3);
+    Rng rng(1);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    EXPECT_THROW(sim.runLayer(spec, input, kernels),
+                 std::runtime_error);
+    logging_detail::setThrowOnError(false);
+}
+
+TEST(SystolicSimTest, MismatchedTensorsCaught)
+{
+    logging_detail::setThrowOnError(true);
+    SystolicArraySim sim;
+    const auto spec = ConvLayerSpec::make("C1", 1, 6, 28, 5);
+    Rng rng(2);
+    const Tensor3<> wrong = makeRandomInput(rng, 2, spec.inSize);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    EXPECT_THROW(sim.runLayer(spec, wrong, kernels),
+                 std::runtime_error);
+    logging_detail::setThrowOnError(false);
+}
+
+TEST(SystolicSimTest, DeterministicAcrossRuns)
+{
+    const auto spec = ConvLayerSpec::make("C1", 1, 4, 12, 5);
+    Rng rng(3);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    SystolicConfig cfg;
+    cfg.arrayEdge = 5;
+    cfg.numArrays = 2;
+    SystolicArraySim sim(cfg);
+    LayerResult r1, r2;
+    const Tensor3<> o1 = sim.runLayer(spec, input, kernels, &r1);
+    const Tensor3<> o2 = sim.runLayer(spec, input, kernels, &r2);
+    EXPECT_EQ(o1, o2);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.traffic, r2.traffic);
+}
+
+} // namespace
+} // namespace flexsim

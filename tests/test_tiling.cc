@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the Tiling (MFSNSS) baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "nn/golden.hh"
+#include "nn/tensor_init.hh"
+#include "tiling/tiling_array.hh"
+#include "tiling/tiling_model.hh"
+
+namespace flexsim {
+namespace {
+
+// ------------------------------------------------------------------- model
+
+TEST(TilingModelTest, ConfigForScale)
+{
+    const TilingConfig cfg = TilingConfig::forScale(16);
+    EXPECT_EQ(cfg.tm, 16);
+    EXPECT_EQ(cfg.tn, 16);
+    EXPECT_EQ(cfg.peCount(), 256u);
+}
+
+TEST(TilingModelTest, PaperTable3LeNetUtilization)
+{
+    // LeNet-5 "C3 on C1-opt": Tm=6, Tn=1 hardware running C3
+    // (M=16, N=6): 96/108 = 88.9% (paper Table 3 "88").
+    TilingConfig cfg;
+    cfg.tm = 6;
+    cfg.tn = 1;
+    const auto c3 = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    const LayerResult r = TilingModel(cfg).runLayer(c3);
+    EXPECT_NEAR(r.utilization(), 96.0 / 108.0, 1e-9);
+}
+
+TEST(TilingModelTest, PaperTable3LeNetReverseUtilization)
+{
+    // "C1 on C3-opt": Tm=16, Tn=6 hardware running C1 (M=6, N=1):
+    // 6/96 = 6.25% (paper Table 3 "6.2").
+    TilingConfig cfg;
+    cfg.tm = 16;
+    cfg.tn = 6;
+    const auto c1 = ConvLayerSpec::make("C1", 1, 6, 28, 5);
+    const LayerResult r = TilingModel(cfg).runLayer(c1);
+    EXPECT_NEAR(r.utilization(), 6.0 / 96.0, 1e-9);
+}
+
+TEST(TilingModelTest, CyclesFollowGroupedLoops)
+{
+    TilingConfig cfg;
+    cfg.tm = 4;
+    cfg.tn = 2;
+    const auto spec = ConvLayerSpec::make("X", 5, 9, 6, 3);
+    const LayerResult r = TilingModel(cfg).runLayer(spec);
+    // ceil(9/4)*ceil(5/2)*36*9 cycles, no fill.
+    EXPECT_EQ(r.cycles, 3u * 3 * 36 * 9);
+    EXPECT_EQ(r.fillCycles, 0u);
+}
+
+TEST(TilingModelTest, SynapsesRefetchedEveryCycle)
+{
+    // The paper's "poorest data sharing": kernel traffic equals the
+    // MAC count.
+    const auto spec = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    const LayerResult r = TilingModel().runLayer(spec);
+    EXPECT_EQ(r.traffic.kernelIn, r.macs);
+}
+
+TEST(TilingModelTest, HighUtilizationOnManyMaps)
+{
+    // AlexNet C5-like shapes divide evenly: full utilization.
+    const auto spec = ConvLayerSpec::make("C5", 256, 192, 13, 3);
+    const LayerResult r = TilingModel().runLayer(spec);
+    EXPECT_NEAR(r.utilization(), 1.0, 1e-9);
+}
+
+TEST(TilingModelTest, LowUtilizationOnFewMaps)
+{
+    const auto spec = ConvLayerSpec::make("C1", 1, 8, 45, 6);
+    const LayerResult r = TilingModel().runLayer(spec);
+    EXPECT_NEAR(r.utilization(), 8.0 / 256.0, 1e-9);
+}
+
+// --------------------------------------------------------------- cycle sim
+
+struct TilingCase
+{
+    const char *name;
+    int in_maps, out_maps, out_size, kernel, stride;
+    int tm, tn;
+};
+
+class TilingSweep : public ::testing::TestWithParam<TilingCase>
+{
+};
+
+TEST_P(TilingSweep, SimMatchesGoldenAndModel)
+{
+    const TilingCase &p = GetParam();
+    const auto spec = ConvLayerSpec::make(p.name, p.in_maps, p.out_maps,
+                                          p.out_size, p.kernel,
+                                          p.stride);
+    TilingConfig cfg;
+    cfg.tm = p.tm;
+    cfg.tn = p.tn;
+
+    Rng rng(0x7111 + p.out_maps + p.kernel);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+
+    TilingArraySim sim(cfg);
+    LayerResult sim_result;
+    const Tensor3<> out =
+        sim.runLayer(spec, input, kernels, &sim_result);
+
+    EXPECT_EQ(out, goldenConv(spec, input, kernels));
+
+    const LayerResult model_result = TilingModel(cfg).runLayer(spec);
+    EXPECT_EQ(sim_result.cycles, model_result.cycles);
+    EXPECT_EQ(sim_result.fillCycles, model_result.fillCycles);
+    EXPECT_EQ(sim_result.activeMacCycles,
+              model_result.activeMacCycles);
+    EXPECT_EQ(sim_result.traffic, model_result.traffic);
+    EXPECT_EQ(sim_result.localStoreReads,
+              model_result.localStoreReads);
+    EXPECT_EQ(sim_result.localStoreWrites,
+              model_result.localStoreWrites);
+    EXPECT_EQ(sim_result.dram, model_result.dram);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayerGrid, TilingSweep,
+    ::testing::Values(
+        TilingCase{"tiny", 1, 1, 2, 2, 1, 1, 1},
+        TilingCase{"exact_groups", 4, 8, 6, 3, 1, 4, 4},
+        TilingCase{"ragged_m", 2, 7, 6, 3, 1, 4, 2},
+        TilingCase{"ragged_n", 7, 4, 6, 3, 1, 2, 4},
+        TilingCase{"lenet_c1", 1, 6, 28, 5, 1, 16, 16},
+        TilingCase{"lenet_c3", 6, 16, 10, 5, 1, 16, 16},
+        TilingCase{"single_pe", 3, 5, 4, 3, 1, 1, 1},
+        TilingCase{"strided", 3, 4, 6, 5, 2, 4, 3},
+        TilingCase{"deep", 20, 3, 4, 3, 1, 2, 8}),
+    [](const ::testing::TestParamInfo<TilingCase> &param_info) {
+        return param_info.param.name;
+    });
+
+TEST(TilingSimTest, MismatchedTensorsCaught)
+{
+    logging_detail::setThrowOnError(true);
+    TilingArraySim sim;
+    const auto spec = ConvLayerSpec::make("C1", 1, 6, 28, 5);
+    Rng rng(2);
+    const Tensor3<> wrong = makeRandomInput(rng, 2, spec.inSize);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    EXPECT_THROW(sim.runLayer(spec, wrong, kernels),
+                 std::runtime_error);
+    logging_detail::setThrowOnError(false);
+}
+
+TEST(TilingSimTest, AdderTreeMatchesWideAccumulation)
+{
+    // The per-cycle adder-tree reduction must not change the final
+    // fixed-point result vs a flat accumulation order (both use the
+    // wide accumulator).
+    const auto spec = ConvLayerSpec::make("X", 8, 2, 4, 3);
+    Rng rng(9);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    TilingConfig a, b;
+    a.tm = 2;
+    a.tn = 8; // one-shot adder tree over all input maps
+    b.tm = 1;
+    b.tn = 1; // fully sequential accumulation
+    const Tensor3<> out_a =
+        TilingArraySim(a).runLayer(spec, input, kernels);
+    const Tensor3<> out_b =
+        TilingArraySim(b).runLayer(spec, input, kernels);
+    EXPECT_EQ(out_a, out_b);
+}
+
+} // namespace
+} // namespace flexsim

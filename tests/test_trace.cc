@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the debug-trace infrastructure and its integration points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/trace.hh"
+#include "compiler/compiler.hh"
+#include "flexflow/conv_unit.hh"
+#include "nn/tensor_init.hh"
+#include "nn/workloads.hh"
+
+namespace flexsim {
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        trace::setStream(&captured_);
+    }
+
+    void
+    TearDown() override
+    {
+        trace::disable("all");
+        trace::disable("TestFlag");
+        trace::disable("ConvUnit");
+        trace::disable("Compiler");
+        trace::setStream(nullptr);
+    }
+
+    std::ostringstream captured_;
+};
+
+TEST_F(TraceTest, DisabledFlagEmitsNothing)
+{
+    trace::printf("TestFlag", "invisible ", 42);
+    EXPECT_TRUE(captured_.str().empty());
+}
+
+TEST_F(TraceTest, EnabledFlagEmitsPrefixedLine)
+{
+    trace::enable("TestFlag");
+    trace::printf("TestFlag", "value ", 42);
+    EXPECT_EQ(captured_.str(), "TestFlag: value 42\n");
+}
+
+TEST_F(TraceTest, AllEnablesEverything)
+{
+    trace::enable("all");
+    trace::printf("AnyFlag", "x");
+    EXPECT_NE(captured_.str().find("AnyFlag: x"), std::string::npos);
+}
+
+TEST_F(TraceTest, DisableStopsEmission)
+{
+    trace::enable("TestFlag");
+    trace::printf("TestFlag", "one");
+    trace::disable("TestFlag");
+    trace::printf("TestFlag", "two");
+    EXPECT_NE(captured_.str().find("one"), std::string::npos);
+    EXPECT_EQ(captured_.str().find("two"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpecParsing)
+{
+    trace::enableFromSpec("Alpha, Beta ,Gamma");
+    EXPECT_TRUE(trace::enabled("Alpha"));
+    EXPECT_TRUE(trace::enabled("Beta"));
+    EXPECT_TRUE(trace::enabled("Gamma"));
+    trace::disable("Alpha");
+    trace::disable("Beta");
+    trace::disable("Gamma");
+}
+
+TEST_F(TraceTest, FlagsRegisteredByEmitters)
+{
+    trace::printf("RegisteredFlag", "x");
+    const auto flags = trace::knownFlags();
+    EXPECT_NE(std::find(flags.begin(), flags.end(), "RegisteredFlag"),
+              flags.end());
+}
+
+TEST_F(TraceTest, ConvUnitEmitsScheduleLine)
+{
+    trace::enable("ConvUnit");
+    const auto spec = ConvLayerSpec::make("X", 2, 2, 4, 3);
+    Rng rng(81);
+    const Tensor3<> in = makeRandomInput(rng, spec);
+    const Tensor4<> w = makeRandomKernels(rng, spec);
+    FlexFlowConvUnit unit{FlexFlowConfig{}};
+    unit.runLayer(spec, {2, 2, 1, 2, 1, 3}, in, w);
+    EXPECT_NE(captured_.str().find("ConvUnit: layer X"),
+              std::string::npos);
+    EXPECT_NE(captured_.str().find("band retention"),
+              std::string::npos);
+}
+
+TEST_F(TraceTest, CompilerEmitsFactorDecisions)
+{
+    trace::enable("Compiler");
+    FlexFlowCompiler compiler;
+    compiler.compile(workloads::lenet5());
+    EXPECT_NE(captured_.str().find("Compiler: LeNet-5 C1"),
+              std::string::npos);
+    EXPECT_NE(captured_.str().find("(coupled)"), std::string::npos);
+}
+
+} // namespace
+} // namespace flexsim

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * flexcc — the FlexFlow workload compiler driver.
+ *
+ * Compiles one of the built-in workloads (or a custom layer chain
+ * given on the command line) into a FlexFlow configuration program
+ * and writes the assembly to stdout or a file.
+ *
+ * Usage:
+ *     flexcc <workload> [-d D] [-o out.s] [-b out.bin] [--report]
+ *            [--explain]
+ *     flexcc --layers M,N,S,K,stride[,P] ... [options]
+ *
+ * Examples:
+ *     flexcc LeNet-5 --report --explain
+ *     flexcc AlexNet -d 32 -o alexnet.s -b alexnet.bin
+ *     flexcc --layers 6,1,28,5,1,2 --layers 16,6,10,5,1
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/processing_style.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "compiler/compiler.hh"
+#include "flexflow/schedule.hh"
+#include "nn/workloads.hh"
+
+using namespace flexsim;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: flexcc <workload> [-d D] [-o out.s] [-b out.bin] "
+           "[--report] [--explain]\n"
+           "       flexcc --layers M,N,S,K,stride[,P] ... [options]\n"
+           "workloads: PV FR LeNet-5 HG AlexNet VGG-11 LeNet-5+FC\n";
+    return 2;
+}
+
+bool
+parseLayer(const std::string &text, NetworkSpec &net)
+{
+    const std::vector<std::string> fields = split(text, ',');
+    if (fields.size() != 5 && fields.size() != 6)
+        return false;
+    try {
+        NetworkSpec::Stage stage;
+        stage.conv = ConvLayerSpec::make(
+            "L" + std::to_string(net.stages.size()),
+            std::stoi(fields[1]), std::stoi(fields[0]),
+            std::stoi(fields[2]), std::stoi(fields[3]),
+            std::stoi(fields[4]));
+        if (fields.size() == 6) {
+            PoolLayerSpec pool;
+            pool.window = std::stoi(fields[5]);
+            pool.stride = pool.window;
+            stage.poolAfter = pool;
+        }
+        net.stages.push_back(stage);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    NetworkSpec net;
+    net.name = "custom";
+    std::string workload_name;
+    std::string out_path;
+    std::string bin_path;
+    unsigned d = 16;
+    bool report = false;
+    bool explain = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-d" && i + 1 < argc) {
+            d = std::stoul(argv[++i]);
+        } else if (arg == "-o" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "-b" && i + 1 < argc) {
+            bin_path = argv[++i];
+        } else if (arg == "--report") {
+            report = true;
+        } else if (arg == "--explain") {
+            explain = true;
+        } else if (arg == "--layers" && i + 1 < argc) {
+            if (!parseLayer(argv[++i], net)) {
+                std::cerr << "flexcc: bad --layers spec '" << argv[i]
+                          << "'\n";
+                return 2;
+            }
+        } else if (!startsWith(arg, "-") && workload_name.empty()) {
+            workload_name = arg;
+        } else {
+            return usage();
+        }
+    }
+
+    if (!workload_name.empty()) {
+        bool found = false;
+        std::vector<NetworkSpec> candidates = workloads::all();
+        candidates.push_back(workloads::lenet5WithClassifier());
+        for (const auto &w : candidates) {
+            if (toLower(w.name) == toLower(workload_name)) {
+                net = w;
+                found = true;
+            }
+        }
+        if (!found) {
+            std::cerr << "flexcc: unknown workload '" << workload_name
+                      << "'\n";
+            return usage();
+        }
+    } else if (net.stages.empty()) {
+        return usage();
+    }
+
+    FlexFlowCompiler compiler(FlexFlowConfig::forScale(d));
+    const CompilationResult result = compiler.compile(net);
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::cerr << "flexcc: cannot write " << out_path << "\n";
+            return 1;
+        }
+        out << result.assembly;
+        std::cout << "flexcc: wrote "
+                  << result.program.instructions.size()
+                  << " instructions to " << out_path << "\n";
+    } else {
+        std::cout << result.assembly;
+    }
+    if (!bin_path.empty()) {
+        saveBinary(result.program, bin_path);
+        std::cout << "flexcc: wrote binary program to " << bin_path
+                  << "\n";
+    }
+
+    if (explain) {
+        std::cout << "\nSchedule detail:\n\n";
+        TextTable table;
+        table.setHeader({"Layer", "Batches", "Steps", "Passes",
+                         "Kernel slice/PE", "Band words/col",
+                         "Retention", "Style"});
+        const FlexFlowConfig config = FlexFlowConfig::forScale(d);
+        for (const LayerPlan &plan : result.layers) {
+            const FlexFlowSchedule sched =
+                planSchedule(plan.spec, plan.factors, config);
+            table.addRow(
+                {plan.spec.name,
+                 std::to_string(sched.mBlocks * sched.rBlocks *
+                                sched.cBlocks),
+                 std::to_string(sched.stepsTotal),
+                 std::to_string(sched.splits()),
+                 std::to_string(sched.sliceWords) + "w",
+                 std::to_string(sched.bandWordsPerColumn) + "w",
+                 sched.bandRetention ? "bands" : "columns",
+                 processingStyleName(
+                     classifyProcessingStyle(plan.factors))});
+        }
+        table.print(std::cout);
+    }
+
+    if (report) {
+        std::cout << "\n";
+        TextTable table;
+        table.setHeader({"Layer", "Factors", "Utilization", "Coupled",
+                         "DRAM reads", "DRAM writes"});
+        for (const LayerPlan &plan : result.layers) {
+            table.addRow({plan.spec.name, plan.factors.toString(),
+                          formatPercent(plan.utilization),
+                          plan.coupled ? "yes" : "no",
+                          formatCount(plan.dram.traffic.reads),
+                          formatCount(plan.dram.traffic.writes)});
+        }
+        table.print(std::cout);
+        const DramTraffic total = result.totalDram();
+        std::cout << "\ntotal DRAM words: " << formatCount(total.total())
+                  << "  (" << formatDouble(
+                         static_cast<double>(total.total()) /
+                             (2.0 * static_cast<double>(
+                                        net.totalMacs())),
+                         4)
+                  << " Acc/Op)\n";
+    }
+    return 0;
+}

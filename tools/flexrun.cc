@@ -1,0 +1,177 @@
+/**
+ * @file
+ * flexrun — execute a FlexFlow assembly program on the cycle-level
+ * accelerator with synthetic data.
+ *
+ * The program's cfg_layer instructions define the layer chain; flexrun
+ * generates deterministic pseudo-random inputs/kernels for it, runs
+ * the program, verifies the result against the golden reference, and
+ * dumps the accelerator statistics.
+ *
+ * Usage:
+ *     flexrun <program.s> [-d D] [--seed S] [--stats]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "flexflow/accelerator.hh"
+#include "nn/golden.hh"
+#include "nn/tensor_init.hh"
+
+using namespace flexsim;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: flexrun <program.s> [-d D] [--seed S] "
+                 "[--stats]\n";
+    return 2;
+}
+
+/** Layer chain implied by a program's cfg_layer/pool instructions. */
+struct ProgramShape
+{
+    std::vector<ConvLayerSpec> convs;
+    std::vector<std::optional<PoolLayerSpec>> pools;
+};
+
+ProgramShape
+extractShape(const Program &program)
+{
+    ProgramShape shape;
+    std::optional<ConvLayerSpec> pending;
+    for (const Instruction &inst : program.instructions) {
+        switch (inst.op) {
+          case Opcode::CfgLayer:
+            pending = ConvLayerSpec::make(
+                "L" + std::to_string(shape.convs.size()),
+                static_cast<int>(inst.args[1]),
+                static_cast<int>(inst.args[0]),
+                static_cast<int>(inst.args[2]),
+                static_cast<int>(inst.args[3]),
+                static_cast<int>(inst.args[4]));
+            break;
+          case Opcode::Conv:
+            if (!pending)
+                fatal("program has conv before cfg_layer");
+            shape.convs.push_back(*pending);
+            shape.pools.emplace_back();
+            break;
+          case Opcode::Pool:
+            if (shape.convs.empty())
+                fatal("program has pool before any conv");
+            shape.pools.back() = PoolLayerSpec{
+                static_cast<int>(inst.args[0]),
+                static_cast<int>(inst.args[1]),
+                inst.args[2] == 0 ? PoolOp::Max : PoolOp::Average};
+            break;
+          default:
+            break;
+        }
+    }
+    if (shape.convs.empty())
+        fatal("program contains no conv instructions");
+    return shape;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string path;
+    unsigned d = 16;
+    std::uint64_t seed = 2017;
+    bool dump_stats = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-d" && i + 1 < argc)
+            d = std::stoul(argv[++i]);
+        else if (arg == "--seed" && i + 1 < argc)
+            seed = std::stoull(argv[++i]);
+        else if (arg == "--stats")
+            dump_stats = true;
+        else if (!startsWith(arg, "-") && path.empty())
+            path = arg;
+        else
+            return usage();
+    }
+    if (path.empty())
+        return usage();
+
+    // Binary programs (written by `flexcc -b`) start with the "FFSM"
+    // magic; anything else is treated as assembly text.
+    Program program;
+    {
+        std::ifstream probe(path, std::ios::binary);
+        if (!probe) {
+            std::cerr << "flexrun: cannot read " << path << "\n";
+            return 1;
+        }
+        char magic[4] = {};
+        probe.read(magic, 4);
+        probe.close();
+        if (std::string(magic, 4) == "FFSM") {
+            program = loadBinary(path);
+        } else {
+            std::ifstream in(path);
+            std::ostringstream source;
+            source << in.rdbuf();
+            program = assemble(source.str());
+        }
+    }
+    const ProgramShape shape = extractShape(program);
+
+    // Synthesize deterministic data for the program's layer chain.
+    Rng rng(seed);
+    const Tensor3<> input = makeRandomInput(rng, shape.convs.front());
+    std::vector<Tensor4<>> kernels;
+    for (const ConvLayerSpec &spec : shape.convs)
+        kernels.push_back(makeRandomKernels(rng, spec));
+
+    FlexFlowAccelerator accelerator(FlexFlowConfig::forScale(d));
+    accelerator.bindInput(input);
+    accelerator.bindKernels(kernels);
+    NetworkResult result;
+    const Tensor3<> output = accelerator.run(program, &result);
+
+    // Golden verification of the same chain (with border cropping).
+    Tensor3<> golden = input;
+    for (std::size_t i = 0; i < shape.convs.size(); ++i) {
+        golden = cropTopLeft(golden, shape.convs[i].inSize);
+        golden = goldenConv(shape.convs[i], golden, kernels[i]);
+        if (shape.pools[i])
+            golden = goldenPool(golden, *shape.pools[i]);
+    }
+    const bool ok = output == golden;
+    std::cout << "flexrun: " << shape.convs.size()
+              << " CONV layer(s), output "
+              << (ok ? "matches" : "DOES NOT match")
+              << " the golden reference\n\n";
+
+    TextTable table;
+    table.setHeader(
+        {"Layer", "Cycles", "Utilization", "GOPs@1GHz"});
+    for (const LayerResult &layer : result.layers) {
+        table.addRow({layer.layerName, formatCount(layer.cycles),
+                      formatPercent(layer.utilization()),
+                      formatDouble(layer.gops(1.0), 1)});
+    }
+    table.print(std::cout);
+
+    if (dump_stats) {
+        std::cout << "\n";
+        accelerator.dumpStats(std::cout);
+    }
+    return ok ? 0 : 1;
+}
