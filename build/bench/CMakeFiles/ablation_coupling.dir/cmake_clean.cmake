@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coupling.dir/ablation_coupling.cc.o"
+  "CMakeFiles/ablation_coupling.dir/ablation_coupling.cc.o.d"
+  "ablation_coupling"
+  "ablation_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

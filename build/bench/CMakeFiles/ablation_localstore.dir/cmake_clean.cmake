@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_localstore.dir/ablation_localstore.cc.o"
+  "CMakeFiles/ablation_localstore.dir/ablation_localstore.cc.o.d"
+  "ablation_localstore"
+  "ablation_localstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_localstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

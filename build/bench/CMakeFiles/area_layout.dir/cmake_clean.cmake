@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_layout.dir/area_layout.cc.o"
+  "CMakeFiles/area_layout.dir/area_layout.cc.o.d"
+  "area_layout"
+  "area_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

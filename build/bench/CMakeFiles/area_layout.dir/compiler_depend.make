@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for area_layout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_memory_bound.dir/ext_memory_bound.cc.o"
+  "CMakeFiles/ext_memory_bound.dir/ext_memory_bound.cc.o.d"
+  "ext_memory_bound"
+  "ext_memory_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memory_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

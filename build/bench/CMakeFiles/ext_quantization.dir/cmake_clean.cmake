@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_quantization.dir/ext_quantization.cc.o"
+  "CMakeFiles/ext_quantization.dir/ext_quantization.cc.o.d"
+  "ext_quantization"
+  "ext_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

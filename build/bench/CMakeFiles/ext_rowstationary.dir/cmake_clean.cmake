@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rowstationary.dir/ext_rowstationary.cc.o"
+  "CMakeFiles/ext_rowstationary.dir/ext_rowstationary.cc.o.d"
+  "ext_rowstationary"
+  "ext_rowstationary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rowstationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_system_pipeline.dir/ext_system_pipeline.cc.o"
+  "CMakeFiles/ext_system_pipeline.dir/ext_system_pipeline.cc.o.d"
+  "ext_system_pipeline"
+  "ext_system_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_system_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_system_pipeline.
+# This may be replaced when dependencies are built.

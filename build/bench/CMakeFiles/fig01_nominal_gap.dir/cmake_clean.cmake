@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_nominal_gap.dir/fig01_nominal_gap.cc.o"
+  "CMakeFiles/fig01_nominal_gap.dir/fig01_nominal_gap.cc.o.d"
+  "fig01_nominal_gap"
+  "fig01_nominal_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_nominal_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

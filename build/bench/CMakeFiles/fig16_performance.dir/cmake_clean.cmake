@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_performance.dir/fig16_performance.cc.o"
+  "CMakeFiles/fig16_performance.dir/fig16_performance.cc.o.d"
+  "fig16_performance"
+  "fig16_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

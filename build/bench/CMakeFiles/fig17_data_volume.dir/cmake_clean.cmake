@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_data_volume.dir/fig17_data_volume.cc.o"
+  "CMakeFiles/fig17_data_volume.dir/fig17_data_volume.cc.o.d"
+  "fig17_data_volume"
+  "fig17_data_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_data_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_scalability.dir/fig19_scalability.cc.o"
+  "CMakeFiles/fig19_scalability.dir/fig19_scalability.cc.o.d"
+  "fig19_scalability"
+  "fig19_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_simulators.dir/microbench_simulators.cc.o"
+  "CMakeFiles/microbench_simulators.dir/microbench_simulators.cc.o.d"
+  "microbench_simulators"
+  "microbench_simulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_simulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_cross_layer_utilization.dir/tab03_cross_layer_utilization.cc.o"
+  "CMakeFiles/tab03_cross_layer_utilization.dir/tab03_cross_layer_utilization.cc.o.d"
+  "tab03_cross_layer_utilization"
+  "tab03_cross_layer_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_cross_layer_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_unrolling_factors.dir/tab04_unrolling_factors.cc.o"
+  "CMakeFiles/tab04_unrolling_factors.dir/tab04_unrolling_factors.cc.o.d"
+  "tab04_unrolling_factors"
+  "tab04_unrolling_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_unrolling_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

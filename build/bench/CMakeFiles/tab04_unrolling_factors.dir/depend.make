@@ -1,0 +1,2 @@
+# Empty dependencies file for tab04_unrolling_factors.
+# This may be replaced when dependencies are built.

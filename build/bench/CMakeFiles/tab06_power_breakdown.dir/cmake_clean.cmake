@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_power_breakdown.dir/tab06_power_breakdown.cc.o"
+  "CMakeFiles/tab06_power_breakdown.dir/tab06_power_breakdown.cc.o.d"
+  "tab06_power_breakdown"
+  "tab06_power_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_power_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_accelerator_comparison.dir/tab07_accelerator_comparison.cc.o"
+  "CMakeFiles/tab07_accelerator_comparison.dir/tab07_accelerator_comparison.cc.o.d"
+  "tab07_accelerator_comparison"
+  "tab07_accelerator_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_accelerator_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

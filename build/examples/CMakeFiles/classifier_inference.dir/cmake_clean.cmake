@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifier_inference.dir/classifier_inference.cpp.o"
+  "CMakeFiles/classifier_inference.dir/classifier_inference.cpp.o.d"
+  "classifier_inference"
+  "classifier_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_architectures.dir/compare_architectures.cpp.o"
+  "CMakeFiles/compare_architectures.dir/compare_architectures.cpp.o.d"
+  "compare_architectures"
+  "compare_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

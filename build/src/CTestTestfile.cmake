@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("sim")
+subdirs("nn")
+subdirs("mem")
+subdirs("energy")
+subdirs("arch")
+subdirs("systolic")
+subdirs("mapping2d")
+subdirs("tiling")
+subdirs("rowstationary")
+subdirs("flexflow")
+subdirs("compiler")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/dram_planner.cc" "src/arch/CMakeFiles/flexsim_arch.dir/dram_planner.cc.o" "gcc" "src/arch/CMakeFiles/flexsim_arch.dir/dram_planner.cc.o.d"
+  "/root/repo/src/arch/factor_search.cc" "src/arch/CMakeFiles/flexsim_arch.dir/factor_search.cc.o" "gcc" "src/arch/CMakeFiles/flexsim_arch.dir/factor_search.cc.o.d"
+  "/root/repo/src/arch/processing_style.cc" "src/arch/CMakeFiles/flexsim_arch.dir/processing_style.cc.o" "gcc" "src/arch/CMakeFiles/flexsim_arch.dir/processing_style.cc.o.d"
+  "/root/repo/src/arch/result.cc" "src/arch/CMakeFiles/flexsim_arch.dir/result.cc.o" "gcc" "src/arch/CMakeFiles/flexsim_arch.dir/result.cc.o.d"
+  "/root/repo/src/arch/system_timing.cc" "src/arch/CMakeFiles/flexsim_arch.dir/system_timing.cc.o" "gcc" "src/arch/CMakeFiles/flexsim_arch.dir/system_timing.cc.o.d"
+  "/root/repo/src/arch/unroll.cc" "src/arch/CMakeFiles/flexsim_arch.dir/unroll.cc.o" "gcc" "src/arch/CMakeFiles/flexsim_arch.dir/unroll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flexsim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/flexsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_arch.dir/dram_planner.cc.o"
+  "CMakeFiles/flexsim_arch.dir/dram_planner.cc.o.d"
+  "CMakeFiles/flexsim_arch.dir/factor_search.cc.o"
+  "CMakeFiles/flexsim_arch.dir/factor_search.cc.o.d"
+  "CMakeFiles/flexsim_arch.dir/processing_style.cc.o"
+  "CMakeFiles/flexsim_arch.dir/processing_style.cc.o.d"
+  "CMakeFiles/flexsim_arch.dir/result.cc.o"
+  "CMakeFiles/flexsim_arch.dir/result.cc.o.d"
+  "CMakeFiles/flexsim_arch.dir/system_timing.cc.o"
+  "CMakeFiles/flexsim_arch.dir/system_timing.cc.o.d"
+  "CMakeFiles/flexsim_arch.dir/unroll.cc.o"
+  "CMakeFiles/flexsim_arch.dir/unroll.cc.o.d"
+  "libflexsim_arch.a"
+  "libflexsim_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

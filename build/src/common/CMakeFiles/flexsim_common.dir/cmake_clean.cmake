@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_common.dir/logging.cc.o"
+  "CMakeFiles/flexsim_common.dir/logging.cc.o.d"
+  "CMakeFiles/flexsim_common.dir/random.cc.o"
+  "CMakeFiles/flexsim_common.dir/random.cc.o.d"
+  "CMakeFiles/flexsim_common.dir/strutil.cc.o"
+  "CMakeFiles/flexsim_common.dir/strutil.cc.o.d"
+  "CMakeFiles/flexsim_common.dir/table.cc.o"
+  "CMakeFiles/flexsim_common.dir/table.cc.o.d"
+  "CMakeFiles/flexsim_common.dir/trace.cc.o"
+  "CMakeFiles/flexsim_common.dir/trace.cc.o.d"
+  "libflexsim_common.a"
+  "libflexsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/compiler.cc" "src/compiler/CMakeFiles/flexsim_compiler.dir/compiler.cc.o" "gcc" "src/compiler/CMakeFiles/flexsim_compiler.dir/compiler.cc.o.d"
+  "/root/repo/src/compiler/system_sim.cc" "src/compiler/CMakeFiles/flexsim_compiler.dir/system_sim.cc.o" "gcc" "src/compiler/CMakeFiles/flexsim_compiler.dir/system_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/flexsim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexflow/CMakeFiles/flexsim_flexflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flexsim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/flexsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/flexsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

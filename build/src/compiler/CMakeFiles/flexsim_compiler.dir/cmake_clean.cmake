@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_compiler.dir/compiler.cc.o"
+  "CMakeFiles/flexsim_compiler.dir/compiler.cc.o.d"
+  "CMakeFiles/flexsim_compiler.dir/system_sim.cc.o"
+  "CMakeFiles/flexsim_compiler.dir/system_sim.cc.o.d"
+  "libflexsim_compiler.a"
+  "libflexsim_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_energy.dir/area.cc.o"
+  "CMakeFiles/flexsim_energy.dir/area.cc.o.d"
+  "CMakeFiles/flexsim_energy.dir/power.cc.o"
+  "CMakeFiles/flexsim_energy.dir/power.cc.o.d"
+  "CMakeFiles/flexsim_energy.dir/tech.cc.o"
+  "CMakeFiles/flexsim_energy.dir/tech.cc.o.d"
+  "libflexsim_energy.a"
+  "libflexsim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flexflow/accelerator.cc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/accelerator.cc.o" "gcc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/accelerator.cc.o.d"
+  "/root/repo/src/flexflow/address_fsm.cc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/address_fsm.cc.o" "gcc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/address_fsm.cc.o.d"
+  "/root/repo/src/flexflow/conv_unit.cc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/conv_unit.cc.o" "gcc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/conv_unit.cc.o.d"
+  "/root/repo/src/flexflow/flexflow_model.cc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/flexflow_model.cc.o" "gcc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/flexflow_model.cc.o.d"
+  "/root/repo/src/flexflow/iadp_layout.cc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/iadp_layout.cc.o" "gcc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/iadp_layout.cc.o.d"
+  "/root/repo/src/flexflow/isa.cc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/isa.cc.o" "gcc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/isa.cc.o.d"
+  "/root/repo/src/flexflow/pooling_unit.cc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/pooling_unit.cc.o" "gcc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/pooling_unit.cc.o.d"
+  "/root/repo/src/flexflow/schedule.cc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/schedule.cc.o" "gcc" "src/flexflow/CMakeFiles/flexsim_flexflow.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/flexsim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/flexsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flexsim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/flexsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_flexflow.dir/accelerator.cc.o"
+  "CMakeFiles/flexsim_flexflow.dir/accelerator.cc.o.d"
+  "CMakeFiles/flexsim_flexflow.dir/address_fsm.cc.o"
+  "CMakeFiles/flexsim_flexflow.dir/address_fsm.cc.o.d"
+  "CMakeFiles/flexsim_flexflow.dir/conv_unit.cc.o"
+  "CMakeFiles/flexsim_flexflow.dir/conv_unit.cc.o.d"
+  "CMakeFiles/flexsim_flexflow.dir/flexflow_model.cc.o"
+  "CMakeFiles/flexsim_flexflow.dir/flexflow_model.cc.o.d"
+  "CMakeFiles/flexsim_flexflow.dir/iadp_layout.cc.o"
+  "CMakeFiles/flexsim_flexflow.dir/iadp_layout.cc.o.d"
+  "CMakeFiles/flexsim_flexflow.dir/isa.cc.o"
+  "CMakeFiles/flexsim_flexflow.dir/isa.cc.o.d"
+  "CMakeFiles/flexsim_flexflow.dir/pooling_unit.cc.o"
+  "CMakeFiles/flexsim_flexflow.dir/pooling_unit.cc.o.d"
+  "CMakeFiles/flexsim_flexflow.dir/schedule.cc.o"
+  "CMakeFiles/flexsim_flexflow.dir/schedule.cc.o.d"
+  "libflexsim_flexflow.a"
+  "libflexsim_flexflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_flexflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

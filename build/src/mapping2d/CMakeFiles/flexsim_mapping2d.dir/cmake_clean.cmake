@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_mapping2d.dir/mapping2d_array.cc.o"
+  "CMakeFiles/flexsim_mapping2d.dir/mapping2d_array.cc.o.d"
+  "CMakeFiles/flexsim_mapping2d.dir/mapping2d_model.cc.o"
+  "CMakeFiles/flexsim_mapping2d.dir/mapping2d_model.cc.o.d"
+  "libflexsim_mapping2d.a"
+  "libflexsim_mapping2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_mapping2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

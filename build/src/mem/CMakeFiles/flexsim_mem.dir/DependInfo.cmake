@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/external_memory.cc" "src/mem/CMakeFiles/flexsim_mem.dir/external_memory.cc.o" "gcc" "src/mem/CMakeFiles/flexsim_mem.dir/external_memory.cc.o.d"
+  "/root/repo/src/mem/local_store.cc" "src/mem/CMakeFiles/flexsim_mem.dir/local_store.cc.o" "gcc" "src/mem/CMakeFiles/flexsim_mem.dir/local_store.cc.o.d"
+  "/root/repo/src/mem/sram_buffer.cc" "src/mem/CMakeFiles/flexsim_mem.dir/sram_buffer.cc.o" "gcc" "src/mem/CMakeFiles/flexsim_mem.dir/sram_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flexsim_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

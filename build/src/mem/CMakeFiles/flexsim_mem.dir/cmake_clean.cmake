@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_mem.dir/external_memory.cc.o"
+  "CMakeFiles/flexsim_mem.dir/external_memory.cc.o.d"
+  "CMakeFiles/flexsim_mem.dir/local_store.cc.o"
+  "CMakeFiles/flexsim_mem.dir/local_store.cc.o.d"
+  "CMakeFiles/flexsim_mem.dir/sram_buffer.cc.o"
+  "CMakeFiles/flexsim_mem.dir/sram_buffer.cc.o.d"
+  "libflexsim_mem.a"
+  "libflexsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/golden.cc" "src/nn/CMakeFiles/flexsim_nn.dir/golden.cc.o" "gcc" "src/nn/CMakeFiles/flexsim_nn.dir/golden.cc.o.d"
+  "/root/repo/src/nn/layer_spec.cc" "src/nn/CMakeFiles/flexsim_nn.dir/layer_spec.cc.o" "gcc" "src/nn/CMakeFiles/flexsim_nn.dir/layer_spec.cc.o.d"
+  "/root/repo/src/nn/tensor_init.cc" "src/nn/CMakeFiles/flexsim_nn.dir/tensor_init.cc.o" "gcc" "src/nn/CMakeFiles/flexsim_nn.dir/tensor_init.cc.o.d"
+  "/root/repo/src/nn/workloads.cc" "src/nn/CMakeFiles/flexsim_nn.dir/workloads.cc.o" "gcc" "src/nn/CMakeFiles/flexsim_nn.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_nn.dir/golden.cc.o"
+  "CMakeFiles/flexsim_nn.dir/golden.cc.o.d"
+  "CMakeFiles/flexsim_nn.dir/layer_spec.cc.o"
+  "CMakeFiles/flexsim_nn.dir/layer_spec.cc.o.d"
+  "CMakeFiles/flexsim_nn.dir/tensor_init.cc.o"
+  "CMakeFiles/flexsim_nn.dir/tensor_init.cc.o.d"
+  "CMakeFiles/flexsim_nn.dir/workloads.cc.o"
+  "CMakeFiles/flexsim_nn.dir/workloads.cc.o.d"
+  "libflexsim_nn.a"
+  "libflexsim_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

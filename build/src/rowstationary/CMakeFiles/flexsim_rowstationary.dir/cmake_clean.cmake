@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_rowstationary.dir/rs_array.cc.o"
+  "CMakeFiles/flexsim_rowstationary.dir/rs_array.cc.o.d"
+  "CMakeFiles/flexsim_rowstationary.dir/rs_model.cc.o"
+  "CMakeFiles/flexsim_rowstationary.dir/rs_model.cc.o.d"
+  "libflexsim_rowstationary.a"
+  "libflexsim_rowstationary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_rowstationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/flexsim_sim.dir/simulator.cc.o.d"
+  "libflexsim_sim.a"
+  "libflexsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_stats.dir/stats.cc.o"
+  "CMakeFiles/flexsim_stats.dir/stats.cc.o.d"
+  "libflexsim_stats.a"
+  "libflexsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_systolic.dir/systolic_array.cc.o"
+  "CMakeFiles/flexsim_systolic.dir/systolic_array.cc.o.d"
+  "CMakeFiles/flexsim_systolic.dir/systolic_model.cc.o"
+  "CMakeFiles/flexsim_systolic.dir/systolic_model.cc.o.d"
+  "libflexsim_systolic.a"
+  "libflexsim_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tiling/tiling_array.cc" "src/tiling/CMakeFiles/flexsim_tiling.dir/tiling_array.cc.o" "gcc" "src/tiling/CMakeFiles/flexsim_tiling.dir/tiling_array.cc.o.d"
+  "/root/repo/src/tiling/tiling_model.cc" "src/tiling/CMakeFiles/flexsim_tiling.dir/tiling_model.cc.o" "gcc" "src/tiling/CMakeFiles/flexsim_tiling.dir/tiling_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/flexsim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/flexsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flexsim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

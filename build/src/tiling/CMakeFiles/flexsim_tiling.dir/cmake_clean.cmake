@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_tiling.dir/tiling_array.cc.o"
+  "CMakeFiles/flexsim_tiling.dir/tiling_array.cc.o.d"
+  "CMakeFiles/flexsim_tiling.dir/tiling_model.cc.o"
+  "CMakeFiles/flexsim_tiling.dir/tiling_model.cc.o.d"
+  "libflexsim_tiling.a"
+  "libflexsim_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flexflow.dir/test_flexflow.cc.o"
+  "CMakeFiles/test_flexflow.dir/test_flexflow.cc.o.d"
+  "test_flexflow"
+  "test_flexflow.pdb"
+  "test_flexflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flexflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping2d.dir/test_mapping2d.cc.o"
+  "CMakeFiles/test_mapping2d.dir/test_mapping2d.cc.o.d"
+  "test_mapping2d"
+  "test_mapping2d.pdb"
+  "test_mapping2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_fuzz.dir/test_network_fuzz.cc.o"
+  "CMakeFiles/test_network_fuzz.dir/test_network_fuzz.cc.o.d"
+  "test_network_fuzz"
+  "test_network_fuzz.pdb"
+  "test_network_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

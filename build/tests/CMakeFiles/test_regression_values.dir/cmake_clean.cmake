@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regression_values.dir/test_regression_values.cc.o"
+  "CMakeFiles/test_regression_values.dir/test_regression_values.cc.o.d"
+  "test_regression_values"
+  "test_regression_values.pdb"
+  "test_regression_values[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regression_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rowstationary.dir/test_rowstationary.cc.o"
+  "CMakeFiles/test_rowstationary.dir/test_rowstationary.cc.o.d"
+  "test_rowstationary"
+  "test_rowstationary.pdb"
+  "test_rowstationary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rowstationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

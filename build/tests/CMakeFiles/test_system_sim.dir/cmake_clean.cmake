@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_sim.dir/test_system_sim.cc.o"
+  "CMakeFiles/test_system_sim.dir/test_system_sim.cc.o.d"
+  "test_system_sim"
+  "test_system_sim.pdb"
+  "test_system_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table1.dir/test_table1.cc.o"
+  "CMakeFiles/test_table1.dir/test_table1.cc.o.d"
+  "test_table1"
+  "test_table1.pdb"
+  "test_table1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiling.dir/test_tiling.cc.o"
+  "CMakeFiles/test_tiling.dir/test_tiling.cc.o.d"
+  "test_tiling"
+  "test_tiling.pdb"
+  "test_tiling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexcc.dir/flexcc.cc.o"
+  "CMakeFiles/flexcc.dir/flexcc.cc.o.d"
+  "flexcc"
+  "flexcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrun.dir/flexrun.cc.o"
+  "CMakeFiles/flexrun.dir/flexrun.cc.o.d"
+  "flexrun"
+  "flexrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
