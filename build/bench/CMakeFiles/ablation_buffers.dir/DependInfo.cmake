@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serve/CMakeFiles/flexsim_serve.dir/DependInfo.cmake"
   "/root/repo/build/src/rowstationary/CMakeFiles/flexsim_rowstationary.dir/DependInfo.cmake"
   "/root/repo/build/src/compiler/CMakeFiles/flexsim_compiler.dir/DependInfo.cmake"
   "/root/repo/build/src/flexflow/CMakeFiles/flexsim_flexflow.dir/DependInfo.cmake"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_serving.dir/ext_serving.cc.o"
+  "CMakeFiles/ext_serving.dir/ext_serving.cc.o.d"
+  "ext_serving"
+  "ext_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -17,3 +17,4 @@ subdirs("tiling")
 subdirs("rowstationary")
 subdirs("flexflow")
 subdirs("compiler")
+subdirs("serve")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/runtime.cc" "src/serve/CMakeFiles/flexsim_serve.dir/runtime.cc.o" "gcc" "src/serve/CMakeFiles/flexsim_serve.dir/runtime.cc.o.d"
+  "/root/repo/src/serve/service_model.cc" "src/serve/CMakeFiles/flexsim_serve.dir/service_model.cc.o" "gcc" "src/serve/CMakeFiles/flexsim_serve.dir/service_model.cc.o.d"
+  "/root/repo/src/serve/traffic.cc" "src/serve/CMakeFiles/flexsim_serve.dir/traffic.cc.o" "gcc" "src/serve/CMakeFiles/flexsim_serve.dir/traffic.cc.o.d"
+  "/root/repo/src/serve/worker_pool.cc" "src/serve/CMakeFiles/flexsim_serve.dir/worker_pool.cc.o" "gcc" "src/serve/CMakeFiles/flexsim_serve.dir/worker_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/flexsim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flexsim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/flexsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/flexsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsim_serve.dir/runtime.cc.o"
+  "CMakeFiles/flexsim_serve.dir/runtime.cc.o.d"
+  "CMakeFiles/flexsim_serve.dir/service_model.cc.o"
+  "CMakeFiles/flexsim_serve.dir/service_model.cc.o.d"
+  "CMakeFiles/flexsim_serve.dir/traffic.cc.o"
+  "CMakeFiles/flexsim_serve.dir/traffic.cc.o.d"
+  "CMakeFiles/flexsim_serve.dir/worker_pool.cc.o"
+  "CMakeFiles/flexsim_serve.dir/worker_pool.cc.o.d"
+  "libflexsim_serve.a"
+  "libflexsim_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsim_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

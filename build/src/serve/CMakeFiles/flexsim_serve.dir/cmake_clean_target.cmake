@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflexsim_serve.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serve.dir/test_serve.cc.o"
+  "CMakeFiles/test_serve.dir/test_serve.cc.o.d"
+  "test_serve"
+  "test_serve.pdb"
+  "test_serve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -27,3 +27,4 @@ include("/root/repo/build/tests/test_trace[1]_include.cmake")
 include("/root/repo/build/tests/test_regression_values[1]_include.cmake")
 include("/root/repo/build/tests/test_table1[1]_include.cmake")
 include("/root/repo/build/tests/test_network_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_serve[1]_include.cmake")

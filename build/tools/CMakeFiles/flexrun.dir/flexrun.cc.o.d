@@ -161,12 +161,12 @@ tools/CMakeFiles/flexrun.dir/flexrun.cc.o: /root/repo/tools/flexrun.cc \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/strutil.hh \
- /root/repo/src/common/table.hh /root/repo/src/flexflow/accelerator.hh \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/arch/system_timing.hh \
  /root/repo/src/arch/result.hh /root/repo/src/common/types.hh \
  /usr/include/c++/12/cstddef /root/repo/src/mem/traffic.hh \
+ /root/repo/src/common/strutil.hh /root/repo/src/common/table.hh \
+ /root/repo/src/flexflow/accelerator.hh /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/flexflow/conv_unit.hh /root/repo/src/arch/unroll.hh \
  /root/repo/src/nn/layer_spec.hh \
  /root/repo/src/flexflow/flexflow_config.hh /root/repo/src/nn/tensor.hh \

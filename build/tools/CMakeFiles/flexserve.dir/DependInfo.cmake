@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/flexserve.cc" "tools/CMakeFiles/flexserve.dir/flexserve.cc.o" "gcc" "tools/CMakeFiles/flexserve.dir/flexserve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serve/CMakeFiles/flexsim_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/rowstationary/CMakeFiles/flexsim_rowstationary.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/flexsim_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexflow/CMakeFiles/flexsim_flexflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/flexsim_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping2d/CMakeFiles/flexsim_mapping2d.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiling/CMakeFiles/flexsim_tiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/flexsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/flexsim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/flexsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flexsim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/flexsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

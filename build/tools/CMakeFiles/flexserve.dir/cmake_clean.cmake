@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexserve.dir/flexserve.cc.o"
+  "CMakeFiles/flexserve.dir/flexserve.cc.o.d"
+  "flexserve"
+  "flexserve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexserve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -23,6 +23,28 @@ overlapTiming(const LayerResult &result, double dram_words_per_cycle)
     return timing;
 }
 
+SystemTiming
+batchOverlapTiming(const LayerResult &result, WordCount kernel_words,
+                   unsigned batch, double dram_words_per_cycle)
+{
+    flexsim_assert(dram_words_per_cycle > 0.0,
+                   "DRAM bandwidth must be positive");
+    flexsim_assert(batch > 0, "batch must be at least one frame");
+    const WordCount kernels = std::min(kernel_words, result.dram.reads);
+    const WordCount per_frame =
+        (result.dram.reads - kernels) + result.dram.writes;
+    const WordCount words =
+        kernels + per_frame * static_cast<WordCount>(batch);
+    SystemTiming timing;
+    timing.computeCycles = result.cycles * batch;
+    timing.dramCycles = static_cast<Cycle>(
+        std::ceil(static_cast<double>(words) / dram_words_per_cycle));
+    timing.totalCycles =
+        std::max(timing.computeCycles, timing.dramCycles);
+    timing.memoryBound = timing.dramCycles > timing.computeCycles;
+    return timing;
+}
+
 double
 effectiveGops(const LayerResult &result, double dram_words_per_cycle,
               double freq_ghz)

@@ -43,6 +43,19 @@ struct SystemTiming
 SystemTiming overlapTiming(const LayerResult &result,
                            double dram_words_per_cycle);
 
+/**
+ * Roofline of @p batch back-to-back frames of one layer.
+ *
+ * Compute scales linearly with the batch while the kernel stream
+ * (@p kernel_words of the layer's DRAM reads, clamped to the recorded
+ * read volume) is fetched once and reused by every frame — the
+ * batching benefit an inference server exploits.
+ */
+SystemTiming batchOverlapTiming(const LayerResult &result,
+                                WordCount kernel_words,
+                                unsigned batch,
+                                double dram_words_per_cycle);
+
 /** Effective GOPs at @p freq_ghz including memory stalls. */
 double effectiveGops(const LayerResult &result,
                      double dram_words_per_cycle,

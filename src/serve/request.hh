@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Inference-serving request records.
+ *
+ * The serving runtime works in virtual nanoseconds (at the default
+ * 1 GHz engine clock one cycle is one nanosecond, so engine cycle
+ * counts and wall-clock nanoseconds share a unit).  A request names a
+ * workload by index into the runtime's workload set; only requests
+ * for the same workload are batched together.
+ */
+
+#ifndef FLEXSIM_SERVE_REQUEST_HH
+#define FLEXSIM_SERVE_REQUEST_HH
+
+#include <cstdint>
+
+namespace flexsim {
+namespace serve {
+
+/** Virtual time in nanoseconds. */
+using TimeNs = std::uint64_t;
+
+/** One inference request in flight. */
+struct InferenceRequest
+{
+    /** Monotone identifier in arrival order. */
+    std::uint64_t id = 0;
+    /** Index into the runtime's workload set. */
+    int workload = 0;
+    /** Virtual arrival time. */
+    TimeNs arrivalNs = 0;
+};
+
+/** Terminal state of a request. */
+enum class RequestOutcome
+{
+    Completed, ///< served and finished
+    Shed,      ///< rejected by admission control (queue full)
+};
+
+} // namespace serve
+} // namespace flexsim
+
+#endif // FLEXSIM_SERVE_REQUEST_HH

@@ -1,0 +1,320 @@
+#include "serve/runtime.hh"
+
+#include <algorithm>
+#include <future>
+#include <limits>
+#include <ostream>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace flexsim {
+namespace serve {
+
+namespace {
+
+constexpr TimeNs kNever = std::numeric_limits<TimeNs>::max();
+
+/** One batch in service, waiting for its virtual completion time. */
+struct Completion
+{
+    TimeNs timeNs = 0;
+    /** Dispatch sequence number: ties break deterministically. */
+    std::uint64_t seq = 0;
+    unsigned accel = 0;
+    TimeNs dispatchNs = 0;
+    std::vector<InferenceRequest> batch;
+};
+
+struct CompletionLater
+{
+    bool
+    operator()(const Completion &a, const Completion &b) const
+    {
+        if (a.timeNs != b.timeNs)
+            return a.timeNs > b.timeNs;
+        return a.seq > b.seq;
+    }
+};
+
+using CompletionQueue =
+    std::priority_queue<Completion, std::vector<Completion>,
+                        CompletionLater>;
+
+} // namespace
+
+ServeRuntime::AccelInstance::AccelInstance(statistics::StatGroup *parent,
+                                           const std::string &name,
+                                           const TimeNs &makespan_ns)
+    : group(parent, name)
+{
+    busyNs.init(&group, "busyNs", "virtual ns spent serving batches");
+    batches.init(&group, "batches", "batches served by this instance");
+    requests.init(&group, "requests",
+                  "requests served by this instance");
+    utilization.init(&group, "utilization",
+                     "busy fraction of the run's makespan",
+                     [this, &makespan_ns] {
+                         return makespan_ns > 0
+                                    ? busyNs.value() /
+                                          static_cast<double>(
+                                              makespan_ns)
+                                    : 0.0;
+                     });
+}
+
+ServeRuntime::ServeRuntime(const ServiceTimeModel &service,
+                           const ServeConfig &config)
+    : service_(service), config_(config), workers_(config.poolSize),
+      stats_("serve")
+{
+    flexsim_assert(config_.poolSize > 0,
+                   "serving pool needs at least one accelerator");
+    flexsim_assert(config_.queueCapacity > 0,
+                   "admission queue needs capacity");
+    flexsim_assert(config_.maxBatch > 0,
+                   "maximum batch must be at least one");
+
+    arrived_.init(&stats_, "requestsArrived",
+                  "requests offered to the runtime");
+    admitted_.init(&stats_, "requestsAdmitted",
+                   "requests accepted into the queue");
+    shed_.init(&stats_, "requestsShed",
+               "requests rejected by admission control");
+    completed_.init(&stats_, "requestsCompleted",
+                    "requests served to completion");
+    batches_.init(&stats_, "batchesDispatched",
+                  "batches handed to the pool");
+    sloViolations_.init(&stats_, "sloViolations",
+                        "completions over the latency SLO");
+    makespanStat_.init(&stats_, "makespanNs",
+                       "first arrival to last completion");
+    throughput_.init(&stats_, "throughputRps",
+                     "completions per second of makespan", [this] {
+                         return makespanNs_ > 0
+                                    ? completed_.value() * 1e9 /
+                                          static_cast<double>(
+                                              makespanNs_)
+                                    : 0.0;
+                     });
+    shedRate_.init(&stats_, "shedRate",
+                   "shed fraction of offered requests", [this] {
+                       return arrived_.value() > 0
+                                  ? shed_.value() / arrived_.value()
+                                  : 0.0;
+                   });
+    sloViolationRate_.init(&stats_, "sloViolationRate",
+                           "violating fraction of completions",
+                           [this] {
+                               return completed_.value() > 0
+                                          ? sloViolations_.value() /
+                                                completed_.value()
+                                          : 0.0;
+                           });
+    meanBatchSize_.init(&stats_, "meanBatchSize",
+                        "requests per dispatched batch", [this] {
+                            return batches_.value() > 0
+                                       ? completed_.value() /
+                                             batches_.value()
+                                       : 0.0;
+                        });
+    latencyMs_.init(&stats_, "latencyMs",
+                    "arrival-to-completion latency (ms)");
+    queueWaitMs_.init(&stats_, "queueWaitMs",
+                      "arrival-to-dispatch wait (ms)");
+    queueDepth_.init(&stats_, "queueDepth",
+                     "admission-queue depth at each arrival");
+    batchSize_.init(&stats_, "batchSize",
+                    "requests per batch at dispatch");
+
+    for (unsigned i = 0; i < config_.poolSize; ++i) {
+        accels_.push_back(std::make_unique<AccelInstance>(
+            &stats_, "accel" + std::to_string(i), makespanNs_));
+    }
+}
+
+ServeReport
+ServeRuntime::run(const std::vector<InferenceRequest> &requests)
+{
+    flexsim_assert(!ran_, "a ServeRuntime instance is single-shot");
+    ran_ = true;
+
+    CompletionQueue completions;
+    std::uint64_t seq = 0;
+    std::size_t next = 0;
+    TimeNs now = 0;
+    TimeNs last_completion = 0;
+
+    auto first_free = [&]() -> int {
+        for (std::size_t i = 0; i < accels_.size(); ++i) {
+            if (!accels_[i]->busy)
+                return static_cast<int>(i);
+        }
+        return -1;
+    };
+
+    auto admit = [&](const InferenceRequest &request) {
+        ++arrived_;
+        if (queue_.size() >= config_.queueCapacity) {
+            ++shed_;
+            return;
+        }
+        ++admitted_;
+        queue_.push_back(request);
+        queueDepth_.sample(static_cast<double>(queue_.size()));
+    };
+
+    auto finish = [&](const Completion &completion) {
+        AccelInstance &accel = *accels_[completion.accel];
+        accel.busy = false;
+        accel.requests += static_cast<double>(completion.batch.size());
+        for (const InferenceRequest &request : completion.batch) {
+            const TimeNs latency =
+                completion.timeNs - request.arrivalNs;
+            const TimeNs wait =
+                completion.dispatchNs - request.arrivalNs;
+            latencyMs_.sample(static_cast<double>(latency) / 1e6);
+            queueWaitMs_.sample(static_cast<double>(wait) / 1e6);
+            if (latency > config_.sloNs)
+                ++sloViolations_;
+            ++completed_;
+        }
+        last_completion = std::max(last_completion, completion.timeNs);
+    };
+
+    // Dispatch every ready batch onto every free accelerator.  Batch
+    // evaluation (the roofline query) runs on the worker threads; the
+    // coordinator joins the round in submission order, which keeps
+    // virtual time deterministic under any thread interleaving.
+    auto dispatch_ready = [&](bool no_more_arrivals) {
+        struct Pending
+        {
+            unsigned accel;
+            std::vector<InferenceRequest> batch;
+            std::future<TimeNs> serviceNs;
+        };
+        std::vector<Pending> round;
+        while (!queue_.empty()) {
+            const int accel = first_free();
+            if (accel < 0)
+                break;
+            const InferenceRequest head = queue_.front();
+            std::size_t compatible = 0;
+            for (const InferenceRequest &request : queue_) {
+                if (request.workload == head.workload)
+                    ++compatible;
+                if (compatible >= config_.maxBatch)
+                    break;
+            }
+            const bool ready =
+                compatible >= config_.maxBatch || no_more_arrivals ||
+                now >= head.arrivalNs + config_.batchWindowNs;
+            if (!ready)
+                break;
+
+            Pending pending;
+            pending.accel = static_cast<unsigned>(accel);
+            for (auto it = queue_.begin();
+                 it != queue_.end() &&
+                 pending.batch.size() < config_.maxBatch;) {
+                if (it->workload == head.workload) {
+                    pending.batch.push_back(*it);
+                    it = queue_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            accels_[pending.accel]->busy = true;
+
+            auto promise = std::make_shared<std::promise<TimeNs>>();
+            pending.serviceNs = promise->get_future();
+            const int workload = head.workload;
+            const unsigned batch_size =
+                static_cast<unsigned>(pending.batch.size());
+            workers_.submit([this, promise, workload, batch_size] {
+                promise->set_value(
+                    service_.batchServiceNs(workload, batch_size));
+            });
+            round.push_back(std::move(pending));
+        }
+        for (Pending &pending : round) {
+            const TimeNs service = pending.serviceNs.get();
+            Completion completion;
+            completion.timeNs = now + service;
+            completion.seq = seq++;
+            completion.accel = pending.accel;
+            completion.dispatchNs = now;
+            completion.batch = std::move(pending.batch);
+
+            AccelInstance &accel = *accels_[completion.accel];
+            accel.busyNs += static_cast<double>(service);
+            ++accel.batches;
+            ++batches_;
+            batchSize_.sample(
+                static_cast<double>(completion.batch.size()));
+            completions.push(std::move(completion));
+        }
+    };
+
+    while (true) {
+        const TimeNs t_arrival =
+            next < requests.size() ? requests[next].arrivalNs : kNever;
+        const TimeNs t_completion =
+            completions.empty() ? kNever : completions.top().timeNs;
+        // The batching window only matters while an instance is free
+        // to act on its expiry.
+        TimeNs t_window = kNever;
+        if (!queue_.empty() && first_free() >= 0) {
+            t_window =
+                queue_.front().arrivalNs + config_.batchWindowNs;
+        }
+        const TimeNs t_next =
+            std::min({t_arrival, t_completion, t_window});
+        if (t_next == kNever)
+            break;
+        now = std::max(now, t_next);
+
+        while (!completions.empty() &&
+               completions.top().timeNs <= now) {
+            finish(completions.top());
+            completions.pop();
+        }
+        while (next < requests.size() &&
+               requests[next].arrivalNs <= now) {
+            admit(requests[next]);
+            ++next;
+        }
+        dispatch_ready(next >= requests.size());
+    }
+
+    makespanNs_ = std::max(last_completion, now);
+    makespanStat_ = static_cast<double>(makespanNs_);
+
+    ServeReport report;
+    report.arrived = static_cast<std::uint64_t>(arrived_.value());
+    report.admitted = static_cast<std::uint64_t>(admitted_.value());
+    report.shed = static_cast<std::uint64_t>(shed_.value());
+    report.completed =
+        static_cast<std::uint64_t>(completed_.value());
+    report.batches = static_cast<std::uint64_t>(batches_.value());
+    report.sloViolations =
+        static_cast<std::uint64_t>(sloViolations_.value());
+    report.makespanNs = makespanNs_;
+    report.p50LatencyMs = latencyMs_.percentile(0.50);
+    report.p95LatencyMs = latencyMs_.percentile(0.95);
+    report.p99LatencyMs = latencyMs_.percentile(0.99);
+    report.meanLatencyMs = latencyMs_.mean();
+    report.throughputRps = throughput_.value();
+    for (const auto &accel : accels_)
+        report.utilization.push_back(accel->utilization.value());
+    return report;
+}
+
+void
+ServeRuntime::dumpStats(std::ostream &os) const
+{
+    stats_.dump(os);
+}
+
+} // namespace serve
+} // namespace flexsim

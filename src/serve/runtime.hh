@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The inference-serving runtime.
+ *
+ * Requests flow arrival -> admission -> batch -> dispatch -> stats:
+ * a bounded admission queue sheds overflow, a batcher groups
+ * consecutive same-workload requests (up to a maximum batch, waiting
+ * at most a batching window), and a pool of simulated accelerator
+ * instances serves batches with roofline-derived service times.
+ *
+ * Execution is a virtual-time event loop: the coordinator advances
+ * time over arrival / completion / batch-window events, and hands
+ * every batch evaluation to a WorkerPool of real threads.  Because
+ * service times are pure functions and the coordinator joins each
+ * dispatch round in submission order before advancing time, the run
+ * is deterministic — the same seed and config produce a byte-identical
+ * stats report regardless of thread scheduling.
+ */
+
+#ifndef FLEXSIM_SERVE_RUNTIME_HH
+#define FLEXSIM_SERVE_RUNTIME_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/request.hh"
+#include "serve/service_model.hh"
+#include "serve/worker_pool.hh"
+#include "stats/stats.hh"
+
+namespace flexsim {
+namespace serve {
+
+/** Serving-policy knobs. */
+struct ServeConfig
+{
+    /** Number of accelerator instances in the pool. */
+    unsigned poolSize = 4;
+    /** Admission-queue capacity; arrivals beyond it are shed. */
+    std::size_t queueCapacity = 256;
+    /** Largest batch dispatched to one accelerator. */
+    unsigned maxBatch = 8;
+    /** Longest a head-of-line request waits for batch-mates. */
+    TimeNs batchWindowNs = 2'000'000;
+    /** Latency objective a completion is checked against. */
+    TimeNs sloNs = 50'000'000;
+};
+
+/** Headline numbers of one serving run. */
+struct ServeReport
+{
+    std::uint64_t arrived = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t sloViolations = 0;
+    /** First arrival to last completion. */
+    TimeNs makespanNs = 0;
+    double p50LatencyMs = 0.0;
+    double p95LatencyMs = 0.0;
+    double p99LatencyMs = 0.0;
+    double meanLatencyMs = 0.0;
+    /** Completions per second of makespan. */
+    double throughputRps = 0.0;
+    /** Busy fraction of each accelerator instance. */
+    std::vector<double> utilization;
+
+    double
+    shedRate() const
+    {
+        return arrived > 0
+                   ? static_cast<double>(shed) /
+                         static_cast<double>(arrived)
+                   : 0.0;
+    }
+};
+
+/**
+ * One serving run over a pool of identical accelerator instances.
+ *
+ * A runtime is single-shot: construct, run(), read the report or
+ * dump the stats.  The ServiceTimeModel must outlive the runtime.
+ */
+class ServeRuntime
+{
+  public:
+    ServeRuntime(const ServiceTimeModel &service,
+                 const ServeConfig &config);
+
+    ServeRuntime(const ServeRuntime &) = delete;
+    ServeRuntime &operator=(const ServeRuntime &) = delete;
+
+    /** Serve @p requests (sorted by arrival time) to completion. */
+    ServeReport run(const std::vector<InferenceRequest> &requests);
+
+    /** Render the full stats report (stable across equal-seed runs). */
+    void dumpStats(std::ostream &os) const;
+
+    const statistics::StatGroup &stats() const { return stats_; }
+
+  private:
+    /** Per-instance busy state and stats subtree. */
+    struct AccelInstance
+    {
+        AccelInstance(statistics::StatGroup *parent,
+                      const std::string &name,
+                      const TimeNs &makespan_ns);
+
+        bool busy = false;
+        statistics::StatGroup group;
+        statistics::Scalar busyNs;
+        statistics::Scalar batches;
+        statistics::Scalar requests;
+        statistics::Formula utilization;
+    };
+
+    const ServiceTimeModel &service_;
+    ServeConfig config_;
+    WorkerPool workers_;
+
+    // --- simulation state -------------------------------------------------
+    std::deque<InferenceRequest> queue_;
+    std::vector<std::unique_ptr<AccelInstance>> accels_;
+    TimeNs makespanNs_ = 0;
+    bool ran_ = false;
+
+    // --- statistics -------------------------------------------------------
+    statistics::StatGroup stats_;
+    statistics::Scalar arrived_;
+    statistics::Scalar admitted_;
+    statistics::Scalar shed_;
+    statistics::Scalar completed_;
+    statistics::Scalar batches_;
+    statistics::Scalar sloViolations_;
+    statistics::Scalar makespanStat_;
+    statistics::Formula throughput_;
+    statistics::Formula shedRate_;
+    statistics::Formula sloViolationRate_;
+    statistics::Formula meanBatchSize_;
+    statistics::Distribution latencyMs_;
+    statistics::Distribution queueWaitMs_;
+    statistics::Distribution queueDepth_;
+    statistics::Distribution batchSize_;
+};
+
+} // namespace serve
+} // namespace flexsim
+
+#endif // FLEXSIM_SERVE_RUNTIME_HH

@@ -1,0 +1,74 @@
+#include "serve/service_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexsim {
+namespace serve {
+
+ServiceTimeModel::ServiceTimeModel(const AcceleratorModel &model,
+                                   std::vector<NetworkSpec> workloads,
+                                   double dram_words_per_cycle,
+                                   double freq_ghz)
+    : archName_(model.name()), wordsPerCycle_(dram_words_per_cycle),
+      freqGhz_(freq_ghz)
+{
+    flexsim_assert(!workloads.empty(),
+                   "service model needs at least one workload");
+    flexsim_assert(dram_words_per_cycle > 0.0,
+                   "DRAM bandwidth must be positive");
+    flexsim_assert(freq_ghz > 0.0, "clock frequency must be positive");
+    for (const NetworkSpec &net : workloads) {
+        WorkloadEntry entry;
+        entry.name = net.name;
+        for (const NetworkSpec::Stage &stage : net.stages) {
+            LayerEntry layer;
+            layer.result = model.runLayer(stage.conv);
+            layer.kernelWords = stage.conv.kernelWords();
+            entry.frameTimings.push_back(
+                overlapTiming(layer.result, wordsPerCycle_));
+            entry.layers.push_back(std::move(layer));
+        }
+        workloads_.push_back(std::move(entry));
+    }
+}
+
+const ServiceTimeModel::WorkloadEntry &
+ServiceTimeModel::entry(int workload) const
+{
+    flexsim_assert(workload >= 0 &&
+                       static_cast<std::size_t>(workload) <
+                           workloads_.size(),
+                   "workload index ", workload, " out of range");
+    return workloads_[static_cast<std::size_t>(workload)];
+}
+
+const std::string &
+ServiceTimeModel::workloadName(int workload) const
+{
+    return entry(workload).name;
+}
+
+TimeNs
+ServiceTimeModel::batchServiceNs(int workload, unsigned batch) const
+{
+    flexsim_assert(batch > 0, "batch must hold at least one request");
+    Cycle total = 0;
+    for (const LayerEntry &layer : entry(workload).layers) {
+        total += batchOverlapTiming(layer.result, layer.kernelWords,
+                                    batch, wordsPerCycle_)
+                     .totalCycles;
+    }
+    return static_cast<TimeNs>(
+        std::ceil(static_cast<double>(total) / freqGhz_));
+}
+
+const std::vector<SystemTiming> &
+ServiceTimeModel::layerTimings(int workload) const
+{
+    return entry(workload).frameTimings;
+}
+
+} // namespace serve
+} // namespace flexsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Batch service times derived from the accelerator roofline.
+ *
+ * The serving runtime never re-derives timing: it asks the existing
+ * analytic models (systolic / 2D-mapping / tiling / FlexFlow) for one
+ * LayerResult per layer and overlaps compute with DRAM traffic via
+ * arch/system_timing.hh, so serving numbers stay consistent with the
+ * paper-calibrated engine numbers.  Batching amortizes the kernel
+ * stream: a batch of B frames fetches weights once and inputs/outputs
+ * B times (see batchOverlapTiming).
+ */
+
+#ifndef FLEXSIM_SERVE_SERVICE_MODEL_HH
+#define FLEXSIM_SERVE_SERVICE_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.hh"
+#include "arch/system_timing.hh"
+#include "nn/layer_spec.hh"
+#include "serve/request.hh"
+
+namespace flexsim {
+namespace serve {
+
+/**
+ * Precomputed per-workload service-time table.
+ *
+ * Construction runs the analytic model once per layer; queries are
+ * cheap, thread-safe (const), and deterministic — worker threads call
+ * batchServiceNs() concurrently.
+ */
+class ServiceTimeModel
+{
+  public:
+    /**
+     * @param model    the accelerator architecture serving the pool
+     * @param workloads the workload set requests index into
+     * @param dram_words_per_cycle DMA bandwidth (16-bit words/cycle)
+     * @param freq_ghz engine clock (1 GHz makes cycles == ns)
+     */
+    ServiceTimeModel(const AcceleratorModel &model,
+                     std::vector<NetworkSpec> workloads,
+                     double dram_words_per_cycle,
+                     double freq_ghz = 1.0);
+
+    std::size_t numWorkloads() const { return workloads_.size(); }
+
+    const std::string &workloadName(int workload) const;
+
+    /** Architecture name serving this table. */
+    const std::string &archName() const { return archName_; }
+
+    /** Wall-clock ns to serve a batch of @p batch equal requests. */
+    TimeNs batchServiceNs(int workload, unsigned batch) const;
+
+    /** Single-frame service time (batch of one). */
+    TimeNs frameServiceNs(int workload) const
+    {
+        return batchServiceNs(workload, 1);
+    }
+
+    /** Per-layer single-frame roofline decomposition. */
+    const std::vector<SystemTiming> &layerTimings(int workload) const;
+
+  private:
+    struct LayerEntry
+    {
+        LayerResult result;
+        WordCount kernelWords = 0;
+    };
+
+    struct WorkloadEntry
+    {
+        std::string name;
+        std::vector<LayerEntry> layers;
+        std::vector<SystemTiming> frameTimings;
+    };
+
+    const WorkloadEntry &entry(int workload) const;
+
+    std::string archName_;
+    std::vector<WorkloadEntry> workloads_;
+    double wordsPerCycle_;
+    double freqGhz_;
+};
+
+} // namespace serve
+} // namespace flexsim
+
+#endif // FLEXSIM_SERVE_SERVICE_MODEL_HH

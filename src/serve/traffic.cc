@@ -1,0 +1,153 @@
+#include "serve/traffic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/strutil.hh"
+
+namespace flexsim {
+namespace serve {
+
+std::optional<TrafficModel>
+parseTrafficModel(const std::string &name)
+{
+    const std::string lower = toLower(name);
+    if (lower == "poisson")
+        return TrafficModel::Poisson;
+    if (lower == "bursty")
+        return TrafficModel::Bursty;
+    if (lower == "replay")
+        return TrafficModel::Replay;
+    return std::nullopt;
+}
+
+const char *
+trafficModelName(TrafficModel model)
+{
+    switch (model) {
+      case TrafficModel::Poisson:
+        return "poisson";
+      case TrafficModel::Bursty:
+        return "bursty";
+      case TrafficModel::Replay:
+        return "replay";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Exponential inter-arrival draw at @p rate_per_ns. */
+TimeNs
+nextGap(Rng &rng, double rate_per_ns)
+{
+    // 1 - uniformReal() is in (0, 1]; log() stays finite.
+    const double u = 1.0 - rng.uniformReal();
+    const double gap = -std::log(u) / rate_per_ns;
+    return static_cast<TimeNs>(std::llround(std::max(gap, 1.0)));
+}
+
+/** The instantaneous rate (per ns) of the bursty process at @p now. */
+double
+burstyRate(const TrafficConfig &config, TimeNs now)
+{
+    const double mean_per_ns = config.rps / 1e9;
+    const TimeNs phase = now % config.burstPeriodNs;
+    const TimeNs on_ns = static_cast<TimeNs>(
+        config.burstFraction *
+        static_cast<double>(config.burstPeriodNs));
+    const bool bursting = phase < on_ns;
+    // Keep the long-run mean at rps: the lull rate compensates for
+    // the burst overshoot (clamped at a trickle when factor/fraction
+    // would drive it negative).
+    const double on_rate = mean_per_ns * config.burstFactor;
+    const double off_share =
+        1.0 - config.burstFraction * config.burstFactor;
+    const double off_rate = std::max(
+        mean_per_ns * off_share / (1.0 - config.burstFraction),
+        mean_per_ns * 1e-3);
+    return bursting ? on_rate : off_rate;
+}
+
+} // namespace
+
+std::vector<InferenceRequest>
+generateTraffic(const TrafficConfig &config)
+{
+    flexsim_assert(config.rps > 0.0, "traffic needs a positive rate");
+    flexsim_assert(config.durationNs > 0, "traffic needs a duration");
+    flexsim_assert(config.numWorkloads > 0,
+                   "traffic needs at least one workload");
+    if (config.model == TrafficModel::Bursty) {
+        flexsim_assert(config.burstFraction > 0.0 &&
+                           config.burstFraction < 1.0,
+                       "burst fraction must be in (0, 1)");
+        flexsim_assert(config.burstPeriodNs > 0,
+                       "burst period must be positive");
+    }
+
+    Rng rng(config.seed);
+    std::vector<InferenceRequest> requests;
+    auto draw_workload = [&] {
+        return config.numWorkloads == 1
+                   ? 0
+                   : static_cast<int>(rng.uniformInt(
+                         0, config.numWorkloads - 1));
+    };
+
+    if (config.model == TrafficModel::Replay) {
+        for (TimeNs offset : config.replayNs) {
+            if (offset >= config.durationNs)
+                continue;
+            InferenceRequest request;
+            request.workload = draw_workload();
+            request.arrivalNs = offset;
+            requests.push_back(request);
+        }
+        std::stable_sort(requests.begin(), requests.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.arrivalNs < b.arrivalNs;
+                         });
+    } else {
+        TimeNs now = 0;
+        while (true) {
+            const double rate =
+                config.model == TrafficModel::Bursty
+                    ? burstyRate(config, now)
+                    : config.rps / 1e9;
+            now += nextGap(rng, rate);
+            if (now >= config.durationNs)
+                break;
+            InferenceRequest request;
+            request.workload = draw_workload();
+            request.arrivalNs = now;
+            requests.push_back(request);
+        }
+    }
+
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        requests[i].id = i;
+    return requests;
+}
+
+std::vector<TimeNs>
+parseReplayTrace(const std::string &text)
+{
+    std::vector<TimeNs> offsets;
+    for (const std::string &line : split(text, '\n')) {
+        const std::string body = trim(split(line, '#').front());
+        if (body.empty())
+            continue;
+        const double micros = std::stod(body);
+        if (micros < 0.0)
+            fatal("replay trace has a negative arrival offset");
+        offsets.push_back(
+            static_cast<TimeNs>(std::llround(micros * 1e3)));
+    }
+    return offsets;
+}
+
+} // namespace serve
+} // namespace flexsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Synthetic and replayed request-arrival processes.
+ *
+ * Three generators cover the load shapes a deployment sees: a Poisson
+ * process (independent users), an on/off modulated Poisson process
+ * (diurnal bursts, flash crowds), and a replay of explicit arrival
+ * offsets (recorded traces).  All three are deterministic functions
+ * of the seed, so a serving run is reproducible end to end.
+ */
+
+#ifndef FLEXSIM_SERVE_TRAFFIC_HH
+#define FLEXSIM_SERVE_TRAFFIC_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace flexsim {
+namespace serve {
+
+/** Arrival-process families. */
+enum class TrafficModel
+{
+    Poisson, ///< exponential inter-arrivals at a fixed mean rate
+    Bursty,  ///< on/off modulated Poisson (burst / lull phases)
+    Replay,  ///< explicit arrival offsets (trace replay)
+};
+
+/** Parse "poisson" / "bursty" / "replay" (case-insensitive). */
+std::optional<TrafficModel> parseTrafficModel(const std::string &name);
+
+/** Lower-case model name for reports. */
+const char *trafficModelName(TrafficModel model);
+
+/** Parameters of one generated request stream. */
+struct TrafficConfig
+{
+    TrafficModel model = TrafficModel::Poisson;
+    /** Mean offered load in requests per second. */
+    double rps = 1000.0;
+    /** Stream length in virtual nanoseconds. */
+    TimeNs durationNs = 1'000'000'000;
+    std::uint64_t seed = 1;
+    /** Requests draw a workload index uniformly from [0, n). */
+    int numWorkloads = 1;
+    /** Bursty: rate multiplier while a burst is on. */
+    double burstFactor = 4.0;
+    /** Bursty: fraction of each period spent bursting, in (0, 1). */
+    double burstFraction = 0.2;
+    /** Bursty: burst cycle period. */
+    TimeNs burstPeriodNs = 100'000'000;
+    /** Replay: arrival offsets (ns) replayed in order; offsets past
+     *  durationNs are dropped. */
+    std::vector<TimeNs> replayNs;
+};
+
+/**
+ * Generate the request stream described by @p config, sorted by
+ * arrival time with ids in arrival order.
+ */
+std::vector<InferenceRequest> generateTraffic(const TrafficConfig &config);
+
+/**
+ * Parse a replay trace: one arrival offset per line, in microseconds
+ * (comments with '#' and blank lines skipped).
+ */
+std::vector<TimeNs> parseReplayTrace(const std::string &text);
+
+} // namespace serve
+} // namespace flexsim
+
+#endif // FLEXSIM_SERVE_TRAFFIC_HH

@@ -1,0 +1,54 @@
+#include "serve/worker_pool.hh"
+
+#include <algorithm>
+
+namespace flexsim {
+namespace serve {
+
+WorkerPool::WorkerPool(unsigned num_workers)
+{
+    const unsigned n = std::max(1u, num_workers);
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        threads_.emplace_back(
+            [this](std::stop_token stop) { workerLoop(stop); });
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    for (std::jthread &thread : threads_)
+        thread.request_stop();
+    cv_.notify_all();
+    // jthread joins on destruction.
+}
+
+void
+WorkerPool::submit(Job job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobs_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
+WorkerPool::workerLoop(std::stop_token stop)
+{
+    while (true) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, stop, [this] { return !jobs_.empty(); });
+            if (jobs_.empty())
+                return; // stop requested with an empty queue
+            job = std::move(jobs_.front());
+            jobs_.pop_front();
+        }
+        job();
+    }
+}
+
+} // namespace serve
+} // namespace flexsim

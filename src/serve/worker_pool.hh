@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A minimal jthread worker pool with a condition-variable work queue.
+ *
+ * The serving runtime dispatches batch-evaluation jobs here; workers
+ * pull jobs FIFO and run them concurrently.  Shutdown rides on
+ * std::jthread's stop_token — destruction requests stop, wakes every
+ * worker, and joins.
+ */
+
+#ifndef FLEXSIM_SERVE_WORKER_POOL_HH
+#define FLEXSIM_SERVE_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flexsim {
+namespace serve {
+
+/** Fixed-size pool of worker threads draining a FIFO job queue. */
+class WorkerPool
+{
+  public:
+    using Job = std::function<void()>;
+
+    /** Spawn @p num_workers threads (at least one). */
+    explicit WorkerPool(unsigned num_workers);
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Stops and joins every worker; queued jobs are dropped. */
+    ~WorkerPool();
+
+    /** Enqueue @p job; a sleeping worker wakes to run it. */
+    void submit(Job job);
+
+    unsigned numWorkers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+  private:
+    void workerLoop(std::stop_token stop);
+
+    std::mutex mutex_;
+    std::condition_variable_any cv_;
+    std::deque<Job> jobs_;
+    std::vector<std::jthread> threads_;
+};
+
+} // namespace serve
+} // namespace flexsim
+
+#endif // FLEXSIM_SERVE_WORKER_POOL_HH

@@ -1,5 +1,7 @@
 #include "stats/stats.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 
@@ -34,6 +36,85 @@ Formula::init(StatGroup *group, const std::string &name,
     return *this;
 }
 
+namespace {
+
+/** SplitMix64 step: the reservoir's deterministic index stream. */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Distribution &
+Distribution::init(StatGroup *group, const std::string &name,
+                   const std::string &desc,
+                   std::size_t reservoir_capacity)
+{
+    flexsim_assert(group != nullptr, "distribution '", name,
+                   "' needs a group");
+    flexsim_assert(!name.empty(), "distribution stats must be named");
+    flexsim_assert(reservoir_capacity > 0,
+                   "distribution '", name, "' needs a reservoir");
+    name_ = name;
+    desc_ = desc;
+    capacity_ = reservoir_capacity;
+    reservoir_.reserve(capacity_);
+    group->addDistribution(this);
+    return *this;
+}
+
+void
+Distribution::sample(double value)
+{
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    if (reservoir_.size() < capacity_) {
+        reservoir_.push_back(value);
+    } else {
+        // Algorithm R: sample i replaces a random slot with
+        // probability capacity / i.
+        const std::uint64_t slot = splitmix64(rngState_) % count_;
+        if (slot < capacity_)
+            reservoir_[slot] = value;
+    }
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (reservoir_.empty())
+        return 0.0;
+    std::vector<double> sorted(reservoir_);
+    std::sort(sorted.begin(), sorted.end());
+    p = std::clamp(p, 0.0, 1.0);
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+    reservoir_.clear();
+    rngState_ = 0;
+}
+
 StatGroup::StatGroup(std::string name) : name_(std::move(name))
 {
 }
@@ -66,6 +147,12 @@ StatGroup::addFormula(Formula *stat)
 }
 
 void
+StatGroup::addDistribution(Distribution *stat)
+{
+    distributions_.push_back(stat);
+}
+
+void
 StatGroup::addChild(StatGroup *child)
 {
     children_.push_back(child);
@@ -89,6 +176,31 @@ StatGroup::dump(std::ostream &os) const
             os << "  # " << f->desc();
         os << "\n";
     }
+    for (const Distribution *d : distributions_) {
+        const struct
+        {
+            const char *suffix;
+            double value;
+        } rows[] = {
+            {"count", static_cast<double>(d->count())},
+            {"min", d->min()},
+            {"mean", d->mean()},
+            {"p50", d->percentile(0.50)},
+            {"p95", d->percentile(0.95)},
+            {"p99", d->percentile(0.99)},
+            {"max", d->max()},
+        };
+        bool first = true;
+        for (const auto &row : rows) {
+            os << std::left << std::setw(48)
+               << (prefix + d->name() + "." + row.suffix)
+               << std::right << std::setw(16) << row.value;
+            if (first && !d->desc().empty())
+                os << "  # " << d->desc();
+            first = false;
+            os << "\n";
+        }
+    }
     for (const StatGroup *child : children_)
         child->dump(os);
 }
@@ -98,14 +210,15 @@ StatGroup::resetAll()
 {
     for (Scalar *s : scalars_)
         s->reset();
+    for (Distribution *d : distributions_)
+        d->reset();
     for (StatGroup *child : children_)
         child->resetAll();
 }
 
-const Scalar *
-StatGroup::findScalar(const std::string &dotted) const
+const StatGroup *
+StatGroup::descend(const std::vector<std::string> &parts) const
 {
-    const auto parts = split(dotted, '.');
     const StatGroup *group = this;
     for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
         const StatGroup *next = nullptr;
@@ -119,6 +232,16 @@ StatGroup::findScalar(const std::string &dotted) const
             return nullptr;
         group = next;
     }
+    return group;
+}
+
+const Scalar *
+StatGroup::findScalar(const std::string &dotted) const
+{
+    const auto parts = split(dotted, '.');
+    const StatGroup *group = descend(parts);
+    if (group == nullptr)
+        return nullptr;
     for (const Scalar *s : group->scalars_) {
         if (s->name() == parts.back())
             return s;
@@ -130,22 +253,26 @@ const Formula *
 StatGroup::findFormula(const std::string &dotted) const
 {
     const auto parts = split(dotted, '.');
-    const StatGroup *group = this;
-    for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
-        const StatGroup *next = nullptr;
-        for (const StatGroup *child : group->children_) {
-            if (child->name() == parts[i]) {
-                next = child;
-                break;
-            }
-        }
-        if (next == nullptr)
-            return nullptr;
-        group = next;
-    }
+    const StatGroup *group = descend(parts);
+    if (group == nullptr)
+        return nullptr;
     for (const Formula *f : group->formulas_) {
         if (f->name() == parts.back())
             return f;
+    }
+    return nullptr;
+}
+
+const Distribution *
+StatGroup::findDistribution(const std::string &dotted) const
+{
+    const auto parts = split(dotted, '.');
+    const StatGroup *group = descend(parts);
+    if (group == nullptr)
+        return nullptr;
+    for (const Distribution *d : group->distributions_) {
+        if (d->name() == parts.back())
+            return d;
     }
     return nullptr;
 }

@@ -11,6 +11,7 @@
 #ifndef FLEXSIM_STATS_STATS_HH
 #define FLEXSIM_STATS_STATS_HH
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <map>
@@ -72,6 +73,61 @@ class Formula
 };
 
 /**
+ * A named sample distribution.
+ *
+ * Tracks streaming count/min/max/mean exactly and keeps a bounded
+ * reservoir of samples for percentile queries (p50/p95/p99).  The
+ * reservoir uses Vitter's Algorithm R driven by an internal
+ * deterministic generator, so a deterministic sample stream always
+ * yields a byte-identical report — a property the serving runtime's
+ * repeatability guarantee relies on.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Register this distribution with @p group under @p name. */
+    Distribution &init(StatGroup *group, const std::string &name,
+                       const std::string &desc,
+                       std::size_t reservoir_capacity = 4096);
+
+    /** Record one sample. */
+    void sample(double value);
+
+    std::uint64_t count() const { return count_; }
+    double min() const { return count_ > 0 ? min_ : 0.0; }
+    double max() const { return count_ > 0 ? max_ : 0.0; }
+    double mean() const
+    {
+        return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /**
+     * Percentile estimate from the reservoir (linear interpolation
+     * between order statistics); @p p in [0, 1].
+     */
+    double percentile(double p) const;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Forget every sample. */
+    void reset();
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::size_t capacity_ = 4096;
+    std::vector<double> reservoir_;
+    std::uint64_t rngState_ = 0;
+};
+
+/**
  * A named collection of statistics.  Groups can nest; dump() renders
  * the whole subtree with dotted names (group.sub.stat).
  */
@@ -104,18 +160,26 @@ class StatGroup
     /** Look up a formula by dotted path relative to this group. */
     const Formula *findFormula(const std::string &dotted) const;
 
+    /** Look up a distribution by dotted path relative to this group. */
+    const Distribution *findDistribution(const std::string &dotted) const;
+
   private:
     friend class Scalar;
     friend class Formula;
+    friend class Distribution;
 
     void addScalar(Scalar *stat);
     void addFormula(Formula *stat);
+    void addDistribution(Distribution *stat);
     void addChild(StatGroup *child);
+
+    const StatGroup *descend(const std::vector<std::string> &parts) const;
 
     std::string name_;
     StatGroup *parent_ = nullptr;
     std::vector<Scalar *> scalars_;
     std::vector<Formula *> formulas_;
+    std::vector<Distribution *> distributions_;
     std::vector<StatGroup *> children_;
 };
 

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit and integration tests for the inference-serving runtime
+ * (src/serve/): traffic generation, service-time batching,
+ * admission control, and the determinism guarantee under real
+ * worker threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flexflow/flexflow_model.hh"
+#include "nn/workloads.hh"
+#include "serve/runtime.hh"
+#include "serve/service_model.hh"
+#include "serve/traffic.hh"
+
+namespace flexsim {
+namespace {
+
+using namespace flexsim::serve;
+
+TrafficConfig
+smallTraffic(double rps = 2000.0, TimeNs duration_ns = 100'000'000)
+{
+    TrafficConfig config;
+    config.rps = rps;
+    config.durationNs = duration_ns;
+    config.seed = 7;
+    return config;
+}
+
+TEST(ServeTrafficTest, PoissonIsDeterministicPerSeed)
+{
+    const auto a = generateTraffic(smallTraffic());
+    const auto b = generateTraffic(smallTraffic());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrivalNs, b[i].arrivalNs);
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_EQ(a[i].id, i);
+    }
+
+    auto other = smallTraffic();
+    other.seed = 8;
+    const auto c = generateTraffic(other);
+    bool differs = c.size() != a.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].arrivalNs != c[i].arrivalNs;
+    EXPECT_TRUE(differs);
+}
+
+TEST(ServeTrafficTest, PoissonMeanRateAndOrdering)
+{
+    auto config = smallTraffic(5000.0, 1'000'000'000);
+    const auto requests = generateTraffic(config);
+    // 5000 rps over 1 s: expect ~5000 arrivals (Poisson sd ~71).
+    EXPECT_NEAR(static_cast<double>(requests.size()), 5000.0, 400.0);
+    for (std::size_t i = 1; i < requests.size(); ++i)
+        EXPECT_GE(requests[i].arrivalNs, requests[i - 1].arrivalNs);
+    for (const auto &request : requests)
+        EXPECT_LT(request.arrivalNs, config.durationNs);
+}
+
+TEST(ServeTrafficTest, BurstyKeepsMeanRateButClusters)
+{
+    auto config = smallTraffic(4000.0, 1'000'000'000);
+    config.model = TrafficModel::Bursty;
+    const auto requests = generateTraffic(config);
+    EXPECT_NEAR(static_cast<double>(requests.size()), 4000.0, 600.0);
+
+    // More than half the arrivals land inside the burst phase, which
+    // covers only burstFraction of the time line.
+    std::size_t in_burst = 0;
+    const TimeNs on_ns = static_cast<TimeNs>(
+        config.burstFraction *
+        static_cast<double>(config.burstPeriodNs));
+    for (const auto &request : requests) {
+        if (request.arrivalNs % config.burstPeriodNs < on_ns)
+            ++in_burst;
+    }
+    EXPECT_GT(in_burst * 2, requests.size());
+}
+
+TEST(ServeTrafficTest, ReplayDropsPastDurationAndSorts)
+{
+    auto config = smallTraffic();
+    config.model = TrafficModel::Replay;
+    config.durationNs = 1000;
+    config.replayNs = {500, 100, 900, 1000, 2000};
+    const auto requests = generateTraffic(config);
+    ASSERT_EQ(requests.size(), 3u);
+    EXPECT_EQ(requests[0].arrivalNs, 100u);
+    EXPECT_EQ(requests[1].arrivalNs, 500u);
+    EXPECT_EQ(requests[2].arrivalNs, 900u);
+}
+
+TEST(ServeTrafficTest, ParseReplayTraceMicroseconds)
+{
+    const auto offsets =
+        parseReplayTrace("# trace\n10\n2.5  # early\n\n0.001\n");
+    ASSERT_EQ(offsets.size(), 3u);
+    EXPECT_EQ(offsets[0], 10'000u);
+    EXPECT_EQ(offsets[1], 2'500u);
+    EXPECT_EQ(offsets[2], 1u);
+}
+
+TEST(ServeServiceModelTest, BatchAmortizesKernelStream)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    // Starved DRAM makes every layer memory-bound, so the batching
+    // benefit (kernels fetched once) must show up in wall-clock.
+    const ServiceTimeModel service(model, {workloads::alexnet()},
+                                   /*dram_words_per_cycle=*/0.25);
+    const TimeNs one = service.batchServiceNs(0, 1);
+    const TimeNs eight = service.batchServiceNs(0, 8);
+    EXPECT_GT(eight, one);
+    EXPECT_LT(eight, 8 * one);
+}
+
+TEST(ServeServiceModelTest, BatchServiceIsMonotone)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::lenet5()}, 4.0);
+    TimeNs prev = 0;
+    for (unsigned batch = 1; batch <= 16; batch *= 2) {
+        const TimeNs t = service.batchServiceNs(0, batch);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(ServeServiceModelTest, LayerTimingsMatchWorkloadDepth)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const NetworkSpec net = workloads::lenet5();
+    const ServiceTimeModel service(model, {net}, 4.0);
+    EXPECT_EQ(service.layerTimings(0).size(), net.stages.size());
+    EXPECT_EQ(service.workloadName(0), net.name);
+}
+
+TEST(ServeRuntimeTest, ServesEveryAdmittedRequest)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::lenet5()}, 4.0);
+    const auto requests = generateTraffic(smallTraffic());
+
+    ServeConfig config;
+    config.poolSize = 2;
+    ServeRuntime runtime(service, config);
+    const ServeReport report = runtime.run(requests);
+    EXPECT_EQ(report.arrived, requests.size());
+    EXPECT_EQ(report.arrived, report.admitted + report.shed);
+    EXPECT_EQ(report.completed, report.admitted);
+    EXPECT_GT(report.batches, 0u);
+    EXPECT_GT(report.throughputRps, 0.0);
+    ASSERT_EQ(report.utilization.size(), 2u);
+}
+
+TEST(ServeRuntimeTest, BoundedQueueShedsUnderOverload)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::alexnet()}, 4.0);
+    // One instance serves ~700 rps of AlexNet; offered 4000 rps,
+    // the 16-deep queue must shed most of the load.
+    const auto requests =
+        generateTraffic(smallTraffic(4000.0, 200'000'000));
+
+    ServeConfig config;
+    config.poolSize = 1;
+    config.queueCapacity = 16;
+    ServeRuntime runtime(service, config);
+    const ServeReport report = runtime.run(requests);
+    EXPECT_GT(report.shed, 0u);
+    EXPECT_EQ(report.completed, report.admitted);
+    EXPECT_GT(report.shedRate(), 0.3);
+}
+
+TEST(ServeRuntimeTest, TailLatencyDivergesPastSaturation)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::alexnet()}, 4.0);
+
+    auto run_at = [&](double rps) {
+        ServeConfig config;
+        config.poolSize = 2;
+        ServeRuntime runtime(service, config);
+        return runtime.run(
+            generateTraffic(smallTraffic(rps, 500'000'000)));
+    };
+    const ServeReport light = run_at(200.0);
+    const ServeReport heavy = run_at(4000.0);
+    EXPECT_GT(heavy.p99LatencyMs, 3.0 * light.p99LatencyMs);
+    EXPECT_GT(heavy.sloViolations, 0u);
+    EXPECT_EQ(light.sloViolations, 0u);
+}
+
+TEST(ServeRuntimeTest, MixedWorkloadsBatchOnlyCompatibleRequests)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(
+        model, {workloads::lenet5(), workloads::pv()}, 4.0);
+    auto config = smallTraffic();
+    config.numWorkloads = 2;
+    const auto requests = generateTraffic(config);
+    bool saw_both = false;
+    for (const auto &request : requests)
+        saw_both |= request.workload == 1;
+    EXPECT_TRUE(saw_both);
+
+    ServeConfig serve_config;
+    ServeRuntime runtime(service, serve_config);
+    const ServeReport report = runtime.run(requests);
+    EXPECT_EQ(report.completed, report.admitted);
+}
+
+/**
+ * The flexserve-equivalent determinism check: two full runs with the
+ * same seed and config — each with its own pool of real worker
+ * threads — must render byte-identical stats reports.
+ */
+TEST(ServeRuntimeTest, SeededRunsAreByteIdentical)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(
+        model, {workloads::alexnet(), workloads::lenet5()}, 4.0);
+
+    auto render = [&] {
+        auto traffic = smallTraffic(3000.0, 300'000'000);
+        traffic.numWorkloads = 2;
+        ServeConfig config;
+        config.poolSize = 4;
+        config.queueCapacity = 64;
+        ServeRuntime runtime(service, config);
+        runtime.run(generateTraffic(traffic));
+        std::ostringstream report;
+        runtime.dumpStats(report);
+        return report.str();
+    };
+    const std::string first = render();
+    const std::string second = render();
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST(ServeRuntimeTest, StatsTreeExposesServingCounters)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::lenet5()}, 4.0);
+    ServeConfig config;
+    config.poolSize = 2;
+    ServeRuntime runtime(service, config);
+    runtime.run(generateTraffic(smallTraffic()));
+
+    const auto &stats = runtime.stats();
+    ASSERT_NE(stats.findScalar("requestsCompleted"), nullptr);
+    EXPECT_GT(stats.findScalar("requestsCompleted")->value(), 0.0);
+    ASSERT_NE(stats.findDistribution("latencyMs"), nullptr);
+    EXPECT_GT(stats.findDistribution("latencyMs")->count(), 0u);
+    ASSERT_NE(stats.findScalar("accel0.busyNs"), nullptr);
+    ASSERT_NE(stats.findFormula("accel1.utilization"), nullptr);
+    EXPECT_GT(stats.findFormula("throughputRps")->value(), 0.0);
+}
+
+} // namespace
+} // namespace flexsim

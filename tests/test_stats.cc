@@ -133,5 +133,97 @@ TEST(StatsTest, TopLevelScalarLookup)
     ASSERT_NE(root.findScalar("direct"), nullptr);
 }
 
+TEST(DistributionTest, StreamingMomentsAreExact)
+{
+    StatGroup root("root");
+    statistics::Distribution d;
+    d.init(&root, "lat", "latency");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    d.sample(4.0);
+    d.sample(1.0);
+    d.sample(7.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 7.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+}
+
+TEST(DistributionTest, PercentilesFromFullReservoir)
+{
+    StatGroup root("root");
+    statistics::Distribution d;
+    d.init(&root, "lat", "");
+    // 1..100 fits the reservoir, so percentiles are exact order
+    // statistics (with linear interpolation).
+    for (int i = 1; i <= 100; ++i)
+        d.sample(static_cast<double>(i));
+    EXPECT_NEAR(d.percentile(0.50), 50.5, 0.01);
+    EXPECT_NEAR(d.percentile(0.95), 95.05, 0.01);
+    EXPECT_NEAR(d.percentile(0.99), 99.01, 0.01);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 100.0);
+}
+
+TEST(DistributionTest, ReservoirSamplingIsDeterministic)
+{
+    auto render = [] {
+        StatGroup root("root");
+        statistics::Distribution d;
+        d.init(&root, "lat", "", 64);
+        for (int i = 0; i < 10'000; ++i)
+            d.sample(static_cast<double>((i * 37) % 1000));
+        std::ostringstream os;
+        root.dump(os);
+        return os.str();
+    };
+    EXPECT_EQ(render(), render());
+}
+
+TEST(DistributionTest, OverflowedReservoirStaysRepresentative)
+{
+    StatGroup root("root");
+    statistics::Distribution d;
+    d.init(&root, "lat", "", 256);
+    for (int i = 0; i < 100'000; ++i)
+        d.sample(static_cast<double>(i % 1000));
+    // Uniform over [0, 1000): the median estimate must land well
+    // inside the middle of the range.
+    EXPECT_NEAR(d.percentile(0.50), 500.0, 150.0);
+    EXPECT_EQ(d.count(), 100'000u);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 999.0);
+}
+
+TEST(DistributionTest, DumpRendersPercentileRows)
+{
+    StatGroup root("root");
+    statistics::Distribution d;
+    d.init(&root, "lat", "latency (ms)");
+    d.sample(2.0);
+    std::ostringstream os;
+    root.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("root.lat.count"), std::string::npos);
+    EXPECT_NE(text.find("root.lat.p50"), std::string::npos);
+    EXPECT_NE(text.find("root.lat.p95"), std::string::npos);
+    EXPECT_NE(text.find("root.lat.p99"), std::string::npos);
+    EXPECT_NE(text.find("# latency (ms)"), std::string::npos);
+}
+
+TEST(DistributionTest, ResetClearsSamplesAndLookupWorks)
+{
+    StatGroup root("root");
+    StatGroup child(&root, "sub");
+    statistics::Distribution d;
+    d.init(&child, "lat", "");
+    d.sample(3.0);
+    ASSERT_NE(root.findDistribution("sub.lat"), nullptr);
+    EXPECT_EQ(root.findDistribution("sub.miss"), nullptr);
+    root.resetAll();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
+}
+
 } // namespace
 } // namespace flexsim

@@ -10,6 +10,7 @@
  *
  * Usage:
  *     flexrun <program.s> [-d D] [--seed S] [--stats]
+ *             [--dram-wpc BW]
  */
 
 #include <fstream>
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/system_timing.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "flexflow/accelerator.hh"
@@ -32,7 +34,7 @@ int
 usage()
 {
     std::cerr << "usage: flexrun <program.s> [-d D] [--seed S] "
-                 "[--stats]\n";
+                 "[--stats] [--dram-wpc BW]\n";
     return 2;
 }
 
@@ -93,6 +95,7 @@ main(int argc, char **argv)
     unsigned d = 16;
     std::uint64_t seed = 2017;
     bool dump_stats = false;
+    double dram_wpc = 4.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "-d" && i + 1 < argc)
@@ -101,6 +104,8 @@ main(int argc, char **argv)
             seed = std::stoull(argv[++i]);
         else if (arg == "--stats")
             dump_stats = true;
+        else if (arg == "--dram-wpc" && i + 1 < argc)
+            dram_wpc = std::stod(argv[++i]);
         else if (!startsWith(arg, "-") && path.empty())
             path = arg;
         else
@@ -108,6 +113,10 @@ main(int argc, char **argv)
     }
     if (path.empty())
         return usage();
+    if (dram_wpc <= 0.0) {
+        std::cerr << "flexrun: --dram-wpc must be positive\n";
+        return usage();
+    }
 
     // Binary programs (written by `flexcc -b`) start with the "FFSM"
     // magic; anything else is treated as assembly text.
@@ -170,6 +179,25 @@ main(int argc, char **argv)
     table.print(std::cout);
 
     if (dump_stats) {
+        // System roofline: the same per-layer decomposition the
+        // serving runtime (src/serve/) prices batches with.
+        std::cout << "\nSystem roofline ("
+                  << formatDouble(dram_wpc, 1)
+                  << " DRAM words/cycle, double-buffered):\n";
+        TextTable roofline;
+        roofline.setHeader({"Layer", "ComputeCycles", "DramCycles",
+                            "TotalCycles", "Bound"});
+        for (const LayerResult &layer : result.layers) {
+            const SystemTiming timing =
+                overlapTiming(layer, dram_wpc);
+            roofline.addRow(
+                {layer.layerName, formatCount(timing.computeCycles),
+                 formatCount(timing.dramCycles),
+                 formatCount(timing.totalCycles),
+                 timing.memoryBound ? "memory" : "compute"});
+        }
+        roofline.print(std::cout);
+
         std::cout << "\n";
         accelerator.dumpStats(std::cout);
     }

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * flexserve — serve synthetic inference traffic on a pool of
+ * simulated accelerators and report throughput / tail latency / SLO
+ * compliance.
+ *
+ * Usage:
+ *     flexserve [--arch A] [--pool N] [--rps R] [--traffic M]
+ *               [--duration T] [--seed S] [--workload W[,W...]]
+ *               [--scale D] [--batch B] [--queue Q] [--window-ms W]
+ *               [--slo-ms L] [--dram-wpc BW] [--trace FILE]
+ *
+ * Runs are deterministic: the same seed and configuration print a
+ * byte-identical report.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "flexflow/flexflow_model.hh"
+#include "mapping2d/mapping2d_model.hh"
+#include "nn/workloads.hh"
+#include "rowstationary/rs_model.hh"
+#include "serve/runtime.hh"
+#include "serve/service_model.hh"
+#include "serve/traffic.hh"
+#include "systolic/systolic_model.hh"
+#include "tiling/tiling_model.hh"
+
+using namespace flexsim;
+using namespace flexsim::serve;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: flexserve [options]\n"
+           "  --arch A         flexflow | systolic | mapping2d | "
+           "tiling | rowstationary (default flexflow)\n"
+           "  --pool N         accelerator instances (default 4)\n"
+           "  --rps R          mean offered load (default 2000)\n"
+           "  --traffic M      poisson | bursty | replay "
+           "(default poisson)\n"
+           "  --duration T     e.g. 10s, 500ms (default 10s)\n"
+           "  --seed S         traffic seed (default 1)\n"
+           "  --workload W     comma list of table-1 workloads "
+           "(default alexnet)\n"
+           "  --scale D        engine scale, PEs = DxD (default 16)\n"
+           "  --batch B        max batch per dispatch (default 8)\n"
+           "  --queue Q        admission-queue capacity "
+           "(default 256)\n"
+           "  --window-ms W    batching window (default 2)\n"
+           "  --slo-ms L       latency SLO (default 50)\n"
+           "  --dram-wpc BW    DRAM words/cycle (default 4)\n"
+           "  --trace FILE     replay trace, one arrival us per "
+           "line\n";
+    return 2;
+}
+
+/** Parse "10s" / "500ms" / "250us" into nanoseconds. */
+std::optional<TimeNs>
+parseDuration(const std::string &text)
+{
+    double scale = 0.0;
+    std::string digits;
+    if (text.size() > 2 && text.substr(text.size() - 2) == "ms") {
+        scale = 1e6;
+        digits = text.substr(0, text.size() - 2);
+    } else if (text.size() > 2 &&
+               text.substr(text.size() - 2) == "us") {
+        scale = 1e3;
+        digits = text.substr(0, text.size() - 2);
+    } else if (text.size() > 1 && text.back() == 's') {
+        scale = 1e9;
+        digits = text.substr(0, text.size() - 1);
+    } else {
+        return std::nullopt;
+    }
+    try {
+        const double value = std::stod(digits);
+        if (value <= 0.0)
+            return std::nullopt;
+        return static_cast<TimeNs>(value * scale);
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+std::unique_ptr<AcceleratorModel>
+makeModel(const std::string &arch, unsigned scale)
+{
+    const std::string lower = toLower(arch);
+    if (lower == "flexflow") {
+        return std::make_unique<FlexFlowModel>(
+            FlexFlowConfig::forScale(scale));
+    }
+    if (lower == "systolic") {
+        return std::make_unique<SystolicModel>(
+            SystolicConfig::forScale(scale));
+    }
+    if (lower == "mapping2d") {
+        return std::make_unique<Mapping2DModel>(
+            Mapping2DConfig::forScale(scale));
+    }
+    if (lower == "tiling") {
+        return std::make_unique<TilingModel>(
+            TilingConfig::forScale(scale));
+    }
+    if (lower == "rowstationary") {
+        return std::make_unique<RowStationaryModel>(
+            RowStationaryConfig::eyeriss());
+    }
+    return nullptr;
+}
+
+/** Lower-case, dashes stripped: "LeNet-5" matches "lenet5". */
+std::string
+canonicalName(const std::string &name)
+{
+    std::string out;
+    for (char c : toLower(name)) {
+        if (c != '-')
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::optional<NetworkSpec>
+findWorkload(const std::string &name)
+{
+    for (const NetworkSpec &net : workloads::all()) {
+        if (canonicalName(net.name) == canonicalName(name))
+            return net;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string arch = "flexflow";
+    std::string traffic_name = "poisson";
+    std::string workload_list = "alexnet";
+    std::string trace_path;
+    unsigned pool = 4;
+    unsigned scale = 16;
+    double rps = 2000.0;
+    TimeNs duration_ns = 10'000'000'000ull;
+    std::uint64_t seed = 1;
+    ServeConfig config;
+    double window_ms = 2.0;
+    double slo_ms = 50.0;
+    double dram_wpc = 4.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "flexserve: " << arg
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        try {
+            if (arg == "--arch") {
+                arch = next();
+            } else if (arg == "--pool") {
+                pool = std::stoul(next());
+            } else if (arg == "--rps") {
+                rps = std::stod(next());
+            } else if (arg == "--traffic") {
+                traffic_name = next();
+            } else if (arg == "--duration") {
+                const auto parsed = parseDuration(next());
+                if (!parsed)
+                    return usage();
+                duration_ns = *parsed;
+            } else if (arg == "--seed") {
+                seed = std::stoull(next());
+            } else if (arg == "--workload") {
+                workload_list = next();
+            } else if (arg == "--scale") {
+                scale = std::stoul(next());
+            } else if (arg == "--batch") {
+                config.maxBatch = std::stoul(next());
+            } else if (arg == "--queue") {
+                config.queueCapacity = std::stoul(next());
+            } else if (arg == "--window-ms") {
+                window_ms = std::stod(next());
+            } else if (arg == "--slo-ms") {
+                slo_ms = std::stod(next());
+            } else if (arg == "--dram-wpc") {
+                dram_wpc = std::stod(next());
+            } else if (arg == "--trace") {
+                trace_path = next();
+            } else {
+                return usage();
+            }
+        } catch (...) {
+            return usage();
+        }
+    }
+
+    if (rps <= 0.0 || pool == 0 || scale == 0 ||
+        config.maxBatch == 0 || config.queueCapacity == 0 ||
+        dram_wpc <= 0.0) {
+        std::cerr << "flexserve: --rps, --pool, --scale, --batch, "
+                     "--queue and --dram-wpc must be positive\n";
+        return usage();
+    }
+    const auto traffic_model = parseTrafficModel(traffic_name);
+    if (!traffic_model) {
+        std::cerr << "flexserve: unknown traffic model '"
+                  << traffic_name << "'\n";
+        return usage();
+    }
+    const auto model = makeModel(arch, scale);
+    if (!model) {
+        std::cerr << "flexserve: unknown architecture '" << arch
+                  << "'\n";
+        return usage();
+    }
+    std::vector<NetworkSpec> nets;
+    for (const std::string &name : split(workload_list, ',')) {
+        const auto net = findWorkload(trim(name));
+        if (!net) {
+            std::cerr << "flexserve: unknown workload '" << name
+                      << "' (try pv, fr, lenet-5, hg, alexnet, "
+                         "vgg)\n";
+            return usage();
+        }
+        nets.push_back(*net);
+    }
+
+    config.poolSize = pool;
+    config.batchWindowNs = static_cast<TimeNs>(window_ms * 1e6);
+    config.sloNs = static_cast<TimeNs>(slo_ms * 1e6);
+
+    TrafficConfig traffic;
+    traffic.model = *traffic_model;
+    traffic.rps = rps;
+    traffic.durationNs = duration_ns;
+    traffic.seed = seed;
+    traffic.numWorkloads = static_cast<int>(nets.size());
+    if (traffic.model == TrafficModel::Replay) {
+        if (trace_path.empty()) {
+            std::cerr
+                << "flexserve: --traffic replay needs --trace\n";
+            return usage();
+        }
+        std::ifstream in(trace_path);
+        if (!in) {
+            std::cerr << "flexserve: cannot read " << trace_path
+                      << "\n";
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        traffic.replayNs = parseReplayTrace(text.str());
+    }
+
+    const ServiceTimeModel service(*model, nets, dram_wpc);
+    const std::vector<InferenceRequest> requests =
+        generateTraffic(traffic);
+
+    ServeRuntime runtime(service, config);
+    const ServeReport report = runtime.run(requests);
+
+    std::cout << "flexserve: " << service.archName() << " x " << pool
+              << " (scale " << scale << "), "
+              << trafficModelName(traffic.model) << " traffic at "
+              << formatDouble(rps, 0) << " rps for "
+              << formatDouble(static_cast<double>(duration_ns) / 1e9,
+                              2)
+              << " s, seed " << seed << "\n";
+    std::cout << "workloads:";
+    for (std::size_t w = 0; w < service.numWorkloads(); ++w) {
+        std::cout << " " << service.workloadName(static_cast<int>(w))
+                  << " ("
+                  << formatDouble(
+                         static_cast<double>(service.frameServiceNs(
+                             static_cast<int>(w))) /
+                             1e6,
+                         3)
+                  << " ms/frame)";
+    }
+    std::cout << "\n\n";
+
+    TextTable table;
+    table.setHeader({"Metric", "Value"});
+    table.addRow({"requests offered",
+                  formatCount(report.arrived)});
+    table.addRow({"requests completed",
+                  formatCount(report.completed)});
+    table.addRow({"requests shed", formatCount(report.shed)});
+    table.addRow({"throughput",
+                  formatDouble(report.throughputRps, 1) + " rps"});
+    table.addRow({"latency p50",
+                  formatDouble(report.p50LatencyMs, 3) + " ms"});
+    table.addRow({"latency p95",
+                  formatDouble(report.p95LatencyMs, 3) + " ms"});
+    table.addRow({"latency p99",
+                  formatDouble(report.p99LatencyMs, 3) + " ms"});
+    table.addRow({"SLO (" + formatDouble(slo_ms, 1) + " ms) misses",
+                  formatCount(report.sloViolations)});
+    double mean_util = 0.0;
+    for (double u : report.utilization)
+        mean_util += u;
+    if (!report.utilization.empty())
+        mean_util /= static_cast<double>(report.utilization.size());
+    table.addRow({"pool utilization", formatPercent(mean_util)});
+    table.print(std::cout);
+
+    std::cout << "\n";
+    runtime.dumpStats(std::cout);
+    return 0;
+}
