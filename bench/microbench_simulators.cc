@@ -28,18 +28,18 @@ struct LayerData
     Tensor3<> input;
     Tensor4<> kernels;
 
-    LayerData()
+    LayerData(const ConvLayerSpec &spec, std::uint64_t seed)
     {
-        Rng rng(1234);
-        input = makeRandomInput(rng, kLayer);
-        kernels = makeRandomKernels(rng, kLayer);
+        Rng rng(seed);
+        input = makeRandomInput(rng, spec);
+        kernels = makeRandomKernels(rng, spec);
     }
 };
 
 const LayerData &
 layerData()
 {
-    static const LayerData data;
+    static const LayerData data(kLayer, 1234);
     return data;
 }
 
@@ -96,6 +96,57 @@ BM_FlexFlowCycleSim(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * kLayer.macs());
 }
 BENCHMARK(BM_FlexFlowCycleSim)->Unit(benchmark::kMillisecond);
+
+// AlexNet C5: the largest Table-1 layer whose schedule splits into
+// passes (the per-PE kernel slice overflows the kernel store).  The
+// Arg is the host-side worker-thread count.
+const ConvLayerSpec kConv5 = ConvLayerSpec::make("C5", 256, 192, 13, 3);
+
+const LayerData &
+conv5Data()
+{
+    static const LayerData data(kConv5, 5678);
+    return data;
+}
+
+void
+BM_FlexFlowCycleSimConv5(benchmark::State &state)
+{
+    FlexFlowConfig cfg;
+    cfg.threads = static_cast<int>(state.range(0));
+    FlexFlowConvUnit unit{cfg};
+    const UnrollFactors t{16, 16, 1, 1, 1, 1};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            unit.runLayer(kConv5, t, conv5Data().input,
+                          conv5Data().kernels));
+    }
+    state.SetItemsProcessed(state.iterations() * kConv5.macs());
+}
+BENCHMARK(BM_FlexFlowCycleSimConv5)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_FlexFlowCycleSimThreads(benchmark::State &state)
+{
+    FlexFlowConfig cfg;
+    cfg.threads = static_cast<int>(state.range(0));
+    FlexFlowConvUnit unit{cfg};
+    const UnrollFactors t{16, 3, 1, 1, 1, 5};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            unit.runLayer(kLayer, t, layerData().input,
+                          layerData().kernels));
+    }
+    state.SetItemsProcessed(state.iterations() * kLayer.macs());
+}
+BENCHMARK(BM_FlexFlowCycleSimThreads)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_FlexFlowAnalyticModel(benchmark::State &state)

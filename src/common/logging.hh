@@ -91,6 +91,18 @@ void informImpl(const std::string &msg);
         }                                                                  \
     } while (0)
 
+/**
+ * Per-operand invariant check on a simulator's innermost (per-MAC)
+ * path.  Compiled out by default so the hot loops stay branch-free;
+ * the FLEXSIM_PARANOID CMake option turns it back into a
+ * flexsim_assert for the paranoid CI configuration.
+ */
+#ifdef FLEXSIM_PARANOID
+#define flexsim_paranoid_assert(cond, ...) flexsim_assert(cond, ##__VA_ARGS__)
+#else
+#define flexsim_paranoid_assert(cond, ...) ((void)0)
+#endif
+
 } // namespace flexsim
 
 #endif // FLEXSIM_COMMON_LOGGING_HH

@@ -1,7 +1,11 @@
 #include "flexflow/conv_unit.hh"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "arch/dram_planner.hh"
@@ -14,36 +18,212 @@ namespace flexsim {
 
 namespace {
 
-/** One MAC obligation of a (PE row, PE column) pair within a batch. */
-struct Task
+/**
+ * One MAC obligation of a (PE row, PE column) pair, reduced to the two
+ * operand offsets the compute loop needs: inRel addresses the input
+ * word relative to the batch's window origin, kRel addresses the
+ * synapse relative to the row's output map.
+ */
+struct HotTask
 {
-    std::int32_t n;
-    std::int32_t i;
-    std::int32_t j;
-    std::int32_t x;
-    std::int32_t y;
+    std::int32_t inRel;
+    std::int32_t kRel;
 };
 
-/** Pack an input-word coordinate into a hash key. */
-std::uint64_t
-wordKey(int n, int x, int y)
+/**
+ * One distinct input word a batch delivers on a column's vertical CDB,
+ * again relative to the batch's window origin.  dx/dy are kept so the
+ * retention bookkeeping can bin the word by absolute input row/column.
+ */
+struct DeliveryWord
 {
-    return (static_cast<std::uint64_t>(n) << 40) |
-           (static_cast<std::uint64_t>(x) << 20) |
-           static_cast<std::uint64_t>(y);
+    std::int32_t inRel;
+    std::int32_t dx;
+    std::int32_t dy;
+};
+
+/**
+ * The complete task pattern of one batch boundary shape.  Two batches
+ * share a pattern when they execute the same pass (n-range), have the
+ * same number of valid m/r/c lanes (interior block vs layer edge), and
+ * their window origins agree mod (Ti, Tj) — nothing else about the
+ * (mb, rb, cb) position changes which MAC lands on which PE.  The
+ * pattern is precomputed once per distinct shape and shared by every
+ * batch of that shape, which hoists the former per-batch task-queue
+ * construction out of the hot loop entirely.
+ */
+struct BatchSchedule
+{
+    std::vector<std::uint8_t> rowValid;
+    /** All tasks, grouped contiguously by row (column order is
+     * irrelevant to the summed result; see the determinism note in
+     * docs/DESIGN notes on the conv unit). */
+    std::vector<HotTask> tasks;
+    std::vector<std::int32_t> rowTaskBegin; ///< rows + 1 offsets
+    /** Distinct words per column, grouped contiguously by column. */
+    std::vector<DeliveryWord> words;
+    std::vector<std::int32_t> colWordBegin; ///< cols + 1 offsets
+    /** Largest per-(row, column) task queue — the RS step count. */
+    std::size_t maxTasksPerPe = 0;
+};
+
+BatchSchedule
+buildBatchSchedule(const ConvLayerSpec &spec, const LaneMapping &map,
+                   const SchedulePass &pass, int m_valid, int r_valid,
+                   int c_valid, int x_phase, int y_phase, int in_h,
+                   int in_w)
+{
+    const UnrollFactors &t = map.factors();
+    const int rows = map.usedRows();
+    const int cols = map.usedCols();
+    const int k = spec.kernel;
+    const int stride = spec.stride;
+    const int n_range = pass.nEnd - pass.nBegin;
+    const int span_x = (t.tr - 1) * stride + k;
+    const int span_y = (t.tc - 1) * stride + k;
+
+    BatchSchedule sched;
+    sched.rowValid.resize(rows);
+    sched.rowTaskBegin.assign(rows + 1, 0);
+    sched.tasks.reserve(static_cast<std::size_t>(rows) * n_range * k *
+                        k);
+
+    std::vector<std::int32_t> queue_len(
+        static_cast<std::size_t>(rows) * cols, 0);
+    std::vector<std::uint8_t> seen(
+        static_cast<std::size_t>(n_range) * span_x * span_y, 0);
+    std::vector<std::vector<DeliveryWord>> col_words(cols);
+
+    for (int row = 0; row < rows; ++row) {
+        sched.rowTaskBegin[row] =
+            static_cast<std::int32_t>(sched.tasks.size());
+        const RowLane lane = map.rowLane(row);
+        const bool valid = lane.mOff < m_valid && lane.rOff < r_valid &&
+                           lane.cOff < c_valid;
+        sched.rowValid[row] = valid;
+        if (!valid)
+            continue;
+        for (int n = pass.nBegin; n < pass.nEnd; ++n) {
+            for (int i = 0; i < k; ++i) {
+                const int dx = lane.rOff * stride + i;
+                for (int j = 0; j < k; ++j) {
+                    const int dy = lane.cOff * stride + j;
+                    const int col = (n % t.tn) * t.ti * t.tj +
+                                    ((x_phase + dx) % t.ti) * t.tj +
+                                    (y_phase + dy) % t.tj;
+                    ++queue_len[static_cast<std::size_t>(row) * cols +
+                                col];
+                    const std::int32_t in_rel =
+                        (n * in_h + dx) * in_w + dy;
+                    sched.tasks.push_back(HotTask{
+                        in_rel,
+                        static_cast<std::int32_t>((n * k + i) * k + j)});
+                    const std::size_t word =
+                        (static_cast<std::size_t>(n - pass.nBegin) *
+                             span_x +
+                         dx) *
+                            span_y +
+                        dy;
+                    if (!seen[word]) {
+                        seen[word] = 1;
+                        col_words[col].push_back(
+                            DeliveryWord{in_rel, dx, dy});
+                    }
+                }
+            }
+        }
+    }
+    sched.rowTaskBegin[rows] =
+        static_cast<std::int32_t>(sched.tasks.size());
+
+    sched.colWordBegin.assign(cols + 1, 0);
+    for (int col = 0; col < cols; ++col) {
+        sched.colWordBegin[col] =
+            static_cast<std::int32_t>(sched.words.size());
+        sched.words.insert(sched.words.end(), col_words[col].begin(),
+                           col_words[col].end());
+    }
+    sched.colWordBegin[cols] =
+        static_cast<std::int32_t>(sched.words.size());
+
+    for (const std::int32_t len : queue_len) {
+        sched.maxTasksPerPe = std::max(
+            sched.maxTasksPerPe, static_cast<std::size_t>(len));
+    }
+    // The former per-batch schedule-length self-check, now evaluated
+    // once per shape: the RS task queues must exactly fill the pass's
+    // step count.
+    flexsim_assert(sched.maxTasksPerPe ==
+                       static_cast<std::size_t>(pass.steps),
+                   "batch task schedule length ", sched.maxTasksPerPe,
+                   " != step count ", pass.steps, " in layer ",
+                   spec.name);
+    return sched;
 }
 
-int
-keyY(std::uint64_t key)
+/**
+ * Per-thread simulation state: the flat window store plus the private
+ * counter records that are merged deterministically after the
+ * output-map blocks complete.
+ *
+ * The window store replaces the per-column hash maps of the original
+ * implementation with one generation-stamped slot per input word (the
+ * columns partition the words, so one flat array serves all columns).
+ * A word is resident iff its stamp equals the current epoch; "clear"
+ * is an epoch bump, and the sliding-window prunes only adjust the
+ * per-column occupancy histograms — no per-word erase work and no
+ * hashing anywhere on the per-MAC path.
+ */
+struct WorkerState
 {
-    return static_cast<int>(key & 0xfffff);
-}
+    std::vector<std::uint32_t> gen;
+    std::uint32_t epoch = 0;
+    std::vector<std::int32_t> colSize; ///< resident words per column
+    std::vector<std::int32_t> hist;    ///< per-column occupancy by x or y
+    int histBins = 0;
+    LayerResult record;
+    ConvUnitDiagnostics diag;
 
-int
-keyX(std::uint64_t key)
-{
-    return static_cast<int>((key >> 20) & 0xfffff);
-}
+    void
+    init(std::size_t input_words, int cols, int hist_bins)
+    {
+        gen.assign(input_words, 0);
+        epoch = 0;
+        colSize.assign(cols, 0);
+        hist.assign(static_cast<std::size_t>(cols) * hist_bins, 0);
+        histBins = hist_bins;
+    }
+
+    /** Restart the stores (a new (block, pass) n-chunk). */
+    void
+    restartStores()
+    {
+        if (epoch == std::numeric_limits<std::uint32_t>::max()) {
+            std::fill(gen.begin(), gen.end(), 0u);
+            epoch = 0;
+        }
+        ++epoch;
+        std::fill(colSize.begin(), colSize.end(), 0);
+        std::fill(hist.begin(), hist.end(), 0);
+    }
+
+    /** Drop retained words whose bin lies in [from, to). */
+    void
+    prune(int from, int to)
+    {
+        from = std::max(from, 0);
+        to = std::min(to, histBins);
+        const int cols = static_cast<int>(colSize.size());
+        for (int col = 0; col < cols; ++col) {
+            std::int32_t *bins =
+                hist.data() + static_cast<std::size_t>(col) * histBins;
+            for (int bin = from; bin < to; ++bin) {
+                colSize[col] -= bins[bin];
+                bins[bin] = 0;
+            }
+        }
+    }
+};
 
 } // namespace
 
@@ -80,6 +260,11 @@ FlexFlowConvUnit::runLayer(const ConvLayerSpec &spec,
     const int k = spec.kernel;
     const int stride = spec.stride;
     const int splits = sched.splits();
+    const int in_h = input.height();
+    const int in_w = input.width();
+    const int m_blocks = static_cast<int>(sched.mBlocks);
+    const int r_blocks = static_cast<int>(sched.rBlocks);
+    const int c_blocks = static_cast<int>(sched.cBlocks);
 
     LayerResult record;
     record.layerName = spec.name;
@@ -108,22 +293,88 @@ FlexFlowConvUnit::runLayer(const ConvLayerSpec &spec,
                              s,
                          0);
 
-    // Column-level local store contents: the words currently retained
-    // by the PEs of each column.
-    std::vector<std::unordered_map<std::uint64_t, Fixed16>> col_store(
-        cols_used);
+    // ---- batch-shape classification -------------------------------
+    // Every (mb, rb, cb, pass) batch maps to one of a handful of
+    // boundary shapes; decode the class of each block index once.
+    std::vector<RowLane> lanes(rows_used);
+    for (int row = 0; row < rows_used; ++row)
+        lanes[row] = map.rowLane(row);
 
-    // Per-(row, column) task queues, rebuilt per batch.
-    std::vector<std::vector<Task>> tasks(
-        static_cast<std::size_t>(rows_used) * cols_used);
-    std::vector<Acc> row_acc(rows_used);
-    std::vector<bool> row_valid(rows_used);
-    std::vector<int> row_m(rows_used), row_r(rows_used),
-        row_c(rows_used);
-
-    for (int mb = 0; mb * t.tm < spec.outMaps; ++mb) {
+    std::map<int, int> m_class_of;
+    std::vector<int> m_class(m_blocks), m_class_valid;
+    for (int mb = 0; mb < m_blocks; ++mb) {
         const int m_valid =
             std::min<int>(t.tm, spec.outMaps - mb * t.tm);
+        auto [it, fresh] = m_class_of.try_emplace(
+            m_valid, static_cast<int>(m_class_valid.size()));
+        if (fresh)
+            m_class_valid.push_back(m_valid);
+        m_class[mb] = it->second;
+    }
+    std::map<std::pair<int, int>, int> r_class_of;
+    std::vector<int> r_class(r_blocks);
+    std::vector<std::pair<int, int>> r_class_shape;
+    for (int rb = 0; rb < r_blocks; ++rb) {
+        const std::pair<int, int> shape{
+            std::min<int>(t.tr, s - rb * t.tr),
+            (rb * t.tr * stride) % t.ti};
+        auto [it, fresh] = r_class_of.try_emplace(
+            shape, static_cast<int>(r_class_shape.size()));
+        if (fresh)
+            r_class_shape.push_back(shape);
+        r_class[rb] = it->second;
+    }
+    std::map<std::pair<int, int>, int> c_class_of;
+    std::vector<int> c_class(c_blocks);
+    std::vector<std::pair<int, int>> c_class_shape;
+    for (int cb = 0; cb < c_blocks; ++cb) {
+        const std::pair<int, int> shape{
+            std::min<int>(t.tc, s - cb * t.tc),
+            (cb * t.tc * stride) % t.tj};
+        auto [it, fresh] = c_class_of.try_emplace(
+            shape, static_cast<int>(c_class_shape.size()));
+        if (fresh)
+            c_class_shape.push_back(shape);
+        c_class[cb] = it->second;
+    }
+
+    const int n_mc = static_cast<int>(m_class_valid.size());
+    const int n_rc = static_cast<int>(r_class_shape.size());
+    const int n_cc = static_cast<int>(c_class_shape.size());
+    std::vector<BatchSchedule> schedules(
+        static_cast<std::size_t>(splits) * n_mc * n_rc * n_cc);
+    const auto schedule_index = [&](int pass, int mc, int rc, int cc) {
+        return ((static_cast<std::size_t>(pass) * n_mc + mc) * n_rc +
+                rc) *
+                   n_cc +
+               cc;
+    };
+    for (int pass = 0; pass < splits; ++pass) {
+        for (int mc = 0; mc < n_mc; ++mc) {
+            for (int rc = 0; rc < n_rc; ++rc) {
+                for (int cc = 0; cc < n_cc; ++cc) {
+                    schedules[schedule_index(pass, mc, rc, cc)] =
+                        buildBatchSchedule(
+                            spec, map, sched.passes[pass],
+                            m_class_valid[mc], r_class_shape[rc].first,
+                            c_class_shape[cc].first,
+                            r_class_shape[rc].second,
+                            c_class_shape[cc].second, in_h, in_w);
+                }
+            }
+        }
+    }
+
+    // ---- the hot loop ---------------------------------------------
+    const Fixed16 *in_data = input.data();
+    const Fixed16 *k_data = kernels.data();
+    const std::size_t kernel_map_stride =
+        static_cast<std::size_t>(spec.inMaps) * k * k;
+    const bool band = sched.bandRetention;
+    const int hist_bins = band ? in_h : in_w;
+
+    const auto run_block = [&](int mb, WorkerState &ws) {
+        const int mc = m_class[mb];
         for (int pass = 0; pass < splits; ++pass) {
             const SchedulePass &p = sched.passes[pass];
             const long long steps = p.steps;
@@ -131,195 +382,186 @@ FlexFlowConvUnit::runLayer(const ConvLayerSpec &spec,
             // This (block, pass)'s kernels are broadcast once per
             // logical group and latched by the group's rows (IPDR).
             const WordCount kernel_words =
-                static_cast<WordCount>(m_valid) *
+                static_cast<WordCount>(m_class_valid[mc]) *
                 (p.nEnd - p.nBegin) * k * k;
-            record.traffic.kernelIn += kernel_words;
-            record.localStoreWrites += kernel_words * group_rows;
+            ws.record.traffic.kernelIn += kernel_words;
+            ws.record.localStoreWrites += kernel_words * group_rows;
 
             // A new (block, pass) brings a fresh n-chunk: the neuron
             // stores restart.
-            for (auto &store : col_store)
-                store.clear();
+            ws.restartStores();
+            int pruned_to = 0;
 
-            for (int rb = 0; rb * t.tr < s; ++rb) {
-                if (sched.bandRetention) {
+            for (int rb = 0; rb < r_blocks; ++rb) {
+                const int x_base = rb * t.tr * stride;
+                if (band) {
                     // Retain the window; drop rows that slid out.
-                    const int x_base = rb * t.tr * stride;
-                    for (auto &store : col_store) {
-                        for (auto it = store.begin();
-                             it != store.end();) {
-                            if (keyX(it->first) < x_base)
-                                it = store.erase(it);
-                            else
-                                ++it;
-                        }
-                    }
+                    ws.prune(pruned_to, x_base);
+                    pruned_to = x_base;
                 } else {
-                    for (auto &store : col_store)
-                        store.clear();
+                    ws.restartStores();
+                    pruned_to = 0;
                 }
-                for (int cb = 0; cb * t.tc < s; ++cb) {
-                    ++diagnostics.batches;
-
-                    // Decode this batch's rows and build the task
-                    // queues for this pass's input maps.
-                    for (auto &queue : tasks)
-                        queue.clear();
-                    for (int row = 0; row < rows_used; ++row) {
-                        const RowLane lane = map.rowLane(row);
-                        const int m = mb * t.tm + lane.mOff;
-                        const int r = rb * t.tr + lane.rOff;
-                        const int c = cb * t.tc + lane.cOff;
-                        row_valid[row] =
-                            m < spec.outMaps && r < s && c < s;
-                        row_m[row] = m;
-                        row_r[row] = r;
-                        row_c[row] = c;
-                        row_acc[row] = 0;
-                        if (!row_valid[row])
-                            continue;
-                        for (int n = p.nBegin; n < p.nEnd; ++n) {
-                            for (int i = 0; i < k; ++i) {
-                                const int x = r * stride + i;
-                                for (int j = 0; j < k; ++j) {
-                                    const int y = c * stride + j;
-                                    const int col =
-                                        map.colOf(n, x, y);
-                                    tasks[static_cast<std::size_t>(
-                                              row) *
-                                              cols_used +
-                                          col]
-                                        .push_back(
-                                            Task{n, i, j, x, y});
-                                }
-                            }
-                        }
-                    }
+                for (int cb = 0; cb < c_blocks; ++cb) {
+                    ++ws.diag.batches;
+                    const int y_base = cb * t.tc * stride;
+                    const std::int32_t in_base =
+                        x_base * in_w + y_base;
+                    const BatchSchedule &bs = schedules[schedule_index(
+                        pass, mc, r_class[rb], c_class[cb])];
 
                     // Vertical-CDB delivery: each new word reaches
                     // its column once; PEs latch what they will use.
-                    std::size_t max_new = 0;
+                    std::int32_t max_new = 0;
                     for (int col = 0; col < cols_used; ++col) {
-                        std::size_t new_words = 0;
-                        auto &store = col_store[col];
-                        for (int row = 0; row < rows_used; ++row) {
-                            for (const Task &task :
-                                 tasks[static_cast<std::size_t>(row) *
-                                           cols_used +
-                                       col]) {
-                                const std::uint64_t key = wordKey(
-                                    task.n, task.x, task.y);
-                                if (store.find(key) == store.end()) {
-                                    store.emplace(
-                                        key,
-                                        input.at(task.n, task.x,
-                                                 task.y));
-                                    ++record.traffic.neuronIn;
-                                    ++new_words;
-                                }
+                        std::int32_t new_words = 0;
+                        std::int32_t *bins =
+                            ws.hist.data() +
+                            static_cast<std::size_t>(col) *
+                                ws.histBins;
+                        for (std::int32_t w = bs.colWordBegin[col];
+                             w < bs.colWordBegin[col + 1]; ++w) {
+                            const DeliveryWord &word = bs.words[w];
+                            const std::size_t slot =
+                                static_cast<std::size_t>(in_base) +
+                                word.inRel;
+                            if (ws.gen[slot] != ws.epoch) {
+                                ws.gen[slot] = ws.epoch;
+                                ++new_words;
+                                ++bins[band ? x_base + word.dx
+                                            : y_base + word.dy];
                             }
                         }
+                        ws.colSize[col] += new_words;
+                        ws.record.traffic.neuronIn +=
+                            static_cast<WordCount>(new_words);
                         max_new = std::max(max_new, new_words);
-                        diagnostics.peakColumnStoreWords =
-                            std::max(diagnostics.peakColumnStoreWords,
-                                     store.size());
+                        ws.diag.peakColumnStoreWords = std::max(
+                            ws.diag.peakColumnStoreWords,
+                            static_cast<std::size_t>(
+                                ws.colSize[col]));
                     }
-                    if (max_new > static_cast<std::size_t>(steps)) {
-                        diagnostics.deliveryStallCycles +=
-                            max_new - static_cast<std::size_t>(steps);
+                    if (max_new > steps) {
+                        ws.diag.deliveryStallCycles +=
+                            static_cast<std::uint64_t>(max_new -
+                                                       steps);
                     }
+                    ws.diag.maxTasksPerPe = std::max(
+                        ws.diag.maxTasksPerPe, bs.maxTasksPerPe);
 
                     // Compute phase: `steps` cycles of asynchronous
                     // (RS) per-PE task execution with row-tree
-                    // folding.
-                    std::size_t max_tasks = 0;
-                    for (const auto &queue : tasks)
-                        max_tasks = std::max(max_tasks, queue.size());
-                    flexsim_assert(
-                        max_tasks == static_cast<std::size_t>(steps),
-                        "batch task schedule length ", max_tasks,
-                        " != step count ", steps, " in layer ",
-                        spec.name);
-                    diagnostics.maxTasksPerPe = std::max(
-                        diagnostics.maxTasksPerPe, max_tasks);
-
-                    for (long long step = 0; step < steps; ++step) {
-                        for (int row = 0; row < rows_used; ++row) {
-                            if (!row_valid[row])
-                                continue;
-                            Acc tree_sum = 0;
-                            for (int col = 0; col < cols_used;
-                                 ++col) {
-                                const auto &queue = tasks
-                                    [static_cast<std::size_t>(row) *
-                                         cols_used +
-                                     col];
-                                if (static_cast<std::size_t>(step) >=
-                                    queue.size()) {
-                                    continue;
-                                }
-                                const Task &task = queue[step];
-                                const Fixed16 neuron =
-                                    col_store[col].at(wordKey(
-                                        task.n, task.x, task.y));
-                                // RA self-check: the resident word
-                                // must be the operand this (output,
-                                // synapse) pair needs.
-                                flexsim_assert(
-                                    neuron == input.at(task.n,
-                                                       task.x,
-                                                       task.y),
-                                    "FlexFlow column store delivered "
-                                    "a stale operand");
-                                const Fixed16 synapse =
-                                    kernels.at(row_m[row], task.n,
-                                               task.i, task.j);
-                                tree_sum += mulRaw(neuron, synapse);
-                                ++record.activeMacCycles;
-                                record.localStoreReads += 2;
-                                ++record.localStoreWrites;
-                            }
-                            row_acc[row] += tree_sum;
-                        }
-                        ++record.cycles;
-                    }
-
-                    // Writeback: one partial (or final) neuron per
-                    // valid row, accumulated with the buffer-resident
-                    // partial results of earlier passes (Fig. 13(f)).
+                    // folding.  The fixed-point accumulation is
+                    // order-independent, so each row's tasks run
+                    // contiguously instead of cycle-interleaved.
                     for (int row = 0; row < rows_used; ++row) {
-                        if (!row_valid[row])
+                        if (!bs.rowValid[row])
                             continue;
-                        acc[(static_cast<std::size_t>(row_m[row]) * s +
-                             row_r[row]) *
-                                s +
-                            row_c[row]] += row_acc[row];
-                        if (pass > 0)
-                            ++record.traffic.psumRead;
-                        if (pass + 1 < splits)
-                            ++record.traffic.psumWrite;
-                        else
-                            ++record.traffic.neuronOut;
-                    }
+                        const std::int32_t begin =
+                            bs.rowTaskBegin[row];
+                        const std::int32_t end =
+                            bs.rowTaskBegin[row + 1];
+                        const std::size_t k_base =
+                            static_cast<std::size_t>(mb * t.tm +
+                                                     lanes[row].mOff) *
+                            kernel_map_stride;
+                        Acc row_sum = 0;
+                        for (std::int32_t i = begin; i < end; ++i) {
+                            const HotTask &task = bs.tasks[i];
+                            // RA self-check: the resident word must
+                            // be the operand this (output, synapse)
+                            // pair needs.
+                            flexsim_paranoid_assert(
+                                ws.gen[static_cast<std::size_t>(
+                                           in_base) +
+                                       task.inRel] == ws.epoch,
+                                "FlexFlow column store delivered a "
+                                "stale operand");
+                            row_sum +=
+                                mulRaw(in_data[in_base + task.inRel],
+                                       k_data[k_base + task.kRel]);
+                        }
+                        const WordCount n_tasks =
+                            static_cast<WordCount>(end - begin);
+                        ws.record.activeMacCycles += n_tasks;
+                        ws.record.localStoreReads += 2 * n_tasks;
+                        ws.record.localStoreWrites += n_tasks;
 
-                    if (!sched.bandRetention) {
+                        // Writeback: one partial (or final) neuron
+                        // per valid row, accumulated with the
+                        // buffer-resident partial results of earlier
+                        // passes (Fig. 13(f)).  The acc regions of
+                        // distinct output-map blocks are disjoint, so
+                        // blocks can run on different threads.
+                        acc[(static_cast<std::size_t>(mb * t.tm +
+                                                      lanes[row].mOff) *
+                                 s +
+                             (rb * t.tr + lanes[row].rOff)) *
+                                s +
+                            (cb * t.tc + lanes[row].cOff)] += row_sum;
+                        if (pass > 0)
+                            ++ws.record.traffic.psumRead;
+                        if (pass + 1 < splits)
+                            ++ws.record.traffic.psumWrite;
+                        else
+                            ++ws.record.traffic.neuronOut;
+                    }
+                    ws.record.cycles += static_cast<Cycle>(steps);
+
+                    if (!band) {
                         // RS retention: prune window columns that
                         // slid out.
                         const int next_y_base =
                             (cb + 1) * t.tc * stride;
-                        for (auto &store : col_store) {
-                            for (auto it = store.begin();
-                                 it != store.end();) {
-                                if (keyY(it->first) < next_y_base)
-                                    it = store.erase(it);
-                                else
-                                    ++it;
-                            }
-                        }
+                        ws.prune(pruned_to, next_y_base);
+                        pruned_to = next_y_base;
                     }
                 }
             }
         }
+    };
+
+    const int threads = std::max(
+        1, std::min<int>(config_.threads, m_blocks));
+    std::vector<WorkerState> states(threads);
+    for (WorkerState &ws : states)
+        ws.init(input.size(), cols_used, hist_bins);
+
+    if (threads == 1) {
+        for (int mb = 0; mb < m_blocks; ++mb)
+            run_block(mb, states[0]);
+    } else {
+        // Output-map blocks interleave across the pool round-robin;
+        // acc writes are disjoint per block and all bookkeeping is
+        // thread-private, so the partition is race-free by
+        // construction (TSan-clean without atomics).
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (int tid = 0; tid < threads; ++tid) {
+            pool.emplace_back([&, tid] {
+                for (int mb = tid; mb < m_blocks; mb += threads)
+                    run_block(mb, states[tid]);
+            });
+        }
+        for (std::thread &worker : pool)
+            worker.join();
+    }
+
+    // Deterministic merge in thread order: every field is a sum or a
+    // max, so the totals are independent of the actual interleaving.
+    for (const WorkerState &ws : states) {
+        record.cycles += ws.record.cycles;
+        record.activeMacCycles += ws.record.activeMacCycles;
+        record.traffic += ws.record.traffic;
+        record.localStoreReads += ws.record.localStoreReads;
+        record.localStoreWrites += ws.record.localStoreWrites;
+        diagnostics.batches += ws.diag.batches;
+        diagnostics.peakColumnStoreWords =
+            std::max(diagnostics.peakColumnStoreWords,
+                     ws.diag.peakColumnStoreWords);
+        diagnostics.deliveryStallCycles += ws.diag.deliveryStallCycles;
+        diagnostics.maxTasksPerPe = std::max(
+            diagnostics.maxTasksPerPe, ws.diag.maxTasksPerPe);
     }
 
     record.dram = planDramTraffic(spec, config_.neuronBufWords,

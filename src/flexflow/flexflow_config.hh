@@ -31,6 +31,15 @@ struct FlexFlowConfig
     /** Pooling unit width (lightweight ALUs). */
     int poolingLanes = 16;
 
+    /**
+     * Host-side worker threads the cycle simulator spreads the
+     * output-map blocks over.  Purely a simulation-throughput knob:
+     * results and every modelled counter are bit-identical for any
+     * value (per-thread records merge deterministically).  1 keeps
+     * the simulator single-threaded.
+     */
+    int threads = 1;
+
     // --- ablation knobs (default = the paper's design) ---
     /**
      * Retain the input window in the neuron local stores across row

@@ -120,7 +120,7 @@ Mapping2DArraySim::runLayer(const ConvLayerSpec &spec,
                                         // Dataflow self-check: the
                                         // shift network must have
                                         // delivered the right operand.
-                                        flexsim_assert(
+                                        flexsim_paranoid_assert(
                                             neuron ==
                                                 input.at(n, r0 + r + i,
                                                          c0 + c + j),

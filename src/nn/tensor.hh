@@ -61,6 +61,12 @@ class Tensor3
                col >= 0 && col < width_;
     }
 
+    /**
+     * Raw (map, row, col)-major storage for hot loops that index with
+     * offsets proven in range when they were precomputed.
+     */
+    const T *data() const { return data_.data(); }
+
     bool operator==(const Tensor3 &) const = default;
 
   private:
@@ -122,6 +128,12 @@ class Tensor4
         checkBounds(m, n, i, j);
         return data_[index(m, n, i, j)];
     }
+
+    /**
+     * Raw (outMap, inMap, row, col)-major storage for hot loops that
+     * index with offsets proven in range when they were precomputed.
+     */
+    const T *data() const { return data_.data(); }
 
     bool operator==(const Tensor4 &) const = default;
 

@@ -19,9 +19,12 @@ ServiceTimeModel::ServiceTimeModel(const AcceleratorModel &model,
     flexsim_assert(dram_words_per_cycle > 0.0,
                    "DRAM bandwidth must be positive");
     flexsim_assert(freq_ghz > 0.0, "clock frequency must be positive");
+    workloads_.reserve(workloads.size());
     for (const NetworkSpec &net : workloads) {
         WorkloadEntry entry;
         entry.name = net.name;
+        entry.frameTimings.reserve(net.stages.size());
+        entry.layers.reserve(net.stages.size());
         for (const NetworkSpec::Stage &stage : net.stages) {
             LayerEntry layer;
             layer.result = model.runLayer(stage.conv);

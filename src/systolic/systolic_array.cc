@@ -20,7 +20,8 @@ SystolicArraySim::PassStats
 SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
                                const Tensor3<> &input,
                                const Tensor4<> &kernels, int m, int n,
-                               int i0, int j0, std::vector<Acc> &accs)
+                               int i0, int j0, std::vector<Acc> &accs,
+                               std::vector<Token> &chain)
 {
     const int ka = config_.arrayEdge;
     const int w = input.width();
@@ -36,26 +37,40 @@ SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
     stats.kernelLoads =
         static_cast<WordCount>(ti_span) * tj_span;
 
-    std::vector<Token> chain(depth);
+    // The PE chain is modelled as a ring buffer: the per-cycle chain
+    // shift becomes a head decrement instead of moving `depth` tokens.
+    chain.assign(depth, Token{});
+    int head = 0;
     const int stream = h * w;
+
+    // This pass's operands stream linearly: the broadcast walks the
+    // input map in raster order and every PE holds one synapse of the
+    // resident ti_span x tj_span sub-kernel.
+    const Fixed16 *in_map =
+        input.data() + static_cast<std::size_t>(n) * h * w;
+    const Fixed16 *k_tile =
+        kernels.data() +
+        ((static_cast<std::size_t>(m) * spec.inMaps + n) * k + i0) * k +
+        j0;
+    Acc *out_map = accs.data() + static_cast<std::size_t>(m) * s * s;
 
     for (int t = 0; t < stream + depth; ++t) {
         const bool have_input = t < stream;
-        Fixed16 broadcast;
-        if (have_input)
-            broadcast = input.at(n, t / w, t % w);
 
         // Sequential phase first: emit the tail token, shift the
         // chain, and inject this cycle's new token at the head.
-        const Token leaving = chain[depth - 1];
-        if (leaving.valid) {
-            accs[(static_cast<std::size_t>(m) * s + leaving.outR) * s +
-                 leaving.outC] += leaving.acc;
-            ++stats.validEmissions;
+        {
+            int tail = head + depth - 1;
+            if (tail >= depth)
+                tail -= depth;
+            const Token &leaving = chain[tail];
+            if (leaving.valid) {
+                out_map[leaving.outR * s + leaving.outC] += leaving.acc;
+                ++stats.validEmissions;
+            }
         }
-        for (int p = depth - 1; p > 0; --p)
-            chain[p] = chain[p - 1];
-        chain[0] = Token{};
+        head = head == 0 ? depth - 1 : head - 1;
+        chain[head] = Token{};
         if (have_input) {
             const int a = t / w;
             const int b = t % w;
@@ -64,9 +79,9 @@ SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
             if (orig_r >= 0 && orig_c >= 0 && orig_r % stride == 0 &&
                 orig_c % stride == 0 && orig_r / stride < s &&
                 orig_c / stride < s) {
-                chain[0].valid = true;
-                chain[0].outR = orig_r / stride;
-                chain[0].outC = orig_c / stride;
+                chain[head].valid = true;
+                chain[head].outR = orig_r / stride;
+                chain[head].outC = orig_c / stride;
             }
         }
 
@@ -74,20 +89,22 @@ SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
         // neuron by its resident synapse and accumulates into the
         // token currently in its stage.
         if (have_input) {
+            const Fixed16 broadcast = in_map[t];
             for (int i = 0; i < ti_span; ++i) {
                 for (int j = 0; j < tj_span; ++j) {
-                    Token &token = chain[i * w + j];
+                    int stage = head + i * w + j;
+                    if (stage >= depth)
+                        stage -= depth;
+                    Token &token = chain[stage];
                     if (!token.valid)
                         continue;
                     // Self-check: the broadcast must be the operand
                     // this token needs at this stage.
-                    flexsim_assert(
+                    flexsim_paranoid_assert(
                         t / w == token.outR * stride + i0 + i &&
                             t % w == token.outC * stride + j0 + j,
                         "systolic pipeline misalignment at cycle ", t);
-                    token.acc +=
-                        mulRaw(broadcast, kernels.at(m, n, i0 + i,
-                                                     j0 + j));
+                    token.acc += mulRaw(broadcast, k_tile[i * k + j]);
                     ++stats.activeMacs;
                 }
             }
@@ -124,6 +141,8 @@ SystolicArraySim::runLayer(const ConvLayerSpec &spec,
 
     std::vector<Acc> accs(
         static_cast<std::size_t>(spec.outMaps) * s * s, 0);
+    std::vector<Token> chain;
+    chain.reserve(static_cast<std::size_t>(depth));
 
     LayerResult record;
     record.layerName = spec.name;
@@ -145,7 +164,8 @@ SystolicArraySim::runLayer(const ConvLayerSpec &spec,
                             break;
                         const PassStats stats = simulatePass(
                             spec, input, kernels,
-                            static_cast<int>(m), n, i0, j0, accs);
+                            static_cast<int>(m), n, i0, j0, accs,
+                            chain);
                         record.activeMacCycles += stats.activeMacs;
                         record.traffic.kernelIn += stats.kernelLoads;
                         emissions += stats.validEmissions;

@@ -61,7 +61,8 @@ class SystolicArraySim
     PassStats simulatePass(const ConvLayerSpec &spec,
                            const Tensor3<> &input,
                            const Tensor4<> &kernels, int m, int n,
-                           int i0, int j0, std::vector<Acc> &accs);
+                           int i0, int j0, std::vector<Acc> &accs,
+                           std::vector<Token> &chain);
 
     SystolicConfig config_;
 };

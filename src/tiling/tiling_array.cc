@@ -40,6 +40,14 @@ TilingArraySim::runLayer(const ConvLayerSpec &spec,
 
     Tensor3<> output(spec.outMaps, s, s);
     std::vector<Acc> accs(tm);
+    // The n_valid broadcast neurons of one cycle, loaded once and
+    // shared by every output-map lane (they do not depend on mo).
+    std::vector<Fixed16> neurons(tn);
+
+    const Fixed16 *in_data = input.data();
+    const Fixed16 *k_data = kernels.data();
+    const int in_w = spec.inSize;
+    const int n_maps = spec.inMaps;
 
     for (int m0 = 0; m0 < spec.outMaps; m0 += tm) {
         const int m_valid = std::min(tm, spec.outMaps - m0);
@@ -54,21 +62,39 @@ TilingArraySim::runLayer(const ConvLayerSpec &spec,
                             // Broadcast the n_valid input neurons,
                             // shared by all PEs.
                             record.traffic.neuronIn += n_valid;
+                            const std::size_t in_off =
+                                (static_cast<std::size_t>(n0) * in_w +
+                                 r * stride + i) *
+                                    in_w +
+                                c * stride + j;
+                            const std::size_t in_step =
+                                static_cast<std::size_t>(in_w) * in_w;
+                            for (int no = 0; no < n_valid; ++no)
+                                neurons[no] =
+                                    in_data[in_off + no * in_step];
                             for (int mo = 0; mo < m_valid; ++mo) {
                                 // The PE's adder tree reduces its
                                 // n_valid lane products in one cycle.
+                                const Fixed16 *k_lane =
+                                    k_data +
+                                    ((static_cast<std::size_t>(m0 +
+                                                               mo) *
+                                          n_maps +
+                                      n0) *
+                                         k +
+                                     i) *
+                                        k +
+                                    j;
+                                const std::size_t k_step =
+                                    static_cast<std::size_t>(k) * k;
                                 Acc lane_sum = 0;
                                 for (int no = 0; no < n_valid; ++no) {
-                                    const Fixed16 neuron = input.at(
-                                        n0 + no, r * stride + i,
-                                        c * stride + j);
-                                    const Fixed16 synapse = kernels.at(
-                                        m0 + mo, n0 + no, i, j);
-                                    ++record.traffic.kernelIn;
                                     lane_sum +=
-                                        mulRaw(neuron, synapse);
-                                    ++record.activeMacCycles;
+                                        mulRaw(neurons[no],
+                                               k_lane[no * k_step]);
                                 }
+                                record.traffic.kernelIn += n_valid;
+                                record.activeMacCycles += n_valid;
                                 accs[mo] += lane_sum;
                                 ++record.localStoreReads;
                                 ++record.localStoreWrites;

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Golden-equivalence suite for the flattened FlexFlow cycle simulator.
+ *
+ * For every CONV layer of every Table-1 workload, the cycle simulator
+ * must stay bit-identical to goldenConv() and the analytic model, and
+ * the threaded simulator (threads = 4) must reproduce the
+ * single-threaded LayerResult and ConvUnitDiagnostics field by field.
+ * The four small workloads run the full {band retention on/off} x
+ * {threads 1, 4} matrix; AlexNet and VGG-11 run the default retention
+ * mode with both thread counts (golden is computed once per layer).
+ *
+ * One TEST per network so ctest can spread the workloads over cores.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/factor_search.hh"
+#include "flexflow/conv_unit.hh"
+#include "flexflow/flexflow_model.hh"
+#include "nn/golden.hh"
+#include "nn/tensor_init.hh"
+#include "nn/workloads.hh"
+
+namespace flexsim {
+namespace {
+
+void
+expectSameRecord(const LayerResult &got, const LayerResult &want)
+{
+    EXPECT_EQ(got.layerName, want.layerName);
+    EXPECT_EQ(got.cycles, want.cycles);
+    EXPECT_EQ(got.fillCycles, want.fillCycles);
+    EXPECT_EQ(got.macs, want.macs);
+    EXPECT_EQ(got.activeMacCycles, want.activeMacCycles);
+    EXPECT_EQ(got.peCount, want.peCount);
+    EXPECT_EQ(got.traffic, want.traffic);
+    EXPECT_EQ(got.dram, want.dram);
+    EXPECT_EQ(got.localStoreReads, want.localStoreReads);
+    EXPECT_EQ(got.localStoreWrites, want.localStoreWrites);
+}
+
+void
+expectSameDiagnostics(const ConvUnitDiagnostics &got,
+                      const ConvUnitDiagnostics &want)
+{
+    EXPECT_EQ(got.batches, want.batches);
+    EXPECT_EQ(got.peakColumnStoreWords, want.peakColumnStoreWords);
+    EXPECT_EQ(got.deliveryStallCycles, want.deliveryStallCycles);
+    EXPECT_EQ(got.maxTasksPerPe, want.maxTasksPerPe);
+}
+
+void
+runNetworkParity(const NetworkSpec &net, std::uint64_t seed_base,
+                 bool both_band_modes, std::size_t stage_begin = 0,
+                 std::size_t stage_end = SIZE_MAX)
+{
+    std::vector<bool> band_modes{true};
+    if (both_band_modes)
+        band_modes.push_back(false);
+    if (stage_end > net.stages.size())
+        stage_end = net.stages.size();
+
+    FlexFlowConfig base;
+    for (std::size_t si = stage_begin; si < stage_end; ++si) {
+        const ConvLayerSpec &spec = net.stages[si].conv;
+        SCOPED_TRACE(net.name + "/" + spec.name);
+        const UnrollFactors t =
+            searchBestFactors(spec, base.d).factors;
+
+        Rng rng(seed_base + si * 1337);
+        const Tensor3<> input = makeRandomInput(rng, spec);
+        const Tensor4<> kernels = makeRandomKernels(rng, spec);
+        const Tensor3<> golden = goldenConv(spec, input, kernels);
+
+        for (const bool band : band_modes) {
+            SCOPED_TRACE(band ? "band-retention" : "no-retention");
+            FlexFlowConfig cfg = base;
+            cfg.enableBandRetention = band;
+
+            // Single-threaded reference run.
+            cfg.threads = 1;
+            LayerResult ref_result;
+            ConvUnitDiagnostics ref_diag;
+            const Tensor3<> ref_out = FlexFlowConvUnit(cfg).runLayer(
+                spec, t, input, kernels, &ref_result, &ref_diag);
+            EXPECT_EQ(ref_out, golden);
+
+            // The modelled counters must agree with the analytic
+            // model, as they did before the hot-path rewrite.
+            const LayerResult model =
+                FlexFlowModel(cfg).runLayer(spec, t);
+            EXPECT_EQ(ref_result.cycles, model.cycles);
+            EXPECT_EQ(ref_result.fillCycles, model.fillCycles);
+            EXPECT_EQ(ref_result.activeMacCycles,
+                      model.activeMacCycles);
+            EXPECT_EQ(ref_result.traffic, model.traffic);
+            EXPECT_EQ(ref_result.localStoreReads,
+                      model.localStoreReads);
+            EXPECT_EQ(ref_result.localStoreWrites,
+                      model.localStoreWrites);
+            EXPECT_EQ(ref_result.dram, model.dram);
+
+            // The threaded run must be bit-identical in outputs and
+            // every reported counter.
+            cfg.threads = 4;
+            LayerResult mt_result;
+            ConvUnitDiagnostics mt_diag;
+            const Tensor3<> mt_out = FlexFlowConvUnit(cfg).runLayer(
+                spec, t, input, kernels, &mt_result, &mt_diag);
+            EXPECT_EQ(mt_out, golden);
+            expectSameRecord(mt_result, ref_result);
+            expectSameDiagnostics(mt_diag, ref_diag);
+        }
+    }
+}
+
+TEST(FlexFlowParityTest, PV)
+{
+    runNetworkParity(workloads::pv(), 0xbead1001, true);
+}
+
+TEST(FlexFlowParityTest, FR)
+{
+    runNetworkParity(workloads::fr(), 0xbead2002, true);
+}
+
+TEST(FlexFlowParityTest, LeNet5)
+{
+    runNetworkParity(workloads::lenet5(), 0xbead3003, true);
+}
+
+TEST(FlexFlowParityTest, HG)
+{
+    runNetworkParity(workloads::hg(), 0xbead4004, true);
+}
+
+TEST(FlexFlowParityTest, AlexNet)
+{
+    runNetworkParity(workloads::alexnet(), 0xbead5005, false);
+}
+
+// VGG-11 is split in two so ctest can run the halves concurrently;
+// the split point roughly balances the halves' wall clock.
+TEST(FlexFlowParityTest, VGG11Front)
+{
+    runNetworkParity(workloads::vgg11(), 0xbead6006, false, 0, 4);
+}
+
+TEST(FlexFlowParityTest, VGG11Back)
+{
+    runNetworkParity(workloads::vgg11(), 0xbead6006, false, 4);
+}
+
+} // namespace
+} // namespace flexsim

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Simulator-throughput benchmark reporter and regression gate.
+ *
+ * Times the cycle-level simulators on fixed Table-1 layers and writes
+ * BENCH_flexsim.json (ns per runLayer call, minimum over the timed
+ * iterations).  With --check BASELINE it instead compares the fresh
+ * measurements against a committed baseline and exits non-zero when
+ * any shared entry regressed by more than --factor (default 3x) --
+ * this backs the perf-labelled ctest, so the gate is deliberately
+ * loose: it catches accidental de-optimization of a hot path, not
+ * machine-to-machine noise.
+ *
+ * Usage:
+ *   bench_report [--out FILE]
+ *   bench_report --check BASELINE [--factor F] [--out FILE]
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flexflow/conv_unit.hh"
+#include "mapping2d/mapping2d_array.hh"
+#include "nn/tensor_init.hh"
+#include "systolic/systolic_array.hh"
+#include "tiling/tiling_array.hh"
+
+namespace {
+
+using namespace flexsim;
+
+struct BenchEntry
+{
+    std::string name;
+    double nsPerIter = 0.0;
+};
+
+/**
+ * Time @p fn (one full runLayer call) and return the minimum
+ * nanoseconds per call.  Minimum-of-N is the stablest point estimate
+ * for a regression gate; the warm-up call also faults in the operand
+ * tensors.
+ */
+template <typename Fn>
+double
+timeBench(Fn &&fn, int min_iters, double min_seconds)
+{
+    using clock = std::chrono::steady_clock;
+    fn(); // warm-up
+    double best_ns = 0.0;
+    double total_s = 0.0;
+    for (int it = 0; it < 1000; ++it) {
+        const auto begin = clock::now();
+        fn();
+        const std::chrono::duration<double> d = clock::now() - begin;
+        const double ns = d.count() * 1e9;
+        if (it == 0 || ns < best_ns)
+            best_ns = ns;
+        total_s += d.count();
+        if (it + 1 >= min_iters && total_s >= min_seconds)
+            break;
+    }
+    return best_ns;
+}
+
+std::vector<BenchEntry>
+runBenches()
+{
+    std::vector<BenchEntry> entries;
+
+    const ConvLayerSpec c3 = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    Rng rng_c3(1234);
+    const Tensor3<> c3_in = makeRandomInput(rng_c3, c3);
+    const Tensor4<> c3_k = makeRandomKernels(rng_c3, c3);
+    const UnrollFactors c3_t{16, 3, 1, 1, 1, 5};
+
+    const ConvLayerSpec conv5 =
+        ConvLayerSpec::make("C5", 256, 192, 13, 3);
+    Rng rng_c5(5678);
+    const Tensor3<> c5_in = makeRandomInput(rng_c5, conv5);
+    const Tensor4<> c5_k = makeRandomKernels(rng_c5, conv5);
+    const UnrollFactors c5_t{16, 16, 1, 1, 1, 1};
+
+    const auto flexflow = [&](const ConvLayerSpec &spec,
+                              const UnrollFactors &t,
+                              const Tensor3<> &in, const Tensor4<> &k,
+                              int threads) {
+        FlexFlowConfig cfg;
+        cfg.threads = threads;
+        FlexFlowConvUnit unit(cfg);
+        Tensor3<> out = unit.runLayer(spec, t, in, k);
+        // Keep the optimizer honest about the result.
+        volatile Fixed16 sink = out.at(0, 0, 0);
+        (void)sink;
+    };
+
+    std::cerr << "bench_report: timing flexflow_c3...\n";
+    entries.push_back(
+        {"flexflow_c3", timeBench(
+                            [&] {
+                                flexflow(c3, c3_t, c3_in, c3_k, 1);
+                            },
+                            20, 0.25)});
+    std::cerr << "bench_report: timing flexflow_c3_t4...\n";
+    entries.push_back(
+        {"flexflow_c3_t4", timeBench(
+                               [&] {
+                                   flexflow(c3, c3_t, c3_in, c3_k, 4);
+                               },
+                               20, 0.25)});
+    std::cerr << "bench_report: timing flexflow_conv5...\n";
+    entries.push_back(
+        {"flexflow_conv5", timeBench(
+                               [&] {
+                                   flexflow(conv5, c5_t, c5_in, c5_k,
+                                            1);
+                               },
+                               3, 0.25)});
+    std::cerr << "bench_report: timing flexflow_conv5_t4...\n";
+    entries.push_back(
+        {"flexflow_conv5_t4", timeBench(
+                                  [&] {
+                                      flexflow(conv5, c5_t, c5_in,
+                                               c5_k, 4);
+                                  },
+                                  3, 0.25)});
+
+    std::cerr << "bench_report: timing systolic_c3...\n";
+    entries.push_back({"systolic_c3", timeBench(
+                                          [&] {
+                                              SystolicArraySim sim;
+                                              sim.runLayer(c3, c3_in,
+                                                           c3_k);
+                                          },
+                                          10, 0.25)});
+    std::cerr << "bench_report: timing mapping2d_c3...\n";
+    entries.push_back({"mapping2d_c3", timeBench(
+                                           [&] {
+                                               Mapping2DArraySim sim;
+                                               sim.runLayer(c3, c3_in,
+                                                            c3_k);
+                                           },
+                                           10, 0.25)});
+    std::cerr << "bench_report: timing tiling_c3...\n";
+    entries.push_back({"tiling_c3", timeBench(
+                                        [&] {
+                                            TilingArraySim sim;
+                                            sim.runLayer(c3, c3_in,
+                                                         c3_k);
+                                        },
+                                        10, 0.25)});
+    return entries;
+}
+
+void
+writeJson(const std::vector<BenchEntry> &entries, std::ostream &os)
+{
+    os << "{\n  \"schema\": \"flexsim-bench-v1\",\n  \"benches\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        os << "    {\"name\": \"" << entries[i].name
+           << "\", \"ns_per_iter\": "
+           << static_cast<std::uint64_t>(entries[i].nsPerIter) << "}"
+           << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+/**
+ * Minimal parser for the JSON this tool itself writes: scans for
+ * "name"/"ns_per_iter" pairs.  Not a general JSON parser.
+ */
+std::vector<BenchEntry>
+parseJson(const std::string &text)
+{
+    std::vector<BenchEntry> entries;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t n = text.find("\"name\"", pos);
+        if (n == std::string::npos)
+            break;
+        const std::size_t q0 = text.find('"', text.find(':', n));
+        const std::size_t q1 = text.find('"', q0 + 1);
+        const std::size_t v = text.find("\"ns_per_iter\"", q1);
+        if (q0 == std::string::npos || q1 == std::string::npos ||
+            v == std::string::npos)
+            break;
+        BenchEntry e;
+        e.name = text.substr(q0 + 1, q1 - q0 - 1);
+        e.nsPerIter =
+            std::strtod(text.c_str() + text.find(':', v) + 1, nullptr);
+        entries.push_back(e);
+        pos = v;
+    }
+    return entries;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    std::string baseline_path;
+    double factor = 3.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--check" && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (arg == "--factor" && i + 1 < argc) {
+            factor = std::strtod(argv[++i], nullptr);
+        } else {
+            std::cerr << "usage: bench_report [--out FILE] "
+                         "[--check BASELINE [--factor F]]\n";
+            return 2;
+        }
+    }
+
+    const std::vector<BenchEntry> entries = runBenches();
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        if (!os) {
+            std::cerr << "bench_report: cannot write " << out_path
+                      << "\n";
+            return 2;
+        }
+        writeJson(entries, os);
+    } else if (baseline_path.empty()) {
+        writeJson(entries, std::cout);
+    }
+
+    if (baseline_path.empty())
+        return 0;
+
+    std::ifstream is(baseline_path);
+    if (!is) {
+        std::cerr << "bench_report: cannot read " << baseline_path
+                  << "\n";
+        return 2;
+    }
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const std::vector<BenchEntry> baseline = parseJson(buf.str());
+    if (baseline.empty()) {
+        std::cerr << "bench_report: no benches in " << baseline_path
+                  << "\n";
+        return 2;
+    }
+
+    bool ok = true;
+    for (const BenchEntry &base : baseline) {
+        const BenchEntry *cur = nullptr;
+        for (const BenchEntry &e : entries)
+            if (e.name == base.name)
+                cur = &e;
+        if (cur == nullptr)
+            continue;
+        const bool fail = cur->nsPerIter > base.nsPerIter * factor;
+        std::cout << (fail ? "FAIL " : "ok   ") << base.name << ": "
+                  << static_cast<std::uint64_t>(cur->nsPerIter)
+                  << " ns/iter vs baseline "
+                  << static_cast<std::uint64_t>(base.nsPerIter)
+                  << " (limit " << factor << "x)\n";
+        if (fail)
+            ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -61,6 +61,9 @@ usage()
            "  --window-ms W    batching window (default 2)\n"
            "  --slo-ms L       latency SLO (default 50)\n"
            "  --dram-wpc BW    DRAM words/cycle (default 4)\n"
+           "  --sim-threads N  host threads for the flexflow cycle "
+           "simulator (default 1; results are identical for any "
+           "value)\n"
            "  --trace FILE     replay trace, one arrival us per "
            "line\n";
     return 2;
@@ -96,12 +99,13 @@ parseDuration(const std::string &text)
 }
 
 std::unique_ptr<AcceleratorModel>
-makeModel(const std::string &arch, unsigned scale)
+makeModel(const std::string &arch, unsigned scale, int sim_threads)
 {
     const std::string lower = toLower(arch);
     if (lower == "flexflow") {
-        return std::make_unique<FlexFlowModel>(
-            FlexFlowConfig::forScale(scale));
+        FlexFlowConfig cfg = FlexFlowConfig::forScale(scale);
+        cfg.threads = sim_threads;
+        return std::make_unique<FlexFlowModel>(cfg);
     }
     if (lower == "systolic") {
         return std::make_unique<SystolicModel>(
@@ -162,6 +166,7 @@ main(int argc, char **argv)
     double window_ms = 2.0;
     double slo_ms = 50.0;
     double dram_wpc = 4.0;
+    int sim_threads = 1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -203,6 +208,8 @@ main(int argc, char **argv)
                 slo_ms = std::stod(next());
             } else if (arg == "--dram-wpc") {
                 dram_wpc = std::stod(next());
+            } else if (arg == "--sim-threads") {
+                sim_threads = std::stoi(next());
             } else if (arg == "--trace") {
                 trace_path = next();
             } else {
@@ -215,9 +222,10 @@ main(int argc, char **argv)
 
     if (rps <= 0.0 || pool == 0 || scale == 0 ||
         config.maxBatch == 0 || config.queueCapacity == 0 ||
-        dram_wpc <= 0.0) {
+        dram_wpc <= 0.0 || sim_threads < 1) {
         std::cerr << "flexserve: --rps, --pool, --scale, --batch, "
-                     "--queue and --dram-wpc must be positive\n";
+                     "--queue, --dram-wpc and --sim-threads must be "
+                     "positive\n";
         return usage();
     }
     const auto traffic_model = parseTrafficModel(traffic_name);
@@ -226,7 +234,7 @@ main(int argc, char **argv)
                   << traffic_name << "'\n";
         return usage();
     }
-    const auto model = makeModel(arch, scale);
+    const auto model = makeModel(arch, scale, sim_threads);
     if (!model) {
         std::cerr << "flexserve: unknown architecture '" << arch
                   << "'\n";
