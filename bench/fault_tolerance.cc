@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Beyond the paper: utilization vs. dead-PE fraction under the
+ * per-architecture salvage policies (src/fault/degrade.hh).
+ *
+ * Random PEs of a 16x16 fabric are killed at a sweep of fractions
+ * (averaged over seeds); each architecture salvages what its
+ * interconnect allows and the surviving utilization is reported
+ * relative to the full healthy fabric:
+ *
+ *   - FlexFlow: greedy line cover, then the fault-aware factor
+ *     search remaps the layer onto the surviving rows x cols
+ *     (utilization stays referenced to the full fabric).
+ *   - Tiling (DC-CNN): the same line cover, but the rigid
+ *     (outMap, inMap) lane grid cannot re-balance — healthy
+ *     utilization on the smaller grid, scaled by surviving PEs.
+ *   - 2D-Mapping: largest clean contiguous rectangle (the neuron
+ *     dataflow needs physically adjacent PEs).
+ *   - Systolic (chained): largest clean top-left square — one
+ *     awkward dead PE can cost most of the fabric (the cliff).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "arch/factor_search.hh"
+#include "bench_common.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "fault/degrade.hh"
+
+using namespace flexsim;
+using namespace flexsim::bench;
+
+namespace {
+
+constexpr int kEdge = 16;
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 4, 5};
+constexpr double kFractions[] = {0.0, 0.02, 0.05, 0.10, 0.20, 0.30};
+
+/** Full-fabric-relative utilization of one layer, per architecture,
+ *  on one concrete availability grid. */
+struct SalvagedUtilization
+{
+    double systolic = 0.0;
+    double mapping2d = 0.0;
+    double tiling = 0.0;
+    double flexflow = 0.0;
+};
+
+SalvagedUtilization
+salvage(const ConvLayerSpec &spec, const fault::ArrayAvailability &avail)
+{
+    constexpr double full = kEdge * kEdge;
+    SalvagedUtilization u;
+
+    // Systolic: healthy utilization scaled to the clean square.
+    const fault::DegradedGeometry square =
+        fault::degradeTopLeftSquare(avail);
+    if (square.pes() > 0) {
+        const SystolicModel model(SystolicConfig::forScale(kEdge));
+        u.systolic = model.runLayer(spec).utilization() *
+                     square.pes() / full;
+    }
+
+    // 2D-Mapping: re-run the analytic model on the clean rectangle.
+    const fault::DegradedGeometry rect =
+        fault::degradeMaxRectangle(avail);
+    if (rect.pes() > 0) {
+        Mapping2DConfig cfg;
+        cfg.rows = rect.rows;
+        cfg.cols = rect.cols;
+        u.mapping2d = Mapping2DModel(cfg).runLayer(spec).utilization() *
+                      rect.pes() / full;
+    }
+
+    // Tiling and FlexFlow share the line-cover geometry.
+    const fault::DegradedGeometry cover = fault::degradeLineCover(avail);
+    if (cover.pes() > 0) {
+        TilingConfig cfg;
+        cfg.tm = cover.rows;
+        cfg.tn = cover.cols;
+        u.tiling = TilingModel(cfg).runLayer(spec).utilization() *
+                   cover.pes() / full;
+        u.flexflow = searchBestFactors(spec, kEdge, spec.outSize,
+                                       cover.rows, cover.cols)
+                         .utilization();
+    }
+    return u;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool csv = csvMode(argc, argv);
+    printBanner(std::cout,
+                "Fault tolerance: utilization vs dead-PE fraction "
+                "(16x16 fabric, mean of 5 seeds)");
+
+    struct LayerPick
+    {
+        NetworkSpec net;
+        std::size_t stage;
+    };
+    const std::vector<LayerPick> picks = {
+        {workloads::lenet5(), 1},  // C3
+        {workloads::alexnet(), 1}, // C3
+        {workloads::alexnet(), 4}, // C7
+        {workloads::vgg11(), 4},   // C8
+    };
+
+    TextTable table;
+    std::vector<std::string> header = {"Layer", "Arch"};
+    for (const double f : kFractions)
+        header.push_back(formatPercent(f) + " dead");
+    table.setHeader(header);
+
+    for (const LayerPick &pick : picks) {
+        const ConvLayerSpec &spec = pick.net.stages[pick.stage].conv;
+        const std::string label = pick.net.name + "/" + spec.name;
+
+        std::vector<SalvagedUtilization> means;
+        for (const double f : kFractions) {
+            SalvagedUtilization mean;
+            for (const std::uint64_t seed : kSeeds) {
+                fault::ArrayAvailability avail(kEdge, kEdge);
+                avail.killRandomPes(f, seed);
+                const SalvagedUtilization u = salvage(spec, avail);
+                mean.systolic += u.systolic;
+                mean.mapping2d += u.mapping2d;
+                mean.tiling += u.tiling;
+                mean.flexflow += u.flexflow;
+            }
+            const double n = std::size(kSeeds);
+            mean.systolic /= n;
+            mean.mapping2d /= n;
+            mean.tiling /= n;
+            mean.flexflow /= n;
+            means.push_back(mean);
+        }
+
+        const auto row = [&](const std::string &arch,
+                             double SalvagedUtilization::*field) {
+            std::vector<std::string> cells = {label, arch};
+            for (const SalvagedUtilization &m : means)
+                cells.push_back(formatPercent(m.*field));
+            table.addRow(cells);
+        };
+        row("Systolic", &SalvagedUtilization::systolic);
+        row("2D-Mapping", &SalvagedUtilization::mapping2d);
+        row("Tiling", &SalvagedUtilization::tiling);
+        row("FlexFlow", &SalvagedUtilization::flexflow);
+        table.addSeparator();
+    }
+    emitTable(table, csv, std::cout);
+
+    std::cout
+        << "\nFlexFlow degrades gracefully: the line cover plus "
+           "factor re-search keeps utilization within a few line-"
+           "widths of the dead fraction, while the chained systolic "
+           "array falls off a cliff once any central PE dies and the "
+           "2D-mapping rectangle loses whole margins.\n";
+    return 0;
+}

@@ -21,25 +21,38 @@ struct Triple
 FactorChoice
 searchBestFactors(const ConvLayerSpec &spec, int d, int tr_tc_bound)
 {
+    return searchBestFactors(spec, d, tr_tc_bound, d, d);
+}
+
+FactorChoice
+searchBestFactors(const ConvLayerSpec &spec, int d, int tr_tc_bound,
+                  int rows_avail, int cols_avail)
+{
     flexsim_assert(d >= 1, "array edge must be positive");
     flexsim_assert(tr_tc_bound >= 1, "Tr/Tc bound must be positive");
+    flexsim_assert(rows_avail >= 1 && rows_avail <= d,
+                   "need at least one surviving PE row (have ",
+                   rows_avail, " of ", d, ")");
+    flexsim_assert(cols_avail >= 1 && cols_avail <= d,
+                   "need at least one surviving PE column (have ",
+                   cols_avail, " of ", d, ")");
     spec.validate();
 
-    const int max_tn = std::min(spec.inMaps, d);
-    const int max_ti = std::min(spec.kernel, d);
-    const int max_tj = std::min(spec.kernel, d);
-    const int max_tm = std::min(spec.outMaps, d);
-    const int max_trc = std::min({tr_tc_bound, spec.outSize, d});
+    const int max_tn = std::min(spec.inMaps, cols_avail);
+    const int max_ti = std::min(spec.kernel, cols_avail);
+    const int max_tj = std::min(spec.kernel, cols_avail);
+    const int max_tm = std::min(spec.outMaps, rows_avail);
+    const int max_trc = std::min({tr_tc_bound, spec.outSize, rows_avail});
 
     // Intra-row side: maximize Ur over <Tn, Ti, Tj>.
     Triple best_col;
     double best_ur = -1.0;
     for (int tn = 1; tn <= max_tn; ++tn) {
         for (int ti = 1; ti <= max_ti; ++ti) {
-            if (tn * ti > d)
+            if (tn * ti > cols_avail)
                 break;
             for (int tj = 1; tj <= max_tj; ++tj) {
-                if (tn * ti * tj > d)
+                if (tn * ti * tj > cols_avail)
                     break;
                 UnrollFactors t;
                 t.tn = tn;
@@ -66,10 +79,10 @@ searchBestFactors(const ConvLayerSpec &spec, int d, int tr_tc_bound)
     double best_uc = -1.0;
     for (int tm = 1; tm <= max_tm; ++tm) {
         for (int tr = 1; tr <= max_trc; ++tr) {
-            if (tm * tr > d)
+            if (tm * tr > rows_avail)
                 break;
             for (int tc = 1; tc <= max_trc; ++tc) {
-                if (tm * tr * tc > d)
+                if (tm * tr * tc > rows_avail)
                     break;
                 UnrollFactors t;
                 t.tm = tm;
@@ -101,7 +114,8 @@ searchBestFactors(const ConvLayerSpec &spec, int d, int tr_tc_bound)
     choice.utilizationRows = best_ur;
     choice.utilizationCols = best_uc;
     flexsim_assert(
-        feasible(choice.factors, spec, d, tr_tc_bound),
+        feasible(choice.factors, spec, d, tr_tc_bound, rows_avail,
+                 cols_avail),
         "search produced infeasible factors ", choice.factors.toString(),
         " for layer ", spec.name);
     return choice;

@@ -48,6 +48,18 @@ struct FactorChoice
 FactorChoice searchBestFactors(const ConvLayerSpec &spec, int d,
                                int tr_tc_bound);
 
+/**
+ * Fault-aware remapping search: factors must fit the surviving
+ * @p rows_avail PE rows and @p cols_avail live PEs per row of a
+ * degraded D x D array.  Utilization is still reported against the
+ * full D x D fabric so the choice's utilization() directly measures
+ * the degradation cost.  (rows_avail == cols_avail == d reproduces
+ * the healthy search exactly.)
+ */
+FactorChoice searchBestFactors(const ConvLayerSpec &spec, int d,
+                               int tr_tc_bound, int rows_avail,
+                               int cols_avail);
+
 /** Convenience overload with Tr/Tc bounded only by the layer. */
 FactorChoice searchBestFactors(const ConvLayerSpec &spec, int d);
 

@@ -19,6 +19,17 @@ bool
 feasible(const UnrollFactors &t, const ConvLayerSpec &spec, int d,
          int tr_tc_bound)
 {
+    return feasible(t, spec, d, tr_tc_bound, d, d);
+}
+
+bool
+feasible(const UnrollFactors &t, const ConvLayerSpec &spec, int d,
+         int tr_tc_bound, int rows_avail, int cols_avail)
+{
+    flexsim_assert(rows_avail >= 0 && rows_avail <= d &&
+                       cols_avail >= 0 && cols_avail <= d,
+                   "available rows/cols outside the ", d, "x", d,
+                   " array");
     if (t.tm < 1 || t.tn < 1 || t.tr < 1 || t.tc < 1 || t.ti < 1 ||
         t.tj < 1) {
         return false;
@@ -31,7 +42,7 @@ feasible(const UnrollFactors &t, const ConvLayerSpec &spec, int d,
         return false;
     if (t.tr > spec.outSize || t.tc > spec.outSize)
         return false;
-    if (t.columnDemand() > d || t.rowDemand() > d)
+    if (t.columnDemand() > cols_avail || t.rowDemand() > rows_avail)
         return false;
     return true;
 }

@@ -53,6 +53,15 @@ struct UnrollFactors
 bool feasible(const UnrollFactors &t, const ConvLayerSpec &spec, int d,
               int tr_tc_bound);
 
+/**
+ * Feasibility on a degraded array: the factors must fit the surviving
+ * @p rows_avail PE rows and @p cols_avail PEs per row (fault-aware
+ * remapping keeps @p d as the utilization denominator so degradation
+ * stays visible).
+ */
+bool feasible(const UnrollFactors &t, const ConvLayerSpec &spec, int d,
+              int tr_tc_bound, int rows_avail, int cols_avail);
+
 /** PE-row utilization Ur (Equation 2). */
 double utilizationRows(const UnrollFactors &t, const ConvLayerSpec &spec,
                        int d);

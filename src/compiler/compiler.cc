@@ -43,18 +43,24 @@ trTcBound(const NetworkSpec &net, std::size_t idx)
     return bound;
 }
 
-/** Enumerate row-side candidates within @p margin of the best Uc. */
+/**
+ * Enumerate row-side candidates within @p margin of the best Uc,
+ * fitting the @p rows_avail surviving PE rows (utilization still
+ * measured against the full edge @p d).
+ */
 std::vector<RowCandidate>
 rowCandidates(const ConvLayerSpec &spec, int d, int bound,
-              double margin)
+              double margin, int rows_avail)
 {
     std::vector<RowCandidate> all;
     double best_uc = 0.0;
-    const int max_trc = std::min(bound, std::min(spec.outSize, d));
-    for (int tm = 1; tm <= std::min(spec.outMaps, d); ++tm) {
-        for (int tr = 1; tr <= max_trc && tm * tr <= d; ++tr) {
-            for (int tc = 1; tc <= max_trc && tm * tr * tc <= d;
-                 ++tc) {
+    const int max_trc =
+        std::min({bound, spec.outSize, rows_avail});
+    for (int tm = 1; tm <= std::min(spec.outMaps, rows_avail); ++tm) {
+        for (int tr = 1; tr <= max_trc && tm * tr <= rows_avail;
+             ++tr) {
+            for (int tc = 1;
+                 tc <= max_trc && tm * tr * tc <= rows_avail; ++tc) {
                 UnrollFactors t;
                 t.tm = tm;
                 t.tr = tr;
@@ -119,7 +125,9 @@ FlexFlowCompiler::chooseFactors(
     const ConvLayerSpec &spec = net.stages[stage_index].conv;
     const int bound = trTcBound(net, stage_index);
 
-    FactorChoice best = searchBestFactors(spec, config_.d, bound);
+    FactorChoice best =
+        searchBestFactors(spec, config_.d, bound,
+                          config_.usableRows(), config_.usableCols());
 
     // Greedy variant of the IADP coupling: adopt the previous layer's
     // <Tm,Tr,Tc> as this layer's <Tn,Ti,Tj> when the Ur loss stays
@@ -129,7 +137,8 @@ FlexFlowCompiler::chooseFactors(
         coupled.tn = std::min(prev->tm, spec.inMaps);
         coupled.ti = std::min(prev->tr, spec.kernel);
         coupled.tj = std::min(prev->tc, spec.kernel);
-        if (feasible(coupled, spec, config_.d, bound)) {
+        if (feasible(coupled, spec, config_.d, bound,
+                     config_.usableRows(), config_.usableCols())) {
             const double coupled_ur =
                 utilizationRows(coupled, spec, config_.d);
             if (coupled_ur + 1e-12 >=
@@ -160,11 +169,13 @@ FlexFlowCompiler::compile(const NetworkSpec &net) const
     for (std::size_t i = 0; i < num_layers; ++i) {
         const ConvLayerSpec &spec = net.stages[i].conv;
         rows[i] = rowCandidates(spec, d, trTcBound(net, i),
-                                couplingMargin_);
+                                couplingMargin_, config_.usableRows());
         flexsim_assert(!rows[i].empty(), "no row candidates for ",
                        spec.name);
         const FactorChoice free =
-            searchBestFactors(spec, d, trTcBound(net, i));
+            searchBestFactors(spec, d, trTcBound(net, i),
+                              config_.usableRows(),
+                              config_.usableCols());
         free_cols[i] = free.factors;
         free_steps[i] = stepsOf(spec, free.factors.tn, free.factors.ti,
                                 free.factors.tj);
@@ -196,7 +207,7 @@ FlexFlowCompiler::compile(const NetworkSpec &net) const
                 int tn, ti, tj;
                 coupledColSide(spec, rows[i - 1][pj], tn, ti, tj);
                 double coupled_cost = kInf;
-                if (tn * ti * tj <= d) {
+                if (tn * ti * tj <= config_.usableCols()) {
                     const long long csteps = stepsOf(spec, tn, ti, tj);
                     // The margin bounds the per-layer slowdown the
                     // coupling may introduce.
@@ -257,7 +268,9 @@ FlexFlowCompiler::compile(const NetworkSpec &net) const
             t.ti = free_cols[i].ti;
             t.tj = free_cols[i].tj;
         }
-        flexsim_assert(feasible(t, spec, d, trTcBound(net, i)),
+        flexsim_assert(feasible(t, spec, d, trTcBound(net, i),
+                                config_.usableRows(),
+                                config_.usableCols()),
                        "chain optimizer produced infeasible factors ",
                        t.toString(), " for ", spec.name);
         trace::printf("Compiler", net.name, " ", spec.name, " -> ",

@@ -1,0 +1,188 @@
+#include "fault/degrade.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flexsim {
+namespace fault {
+
+ArrayAvailability::ArrayAvailability(int rows, int cols)
+    : rows(rows), cols(cols),
+      alive(static_cast<std::size_t>(rows) * cols, 1)
+{
+    flexsim_assert(rows >= 1 && cols >= 1,
+                   "availability grid needs positive dimensions");
+}
+
+ArrayAvailability
+ArrayAvailability::fromPlan(const FaultPlan &plan, int d)
+{
+    plan.validate(d);
+    ArrayAvailability avail(d, d);
+    for (int r : plan.deadRows) {
+        for (int c = 0; c < d; ++c)
+            avail.kill(r, c);
+    }
+    for (int c : plan.deadCols) {
+        for (int r = 0; r < d; ++r)
+            avail.kill(r, c);
+    }
+    for (const PeCoord &pe : plan.deadPes)
+        avail.kill(pe.row, pe.col);
+    return avail;
+}
+
+void
+ArrayAvailability::killRandomPes(double fraction, std::uint64_t seed)
+{
+    flexsim_assert(fraction >= 0.0 && fraction <= 1.0,
+                   "dead-PE fraction ", fraction, " outside [0, 1]");
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const std::uint64_t site =
+                static_cast<std::uint64_t>(r) * cols + c;
+            if (transientFires(mixKey(seed, 0xdeadfe5ull), site,
+                               fraction))
+                kill(r, c);
+        }
+    }
+}
+
+int
+ArrayAvailability::aliveCount() const
+{
+    int count = 0;
+    for (std::uint8_t a : alive)
+        count += a;
+    return count;
+}
+
+bool
+ArrayAvailability::fullyAlive() const
+{
+    return aliveCount() == rows * cols;
+}
+
+DegradedGeometry
+degradeLineCover(const ArrayAvailability &avail)
+{
+    std::vector<std::uint8_t> row_dead(avail.rows, 0);
+    std::vector<std::uint8_t> col_dead(avail.cols, 0);
+    // Greedy set cover over lines: repeatedly disable the row or
+    // column holding the most not-yet-covered dead PEs.
+    while (true) {
+        std::vector<int> row_count(avail.rows, 0);
+        std::vector<int> col_count(avail.cols, 0);
+        int uncovered = 0;
+        for (int r = 0; r < avail.rows; ++r) {
+            if (row_dead[r])
+                continue;
+            for (int c = 0; c < avail.cols; ++c) {
+                if (col_dead[c] || avail.aliveAt(r, c))
+                    continue;
+                ++row_count[r];
+                ++col_count[c];
+                ++uncovered;
+            }
+        }
+        if (uncovered == 0)
+            break;
+        int best_row = 0, best_col = 0;
+        for (int r = 1; r < avail.rows; ++r) {
+            if (row_count[r] > row_count[best_row])
+                best_row = r;
+        }
+        for (int c = 1; c < avail.cols; ++c) {
+            if (col_count[c] > col_count[best_col])
+                best_col = c;
+        }
+        if (row_count[best_row] >= col_count[best_col])
+            row_dead[best_row] = 1;
+        else
+            col_dead[best_col] = 1;
+    }
+
+    DegradedGeometry geom;
+    for (int r = 0; r < avail.rows; ++r) {
+        if (!row_dead[r])
+            geom.physRows.push_back(r);
+    }
+    for (int c = 0; c < avail.cols; ++c) {
+        if (!col_dead[c])
+            geom.physCols.push_back(c);
+    }
+    geom.rows = static_cast<int>(geom.physRows.size());
+    geom.cols = static_cast<int>(geom.physCols.size());
+    return geom;
+}
+
+DegradedGeometry
+degradeTopLeftSquare(const ArrayAvailability &avail)
+{
+    const int max_edge = std::min(avail.rows, avail.cols);
+    int edge = 0;
+    for (int e = 1; e <= max_edge; ++e) {
+        bool clean = true;
+        for (int r = 0; r < e && clean; ++r) {
+            for (int c = 0; c < e; ++c) {
+                if (!avail.aliveAt(r, c)) {
+                    clean = false;
+                    break;
+                }
+            }
+        }
+        if (!clean)
+            break;
+        edge = e;
+    }
+    DegradedGeometry geom;
+    geom.rows = geom.cols = edge;
+    for (int i = 0; i < edge; ++i) {
+        geom.physRows.push_back(i);
+        geom.physCols.push_back(i);
+    }
+    return geom;
+}
+
+DegradedGeometry
+degradeMaxRectangle(const ArrayAvailability &avail)
+{
+    // Largest all-ones rectangle via the row-histogram method.
+    std::vector<int> height(avail.cols, 0);
+    long long best_area = 0;
+    int best_top = 0, best_left = 0, best_rows = 0, best_cols = 0;
+    for (int r = 0; r < avail.rows; ++r) {
+        for (int c = 0; c < avail.cols; ++c)
+            height[c] = avail.aliveAt(r, c) ? height[c] + 1 : 0;
+        for (int left = 0; left < avail.cols; ++left) {
+            int min_h = height[left];
+            for (int right = left; right < avail.cols; ++right) {
+                min_h = std::min(min_h, height[right]);
+                if (min_h == 0)
+                    break;
+                const int width = right - left + 1;
+                const long long area =
+                    static_cast<long long>(min_h) * width;
+                if (area > best_area) {
+                    best_area = area;
+                    best_rows = min_h;
+                    best_cols = width;
+                    best_top = r - min_h + 1;
+                    best_left = left;
+                }
+            }
+        }
+    }
+    DegradedGeometry geom;
+    geom.rows = best_rows;
+    geom.cols = best_cols;
+    for (int i = 0; i < best_rows; ++i)
+        geom.physRows.push_back(best_top + i);
+    for (int j = 0; j < best_cols; ++j)
+        geom.physCols.push_back(best_left + j);
+    return geom;
+}
+
+} // namespace fault
+} // namespace flexsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Degraded-mode geometry: what usable engine survives a fault plan.
+ *
+ * Each architecture has a different remapping story, which is the
+ * heart of the paper's flexibility claim:
+ *
+ *  - FlexFlow rows and columns are independent (RA/RS decouple the
+ *    two axes), so a dead PE only costs one row OR one column; a
+ *    greedy line cover keeps the rest of the grid usable and the
+ *    factor search re-optimizes for the surviving rows x cols.
+ *  - A systolic array chains operands PE-to-PE, so only a clean
+ *    top-left square still streams; one awkward dead PE can halve
+ *    the usable edge (the cliff).
+ *  - The 2D-mapping array moves neurons between neighbours, so the
+ *    survivor must be a contiguous all-healthy rectangle.
+ *  - The tiling array broadcasts along rows and columns with no
+ *    inter-PE links, so it also takes a line cover, but its rigid
+ *    Tm x Tn mapping cannot re-balance around the loss.
+ */
+
+#ifndef FLEXSIM_FAULT_DEGRADE_HH
+#define FLEXSIM_FAULT_DEGRADE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+
+namespace flexsim {
+namespace fault {
+
+/** Liveness bitmap of a rows x cols PE grid. */
+struct ArrayAvailability
+{
+    int rows = 0;
+    int cols = 0;
+    /** Row-major liveness; 1 = healthy. */
+    std::vector<std::uint8_t> alive;
+
+    ArrayAvailability() = default;
+    ArrayAvailability(int rows, int cols);
+
+    /** Apply a plan's dead rows/columns/PEs to a d x d grid. */
+    static ArrayAvailability fromPlan(const FaultPlan &plan, int d);
+
+    /** Seeded Bernoulli PE kill at @p fraction (for sweeps). */
+    void killRandomPes(double fraction, std::uint64_t seed);
+
+    bool
+    aliveAt(int r, int c) const
+    {
+        return alive[static_cast<std::size_t>(r) * cols + c] != 0;
+    }
+
+    void
+    kill(int r, int c)
+    {
+        alive[static_cast<std::size_t>(r) * cols + c] = 0;
+    }
+
+    int aliveCount() const;
+    bool fullyAlive() const;
+};
+
+/** The usable sub-engine an architecture salvages from a faulty grid. */
+struct DegradedGeometry
+{
+    /** Usable logical rows / columns (0 x 0 = engine unusable). */
+    int rows = 0;
+    int cols = 0;
+    /** Logical index -> surviving physical row / column. */
+    std::vector<int> physRows;
+    std::vector<int> physCols;
+
+    long long
+    pes() const
+    {
+        return static_cast<long long>(rows) * cols;
+    }
+};
+
+/**
+ * FlexFlow / tiling policy: greedy minimal row-or-column cover of the
+ * dead PEs; every uncovered line survives.  Deterministic: ties pick
+ * the lowest-index row before the lowest-index column.
+ */
+DegradedGeometry degradeLineCover(const ArrayAvailability &avail);
+
+/** Systolic policy: the largest all-healthy top-left square. */
+DegradedGeometry degradeTopLeftSquare(const ArrayAvailability &avail);
+
+/** 2D-mapping policy: the largest all-healthy contiguous rectangle. */
+DegradedGeometry degradeMaxRectangle(const ArrayAvailability &avail);
+
+} // namespace fault
+} // namespace flexsim
+
+#endif // FLEXSIM_FAULT_DEGRADE_HH

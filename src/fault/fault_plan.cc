@@ -1,0 +1,352 @@
+#include "fault/fault_plan.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace flexsim {
+namespace fault {
+
+namespace {
+
+/** SplitMix64 finalizer: full-avalanche 64-bit hash. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+bool
+FaultPlan::affectsGeometry() const
+{
+    return !deadRows.empty() || !deadCols.empty() || !deadPes.empty();
+}
+
+bool
+FaultPlan::affectsMacs() const
+{
+    return !stuckPes.empty() || flipRate > 0.0;
+}
+
+bool
+FaultPlan::affectsArray() const
+{
+    return affectsGeometry() || affectsMacs();
+}
+
+bool
+FaultPlan::affectsBuffers() const
+{
+    return !bufferFaults.empty();
+}
+
+bool
+FaultPlan::empty() const
+{
+    return !affectsArray() && !affectsBuffers() &&
+           dramSlowdown == 1.0 && accelEvents.empty();
+}
+
+void
+FaultPlan::validate(int d) const
+{
+    flexsim_assert(d >= 1, "fault plan needs a positive array edge");
+    for (int r : deadRows)
+        flexsim_assert(r >= 0 && r < d, "dead row ", r,
+                       " outside array edge ", d);
+    for (int c : deadCols)
+        flexsim_assert(c >= 0 && c < d, "dead column ", c,
+                       " outside array edge ", d);
+    for (const PeCoord &pe : deadPes)
+        flexsim_assert(pe.row >= 0 && pe.row < d && pe.col >= 0 &&
+                           pe.col < d,
+                       "dead PE (", pe.row, ",", pe.col,
+                       ") outside array edge ", d);
+    for (const PeCoord &pe : stuckPes)
+        flexsim_assert(pe.row >= 0 && pe.row < d && pe.col >= 0 &&
+                           pe.col < d,
+                       "stuck PE (", pe.row, ",", pe.col,
+                       ") outside array edge ", d);
+    flexsim_assert(flipRate >= 0.0 && flipRate <= 1.0,
+                   "flip rate ", flipRate, " outside [0, 1]");
+    for (const BufferFault &f : bufferFaults)
+        flexsim_assert(f.bit >= 0 && f.bit < 16, "buffer fault bit ",
+                       f.bit, " outside a 16-bit word");
+    flexsim_assert(dramSlowdown >= 1.0, "DRAM slowdown ", dramSlowdown,
+                   " must be >= 1");
+    for (const AccelEvent &e : accelEvents)
+        flexsim_assert(e.kind != AccelEvent::Kind::Slowdown ||
+                           e.factor >= 1.0,
+                       "slowdown factor ", e.factor, " must be >= 1");
+}
+
+std::uint64_t
+mixKey(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ mix64(b));
+}
+
+bool
+transientFires(std::uint64_t prefix, std::uint64_t site, double rate)
+{
+    if (rate <= 0.0)
+        return false;
+    if (rate >= 1.0)
+        return true;
+    const std::uint64_t draw = mix64(prefix ^ mix64(site));
+    // Top 53 bits -> uniform double in [0, 1).
+    const double u =
+        static_cast<double>(draw >> 11) * 0x1.0p-53;
+    return u < rate;
+}
+
+std::optional<TimeNs>
+parseTimeNs(const std::string &text)
+{
+    double scale = 0.0;
+    std::string digits;
+    auto ends_with = [&](const char *suffix) {
+        const std::size_t n = std::string(suffix).size();
+        return text.size() > n &&
+               text.compare(text.size() - n, n, suffix) == 0;
+    };
+    if (ends_with("ns")) {
+        scale = 1.0;
+        digits = text.substr(0, text.size() - 2);
+    } else if (ends_with("us")) {
+        scale = 1e3;
+        digits = text.substr(0, text.size() - 2);
+    } else if (ends_with("ms")) {
+        scale = 1e6;
+        digits = text.substr(0, text.size() - 2);
+    } else if (text.size() > 1 && text.back() == 's') {
+        scale = 1e9;
+        digits = text.substr(0, text.size() - 1);
+    } else {
+        // Bare numbers are nanoseconds.
+        scale = 1.0;
+        digits = text;
+    }
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(digits, &used);
+        if (used != digits.size() || value < 0.0)
+            return std::nullopt;
+        return static_cast<TimeNs>(value * scale);
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+namespace {
+
+int
+parseInt(const std::string &text, const char *what)
+{
+    try {
+        std::size_t used = 0;
+        const int value = std::stoi(text, &used);
+        if (used != text.size())
+            fatal("fault spec: bad ", what, " '", text, "'");
+        return value;
+    } catch (...) {
+        fatal("fault spec: bad ", what, " '", text, "'");
+    }
+}
+
+double
+parseDouble(const std::string &text, const char *what)
+{
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(text, &used);
+        if (used != text.size())
+            fatal("fault spec: bad ", what, " '", text, "'");
+        return value;
+    } catch (...) {
+        fatal("fault spec: bad ", what, " '", text, "'");
+    }
+}
+
+PeCoord
+parsePe(const std::string &text, const char *what)
+{
+    const auto dot = text.find('.');
+    if (dot == std::string::npos)
+        fatal("fault spec: ", what, " wants ROW.COL, got '", text, "'");
+    PeCoord pe;
+    pe.row = parseInt(text.substr(0, dot), what);
+    pe.col = parseInt(text.substr(dot + 1), what);
+    return pe;
+}
+
+TimeNs
+parseEventTime(const std::string &text, const char *what)
+{
+    const auto parsed = parseTimeNs(text);
+    if (!parsed)
+        fatal("fault spec: bad ", what, " time '", text, "'");
+    return *parsed;
+}
+
+/** "A@T" or "A@T*F" -> (accel, time, factor). */
+AccelEvent
+parseEvent(const std::string &text, AccelEvent::Kind kind,
+           const char *what)
+{
+    AccelEvent event;
+    event.kind = kind;
+    const auto at = text.find('@');
+    if (at == std::string::npos)
+        fatal("fault spec: ", what, " wants ACCEL@TIME, got '", text,
+              "'");
+    event.accel = static_cast<unsigned>(
+        parseInt(text.substr(0, at), what));
+    std::string when = text.substr(at + 1);
+    if (kind == AccelEvent::Kind::Slowdown) {
+        const auto star = when.find('*');
+        if (star == std::string::npos)
+            fatal("fault spec: slowdown wants ACCEL@TIME*FACTOR, "
+                  "got '",
+                  text, "'");
+        event.factor = parseDouble(when.substr(star + 1), what);
+        when = when.substr(0, star);
+    }
+    event.atNs = parseEventTime(when, what);
+    return event;
+}
+
+} // namespace
+
+FaultPlan
+parseFaultSpec(const std::string &spec)
+{
+    FaultPlan plan;
+    for (const std::string &raw : split(spec, ';')) {
+        const std::string clause = trim(raw);
+        if (clause.empty())
+            continue;
+        const auto eq = clause.find('=');
+        const std::string key =
+            toLower(eq == std::string::npos ? clause
+                                            : clause.substr(0, eq));
+        const std::string value =
+            eq == std::string::npos ? "" : trim(clause.substr(eq + 1));
+        if (key == "seed") {
+            plan.seed = static_cast<std::uint64_t>(
+                parseDouble(value, "seed"));
+        } else if (key == "deadrow") {
+            for (const std::string &r : split(value, ','))
+                plan.deadRows.push_back(parseInt(trim(r), "deadrow"));
+        } else if (key == "deadcol") {
+            for (const std::string &c : split(value, ','))
+                plan.deadCols.push_back(parseInt(trim(c), "deadcol"));
+        } else if (key == "deadpe") {
+            plan.deadPes.push_back(parsePe(value, "deadpe"));
+        } else if (key == "stuck") {
+            plan.stuckPes.push_back(parsePe(value, "stuck"));
+        } else if (key == "flip") {
+            const auto colon = value.find(':');
+            plan.flipRate = parseDouble(
+                colon == std::string::npos ? value
+                                           : value.substr(0, colon),
+                "flip rate");
+            if (colon != std::string::npos) {
+                plan.flipMask = static_cast<std::uint64_t>(
+                    parseDouble(value.substr(colon + 1), "flip mask"));
+            }
+        } else if (key == "bufflip") {
+            const auto parts = split(value, ':');
+            if (parts.size() != 3)
+                fatal("fault spec: bufflip wants "
+                      "neuron|kernel:WORD:BIT, got '",
+                      value, "'");
+            BufferFault f;
+            const std::string target = toLower(trim(parts[0]));
+            if (target == "neuron") {
+                f.target = BufferFault::Target::Neuron;
+            } else if (target == "kernel") {
+                f.target = BufferFault::Target::Kernel;
+            } else {
+                fatal("fault spec: bufflip target must be neuron or "
+                      "kernel, got '",
+                      parts[0], "'");
+            }
+            f.word = static_cast<std::uint64_t>(
+                parseDouble(trim(parts[1]), "bufflip word"));
+            f.bit = parseInt(trim(parts[2]), "bufflip bit");
+            plan.bufferFaults.push_back(f);
+        } else if (key == "parity") {
+            plan.parityDetect = true;
+        } else if (key == "dramslow") {
+            plan.dramSlowdown = parseDouble(value, "dramslow");
+        } else if (key == "failstop") {
+            plan.accelEvents.push_back(parseEvent(
+                value, AccelEvent::Kind::FailStop, "failstop"));
+        } else if (key == "slowdown") {
+            plan.accelEvents.push_back(parseEvent(
+                value, AccelEvent::Kind::Slowdown, "slowdown"));
+        } else if (key == "recover") {
+            plan.accelEvents.push_back(parseEvent(
+                value, AccelEvent::Kind::Recover, "recover"));
+        } else {
+            fatal("fault spec: unknown clause '", clause, "'");
+        }
+    }
+    return plan;
+}
+
+std::vector<AccelEvent>
+parseFaultTrace(const std::string &text)
+{
+    std::vector<AccelEvent> events;
+    int line_no = 0;
+    for (const std::string &raw : split(text, '\n')) {
+        ++line_no;
+        std::string line = trim(raw);
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = trim(line.substr(0, hash));
+        if (line.empty())
+            continue;
+        const std::vector<std::string> fields = splitWhitespace(line);
+        if (fields.size() < 3)
+            fatal("fault trace line ", line_no,
+                  ": want '<time> <event> <accel> [factor]'");
+        AccelEvent event;
+        event.atNs = parseEventTime(fields[0], "trace");
+        const std::string kind = toLower(fields[1]);
+        if (kind == "failstop") {
+            event.kind = AccelEvent::Kind::FailStop;
+        } else if (kind == "slowdown") {
+            event.kind = AccelEvent::Kind::Slowdown;
+            if (fields.size() < 4)
+                fatal("fault trace line ", line_no,
+                      ": slowdown needs a factor");
+            event.factor = parseDouble(fields[3], "trace factor");
+        } else if (kind == "recover") {
+            event.kind = AccelEvent::Kind::Recover;
+        } else {
+            fatal("fault trace line ", line_no, ": unknown event '",
+                  fields[1], "'");
+        }
+        event.accel =
+            static_cast<unsigned>(parseInt(fields[2], "trace accel"));
+        events.push_back(event);
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const AccelEvent &a, const AccelEvent &b) {
+                         return a.atNs < b.atNs;
+                     });
+    return events;
+}
+
+} // namespace fault
+} // namespace flexsim

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Deterministic fault-injection plans.
+ *
+ * A FaultPlan is a pure description of what is broken: dead PE
+ * rows/columns and individual PEs, stuck-at-zero or transiently
+ * flipping MAC datapaths, neuron/kernel buffer bit flips (silent or
+ * parity-detected), a slowed DRAM channel, and timed accelerator-level
+ * fail-stop / slowdown / recover events for the serving runtime.
+ *
+ * Every stochastic decision (does MAC site X flip?) is a pure hash of
+ * (plan seed, logical site key) — never of execution order — so any
+ * thread count, chunking, or replay produces bit-identical faults.
+ * An empty plan must leave every consumer on its zero-fault fast path.
+ */
+
+#ifndef FLEXSIM_FAULT_FAULT_PLAN_HH
+#define FLEXSIM_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flexsim {
+namespace fault {
+
+/** Virtual nanoseconds (matches serve::TimeNs). */
+using TimeNs = std::uint64_t;
+
+/** Physical PE coordinate in a D x D array. */
+struct PeCoord
+{
+    int row = 0;
+    int col = 0;
+
+    bool operator==(const PeCoord &) const = default;
+};
+
+/** One stuck bit in an on-chip operand buffer. */
+struct BufferFault
+{
+    enum class Target { Neuron, Kernel };
+
+    Target target = Target::Neuron;
+    /** Word index into the flattened tensor (wrapped modulo size). */
+    std::uint64_t word = 0;
+    /** Bit position within the 16-bit word, [0, 16). */
+    int bit = 0;
+
+    bool operator==(const BufferFault &) const = default;
+};
+
+/** A timed accelerator-level event for the serving runtime. */
+struct AccelEvent
+{
+    enum class Kind { FailStop, Slowdown, Recover };
+
+    Kind kind = Kind::FailStop;
+    /** Pool index of the affected accelerator instance. */
+    unsigned accel = 0;
+    /** Virtual time the event fires. */
+    TimeNs atNs = 0;
+    /** Service-time multiplier (Slowdown only; >= 1). */
+    double factor = 1.0;
+
+    bool operator==(const AccelEvent &) const = default;
+};
+
+/** A seeded, immutable description of injected faults. */
+struct FaultPlan
+{
+    /** Seed for every per-site stochastic draw. */
+    std::uint64_t seed = 1;
+
+    // --- PE array -----------------------------------------------------
+    /** Physical rows disabled outright. */
+    std::vector<int> deadRows;
+    /** Physical columns disabled outright. */
+    std::vector<int> deadCols;
+    /** Individually dead PEs (remapped around via line cover). */
+    std::vector<PeCoord> deadPes;
+    /** PEs whose multiplier output is stuck at zero. */
+    std::vector<PeCoord> stuckPes;
+    /** Per-MAC probability a product is XOR-ed with flipMask. */
+    double flipRate = 0.0;
+    /** Bits flipped in a transiently faulty product. */
+    std::uint64_t flipMask = 1;
+
+    // --- operand buffers ----------------------------------------------
+    std::vector<BufferFault> bufferFaults;
+    /** Detect buffer faults by parity and scrub instead of corrupting. */
+    bool parityDetect = false;
+
+    // --- memory system ------------------------------------------------
+    /** DRAM-channel service-time multiplier (>= 1). */
+    double dramSlowdown = 1.0;
+
+    // --- serving-level events -----------------------------------------
+    std::vector<AccelEvent> accelEvents;
+
+    /** Any dead/stuck/flipping PE datapath? */
+    bool affectsArray() const;
+    /** Any dead line or PE forcing a degraded geometry? */
+    bool affectsGeometry() const;
+    /** Any stuck/flip MAC fault (dataflow corruption)? */
+    bool affectsMacs() const;
+    /** Any buffer bit fault? */
+    bool affectsBuffers() const;
+    /** No fault of any kind (consumers must take the fast path). */
+    bool empty() const;
+
+    /** Abort with a diagnostic if the plan is out of range for a
+     * D x D array or internally inconsistent. */
+    void validate(int d) const;
+};
+
+/** Fault-activity counters, merged deterministically across threads. */
+struct FaultDiagnostics
+{
+    /** MAC products forced to zero by stuck-at PEs. */
+    std::uint64_t stuckMacs = 0;
+    /** MAC products XOR-ed by transient flips. */
+    std::uint64_t flippedMacs = 0;
+    /** Buffer words corrupted silently (no parity). */
+    std::uint64_t corruptedWords = 0;
+    /** Buffer faults caught by parity checking. */
+    std::uint64_t paritiesDetected = 0;
+    /** Words re-fetched from DRAM to scrub detected faults. */
+    std::uint64_t scrubbedWords = 0;
+
+    FaultDiagnostics &
+    operator+=(const FaultDiagnostics &other)
+    {
+        stuckMacs += other.stuckMacs;
+        flippedMacs += other.flippedMacs;
+        corruptedWords += other.corruptedWords;
+        paritiesDetected += other.paritiesDetected;
+        scrubbedWords += other.scrubbedWords;
+        return *this;
+    }
+
+    bool operator==(const FaultDiagnostics &) const = default;
+};
+
+/** SplitMix64-style mix of two keys into one site prefix. */
+std::uint64_t mixKey(std::uint64_t a, std::uint64_t b);
+
+/**
+ * Deterministic Bernoulli draw for one MAC site.
+ *
+ * Pure function of (prefix, site, rate): equal inputs fire equally in
+ * every run, thread, and chunking, which is what makes transient
+ * faults reproducible.
+ */
+bool transientFires(std::uint64_t prefix, std::uint64_t site,
+                    double rate);
+
+/** Parse "50ms" / "2us" / "1s" / "250ns" into nanoseconds. */
+std::optional<TimeNs> parseTimeNs(const std::string &text);
+
+/**
+ * Parse a --faults specification into a plan; fatal() on bad syntax.
+ *
+ * Grammar: semicolon-separated clauses
+ *   seed=S            draw seed (default 1)
+ *   deadrow=R[,R...]  disable physical rows
+ *   deadcol=C[,C...]  disable physical columns
+ *   deadpe=R.C        disable one PE (repeatable)
+ *   stuck=R.C         stuck-at-zero MAC at PE (repeatable)
+ *   flip=RATE[:MASK]  transient product flips at RATE with XOR MASK
+ *   bufflip=neuron|kernel:WORD:BIT   operand-buffer bit fault
+ *   parity            detect buffer faults by parity + scrub
+ *   dramslow=F        DRAM-channel slowdown factor (>= 1)
+ *   failstop=A@T      accelerator A fail-stops at time T
+ *   slowdown=A@T*F    accelerator A slows by F at time T
+ *   recover=A@T       accelerator A recovers at time T
+ */
+FaultPlan parseFaultSpec(const std::string &spec);
+
+/**
+ * Parse a --fault-trace file: one event per line,
+ * "<time> failstop|slowdown|recover <accel> [factor]", '#' comments.
+ */
+std::vector<AccelEvent> parseFaultTrace(const std::string &text);
+
+} // namespace fault
+} // namespace flexsim
+
+#endif // FLEXSIM_FAULT_FAULT_PLAN_HH

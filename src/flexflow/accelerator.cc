@@ -35,6 +35,17 @@ FlexFlowAccelerator::FlexFlowAccelerator(FlexFlowConfig config)
                         "words read from external memory");
     statDramWrites_.init(&statGroup_, "dramWriteWords",
                          "words written to external memory");
+    statFaultStuckMacs_.init(&statGroup_, "faultStuckMacs",
+                             "MAC products zeroed by stuck-at PEs");
+    statFaultFlippedMacs_.init(&statGroup_, "faultFlippedMacs",
+                               "MAC products hit by transient flips");
+    statFaultCorruptedWords_.init(
+        &statGroup_, "faultCorruptedWords",
+        "buffer words corrupted silently");
+    statFaultParities_.init(&statGroup_, "faultParitiesDetected",
+                            "buffer faults caught by parity");
+    statFaultScrubbed_.init(&statGroup_, "faultScrubbedWords",
+                            "words re-fetched to scrub faults");
     statUtilization_.init(
         &statGroup_, "utilization",
         "activeMacCycles / (compute cycles * PEs)", [this] {
@@ -82,6 +93,7 @@ FlexFlowAccelerator::run(const Program &program, NetworkResult *result)
 {
     dram_.resetCounters();
     activeBuffer_ = 0;
+    faultDiag_ = fault::FaultDiagnostics{};
 
     NetworkResult record;
     record.archName = "FlexFlow";
@@ -159,9 +171,21 @@ FlexFlowAccelerator::run(const Program &program, NetworkResult *result)
                            ") smaller than layer ", spec.name,
                            " input (", spec.inSize, ")");
             LayerResult layer;
+            ConvUnitDiagnostics conv_diag;
             activation = convUnit_.runLayer(
                 spec, *pending_factors, activation,
-                boundKernels_[kernel_index], &layer);
+                boundKernels_[kernel_index], &layer, &conv_diag);
+            faultDiag_ += conv_diag.faults;
+            statFaultStuckMacs_ +=
+                static_cast<double>(conv_diag.faults.stuckMacs);
+            statFaultFlippedMacs_ +=
+                static_cast<double>(conv_diag.faults.flippedMacs);
+            statFaultCorruptedWords_ +=
+                static_cast<double>(conv_diag.faults.corruptedWords);
+            statFaultParities_ +=
+                static_cast<double>(conv_diag.faults.paritiesDetected);
+            statFaultScrubbed_ +=
+                static_cast<double>(conv_diag.faults.scrubbedWords);
             ++kernel_index;
             ++conv_index;
             // Attribute DRAM words loaded since the previous CONV.

@@ -68,6 +68,23 @@ class FlexFlowAccelerator
     /** Zero the statistics. */
     void resetStats();
 
+    /**
+     * Attach a fault plan consumed by the convolutional unit (must
+     * outlive the accelerator; nullptr restores healthy operation).
+     */
+    void
+    setFaultPlan(const fault::FaultPlan *plan)
+    {
+        faultPlan_ = plan;
+        convUnit_.setFaultPlan(plan);
+    }
+
+    /** Fault activity accumulated over CONV layers of the last run. */
+    const fault::FaultDiagnostics &faultDiagnostics() const
+    {
+        return faultDiag_;
+    }
+
   private:
     statistics::StatGroup statGroup_{"flexflow"};
     statistics::Scalar statProgramsRun_;
@@ -83,6 +100,11 @@ class FlexFlowAccelerator
     statistics::Scalar statPsumWords_;
     statistics::Scalar statDramReads_;
     statistics::Scalar statDramWrites_;
+    statistics::Scalar statFaultStuckMacs_;
+    statistics::Scalar statFaultFlippedMacs_;
+    statistics::Scalar statFaultCorruptedWords_;
+    statistics::Scalar statFaultParities_;
+    statistics::Scalar statFaultScrubbed_;
     statistics::Formula statUtilization_;
     statistics::Formula statGops_;
 
@@ -94,6 +116,9 @@ class FlexFlowAccelerator
     Tensor3<> boundInput_;
     std::vector<Tensor4<>> boundKernels_;
     int activeBuffer_ = 0;
+
+    const fault::FaultPlan *faultPlan_ = nullptr;
+    fault::FaultDiagnostics faultDiag_;
 };
 
 } // namespace flexsim

@@ -11,6 +11,7 @@
 #include "arch/dram_planner.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "fault/degrade.hh"
 #include "flexflow/mapping.hh"
 #include "flexflow/schedule.hh"
 
@@ -65,13 +66,16 @@ struct BatchSchedule
     std::vector<std::int32_t> colWordBegin; ///< cols + 1 offsets
     /** Largest per-(row, column) task queue — the RS step count. */
     std::size_t maxTasksPerPe = 0;
+    /** Per-task logical column, filled only when MAC faults need it
+     * (empty on the zero-fault path: HotTask stays two words). */
+    std::vector<std::int32_t> taskCol;
 };
 
 BatchSchedule
 buildBatchSchedule(const ConvLayerSpec &spec, const LaneMapping &map,
                    const SchedulePass &pass, int m_valid, int r_valid,
                    int c_valid, int x_phase, int y_phase, int in_h,
-                   int in_w)
+                   int in_w, bool record_cols)
 {
     const UnrollFactors &t = map.factors();
     const int rows = map.usedRows();
@@ -118,6 +122,8 @@ buildBatchSchedule(const ConvLayerSpec &spec, const LaneMapping &map,
                     sched.tasks.push_back(HotTask{
                         in_rel,
                         static_cast<std::int32_t>((n * k + i) * k + j)});
+                    if (record_cols)
+                        sched.taskCol.push_back(col);
                     const std::size_t word =
                         (static_cast<std::size_t>(n - pass.nBegin) *
                              span_x +
@@ -273,6 +279,66 @@ FlexFlowConvUnit::runLayer(const ConvLayerSpec &spec,
 
     ConvUnitDiagnostics diagnostics;
 
+    // ---- fault-plan setup -----------------------------------------
+    // An absent or empty plan keeps every code path below identical
+    // to the healthy unit: no allocation, no per-task column record,
+    // and the single-branch compute loop.
+    const fault::FaultPlan *plan =
+        (faults_ != nullptr && !faults_->empty()) ? faults_ : nullptr;
+    std::vector<std::uint8_t> stuck;
+    bool stuck_active = false;
+    if (plan != nullptr && plan->affectsArray()) {
+        plan->validate(config_.d);
+        // The deterministic line cover fixes which physical rows and
+        // columns survive; the fault-aware factor search uses the
+        // same policy, so logical lanes map onto surviving lines in
+        // order.
+        fault::DegradedGeometry geom;
+        if (plan->affectsGeometry()) {
+            geom = fault::degradeLineCover(
+                fault::ArrayAvailability::fromPlan(*plan, config_.d));
+        } else {
+            geom.rows = geom.cols = config_.d;
+            for (int i = 0; i < config_.d; ++i) {
+                geom.physRows.push_back(i);
+                geom.physCols.push_back(i);
+            }
+        }
+        flexsim_assert(rows_used <= geom.rows &&
+                           cols_used <= geom.cols,
+                       "factors ", t.toString(), " need ", rows_used,
+                       "x", cols_used,
+                       " PEs but the degraded array keeps only ",
+                       geom.rows, "x", geom.cols,
+                       " (recompile for the fault plan)");
+        stuck.assign(static_cast<std::size_t>(rows_used) * cols_used,
+                     0);
+        for (const fault::PeCoord &pe : plan->stuckPes) {
+            // A stuck PE matters iff its physical row and column
+            // survive the cover and land inside the used region.
+            const auto lr = std::find(geom.physRows.begin(),
+                                      geom.physRows.end(), pe.row);
+            const auto lc = std::find(geom.physCols.begin(),
+                                      geom.physCols.end(), pe.col);
+            if (lr == geom.physRows.end() ||
+                lc == geom.physCols.end())
+                continue;
+            const auto row = lr - geom.physRows.begin();
+            const auto col = lc - geom.physCols.begin();
+            if (row < rows_used && col < cols_used) {
+                stuck[static_cast<std::size_t>(row) * cols_used +
+                      col] = 1;
+                stuck_active = true;
+            }
+        }
+    }
+    const bool flip_active = plan != nullptr && plan->flipRate > 0.0;
+    const double flip_rate = flip_active ? plan->flipRate : 0.0;
+    const Acc flip_mask =
+        plan != nullptr ? static_cast<Acc>(plan->flipMask) : 0;
+    const std::uint64_t fault_seed = plan != nullptr ? plan->seed : 0;
+    const bool mac_faults = stuck_active || flip_active;
+
     trace::printf("ConvUnit", "layer ", spec.name, " factors ",
                   t.toString(), ": ",
                   sched.mBlocks * sched.rBlocks * sched.cBlocks,
@@ -359,15 +425,64 @@ FlexFlowConvUnit::runLayer(const ConvLayerSpec &spec,
                             m_class_valid[mc], r_class_shape[rc].first,
                             c_class_shape[cc].first,
                             r_class_shape[rc].second,
-                            c_class_shape[cc].second, in_h, in_w);
+                            c_class_shape[cc].second, in_h, in_w,
+                            mac_faults);
                 }
             }
         }
     }
 
-    // ---- the hot loop ---------------------------------------------
+    // ---- operand-buffer faults ------------------------------------
+    // Silent faults corrupt working copies of the operand tensors;
+    // parity-protected buffers detect each bad word and scrub it
+    // with a DRAM refetch instead, leaving the data clean.
+    Tensor3<> patched_input;
+    Tensor4<> patched_kernels;
     const Fixed16 *in_data = input.data();
     const Fixed16 *k_data = kernels.data();
+    if (plan != nullptr && plan->affectsBuffers()) {
+        if (plan->parityDetect) {
+            diagnostics.faults.paritiesDetected +=
+                plan->bufferFaults.size();
+            diagnostics.faults.scrubbedWords +=
+                plan->bufferFaults.size();
+        } else {
+            patched_input = input;
+            patched_kernels = kernels;
+            for (const fault::BufferFault &f : plan->bufferFaults) {
+                const std::int16_t mask =
+                    static_cast<std::int16_t>(1 << f.bit);
+                if (f.target == fault::BufferFault::Target::Neuron) {
+                    const std::size_t idx = f.word % input.size();
+                    Fixed16 &word = patched_input.at(
+                        static_cast<int>(
+                            idx / (static_cast<std::size_t>(in_h) *
+                                   in_w)),
+                        static_cast<int>((idx / in_w) % in_h),
+                        static_cast<int>(idx % in_w));
+                    word = Fixed16::fromRaw(
+                        static_cast<std::int16_t>(word.raw() ^ mask));
+                } else {
+                    const std::size_t idx = f.word % kernels.size();
+                    const std::size_t kk =
+                        static_cast<std::size_t>(k) * k;
+                    Fixed16 &word = patched_kernels.at(
+                        static_cast<int>(idx / (kk * spec.inMaps)),
+                        static_cast<int>((idx / kk) % spec.inMaps),
+                        static_cast<int>((idx / k) % k),
+                        static_cast<int>(idx % k));
+                    word = Fixed16::fromRaw(
+                        static_cast<std::int16_t>(word.raw() ^ mask));
+                }
+            }
+            diagnostics.faults.corruptedWords +=
+                plan->bufferFaults.size();
+            in_data = patched_input.data();
+            k_data = patched_kernels.data();
+        }
+    }
+
+    // ---- the hot loop ---------------------------------------------
     const std::size_t kernel_map_stride =
         static_cast<std::size_t>(spec.inMaps) * k * k;
     const bool band = sched.bandRetention;
@@ -466,20 +581,68 @@ FlexFlowConvUnit::runLayer(const ConvLayerSpec &spec,
                                                      lanes[row].mOff) *
                             kernel_map_stride;
                         Acc row_sum = 0;
-                        for (std::int32_t i = begin; i < end; ++i) {
-                            const HotTask &task = bs.tasks[i];
-                            // RA self-check: the resident word must
-                            // be the operand this (output, synapse)
-                            // pair needs.
-                            flexsim_paranoid_assert(
-                                ws.gen[static_cast<std::size_t>(
-                                           in_base) +
-                                       task.inRel] == ws.epoch,
-                                "FlexFlow column store delivered a "
-                                "stale operand");
-                            row_sum +=
-                                mulRaw(in_data[in_base + task.inRel],
-                                       k_data[k_base + task.kRel]);
+                        if (!mac_faults) {
+                            for (std::int32_t i = begin; i < end;
+                                 ++i) {
+                                const HotTask &task = bs.tasks[i];
+                                // RA self-check: the resident word
+                                // must be the operand this (output,
+                                // synapse) pair needs.
+                                flexsim_paranoid_assert(
+                                    ws.gen[static_cast<std::size_t>(
+                                               in_base) +
+                                           task.inRel] == ws.epoch,
+                                    "FlexFlow column store delivered "
+                                    "a stale operand");
+                                row_sum += mulRaw(
+                                    in_data[in_base + task.inRel],
+                                    k_data[k_base + task.kRel]);
+                            }
+                        } else {
+                            // Faulty datapath: stuck PEs zero their
+                            // product, transient flips XOR it.  The
+                            // draw is a pure hash of the logical site
+                            // (block, pass, band, row, task), so any
+                            // thread partition injects identically.
+                            const std::uint64_t site_prefix =
+                                fault::mixKey(
+                                    fault_seed,
+                                    (((static_cast<std::uint64_t>(
+                                           mb) *
+                                           splits +
+                                       pass) *
+                                          r_blocks +
+                                      rb) *
+                                         c_blocks +
+                                     cb) *
+                                            rows_used +
+                                        row);
+                            const std::uint8_t *stuck_row =
+                                stuck.data() +
+                                static_cast<std::size_t>(row) *
+                                    cols_used;
+                            for (std::int32_t i = begin; i < end;
+                                 ++i) {
+                                const HotTask &task = bs.tasks[i];
+                                Acc prod = mulRaw(
+                                    in_data[in_base + task.inRel],
+                                    k_data[k_base + task.kRel]);
+                                if (stuck_active &&
+                                    stuck_row[bs.taskCol[i]]) {
+                                    prod = 0;
+                                    ++ws.diag.faults.stuckMacs;
+                                } else if (flip_active &&
+                                           fault::transientFires(
+                                               site_prefix,
+                                               static_cast<
+                                                   std::uint64_t>(
+                                                   i - begin),
+                                               flip_rate)) {
+                                    prod ^= flip_mask;
+                                    ++ws.diag.faults.flippedMacs;
+                                }
+                                row_sum += prod;
+                            }
                         }
                         const WordCount n_tasks =
                             static_cast<WordCount>(end - begin);
@@ -562,11 +725,14 @@ FlexFlowConvUnit::runLayer(const ConvLayerSpec &spec,
         diagnostics.deliveryStallCycles += ws.diag.deliveryStallCycles;
         diagnostics.maxTasksPerPe = std::max(
             diagnostics.maxTasksPerPe, ws.diag.maxTasksPerPe);
+        diagnostics.faults += ws.diag.faults;
     }
 
     record.dram = planDramTraffic(spec, config_.neuronBufWords,
                                   config_.kernelBufWords)
                       .traffic;
+    // Parity scrubs re-fetch the detected words from DRAM.
+    record.dram.reads += diagnostics.faults.scrubbedWords;
 
     if (result != nullptr)
         *result = record;

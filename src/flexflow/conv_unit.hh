@@ -29,6 +29,7 @@
 
 #include "arch/result.hh"
 #include "arch/unroll.hh"
+#include "fault/fault_plan.hh"
 #include "flexflow/flexflow_config.hh"
 #include "nn/layer_spec.hh"
 #include "nn/tensor.hh"
@@ -48,6 +49,8 @@ struct ConvUnitDiagnostics
     std::uint64_t deliveryStallCycles = 0;
     /** Largest per-(PE,batch) task count (must equal the step count). */
     std::size_t maxTasksPerPe = 0;
+    /** Injected-fault activity (all zero without a fault plan). */
+    fault::FaultDiagnostics faults;
 };
 
 class FlexFlowConvUnit
@@ -67,8 +70,18 @@ class FlexFlowConvUnit
 
     const FlexFlowConfig &config() const { return config_; }
 
+    /**
+     * Attach a fault plan (nullptr or an empty plan restores the
+     * healthy fast path, bit-identical to a unit that never had one).
+     * The plan must outlive the unit; injected faults are pure
+     * functions of (seed, logical MAC site), so outputs and fault
+     * counters are identical for any `threads` value.
+     */
+    void setFaultPlan(const fault::FaultPlan *plan) { faults_ = plan; }
+
   private:
     FlexFlowConfig config_;
+    const fault::FaultPlan *faults_ = nullptr;
 };
 
 } // namespace flexsim

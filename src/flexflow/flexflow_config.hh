@@ -40,6 +40,19 @@ struct FlexFlowConfig
      */
     int threads = 1;
 
+    // --- degraded-mode geometry (fault remapping) ---
+    /**
+     * Surviving PE rows / live PEs per row after a fault remap; 0
+     * means the full D.  The factor search fits inside these while
+     * utilization stays relative to the full D x D fabric, so a
+     * degraded config directly reports its utilization loss.
+     */
+    int availRows = 0;
+    int availCols = 0;
+
+    int usableRows() const { return availRows > 0 ? availRows : d; }
+    int usableCols() const { return availCols > 0 ? availCols : d; }
+
     // --- ablation knobs (default = the paper's design) ---
     /**
      * Retain the input window in the neuron local stores across row

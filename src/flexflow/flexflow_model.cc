@@ -24,7 +24,9 @@ FlexFlowModel::kernelsResident(const ConvLayerSpec &spec,
 LayerResult
 FlexFlowModel::runLayer(const ConvLayerSpec &spec) const
 {
-    const FactorChoice choice = searchBestFactors(spec, config_.d);
+    const FactorChoice choice =
+        searchBestFactors(spec, config_.d, spec.outSize,
+                          config_.usableRows(), config_.usableCols());
     return runLayer(spec, choice.factors);
 }
 

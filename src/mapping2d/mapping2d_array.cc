@@ -16,6 +16,30 @@ Mapping2DArraySim::Mapping2DArraySim(Mapping2DConfig config)
                    "bad 2D-Mapping configuration");
 }
 
+void
+Mapping2DArraySim::setFaultPlan(const fault::FaultPlan *plan)
+{
+    faults_ = (plan != nullptr && !plan->empty()) ? plan : nullptr;
+    stuckMap_.clear();
+    macFaultsActive_ = false;
+    if (faults_ == nullptr)
+        return;
+    stuckMap_.assign(
+        static_cast<std::size_t>(config_.rows) * config_.cols, 0);
+    for (const fault::PeCoord &pe : faults_->stuckPes) {
+        // Coordinates outside this grid belong to another geometry
+        // (the plan is shared across architectures).
+        if (pe.row >= 0 && pe.row < config_.rows && pe.col >= 0 &&
+            pe.col < config_.cols) {
+            stuckMap_[static_cast<std::size_t>(pe.row) * config_.cols +
+                      pe.col] = 1;
+            macFaultsActive_ = true;
+        }
+    }
+    if (faults_->flipRate > 0.0)
+        macFaultsActive_ = true;
+}
+
 Tensor3<>
 Mapping2DArraySim::runLayer(const ConvLayerSpec &spec,
                             const Tensor3<> &input,
@@ -39,6 +63,8 @@ Mapping2DArraySim::runLayer(const ConvLayerSpec &spec,
     record.layerName = spec.name;
     record.peCount = config_.peCount();
     record.macs = spec.macs();
+
+    faultDiag_ = fault::FaultDiagnostics{};
 
     Tensor3<> output(spec.outMaps, s, s);
 
@@ -112,6 +138,23 @@ Mapping2DArraySim::runLayer(const ConvLayerSpec &spec,
                             const Fixed16 synapse =
                                 kernels.at(m, n, i, j);
                             ++record.traffic.kernelIn;
+                            // The transient draw depends only on the
+                            // logical site (m, n, i, j, output
+                            // neuron), never on block iteration
+                            // order, so injection is replay-identical.
+                            const std::uint64_t site_prefix =
+                                macFaultsActive_
+                                    ? fault::mixKey(
+                                          faults_->seed,
+                                          ((static_cast<std::uint64_t>(
+                                                m) *
+                                                spec.inMaps +
+                                            n) *
+                                               k +
+                                           i) *
+                                                  k +
+                                              j)
+                                    : 0;
                             for (int r = 0; r < rows; ++r) {
                                 for (int c = 0; c < cols; ++c) {
                                     Fixed16 neuron;
@@ -130,9 +173,27 @@ Mapping2DArraySim::runLayer(const ConvLayerSpec &spec,
                                     } else {
                                         neuron = load(r, c, i, j);
                                     }
-                                    accs[idx(r, c)] += mulRaw(
-                                        neuron,
-                                        synapse);
+                                    Acc prod = mulRaw(neuron, synapse);
+                                    if (macFaultsActive_) {
+                                        if (!stuckMap_.empty() &&
+                                            stuckMap_[idx(r, c)]) {
+                                            prod = 0;
+                                            ++faultDiag_.stuckMacs;
+                                        } else if (
+                                            fault::transientFires(
+                                                site_prefix,
+                                                static_cast<
+                                                    std::uint64_t>(
+                                                    r0 + r) *
+                                                        s +
+                                                    (c0 + c),
+                                                faults_->flipRate)) {
+                                            prod ^= static_cast<Acc>(
+                                                faults_->flipMask);
+                                            ++faultDiag_.flippedMacs;
+                                        }
+                                    }
+                                    accs[idx(r, c)] += prod;
                                     ++record.activeMacCycles;
                                     ++record.localStoreReads;
                                     ++record.localStoreWrites;

@@ -16,6 +16,7 @@
 #define FLEXSIM_MAPPING2D_MAPPING2D_ARRAY_HH
 
 #include "arch/result.hh"
+#include "fault/fault_plan.hh"
 #include "nn/layer_spec.hh"
 #include "nn/tensor.hh"
 #include "mapping2d/mapping2d_config.hh"
@@ -35,8 +36,29 @@ class Mapping2DArraySim
 
     const Mapping2DConfig &config() const { return config_; }
 
+    /**
+     * Attach a fault plan (must outlive the simulator; nullptr or an
+     * empty plan restores the healthy fast path).  Stuck/transient
+     * MAC faults apply at PE grid coordinates in [0, rows) x
+     * [0, cols); geometry faults are modelled at the capacity level
+     * by fault::degradeMaxRectangle, not by this data simulator.
+     */
+    void setFaultPlan(const fault::FaultPlan *plan);
+
+    /** Fault activity of the last runLayer(). */
+    const fault::FaultDiagnostics &faultDiagnostics() const
+    {
+        return faultDiag_;
+    }
+
   private:
     Mapping2DConfig config_;
+
+    const fault::FaultPlan *faults_ = nullptr;
+    /** Stuck-at-zero map over the rows x cols PEs (empty = none). */
+    std::vector<std::uint8_t> stuckMap_;
+    bool macFaultsActive_ = false;
+    fault::FaultDiagnostics faultDiag_;
 };
 
 } // namespace flexsim

@@ -4,7 +4,6 @@
 #include <future>
 #include <limits>
 #include <ostream>
-#include <queue>
 
 #include "common/logging.hh"
 
@@ -14,32 +13,6 @@ namespace serve {
 namespace {
 
 constexpr TimeNs kNever = std::numeric_limits<TimeNs>::max();
-
-/** One batch in service, waiting for its virtual completion time. */
-struct Completion
-{
-    TimeNs timeNs = 0;
-    /** Dispatch sequence number: ties break deterministically. */
-    std::uint64_t seq = 0;
-    unsigned accel = 0;
-    TimeNs dispatchNs = 0;
-    std::vector<InferenceRequest> batch;
-};
-
-struct CompletionLater
-{
-    bool
-    operator()(const Completion &a, const Completion &b) const
-    {
-        if (a.timeNs != b.timeNs)
-            return a.timeNs > b.timeNs;
-        return a.seq > b.seq;
-    }
-};
-
-using CompletionQueue =
-    std::priority_queue<Completion, std::vector<Completion>,
-                        CompletionLater>;
 
 } // namespace
 
@@ -55,17 +28,18 @@ ServeRuntime::AccelInstance::AccelInstance(statistics::StatGroup *parent,
     utilization.init(&group, "utilization",
                      "busy fraction of the run's makespan",
                      [this, &makespan_ns] {
-                         return makespan_ns > 0
-                                    ? busyNs.value() /
-                                          static_cast<double>(
-                                              makespan_ns)
-                                    : 0.0;
+                         return statistics::safeRatio(
+                             busyNs.value(),
+                             static_cast<double>(makespan_ns));
                      });
 }
 
 ServeRuntime::ServeRuntime(const ServiceTimeModel &service,
-                           const ServeConfig &config)
-    : service_(service), config_(config), workers_(config.poolSize),
+                           const ServeConfig &config,
+                           std::vector<fault::AccelEvent> faultEvents,
+                           const ServiceTimeModel *degradedService)
+    : service_(service), degraded_(degradedService), config_(config),
+      events_(std::move(faultEvents)), workers_(config.poolSize),
       stats_("serve")
 {
     flexsim_assert(config_.poolSize > 0,
@@ -74,6 +48,25 @@ ServeRuntime::ServeRuntime(const ServiceTimeModel &service,
                    "admission queue needs capacity");
     flexsim_assert(config_.maxBatch > 0,
                    "maximum batch must be at least one");
+    flexsim_assert(config_.retryBackoffNs > 0 &&
+                       config_.retryBackoffCapNs >=
+                           config_.retryBackoffNs,
+                   "retry backoff schedule is inconsistent");
+    for (const fault::AccelEvent &event : events_) {
+        flexsim_assert(event.accel < config_.poolSize,
+                       "fault event targets accelerator ", event.accel,
+                       " outside the pool of ", config_.poolSize);
+        flexsim_assert(event.kind !=
+                               fault::AccelEvent::Kind::Slowdown ||
+                           event.factor >= 1.0,
+                       "slowdown factor must be >= 1");
+    }
+    // Stable sort: simultaneous events keep their given order.
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const fault::AccelEvent &a,
+                        const fault::AccelEvent &b) {
+                         return a.atNs < b.atNs;
+                     });
 
     arrived_.init(&stats_, "requestsArrived",
                   "requests offered to the runtime");
@@ -87,36 +80,45 @@ ServeRuntime::ServeRuntime(const ServiceTimeModel &service,
                   "batches handed to the pool");
     sloViolations_.init(&stats_, "sloViolations",
                         "completions over the latency SLO");
+    timeouts_.init(&stats_, "requestsTimedOut",
+                   "requests dropped at their queue deadline");
+    failures_.init(&stats_, "requestsFailed",
+                   "requests dropped after exhausting retries");
+    retries_.init(&stats_, "retriesDispatched",
+                  "re-dispatch attempts after fail-stop aborts");
+    faultEvents_.init(&stats_, "faultEventsApplied",
+                      "injected accelerator events applied");
+    ejections_.init(&stats_, "ejections",
+                    "fail-stop ejections from the pool");
+    readmissions_.init(&stats_, "readmissions",
+                       "ejected instances re-admitted on probation");
+    degradedReroutes_.init(
+        &stats_, "degradedReroutes",
+        "requests served by degraded/probation instances");
     makespanStat_.init(&stats_, "makespanNs",
                        "first arrival to last completion");
     throughput_.init(&stats_, "throughputRps",
                      "completions per second of makespan", [this] {
-                         return makespanNs_ > 0
-                                    ? completed_.value() * 1e9 /
-                                          static_cast<double>(
-                                              makespanNs_)
-                                    : 0.0;
+                         return statistics::safeRatio(
+                             completed_.value() * 1e9,
+                             static_cast<double>(makespanNs_));
                      });
     shedRate_.init(&stats_, "shedRate",
                    "shed fraction of offered requests", [this] {
-                       return arrived_.value() > 0
-                                  ? shed_.value() / arrived_.value()
-                                  : 0.0;
+                       return statistics::safeRatio(shed_.value(),
+                                                    arrived_.value());
                    });
     sloViolationRate_.init(&stats_, "sloViolationRate",
                            "violating fraction of completions",
                            [this] {
-                               return completed_.value() > 0
-                                          ? sloViolations_.value() /
-                                                completed_.value()
-                                          : 0.0;
+                               return statistics::safeRatio(
+                                   sloViolations_.value(),
+                                   completed_.value());
                            });
     meanBatchSize_.init(&stats_, "meanBatchSize",
                         "requests per dispatched batch", [this] {
-                            return batches_.value() > 0
-                                       ? completed_.value() /
-                                             batches_.value()
-                                       : 0.0;
+                            return statistics::safeRatio(
+                                completed_.value(), batches_.value());
                         });
     latencyMs_.init(&stats_, "latencyMs",
                     "arrival-to-completion latency (ms)");
@@ -139,18 +141,53 @@ ServeRuntime::run(const std::vector<InferenceRequest> &requests)
     flexsim_assert(!ran_, "a ServeRuntime instance is single-shot");
     ran_ = true;
 
-    CompletionQueue completions;
+    /** One batch in service, waiting for its virtual completion. */
+    struct Completion
+    {
+        TimeNs timeNs = 0;
+        /** Dispatch sequence number: ties break deterministically. */
+        std::uint64_t seq = 0;
+        unsigned accel = 0;
+        TimeNs dispatchNs = 0;
+        std::vector<QueuedRequest> batch;
+    };
+
+    // In-flight batches (at most one per instance); kept as a flat
+    // vector so a fail-stop can surgically abort its instance's batch.
+    std::vector<Completion> inflight;
     std::uint64_t seq = 0;
     std::size_t next = 0;
+    std::size_t next_event = 0;
     TimeNs now = 0;
     TimeNs last_completion = 0;
 
-    auto first_free = [&]() -> int {
+    auto backoff = [&](unsigned attempts) -> TimeNs {
+        TimeNs delay = config_.retryBackoffNs;
+        for (unsigned i = 1;
+             i < attempts && delay < config_.retryBackoffCapNs; ++i)
+            delay *= 2;
+        return std::min(delay, config_.retryBackoffCapNs);
+    };
+
+    // The healthiest free instance (never an Ejected one); ties go to
+    // the lowest index, which keeps routing deterministic.
+    auto pick_accel = [&]() -> int {
+        int best = -1;
+        int best_rank = 3;
         for (std::size_t i = 0; i < accels_.size(); ++i) {
-            if (!accels_[i]->busy)
-                return static_cast<int>(i);
+            const AccelInstance &accel = *accels_[i];
+            if (accel.busy || accel.health == AccelHealth::Ejected)
+                continue;
+            const int rank =
+                accel.health == AccelHealth::Healthy    ? 0
+                : accel.health == AccelHealth::Degraded ? 1
+                                                        : 2;
+            if (rank < best_rank) {
+                best_rank = rank;
+                best = static_cast<int>(i);
+            }
         }
-        return -1;
+        return best;
     };
 
     auto admit = [&](const InferenceRequest &request) {
@@ -160,7 +197,13 @@ ServeRuntime::run(const std::vector<InferenceRequest> &requests)
             return;
         }
         ++admitted_;
-        queue_.push_back(request);
+        QueuedRequest entry;
+        entry.req = request;
+        entry.readyNs = request.arrivalNs;
+        entry.deadlineNs = config_.deadlineNs > 0
+                               ? request.arrivalNs + config_.deadlineNs
+                               : kNever;
+        queue_.push_back(entry);
         queueDepth_.sample(static_cast<double>(queue_.size()));
     };
 
@@ -168,77 +211,170 @@ ServeRuntime::run(const std::vector<InferenceRequest> &requests)
         AccelInstance &accel = *accels_[completion.accel];
         accel.busy = false;
         accel.requests += static_cast<double>(completion.batch.size());
-        for (const InferenceRequest &request : completion.batch) {
+        for (const QueuedRequest &entry : completion.batch) {
             const TimeNs latency =
-                completion.timeNs - request.arrivalNs;
+                completion.timeNs - entry.req.arrivalNs;
             const TimeNs wait =
-                completion.dispatchNs - request.arrivalNs;
+                completion.dispatchNs - entry.req.arrivalNs;
             latencyMs_.sample(static_cast<double>(latency) / 1e6);
             queueWaitMs_.sample(static_cast<double>(wait) / 1e6);
             if (latency > config_.sloNs)
                 ++sloViolations_;
             ++completed_;
         }
+        if (accel.health == AccelHealth::Probation &&
+            ++accel.probationWins >= config_.probationSuccesses) {
+            accel.health = AccelHealth::Healthy;
+        }
         last_completion = std::max(last_completion, completion.timeNs);
     };
 
-    // Dispatch every ready batch onto every free accelerator.  Batch
-    // evaluation (the roofline query) runs on the worker threads; the
-    // coordinator joins the round in submission order, which keeps
-    // virtual time deterministic under any thread interleaving.
+    // Kill the in-flight batch of a fail-stopped instance: the
+    // instance only earned the busy time up to the crash, and every
+    // request goes back to the queue head with backoff (or is failed
+    // once its retry budget is spent).
+    auto abort_inflight = [&](unsigned accel_idx) {
+        for (auto it = inflight.begin(); it != inflight.end(); ++it) {
+            if (it->accel != accel_idx)
+                continue;
+            AccelInstance &accel = *accels_[accel_idx];
+            accel.busyNs +=
+                static_cast<double>(now - it->dispatchNs) -
+                static_cast<double>(it->timeNs - it->dispatchNs);
+            accel.busy = false;
+            for (auto rit = it->batch.rbegin();
+                 rit != it->batch.rend(); ++rit) {
+                QueuedRequest entry = *rit;
+                ++entry.attempts;
+                if (entry.attempts > config_.maxRetries) {
+                    ++failures_;
+                    continue;
+                }
+                entry.readyNs = now + backoff(entry.attempts);
+                ++retries_;
+                queue_.push_front(entry);
+            }
+            inflight.erase(it);
+            return;
+        }
+    };
+
+    auto apply_event = [&](const fault::AccelEvent &event) {
+        ++faultEvents_;
+        AccelInstance &accel = *accels_[event.accel];
+        switch (event.kind) {
+          case fault::AccelEvent::Kind::FailStop:
+            abort_inflight(event.accel);
+            if (accel.health != AccelHealth::Ejected)
+                ++ejections_;
+            accel.health = AccelHealth::Ejected;
+            accel.readmitAtNs = now + config_.probationNs;
+            break;
+          case fault::AccelEvent::Kind::Slowdown:
+            accel.slowFactor = event.factor;
+            if (accel.health == AccelHealth::Healthy ||
+                accel.health == AccelHealth::Probation) {
+                accel.health = AccelHealth::Degraded;
+            }
+            break;
+          case fault::AccelEvent::Kind::Recover:
+            accel.slowFactor = 1.0;
+            if (accel.health == AccelHealth::Degraded) {
+                accel.health = AccelHealth::Healthy;
+            } else if (accel.health == AccelHealth::Ejected) {
+                accel.health = AccelHealth::Probation;
+                accel.probationWins = 0;
+                ++readmissions_;
+            }
+            break;
+        }
+    };
+
+    // Dispatch every ready batch onto the healthiest free instances.
+    // Batch evaluation (the roofline query) runs on the worker
+    // threads; the coordinator joins the round in submission order,
+    // which keeps virtual time deterministic under any interleaving.
     auto dispatch_ready = [&](bool no_more_arrivals) {
         struct Pending
         {
             unsigned accel;
-            std::vector<InferenceRequest> batch;
+            double slow;
+            std::vector<QueuedRequest> batch;
             std::future<TimeNs> serviceNs;
         };
         std::vector<Pending> round;
-        while (!queue_.empty()) {
-            const int accel = first_free();
-            if (accel < 0)
+        while (true) {
+            const int accel_idx = pick_accel();
+            if (accel_idx < 0)
                 break;
-            const InferenceRequest head = queue_.front();
+            // Head of line = oldest entry whose backoff has elapsed.
+            auto head = std::find_if(
+                queue_.begin(), queue_.end(),
+                [&](const QueuedRequest &entry) {
+                    return entry.readyNs <= now;
+                });
+            if (head == queue_.end())
+                break;
+            const int workload = head->req.workload;
             std::size_t compatible = 0;
-            for (const InferenceRequest &request : queue_) {
-                if (request.workload == head.workload)
+            for (const QueuedRequest &entry : queue_) {
+                if (entry.readyNs <= now &&
+                    entry.req.workload == workload)
                     ++compatible;
                 if (compatible >= config_.maxBatch)
                     break;
             }
             const bool ready =
                 compatible >= config_.maxBatch || no_more_arrivals ||
-                now >= head.arrivalNs + config_.batchWindowNs;
+                now >= head->req.arrivalNs + config_.batchWindowNs;
             if (!ready)
                 break;
 
             Pending pending;
-            pending.accel = static_cast<unsigned>(accel);
+            pending.accel = static_cast<unsigned>(accel_idx);
             for (auto it = queue_.begin();
                  it != queue_.end() &&
                  pending.batch.size() < config_.maxBatch;) {
-                if (it->workload == head.workload) {
+                if (it->readyNs <= now &&
+                    it->req.workload == workload) {
                     pending.batch.push_back(*it);
                     it = queue_.erase(it);
                 } else {
                     ++it;
                 }
             }
-            accels_[pending.accel]->busy = true;
+            AccelInstance &accel = *accels_[pending.accel];
+            accel.busy = true;
+            pending.slow = accel.slowFactor;
+            if (accel.health != AccelHealth::Healthy) {
+                degradedReroutes_ +=
+                    static_cast<double>(pending.batch.size());
+            }
+            // Degraded instances serve with the fault-remapped table
+            // when one is available (graceful degradation instead of
+            // shedding); probation instances are back at full speed.
+            const ServiceTimeModel *svc =
+                accel.health == AccelHealth::Degraded &&
+                        degraded_ != nullptr
+                    ? degraded_
+                    : &service_;
 
             auto promise = std::make_shared<std::promise<TimeNs>>();
             pending.serviceNs = promise->get_future();
-            const int workload = head.workload;
             const unsigned batch_size =
                 static_cast<unsigned>(pending.batch.size());
-            workers_.submit([this, promise, workload, batch_size] {
+            workers_.submit([svc, promise, workload, batch_size] {
                 promise->set_value(
-                    service_.batchServiceNs(workload, batch_size));
+                    svc->batchServiceNs(workload, batch_size));
             });
             round.push_back(std::move(pending));
         }
         for (Pending &pending : round) {
-            const TimeNs service = pending.serviceNs.get();
+            TimeNs service = pending.serviceNs.get();
+            if (pending.slow != 1.0) {
+                service = static_cast<TimeNs>(
+                    static_cast<double>(service) * pending.slow);
+            }
             Completion completion;
             completion.timeNs = now + service;
             completion.seq = seq++;
@@ -252,40 +388,107 @@ ServeRuntime::run(const std::vector<InferenceRequest> &requests)
             ++batches_;
             batchSize_.sample(
                 static_cast<double>(completion.batch.size()));
-            completions.push(std::move(completion));
+            inflight.push_back(std::move(completion));
         }
     };
 
     while (true) {
+        // All work drained and no arrivals left: later fault events
+        // cannot affect the report, so don't let them stretch the
+        // makespan.
+        if (next >= requests.size() && queue_.empty() &&
+            inflight.empty())
+            break;
         const TimeNs t_arrival =
             next < requests.size() ? requests[next].arrivalNs : kNever;
-        const TimeNs t_completion =
-            completions.empty() ? kNever : completions.top().timeNs;
+        const TimeNs t_fault = next_event < events_.size()
+                                   ? events_[next_event].atNs
+                                   : kNever;
+        TimeNs t_completion = kNever;
+        for (const Completion &completion : inflight)
+            t_completion = std::min(t_completion, completion.timeNs);
+        TimeNs t_readmit = kNever;
+        for (const auto &accel : accels_) {
+            if (accel->health == AccelHealth::Ejected)
+                t_readmit = std::min(t_readmit, accel->readmitAtNs);
+        }
+        TimeNs t_retry = kNever;
+        TimeNs t_deadline = kNever;
+        for (const QueuedRequest &entry : queue_) {
+            if (entry.readyNs > now)
+                t_retry = std::min(t_retry, entry.readyNs);
+            t_deadline = std::min(t_deadline, entry.deadlineNs);
+        }
         // The batching window only matters while an instance is free
         // to act on its expiry.
         TimeNs t_window = kNever;
-        if (!queue_.empty() && first_free() >= 0) {
-            t_window =
-                queue_.front().arrivalNs + config_.batchWindowNs;
+        if (pick_accel() >= 0) {
+            for (const QueuedRequest &entry : queue_) {
+                if (entry.readyNs <= now) {
+                    t_window = entry.req.arrivalNs +
+                               config_.batchWindowNs;
+                    break;
+                }
+            }
         }
         const TimeNs t_next =
-            std::min({t_arrival, t_completion, t_window});
+            std::min({t_arrival, t_completion, t_window, t_fault,
+                      t_readmit, t_retry, t_deadline});
         if (t_next == kNever)
             break;
         now = std::max(now, t_next);
 
-        while (!completions.empty() &&
-               completions.top().timeNs <= now) {
-            finish(completions.top());
-            completions.pop();
+        // Fixed processing order at each step keeps equal-seed runs
+        // byte-identical: completions, fault events, readmissions,
+        // arrivals, deadline drops, then dispatch.
+        while (!inflight.empty()) {
+            auto due = std::min_element(
+                inflight.begin(), inflight.end(),
+                [](const Completion &a, const Completion &b) {
+                    return a.timeNs != b.timeNs ? a.timeNs < b.timeNs
+                                                : a.seq < b.seq;
+                });
+            if (due->timeNs > now)
+                break;
+            finish(*due);
+            inflight.erase(due);
+        }
+        while (next_event < events_.size() &&
+               events_[next_event].atNs <= now) {
+            apply_event(events_[next_event]);
+            ++next_event;
+        }
+        for (auto &accel : accels_) {
+            if (accel->health == AccelHealth::Ejected &&
+                accel->readmitAtNs <= now) {
+                accel->health = AccelHealth::Probation;
+                accel->probationWins = 0;
+                ++readmissions_;
+            }
         }
         while (next < requests.size() &&
                requests[next].arrivalNs <= now) {
             admit(requests[next]);
             ++next;
         }
+        for (auto it = queue_.begin(); it != queue_.end();) {
+            if (it->deadlineNs <= now) {
+                ++timeouts_;
+                it = queue_.erase(it);
+            } else {
+                ++it;
+            }
+        }
         dispatch_ready(next >= requests.size());
     }
+
+    flexsim_assert(queue_.empty() && inflight.empty(),
+                   "serving loop exited with work stranded");
+    // Every offered request reached exactly one terminal state.
+    flexsim_assert(arrived_.value() ==
+                       completed_.value() + shed_.value() +
+                           timeouts_.value() + failures_.value(),
+                   "request accounting out of balance");
 
     makespanNs_ = std::max(last_completion, now);
     makespanStat_ = static_cast<double>(makespanNs_);
@@ -299,6 +502,15 @@ ServeRuntime::run(const std::vector<InferenceRequest> &requests)
     report.batches = static_cast<std::uint64_t>(batches_.value());
     report.sloViolations =
         static_cast<std::uint64_t>(sloViolations_.value());
+    report.timedOut = static_cast<std::uint64_t>(timeouts_.value());
+    report.failed = static_cast<std::uint64_t>(failures_.value());
+    report.retries = static_cast<std::uint64_t>(retries_.value());
+    report.ejections =
+        static_cast<std::uint64_t>(ejections_.value());
+    report.readmissions =
+        static_cast<std::uint64_t>(readmissions_.value());
+    report.degradedReroutes =
+        static_cast<std::uint64_t>(degradedReroutes_.value());
     report.makespanNs = makespanNs_;
     report.p50LatencyMs = latencyMs_.percentile(0.50);
     report.p95LatencyMs = latencyMs_.percentile(0.95);

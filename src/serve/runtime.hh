@@ -9,12 +9,29 @@
  * instances serves batches with roofline-derived service times.
  *
  * Execution is a virtual-time event loop: the coordinator advances
- * time over arrival / completion / batch-window events, and hands
- * every batch evaluation to a WorkerPool of real threads.  Because
- * service times are pure functions and the coordinator joins each
- * dispatch round in submission order before advancing time, the run
- * is deterministic — the same seed and config produce a byte-identical
- * stats report regardless of thread scheduling.
+ * time over arrival / completion / batch-window / fault / retry /
+ * deadline events, and hands every batch evaluation to a WorkerPool
+ * of real threads.  Because service times are pure functions and the
+ * coordinator joins each dispatch round in submission order before
+ * advancing time, the run is deterministic — the same seed and config
+ * produce a byte-identical stats report regardless of thread
+ * scheduling.
+ *
+ * Fault tolerance: a run may carry a schedule of injected
+ * fail-stop / slowdown / recovery events (fault::AccelEvent).  Each
+ * instance walks a health state machine
+ *
+ *     Healthy -> Degraded   (slowdown event; served via the degraded
+ *                            service model, deprioritized)
+ *     any     -> Ejected    (fail-stop; in-flight batch aborted and
+ *                            its requests retried with capped
+ *                            exponential backoff)
+ *     Ejected -> Probation  (after the probation delay; must complete
+ *                            a few batches to be trusted again)
+ *     Probation -> Healthy  (probation successes reached)
+ *
+ * and the dispatcher routes to the healthiest free instance instead
+ * of shedding, so capacity degrades gracefully.
  */
 
 #ifndef FLEXSIM_SERVE_RUNTIME_HH
@@ -27,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.hh"
 #include "serve/request.hh"
 #include "serve/service_model.hh"
 #include "serve/worker_pool.hh"
@@ -48,6 +66,32 @@ struct ServeConfig
     TimeNs batchWindowNs = 2'000'000;
     /** Latency objective a completion is checked against. */
     TimeNs sloNs = 50'000'000;
+    /**
+     * Per-request deadline measured from arrival; a request still
+     * queued past it times out and is dropped.  0 disables deadlines
+     * (requests wait forever).
+     */
+    TimeNs deadlineNs = 0;
+    /** Retry budget for requests whose batch was killed by a
+     * fail-stop; past it the request is counted failed. */
+    unsigned maxRetries = 3;
+    /** First retry backoff; doubles per attempt. */
+    TimeNs retryBackoffNs = 1'000'000;
+    /** Backoff ceiling for the exponential schedule. */
+    TimeNs retryBackoffCapNs = 16'000'000;
+    /** Ejected -> Probation re-admission delay. */
+    TimeNs probationNs = 100'000'000;
+    /** Batches a probation instance must finish to be Healthy. */
+    unsigned probationSuccesses = 3;
+};
+
+/** Health of one accelerator instance (see file comment). */
+enum class AccelHealth
+{
+    Healthy,
+    Degraded,
+    Probation,
+    Ejected,
 };
 
 /** Headline numbers of one serving run. */
@@ -59,6 +103,18 @@ struct ServeReport
     std::uint64_t completed = 0;
     std::uint64_t batches = 0;
     std::uint64_t sloViolations = 0;
+    /** Requests dropped because their deadline expired in queue. */
+    std::uint64_t timedOut = 0;
+    /** Requests dropped after exhausting their retry budget. */
+    std::uint64_t failed = 0;
+    /** Re-dispatch attempts caused by fail-stop aborts. */
+    std::uint64_t retries = 0;
+    /** Fail-stop ejections applied to pool instances. */
+    std::uint64_t ejections = 0;
+    /** Ejected instances re-admitted on probation. */
+    std::uint64_t readmissions = 0;
+    /** Requests served by a degraded or probation instance. */
+    std::uint64_t degradedReroutes = 0;
     /** First arrival to last completion. */
     TimeNs makespanNs = 0;
     double p50LatencyMs = 0.0;
@@ -73,10 +129,8 @@ struct ServeReport
     double
     shedRate() const
     {
-        return arrived > 0
-                   ? static_cast<double>(shed) /
-                         static_cast<double>(arrived)
-                   : 0.0;
+        return statistics::safeRatio(static_cast<double>(shed),
+                                     static_cast<double>(arrived));
     }
 };
 
@@ -84,13 +138,25 @@ struct ServeReport
  * One serving run over a pool of identical accelerator instances.
  *
  * A runtime is single-shot: construct, run(), read the report or
- * dump the stats.  The ServiceTimeModel must outlive the runtime.
+ * dump the stats.  The service models must outlive the runtime.
  */
 class ServeRuntime
 {
   public:
+    /**
+     * @param service  healthy-instance service-time table
+     * @param config   serving-policy knobs
+     * @param faultEvents injected fail-stop / slowdown / recovery
+     *                 schedule (any order; sorted internally)
+     * @param degradedService optional table for Degraded instances —
+     *                 typically the same architecture compiled for
+     *                 the fault plan's surviving geometry; falls back
+     *                 to @p service when null
+     */
     ServeRuntime(const ServiceTimeModel &service,
-                 const ServeConfig &config);
+                 const ServeConfig &config,
+                 std::vector<fault::AccelEvent> faultEvents = {},
+                 const ServiceTimeModel *degradedService = nullptr);
 
     ServeRuntime(const ServeRuntime &) = delete;
     ServeRuntime &operator=(const ServeRuntime &) = delete;
@@ -104,7 +170,7 @@ class ServeRuntime
     const statistics::StatGroup &stats() const { return stats_; }
 
   private:
-    /** Per-instance busy state and stats subtree. */
+    /** Per-instance busy/health state and stats subtree. */
     struct AccelInstance
     {
         AccelInstance(statistics::StatGroup *parent,
@@ -112,6 +178,13 @@ class ServeRuntime
                       const TimeNs &makespan_ns);
 
         bool busy = false;
+        AccelHealth health = AccelHealth::Healthy;
+        /** Service-time multiplier from slowdown events. */
+        double slowFactor = 1.0;
+        /** Batches finished since entering Probation. */
+        unsigned probationWins = 0;
+        /** When an Ejected instance re-enters Probation. */
+        TimeNs readmitAtNs = 0;
         statistics::StatGroup group;
         statistics::Scalar busyNs;
         statistics::Scalar batches;
@@ -119,12 +192,26 @@ class ServeRuntime
         statistics::Formula utilization;
     };
 
+    /** An admitted request waiting to be dispatched (or retried). */
+    struct QueuedRequest
+    {
+        InferenceRequest req;
+        /** Dispatch attempts so far (0 = never dispatched). */
+        unsigned attempts = 0;
+        /** Earliest dispatch time (retry backoff). */
+        TimeNs readyNs = 0;
+        /** Absolute drop-dead time (kNever when disabled). */
+        TimeNs deadlineNs = 0;
+    };
+
     const ServiceTimeModel &service_;
+    const ServiceTimeModel *degraded_;
     ServeConfig config_;
+    std::vector<fault::AccelEvent> events_;
     WorkerPool workers_;
 
     // --- simulation state -------------------------------------------------
-    std::deque<InferenceRequest> queue_;
+    std::deque<QueuedRequest> queue_;
     std::vector<std::unique_ptr<AccelInstance>> accels_;
     TimeNs makespanNs_ = 0;
     bool ran_ = false;
@@ -137,6 +224,13 @@ class ServeRuntime
     statistics::Scalar completed_;
     statistics::Scalar batches_;
     statistics::Scalar sloViolations_;
+    statistics::Scalar timeouts_;
+    statistics::Scalar failures_;
+    statistics::Scalar retries_;
+    statistics::Scalar faultEvents_;
+    statistics::Scalar ejections_;
+    statistics::Scalar readmissions_;
+    statistics::Scalar degradedReroutes_;
     statistics::Scalar makespanStat_;
     statistics::Formula throughput_;
     statistics::Formula shedRate_;

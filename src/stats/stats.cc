@@ -94,8 +94,12 @@ Distribution::sample(double value)
 double
 Distribution::percentile(double p) const
 {
+    // Degenerate reservoirs: no samples -> 0.0, one sample -> that
+    // sample, for every p (see the header contract).
     if (reservoir_.empty())
         return 0.0;
+    if (reservoir_.size() == 1)
+        return reservoir_.front();
     std::vector<double> sorted(reservoir_);
     std::sort(sorted.begin(), sorted.end());
     p = std::clamp(p, 0.0, 1.0);

@@ -23,6 +23,19 @@ namespace statistics {
 
 class StatGroup;
 
+/**
+ * num / den, or 0.0 when the denominator is not positive.
+ *
+ * Every rate/ratio statistic in the tree (shed rate, SLO-violation
+ * rate, utilization, ...) uses this one guard so an empty run renders
+ * 0 everywhere instead of NaN.
+ */
+inline double
+safeRatio(double num, double den)
+{
+    return den > 0.0 ? num / den : 0.0;
+}
+
 /** A named scalar counter. */
 class Scalar
 {
@@ -105,7 +118,12 @@ class Distribution
 
     /**
      * Percentile estimate from the reservoir (linear interpolation
-     * between order statistics); @p p in [0, 1].
+     * between order statistics); @p p is clamped to [0, 1].
+     *
+     * Degenerate reservoirs have defined values: with no samples
+     * every percentile is 0.0, and with a single sample every
+     * percentile is that sample — so p50/p95/p99 are always safe to
+     * render, never NaN.
      */
     double percentile(double p) const;
 

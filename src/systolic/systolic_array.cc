@@ -16,6 +16,29 @@ SystolicArraySim::SystolicArraySim(SystolicConfig config)
                    "bad systolic configuration");
 }
 
+void
+SystolicArraySim::setFaultPlan(const fault::FaultPlan *plan)
+{
+    faults_ = (plan != nullptr && !plan->empty()) ? plan : nullptr;
+    stuckMap_.clear();
+    macFaultsActive_ = false;
+    if (faults_ == nullptr)
+        return;
+    const int ka = config_.arrayEdge;
+    stuckMap_.assign(static_cast<std::size_t>(ka) * ka, 0);
+    for (const fault::PeCoord &pe : faults_->stuckPes) {
+        // Coordinates outside this array's edge belong to another
+        // geometry (the plan is shared across architectures).
+        if (pe.row >= 0 && pe.row < ka && pe.col >= 0 && pe.col < ka) {
+            stuckMap_[static_cast<std::size_t>(pe.row) * ka + pe.col] =
+                1;
+            macFaultsActive_ = true;
+        }
+    }
+    if (faults_->flipRate > 0.0)
+        macFaultsActive_ = true;
+}
+
 SystolicArraySim::PassStats
 SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
                                const Tensor3<> &input,
@@ -88,7 +111,7 @@ SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
         // Combinational phase: every PE multiplies the broadcast
         // neuron by its resident synapse and accumulates into the
         // token currently in its stage.
-        if (have_input) {
+        if (have_input && !macFaultsActive_) {
             const Fixed16 broadcast = in_map[t];
             for (int i = 0; i < ti_span; ++i) {
                 for (int j = 0; j < tj_span; ++j) {
@@ -105,6 +128,47 @@ SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
                             t % w == token.outC * stride + j0 + j,
                         "systolic pipeline misalignment at cycle ", t);
                     token.acc += mulRaw(broadcast, k_tile[i * k + j]);
+                    ++stats.activeMacs;
+                }
+            }
+        } else if (have_input) {
+            // Faulty datapath variant: the draw depends only on the
+            // logical site (pass, cycle, PE), never on iteration
+            // order, so injection is replay-identical.
+            const std::uint64_t pass_prefix = fault::mixKey(
+                faults_->seed,
+                ((static_cast<std::uint64_t>(m) * spec.inMaps + n) *
+                     spec.kernel +
+                 i0) *
+                        spec.kernel +
+                    j0);
+            const Fixed16 broadcast = in_map[t];
+            for (int i = 0; i < ti_span; ++i) {
+                for (int j = 0; j < tj_span; ++j) {
+                    int stage = head + i * w + j;
+                    if (stage >= depth)
+                        stage -= depth;
+                    Token &token = chain[stage];
+                    if (!token.valid)
+                        continue;
+                    Acc prod =
+                        mulRaw(broadcast, k_tile[i * k + j]);
+                    if (stuckMap_[static_cast<std::size_t>(i) * ka +
+                                  j]) {
+                        prod = 0;
+                        ++faultDiag_.stuckMacs;
+                    } else if (fault::transientFires(
+                                   pass_prefix,
+                                   (static_cast<std::uint64_t>(t) *
+                                        ka +
+                                    i) *
+                                           ka +
+                                       j,
+                                   faults_->flipRate)) {
+                        prod ^= static_cast<Acc>(faults_->flipMask);
+                        ++faultDiag_.flippedMacs;
+                    }
+                    token.acc += prod;
                     ++stats.activeMacs;
                 }
             }
@@ -131,6 +195,7 @@ SystolicArraySim::runLayer(const ConvLayerSpec &spec,
                    config_.arrayEdge,
                    "; configure a smaller array for layer ", spec.name);
 
+    faultDiag_ = fault::FaultDiagnostics{};
     const int ka = config_.arrayEdge;
     const unsigned arrays = config_.numArrays;
     const int s = spec.outSize;

@@ -14,6 +14,7 @@
 #define FLEXSIM_SYSTOLIC_SYSTOLIC_ARRAY_HH
 
 #include "arch/result.hh"
+#include "fault/fault_plan.hh"
 #include "nn/layer_spec.hh"
 #include "nn/tensor.hh"
 #include "systolic/systolic_config.hh"
@@ -40,6 +41,22 @@ class SystolicArraySim
 
     const SystolicConfig &config() const { return config_; }
 
+    /**
+     * Attach a fault plan (must outlive the simulator; nullptr or an
+     * empty plan restores the healthy fast path).  Stuck/transient
+     * MAC faults apply at array-local PE coordinates in
+     * [0, arrayEdge); geometry faults (dead rows/columns) are
+     * modelled at the capacity level by fault::degradeTopLeftSquare,
+     * not by this data simulator.
+     */
+    void setFaultPlan(const fault::FaultPlan *plan);
+
+    /** Fault activity of the last runLayer(). */
+    const fault::FaultDiagnostics &faultDiagnostics() const
+    {
+        return faultDiag_;
+    }
+
   private:
     /** One token flowing through the pipeline. */
     struct Token
@@ -65,6 +82,12 @@ class SystolicArraySim
                            std::vector<Token> &chain);
 
     SystolicConfig config_;
+
+    const fault::FaultPlan *faults_ = nullptr;
+    /** Stuck-at-zero map over the ka x ka PEs (empty = none). */
+    std::vector<std::uint8_t> stuckMap_;
+    bool macFaultsActive_ = false;
+    fault::FaultDiagnostics faultDiag_;
 };
 
 } // namespace flexsim

@@ -14,6 +14,30 @@ TilingArraySim::TilingArraySim(TilingConfig config) : config_(config)
                    "bad tiling configuration");
 }
 
+void
+TilingArraySim::setFaultPlan(const fault::FaultPlan *plan)
+{
+    faults_ = (plan != nullptr && !plan->empty()) ? plan : nullptr;
+    stuckMap_.clear();
+    macFaultsActive_ = false;
+    if (faults_ == nullptr)
+        return;
+    stuckMap_.assign(static_cast<std::size_t>(config_.tm) * config_.tn,
+                     0);
+    for (const fault::PeCoord &pe : faults_->stuckPes) {
+        // Coordinates outside the lane grid belong to another
+        // geometry (the plan is shared across architectures).
+        if (pe.row >= 0 && pe.row < config_.tm && pe.col >= 0 &&
+            pe.col < config_.tn) {
+            stuckMap_[static_cast<std::size_t>(pe.row) * config_.tn +
+                      pe.col] = 1;
+            macFaultsActive_ = true;
+        }
+    }
+    if (faults_->flipRate > 0.0)
+        macFaultsActive_ = true;
+}
+
 Tensor3<>
 TilingArraySim::runLayer(const ConvLayerSpec &spec,
                          const Tensor3<> &input, const Tensor4<> &kernels,
@@ -37,6 +61,8 @@ TilingArraySim::runLayer(const ConvLayerSpec &spec,
     record.layerName = spec.name;
     record.peCount = config_.peCount();
     record.macs = spec.macs();
+
+    faultDiag_ = fault::FaultDiagnostics{};
 
     Tensor3<> output(spec.outMaps, s, s);
     std::vector<Acc> accs(tm);
@@ -88,10 +114,59 @@ TilingArraySim::runLayer(const ConvLayerSpec &spec,
                                 const std::size_t k_step =
                                     static_cast<std::size_t>(k) * k;
                                 Acc lane_sum = 0;
-                                for (int no = 0; no < n_valid; ++no) {
-                                    lane_sum +=
-                                        mulRaw(neurons[no],
-                                               k_lane[no * k_step]);
+                                if (!macFaultsActive_) {
+                                    for (int no = 0; no < n_valid;
+                                         ++no) {
+                                        lane_sum += mulRaw(
+                                            neurons[no],
+                                            k_lane[no * k_step]);
+                                    }
+                                } else {
+                                    // The draw depends only on the
+                                    // logical site (m, n, i, j,
+                                    // output neuron), never on tile
+                                    // iteration order, so injection
+                                    // is replay-identical.
+                                    const std::uint64_t site_prefix =
+                                        fault::mixKey(
+                                            faults_->seed,
+                                            (static_cast<
+                                                 std::uint64_t>(m0 +
+                                                                mo) *
+                                                 k +
+                                             i) *
+                                                    k +
+                                                j);
+                                    for (int no = 0; no < n_valid;
+                                         ++no) {
+                                        Acc prod = mulRaw(
+                                            neurons[no],
+                                            k_lane[no * k_step]);
+                                        if (stuckMap_
+                                                [static_cast<
+                                                     std::size_t>(
+                                                     mo) *
+                                                     tn +
+                                                 no]) {
+                                            prod = 0;
+                                            ++faultDiag_.stuckMacs;
+                                        } else if (
+                                            fault::transientFires(
+                                                site_prefix,
+                                                (static_cast<
+                                                     std::uint64_t>(
+                                                     n0 + no) *
+                                                     s +
+                                                 r) *
+                                                        s +
+                                                    c,
+                                                faults_->flipRate)) {
+                                            prod ^= static_cast<Acc>(
+                                                faults_->flipMask);
+                                            ++faultDiag_.flippedMacs;
+                                        }
+                                        lane_sum += prod;
+                                    }
                                 }
                                 record.traffic.kernelIn += n_valid;
                                 record.activeMacCycles += n_valid;

@@ -13,6 +13,7 @@
 #define FLEXSIM_TILING_TILING_ARRAY_HH
 
 #include "arch/result.hh"
+#include "fault/fault_plan.hh"
 #include "nn/layer_spec.hh"
 #include "nn/tensor.hh"
 #include "tiling/tiling_config.hh"
@@ -31,8 +32,30 @@ class TilingArraySim
 
     const TilingConfig &config() const { return config_; }
 
+    /**
+     * Attach a fault plan (must outlive the simulator; nullptr or an
+     * empty plan restores the healthy fast path).  Stuck/transient
+     * MAC faults apply at lane coordinates (output-map lane mo,
+     * input lane no) in [0, tm) x [0, tn); geometry faults are
+     * modelled at the capacity level by fault::degradeLineCover, not
+     * by this data simulator.
+     */
+    void setFaultPlan(const fault::FaultPlan *plan);
+
+    /** Fault activity of the last runLayer(). */
+    const fault::FaultDiagnostics &faultDiagnostics() const
+    {
+        return faultDiag_;
+    }
+
   private:
     TilingConfig config_;
+
+    const fault::FaultPlan *faults_ = nullptr;
+    /** Stuck-at-zero map over the tm x tn lanes (empty = none). */
+    std::vector<std::uint8_t> stuckMap_;
+    bool macFaultsActive_ = false;
+    fault::FaultDiagnostics faultDiag_;
 };
 
 } // namespace flexsim

@@ -1,0 +1,615 @@
+/**
+ * @file
+ * Deterministic fault injection and degraded-mode operation
+ * (src/fault/ plus its consumers).
+ *
+ * Covers the plan/trace grammars, the pure-hash transient draw, the
+ * per-architecture degraded-geometry policies, the availability-aware
+ * factor search, fault injection in the FlexFlow conv unit and all
+ * three baseline cycle simulators (bit-identical across host thread
+ * counts), and the serving runtime's fail-stop / retry / ejection /
+ * probation machinery.  Everything here must be reproducible: the
+ * same plan always yields the same faults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/factor_search.hh"
+#include "fault/degrade.hh"
+#include "fault/fault_plan.hh"
+#include "flexflow/conv_unit.hh"
+#include "flexflow/flexflow_model.hh"
+#include "mapping2d/mapping2d_array.hh"
+#include "nn/golden.hh"
+#include "nn/tensor_init.hh"
+#include "nn/workloads.hh"
+#include "serve/runtime.hh"
+#include "serve/service_model.hh"
+#include "serve/traffic.hh"
+#include "systolic/systolic_array.hh"
+#include "tiling/tiling_array.hh"
+
+namespace flexsim {
+namespace {
+
+using fault::AccelEvent;
+using fault::ArrayAvailability;
+using fault::DegradedGeometry;
+using fault::FaultPlan;
+
+// ------------------------------------------------------------ grammar
+
+TEST(FaultSpecTest, ParsesFullGrammar)
+{
+    const FaultPlan plan = fault::parseFaultSpec(
+        "seed=9; deadrow=1,2; deadcol=3; deadpe=4.5; stuck=6.7; "
+        "flip=0.5:6; bufflip=kernel:10:3; parity; dramslow=2.5; "
+        "failstop=1@50ms; slowdown=0@2us*1.5; recover=1@100ms");
+    EXPECT_EQ(plan.seed, 9u);
+    EXPECT_EQ(plan.deadRows, (std::vector<int>{1, 2}));
+    EXPECT_EQ(plan.deadCols, (std::vector<int>{3}));
+    ASSERT_EQ(plan.deadPes.size(), 1u);
+    EXPECT_EQ(plan.deadPes[0], (fault::PeCoord{4, 5}));
+    ASSERT_EQ(plan.stuckPes.size(), 1u);
+    EXPECT_EQ(plan.stuckPes[0], (fault::PeCoord{6, 7}));
+    EXPECT_DOUBLE_EQ(plan.flipRate, 0.5);
+    EXPECT_EQ(plan.flipMask, 6u);
+    ASSERT_EQ(plan.bufferFaults.size(), 1u);
+    EXPECT_EQ(plan.bufferFaults[0].target,
+              fault::BufferFault::Target::Kernel);
+    EXPECT_EQ(plan.bufferFaults[0].word, 10u);
+    EXPECT_EQ(plan.bufferFaults[0].bit, 3);
+    EXPECT_TRUE(plan.parityDetect);
+    EXPECT_DOUBLE_EQ(plan.dramSlowdown, 2.5);
+    ASSERT_EQ(plan.accelEvents.size(), 3u);
+    EXPECT_EQ(plan.accelEvents[0].kind, AccelEvent::Kind::FailStop);
+    EXPECT_EQ(plan.accelEvents[0].accel, 1u);
+    EXPECT_EQ(plan.accelEvents[0].atNs, 50'000'000u);
+    EXPECT_EQ(plan.accelEvents[1].kind, AccelEvent::Kind::Slowdown);
+    EXPECT_DOUBLE_EQ(plan.accelEvents[1].factor, 1.5);
+    EXPECT_EQ(plan.accelEvents[1].atNs, 2'000u);
+    EXPECT_EQ(plan.accelEvents[2].kind, AccelEvent::Kind::Recover);
+    EXPECT_FALSE(plan.empty());
+    EXPECT_TRUE(plan.affectsGeometry());
+    EXPECT_TRUE(plan.affectsMacs());
+    EXPECT_TRUE(plan.affectsBuffers());
+    plan.validate(16);
+}
+
+TEST(FaultSpecTest, EmptyAndTimeUnits)
+{
+    EXPECT_TRUE(FaultPlan{}.empty());
+    EXPECT_TRUE(fault::parseFaultSpec("").empty());
+    EXPECT_EQ(fault::parseTimeNs("250ns").value_or(0), 250u);
+    EXPECT_EQ(fault::parseTimeNs("2us").value_or(0), 2'000u);
+    EXPECT_EQ(fault::parseTimeNs("50ms").value_or(0), 50'000'000u);
+    EXPECT_EQ(fault::parseTimeNs("1s").value_or(0), 1'000'000'000u);
+    EXPECT_FALSE(fault::parseTimeNs("nonsense").has_value());
+}
+
+TEST(FaultSpecTest, TraceParsesSortsAndSkipsComments)
+{
+    const std::vector<AccelEvent> events = fault::parseFaultTrace(
+        "# comment line\n"
+        "50ms failstop 1\n"
+        "\n"
+        "20ms slowdown 0 2.0\n"
+        "120ms recover 1\n");
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].kind, AccelEvent::Kind::Slowdown);
+    EXPECT_EQ(events[0].atNs, 20'000'000u);
+    EXPECT_DOUBLE_EQ(events[0].factor, 2.0);
+    EXPECT_EQ(events[1].kind, AccelEvent::Kind::FailStop);
+    EXPECT_EQ(events[2].kind, AccelEvent::Kind::Recover);
+    EXPECT_EQ(events[2].accel, 1u);
+}
+
+// ------------------------------------------------------- transient draw
+
+TEST(TransientDrawTest, PureFunctionOfSite)
+{
+    const std::uint64_t prefix = fault::mixKey(42, 7);
+    for (std::uint64_t site = 0; site < 64; ++site) {
+        EXPECT_EQ(fault::transientFires(prefix, site, 0.3),
+                  fault::transientFires(prefix, site, 0.3));
+        EXPECT_FALSE(fault::transientFires(prefix, site, 0.0));
+        EXPECT_TRUE(fault::transientFires(prefix, site, 1.0));
+    }
+    EXPECT_NE(fault::mixKey(1, 2), fault::mixKey(2, 1));
+}
+
+TEST(TransientDrawTest, RateIsRespected)
+{
+    const std::uint64_t prefix = fault::mixKey(2017, 0);
+    int fires = 0;
+    const int sites = 100'000;
+    for (int site = 0; site < sites; ++site) {
+        if (fault::transientFires(prefix,
+                                  static_cast<std::uint64_t>(site),
+                                  0.1))
+            ++fires;
+    }
+    EXPECT_NEAR(static_cast<double>(fires), 0.1 * sites,
+                0.01 * sites);
+}
+
+// --------------------------------------------------- degraded geometry
+
+TEST(DegradeTest, LineCoverSacrificesWholeLines)
+{
+    FaultPlan plan;
+    plan.deadRows = {2};
+    plan.deadPes = {{5, 5}};
+    const ArrayAvailability avail =
+        ArrayAvailability::fromPlan(plan, 8);
+    EXPECT_EQ(avail.aliveCount(), 8 * 8 - 8 - 1);
+
+    const DegradedGeometry geom = fault::degradeLineCover(avail);
+    // One row for the dead row, one row (tie -> row) for the dead PE.
+    EXPECT_EQ(geom.rows, 6);
+    EXPECT_EQ(geom.cols, 8);
+    for (int phys : geom.physRows) {
+        EXPECT_NE(phys, 2);
+        EXPECT_NE(phys, 5);
+    }
+}
+
+TEST(DegradeTest, TopLeftSquareHitsTheSystolicCliff)
+{
+    ArrayAvailability avail(8, 8);
+    avail.kill(3, 3);
+    const DegradedGeometry square =
+        fault::degradeTopLeftSquare(avail);
+    // The chained array only streams through a clean top-left square:
+    // one awkward dead PE costs more than half the fabric.
+    EXPECT_EQ(square.rows, 3);
+    EXPECT_EQ(square.cols, 3);
+
+    // FlexFlow's line cover keeps 7 of 8 rows from the same fault.
+    const DegradedGeometry cover = fault::degradeLineCover(avail);
+    EXPECT_EQ(cover.pes(), 7 * 8);
+    EXPECT_GT(cover.pes(), square.pes());
+}
+
+TEST(DegradeTest, MaxRectangleNeedsContiguity)
+{
+    ArrayAvailability avail(8, 8);
+    for (int r = 0; r < 8; ++r)
+        avail.kill(r, 3);
+    const DegradedGeometry rect = fault::degradeMaxRectangle(avail);
+    EXPECT_EQ(rect.pes(), 8 * 4);
+    // Columns 4..7 survive contiguously.
+    EXPECT_EQ(rect.cols, 4);
+    EXPECT_EQ(rect.physCols.front(), 4);
+}
+
+TEST(DegradeTest, RandomKillIsSeeded)
+{
+    ArrayAvailability a(16, 16);
+    ArrayAvailability b(16, 16);
+    a.killRandomPes(0.2, 99);
+    b.killRandomPes(0.2, 99);
+    EXPECT_EQ(a.alive, b.alive);
+    EXPECT_LT(a.aliveCount(), 16 * 16);
+
+    ArrayAvailability c(16, 16);
+    c.killRandomPes(0.2, 100);
+    EXPECT_NE(a.alive, c.alive);
+}
+
+// ------------------------------------------- availability-aware search
+
+TEST(FaultSearchTest, AvailabilityBoundsTheFactors)
+{
+    const ConvLayerSpec spec = workloads::alexnet().stages[1].conv;
+    const FactorChoice healthy = searchBestFactors(spec, 16);
+    const FactorChoice same =
+        searchBestFactors(spec, 16, spec.outSize, 16, 16);
+    EXPECT_EQ(healthy.factors, same.factors);
+
+    const FactorChoice degraded =
+        searchBestFactors(spec, 16, spec.outSize, 12, 14);
+    EXPECT_LE(degraded.factors.rowDemand(), 12);
+    EXPECT_LE(degraded.factors.columnDemand(), 14);
+    // Utilization is still priced against the full fabric, so the
+    // degradation cost is visible.
+    EXPECT_LE(degraded.utilization(), healthy.utilization());
+    EXPECT_GT(degraded.utilization(), 0.0);
+}
+
+// -------------------------------------------------- conv unit injection
+
+struct ConvFixture
+{
+    ConvLayerSpec spec;
+    UnrollFactors factors;
+    Tensor3<> input;
+    Tensor4<> kernels;
+    Tensor3<> golden;
+
+    explicit ConvFixture(std::uint64_t seed = 0xfa1001)
+        : spec(workloads::lenet5().stages[0].conv)
+    {
+        factors = searchBestFactors(spec, FlexFlowConfig{}.d).factors;
+        Rng rng(seed);
+        input = makeRandomInput(rng, spec);
+        kernels = makeRandomKernels(rng, spec);
+        golden = goldenConv(spec, input, kernels);
+    }
+};
+
+TEST(ConvFaultTest, BenignPlanKeepsBitIdentity)
+{
+    ConvFixture fx;
+    FlexFlowConfig cfg;
+    LayerResult healthy_result;
+    ConvUnitDiagnostics healthy_diag;
+    const Tensor3<> healthy = FlexFlowConvUnit(cfg).runLayer(
+        fx.spec, fx.factors, fx.input, fx.kernels, &healthy_result,
+        &healthy_diag);
+    EXPECT_EQ(healthy, fx.golden);
+
+    // Serving-level events don't touch the datapath: attaching the
+    // plan must leave outputs, counters, and diagnostics untouched.
+    FaultPlan plan;
+    plan.accelEvents.push_back(
+        {AccelEvent::Kind::FailStop, 0, 1000, 1.0});
+    FlexFlowConvUnit unit(cfg);
+    unit.setFaultPlan(&plan);
+    LayerResult result;
+    ConvUnitDiagnostics diag;
+    const Tensor3<> out = unit.runLayer(fx.spec, fx.factors, fx.input,
+                                        fx.kernels, &result, &diag);
+    EXPECT_EQ(out, healthy);
+    EXPECT_EQ(result.cycles, healthy_result.cycles);
+    EXPECT_EQ(result.traffic, healthy_result.traffic);
+    EXPECT_EQ(diag.faults, healthy_diag.faults);
+    EXPECT_EQ(diag.faults, fault::FaultDiagnostics{});
+}
+
+TEST(ConvFaultTest, MacFaultsAreIdenticalAcrossThreads)
+{
+    ConvFixture fx;
+    FaultPlan plan;
+    plan.seed = 77;
+    plan.stuckPes = {{0, 0}, {3, 2}};
+    plan.flipRate = 1e-4;
+    plan.flipMask = 1u << 7;
+
+    auto run = [&](int threads, LayerResult *result,
+                   ConvUnitDiagnostics *diag) {
+        FlexFlowConfig cfg;
+        cfg.threads = threads;
+        FlexFlowConvUnit unit(cfg);
+        unit.setFaultPlan(&plan);
+        return unit.runLayer(fx.spec, fx.factors, fx.input,
+                             fx.kernels, result, diag);
+    };
+    LayerResult r1, r4;
+    ConvUnitDiagnostics d1, d4;
+    const Tensor3<> out1 = run(1, &r1, &d1);
+    const Tensor3<> out4 = run(4, &r4, &d4);
+
+    EXPECT_GT(d1.faults.stuckMacs, 0u);
+    EXPECT_NE(out1, fx.golden);
+    // Same plan, any thread count: bit-identical corruption.
+    EXPECT_EQ(out1, out4);
+    EXPECT_EQ(d1.faults, d4.faults);
+    EXPECT_EQ(r1.cycles, r4.cycles);
+
+    // And a second identical run replays the same faults.
+    LayerResult r1b;
+    ConvUnitDiagnostics d1b;
+    EXPECT_EQ(run(1, &r1b, &d1b), out1);
+    EXPECT_EQ(d1b.faults, d1.faults);
+}
+
+TEST(ConvFaultTest, ParityDetectsAndScrubsBufferFaults)
+{
+    ConvFixture fx;
+    FaultPlan plan;
+    plan.bufferFaults.push_back(
+        {fault::BufferFault::Target::Neuron, 17, 9});
+    plan.parityDetect = true;
+
+    FlexFlowConvUnit unit{FlexFlowConfig{}};
+    unit.setFaultPlan(&plan);
+    LayerResult result;
+    ConvUnitDiagnostics diag;
+    const Tensor3<> out = unit.runLayer(fx.spec, fx.factors, fx.input,
+                                        fx.kernels, &result, &diag);
+    // Parity catches the flip before it reaches the array.
+    EXPECT_EQ(out, fx.golden);
+    EXPECT_EQ(diag.faults.paritiesDetected, 1u);
+    EXPECT_EQ(diag.faults.scrubbedWords, 1u);
+    EXPECT_EQ(diag.faults.corruptedWords, 0u);
+}
+
+TEST(ConvFaultTest, SilentBufferFaultCorruptsTheOutput)
+{
+    ConvFixture fx;
+    FaultPlan plan;
+    plan.bufferFaults.push_back(
+        {fault::BufferFault::Target::Kernel, 3, 14});
+
+    FlexFlowConvUnit unit{FlexFlowConfig{}};
+    unit.setFaultPlan(&plan);
+    ConvUnitDiagnostics diag;
+    const Tensor3<> out = unit.runLayer(fx.spec, fx.factors, fx.input,
+                                        fx.kernels, nullptr, &diag);
+    EXPECT_EQ(diag.faults.corruptedWords, 1u);
+    EXPECT_EQ(diag.faults.paritiesDetected, 0u);
+    EXPECT_NE(out, fx.golden);
+}
+
+TEST(ConvFaultTest, RemappedFactorsRunOnDegradedGeometry)
+{
+    ConvFixture fx;
+    FaultPlan plan;
+    plan.deadRows = {0};
+    plan.deadCols = {5};
+
+    // Compile for the surviving geometry, then execute under the
+    // plan: outputs stay exact (dead lines reroute, not corrupt).
+    const DegradedGeometry geom = fault::degradeLineCover(
+        ArrayAvailability::fromPlan(plan, FlexFlowConfig{}.d));
+    EXPECT_EQ(geom.rows, 15);
+    EXPECT_EQ(geom.cols, 15);
+    const UnrollFactors remapped =
+        searchBestFactors(fx.spec, FlexFlowConfig{}.d, fx.spec.outSize,
+                          geom.rows, geom.cols)
+            .factors;
+
+    FlexFlowConvUnit unit{FlexFlowConfig{}};
+    unit.setFaultPlan(&plan);
+    const Tensor3<> out = unit.runLayer(fx.spec, remapped, fx.input,
+                                        fx.kernels, nullptr, nullptr);
+    EXPECT_EQ(out, fx.golden);
+}
+
+// ---------------------------------------------- baseline simulators
+
+TEST(BaselineFaultTest, SystolicStuckPeIsDeterministic)
+{
+    const ConvLayerSpec spec = workloads::lenet5().stages[0].conv;
+    Rng rng(0xfa2002);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    const Tensor3<> golden = goldenConv(spec, input, kernels);
+
+    FaultPlan plan;
+    plan.stuckPes = {{0, 0}};
+
+    SystolicArraySim healthy;
+    EXPECT_EQ(healthy.runLayer(spec, input, kernels), golden);
+
+    auto run_faulty = [&](fault::FaultDiagnostics *diag) {
+        SystolicArraySim sim;
+        sim.setFaultPlan(&plan);
+        Tensor3<> out = sim.runLayer(spec, input, kernels);
+        if (diag != nullptr)
+            *diag = sim.faultDiagnostics();
+        return out;
+    };
+    fault::FaultDiagnostics d1, d2;
+    const Tensor3<> out1 = run_faulty(&d1);
+    const Tensor3<> out2 = run_faulty(&d2);
+    EXPECT_GT(d1.stuckMacs, 0u);
+    EXPECT_NE(out1, golden);
+    EXPECT_EQ(out1, out2);
+    EXPECT_EQ(d1, d2);
+}
+
+TEST(BaselineFaultTest, Mapping2DAndTilingInjectStuckMacs)
+{
+    const ConvLayerSpec spec = workloads::lenet5().stages[0].conv;
+    Rng rng(0xfa2003);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    const Tensor3<> golden = goldenConv(spec, input, kernels);
+
+    FaultPlan plan;
+    plan.stuckPes = {{1, 1}};
+
+    Mapping2DArraySim map2d;
+    map2d.setFaultPlan(&plan);
+    EXPECT_NE(map2d.runLayer(spec, input, kernels), golden);
+    EXPECT_GT(map2d.faultDiagnostics().stuckMacs, 0u);
+
+    // Tiling lanes are (outMap, inMap) tiles; LeNet-5's single input
+    // map only drives lane column 0, so the stuck PE sits there.
+    FaultPlan tiling_plan;
+    tiling_plan.stuckPes = {{1, 0}};
+    TilingArraySim tiling;
+    tiling.setFaultPlan(&tiling_plan);
+    EXPECT_NE(tiling.runLayer(spec, input, kernels), golden);
+    EXPECT_GT(tiling.faultDiagnostics().stuckMacs, 0u);
+
+    // An empty plan restores the healthy fast path on both.
+    Mapping2DArraySim clean2d;
+    clean2d.setFaultPlan(nullptr);
+    EXPECT_EQ(clean2d.runLayer(spec, input, kernels), golden);
+    TilingArraySim cleantile;
+    FaultPlan empty;
+    cleantile.setFaultPlan(&empty);
+    EXPECT_EQ(cleantile.runLayer(spec, input, kernels), golden);
+}
+
+// -------------------------------------------------- serving runtime
+
+using namespace flexsim::serve;
+
+/** Requests with explicit arrivals (ids in arrival order). */
+std::vector<InferenceRequest>
+requestsAt(const std::vector<TimeNs> &arrivals)
+{
+    std::vector<InferenceRequest> requests;
+    for (std::size_t i = 0; i < arrivals.size(); ++i)
+        requests.push_back({i, 0, arrivals[i]});
+    return requests;
+}
+
+TEST(ServeFaultTest, FailStopAbortsRetriesAndReadmits)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::alexnet()}, 4.0);
+    const TimeNs frame = service.frameServiceNs(0);
+
+    // Four requests in one batch; the instance fail-stops mid-batch,
+    // the retry lands on the surviving instance.
+    ServeConfig config;
+    config.poolSize = 2;
+    config.maxBatch = 4;
+    std::vector<AccelEvent> events{
+        {AccelEvent::Kind::FailStop, 0, frame / 2, 1.0}};
+    ServeRuntime runtime(service, config, events);
+    const ServeReport report =
+        runtime.run(requestsAt({0, 0, 0, 0}));
+
+    EXPECT_EQ(report.arrived, 4u);
+    EXPECT_EQ(report.completed, 4u);
+    EXPECT_EQ(report.retries, 4u);
+    EXPECT_EQ(report.ejections, 1u);
+    EXPECT_EQ(report.failed, 0u);
+    // The retried batch is served by the healthy instance after the
+    // backoff, not shed.
+    EXPECT_GT(report.makespanNs, frame);
+    EXPECT_EQ(report.arrived, report.completed + report.shed +
+                                  report.timedOut + report.failed);
+}
+
+TEST(ServeFaultTest, RetryBudgetExhaustionFailsRequests)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::alexnet()}, 4.0);
+    const TimeNs frame = service.frameServiceNs(0);
+
+    ServeConfig config;
+    config.poolSize = 1;
+    config.maxBatch = 4;
+    config.maxRetries = 0;
+    std::vector<AccelEvent> events{
+        {AccelEvent::Kind::FailStop, 0, frame / 2, 1.0}};
+    ServeRuntime runtime(service, config, events);
+    const ServeReport report =
+        runtime.run(requestsAt({0, 0, 0, 0}));
+
+    EXPECT_EQ(report.failed, 4u);
+    EXPECT_EQ(report.completed, 0u);
+    EXPECT_EQ(report.retries, 0u);
+    EXPECT_EQ(report.arrived, report.completed + report.shed +
+                                  report.timedOut + report.failed);
+}
+
+TEST(ServeFaultTest, ProbationReadmitsEjectedInstance)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::lenet5()}, 4.0);
+
+    ServeConfig config;
+    config.poolSize = 1;
+    config.maxBatch = 1;
+    config.probationNs = 1'000'000;
+    std::vector<AccelEvent> events{
+        {AccelEvent::Kind::FailStop, 0, 10, 1.0}};
+    ServeRuntime runtime(service, config, events);
+    // The only instance dies at t=10ns while idle; the request at
+    // 100us must wait for probation re-admission, then complete.
+    const ServeReport report = runtime.run(requestsAt({100'000}));
+
+    EXPECT_EQ(report.ejections, 1u);
+    EXPECT_EQ(report.readmissions, 1u);
+    EXPECT_EQ(report.completed, 1u);
+    EXPECT_GE(report.makespanNs, 1'000'010u);
+    EXPECT_GT(report.degradedReroutes, 0u);
+}
+
+TEST(ServeFaultTest, SlowdownReroutesToDegradedTable)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::lenet5()}, 4.0);
+
+    // Degraded table: the same architecture compiled for a PE array
+    // that lost two columns (the serving-level remap story).
+    FlexFlowConfig degraded_cfg = FlexFlowConfig::forScale(16);
+    degraded_cfg.availCols = 14;
+    const FlexFlowModel degraded_model(degraded_cfg);
+    const ServiceTimeModel degraded(degraded_model,
+                                    {workloads::lenet5()}, 4.0);
+    ASSERT_GE(degraded.frameServiceNs(0), service.frameServiceNs(0));
+
+    ServeConfig config;
+    config.poolSize = 1;
+    std::vector<AccelEvent> events{
+        {AccelEvent::Kind::Slowdown, 0, 0, 2.0}};
+    ServeRuntime runtime(service, config, events, &degraded);
+    const ServeReport report =
+        runtime.run(requestsAt({1, 1, 1, 1000}));
+
+    EXPECT_EQ(report.completed, 4u);
+    // Every request was served by the degraded instance.
+    EXPECT_EQ(report.degradedReroutes, 4u);
+    EXPECT_EQ(report.shed, 0u);
+}
+
+TEST(ServeFaultTest, DeadlineDropsStarvedRequests)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::alexnet()}, 4.0);
+    const TimeNs frame = service.frameServiceNs(0);
+
+    ServeConfig config;
+    config.poolSize = 1;
+    config.maxBatch = 1;
+    config.deadlineNs = frame / 2;
+    // Three simultaneous arrivals, one instance, batch of one: the
+    // first is served; the two queued behind it blow their deadline.
+    ServeRuntime runtime(service, config);
+    const ServeReport report = runtime.run(requestsAt({0, 0, 0}));
+
+    EXPECT_EQ(report.completed, 1u);
+    EXPECT_EQ(report.timedOut, 2u);
+    EXPECT_EQ(report.arrived, report.completed + report.shed +
+                                  report.timedOut + report.failed);
+}
+
+TEST(ServeFaultTest, FaultedRunsAreByteIdenticalAcrossRepeats)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(
+        model, {workloads::alexnet(), workloads::lenet5()}, 4.0);
+
+    auto render = [&] {
+        TrafficConfig traffic;
+        traffic.rps = 3000.0;
+        traffic.durationNs = 200'000'000;
+        traffic.seed = 11;
+        traffic.numWorkloads = 2;
+        ServeConfig config;
+        config.poolSize = 3;
+        config.deadlineNs = 30'000'000;
+        std::vector<AccelEvent> events{
+            {AccelEvent::Kind::Slowdown, 1, 20'000'000, 3.0},
+            {AccelEvent::Kind::FailStop, 0, 50'000'000, 1.0},
+            {AccelEvent::Kind::Recover, 1, 90'000'000, 1.0},
+            {AccelEvent::Kind::FailStop, 2, 120'000'000, 1.0},
+        };
+        ServeRuntime runtime(service, config, events);
+        runtime.run(generateTraffic(traffic));
+        std::ostringstream report;
+        runtime.dumpStats(report);
+        return report.str();
+    };
+    const std::string first = render();
+    const std::string second = render();
+    EXPECT_FALSE(first.empty());
+    EXPECT_NE(first.find("ejections"), std::string::npos);
+    EXPECT_EQ(first, second);
+}
+
+} // namespace
+} // namespace flexsim

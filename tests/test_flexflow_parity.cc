@@ -52,6 +52,7 @@ expectSameDiagnostics(const ConvUnitDiagnostics &got,
     EXPECT_EQ(got.peakColumnStoreWords, want.peakColumnStoreWords);
     EXPECT_EQ(got.deliveryStallCycles, want.deliveryStallCycles);
     EXPECT_EQ(got.maxTasksPerPe, want.maxTasksPerPe);
+    EXPECT_EQ(got.faults, want.faults);
 }
 
 void
@@ -154,6 +155,54 @@ TEST(FlexFlowParityTest, VGG11Front)
 TEST(FlexFlowParityTest, VGG11Back)
 {
     runNetworkParity(workloads::vgg11(), 0xbead6006, false, 4);
+}
+
+/**
+ * The zero-fault fast path: attaching a FaultPlan that touches no
+ * datapath (serving-level events and a DRAM slowdown only) must keep
+ * outputs, the LayerResult, and the ConvUnitDiagnostics bit-identical
+ * to a unit with no plan attached, for both thread counts.
+ */
+TEST(FlexFlowParityTest, HealthyFaultPlanIsBitIdentical)
+{
+    const NetworkSpec net = workloads::lenet5();
+    fault::FaultPlan plan;
+    plan.dramSlowdown = 2.0;
+    plan.accelEvents.push_back(
+        {fault::AccelEvent::Kind::FailStop, 0, 1000, 1.0});
+
+    FlexFlowConfig base;
+    for (const NetworkSpec::Stage &stage : net.stages) {
+        const ConvLayerSpec &spec = stage.conv;
+        SCOPED_TRACE(spec.name);
+        const UnrollFactors t =
+            searchBestFactors(spec, base.d).factors;
+        Rng rng(0xbead7007);
+        const Tensor3<> input = makeRandomInput(rng, spec);
+        const Tensor4<> kernels = makeRandomKernels(rng, spec);
+
+        for (const int threads : {1, 4}) {
+            FlexFlowConfig cfg = base;
+            cfg.threads = threads;
+
+            LayerResult ref_result;
+            ConvUnitDiagnostics ref_diag;
+            const Tensor3<> ref_out = FlexFlowConvUnit(cfg).runLayer(
+                spec, t, input, kernels, &ref_result, &ref_diag);
+
+            FlexFlowConvUnit faulted(cfg);
+            faulted.setFaultPlan(&plan);
+            LayerResult result;
+            ConvUnitDiagnostics diag;
+            const Tensor3<> out = faulted.runLayer(
+                spec, t, input, kernels, &result, &diag);
+
+            EXPECT_EQ(out, ref_out);
+            expectSameRecord(result, ref_result);
+            expectSameDiagnostics(diag, ref_diag);
+            EXPECT_EQ(diag.faults, fault::FaultDiagnostics{});
+        }
+    }
 }
 
 } // namespace

@@ -246,6 +246,124 @@ TEST(ServeRuntimeTest, SeededRunsAreByteIdentical)
     EXPECT_EQ(first, second);
 }
 
+/** Requests with explicit arrival times (ids in arrival order). */
+std::vector<InferenceRequest>
+requestsAt(const std::vector<TimeNs> &arrivals, int workload = 0)
+{
+    std::vector<InferenceRequest> requests;
+    for (std::size_t i = 0; i < arrivals.size(); ++i)
+        requests.push_back({i, workload, arrivals[i]});
+    return requests;
+}
+
+TEST(ServeRuntimeTest, AdmissionOverflowShedsNewestArrivals)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::lenet5()}, 4.0);
+    const TimeNs frame = service.frameServiceNs(0);
+
+    // Five simultaneous arrivals against a 2-deep queue: the first
+    // two are admitted, the last three shed, and the admitted pair
+    // is served strictly in arrival order (one frame each).
+    ServeConfig config;
+    config.poolSize = 1;
+    config.maxBatch = 1;
+    config.queueCapacity = 2;
+    ServeRuntime runtime(service, config);
+    const ServeReport report = runtime.run(requestsAt({0, 0, 0, 0, 0}));
+
+    EXPECT_EQ(report.arrived, 5u);
+    EXPECT_EQ(report.admitted, 2u);
+    EXPECT_EQ(report.shed, 3u);
+    EXPECT_EQ(report.completed, 2u);
+    EXPECT_EQ(report.batches, 2u);
+    EXPECT_EQ(report.makespanNs, 2 * frame);
+}
+
+TEST(ServeRuntimeTest, BatchWindowExpiryDispatchesPartialBatch)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::lenet5()}, 4.0);
+    const TimeNs frame = service.frameServiceNs(0);
+
+    // Five arrivals inside the 1 ms window plus a straggler at 10 ms.
+    // The head-of-line request must not wait for the straggler: the
+    // window expires at 1 ms and dispatches the partial batch of 5;
+    // the straggler then rides its own batch.
+    ServeConfig config;
+    config.poolSize = 1;
+    config.maxBatch = 8;
+    config.batchWindowNs = 1'000'000;
+    ServeRuntime runtime(service, config);
+    const ServeReport report = runtime.run(
+        requestsAt({0, 100'000, 200'000, 300'000, 400'000,
+                    10'000'000}));
+
+    EXPECT_EQ(report.completed, 6u);
+    EXPECT_EQ(report.batches, 2u);
+    EXPECT_EQ(report.makespanNs, 10'000'000 + frame);
+}
+
+TEST(ServeRuntimeTest, BatchWindowExpiryWithBusyPoolDoesNotHang)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::lenet5()}, 4.0);
+    const TimeNs frame = service.frameServiceNs(0);
+    ASSERT_GT(frame, 10u);
+
+    // The second request arrives mid-frame and its batch window
+    // expires while the only instance is still busy; the loop must
+    // idle until the completion frees it, not spin or stall.
+    ServeConfig config;
+    config.poolSize = 1;
+    config.maxBatch = 1;
+    config.batchWindowNs = frame / 10;
+    ServeRuntime runtime(service, config);
+    const ServeReport report = runtime.run(requestsAt({0, frame / 2}));
+
+    EXPECT_EQ(report.completed, 2u);
+    EXPECT_EQ(report.batches, 2u);
+    EXPECT_EQ(report.makespanNs, 2 * frame);
+}
+
+/**
+ * The simulator-thread knob must never leak into serving results,
+ * fault machinery included: runs priced by a single-threaded and a
+ * 4-thread FlexFlow model, under the same injected fault events,
+ * must render byte-identical stats reports.
+ */
+TEST(ServeRuntimeTest, ByteIdenticalAcrossSimThreadsUnderFaults)
+{
+    auto render = [&](int sim_threads) {
+        FlexFlowConfig cfg = FlexFlowConfig::forScale(16);
+        cfg.threads = sim_threads;
+        const FlexFlowModel model(cfg);
+        const ServiceTimeModel service(
+            model, {workloads::alexnet(), workloads::lenet5()}, 4.0);
+
+        auto traffic = smallTraffic(3000.0, 200'000'000);
+        traffic.numWorkloads = 2;
+        ServeConfig config;
+        config.poolSize = 3;
+        config.deadlineNs = 30'000'000;
+        std::vector<fault::AccelEvent> events{
+            {fault::AccelEvent::Kind::Slowdown, 1, 20'000'000, 2.5},
+            {fault::AccelEvent::Kind::FailStop, 0, 50'000'000, 1.0},
+            {fault::AccelEvent::Kind::Recover, 1, 90'000'000, 1.0},
+        };
+        ServeRuntime runtime(service, config, events);
+        runtime.run(generateTraffic(traffic));
+        std::ostringstream report;
+        runtime.dumpStats(report);
+        return report.str();
+    };
+    const std::string single = render(1);
+    const std::string threaded = render(4);
+    EXPECT_FALSE(single.empty());
+    EXPECT_NE(single.find("ejections"), std::string::npos);
+    EXPECT_EQ(single, threaded);
+}
+
 TEST(ServeRuntimeTest, StatsTreeExposesServingCounters)
 {
     const FlexFlowModel model(FlexFlowConfig::forScale(16));

@@ -149,6 +149,33 @@ TEST(DistributionTest, StreamingMomentsAreExact)
     EXPECT_DOUBLE_EQ(d.mean(), 4.0);
 }
 
+TEST(StatsTest, SafeRatioGuardsZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(statistics::safeRatio(3.0, 4.0), 0.75);
+    EXPECT_DOUBLE_EQ(statistics::safeRatio(0.0, 4.0), 0.0);
+    // Empty denominators render as 0.0, never NaN or inf.
+    EXPECT_DOUBLE_EQ(statistics::safeRatio(3.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(statistics::safeRatio(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(statistics::safeRatio(3.0, -1.0), 0.0);
+}
+
+TEST(DistributionTest, DegeneratePercentilesAreDefined)
+{
+    StatGroup root("root");
+    statistics::Distribution d;
+    d.init(&root, "lat", "");
+    // No samples: every percentile is 0.0, never NaN.
+    EXPECT_DOUBLE_EQ(d.percentile(0.50), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.95), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.99), 0.0);
+    // One sample: every percentile is that sample.
+    d.sample(42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.50), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.95), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 42.0);
+}
+
 TEST(DistributionTest, PercentilesFromFullReservoir)
 {
     StatGroup root("root");

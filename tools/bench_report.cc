@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.hh"
 #include "flexflow/conv_unit.hh"
 #include "mapping2d/mapping2d_array.hh"
 #include "nn/tensor_init.hh"
@@ -90,15 +91,25 @@ runBenches()
     const auto flexflow = [&](const ConvLayerSpec &spec,
                               const UnrollFactors &t,
                               const Tensor3<> &in, const Tensor4<> &k,
-                              int threads) {
+                              int threads,
+                              const fault::FaultPlan *plan = nullptr) {
         FlexFlowConfig cfg;
         cfg.threads = threads;
         FlexFlowConvUnit unit(cfg);
+        if (plan != nullptr)
+            unit.setFaultPlan(plan);
         Tensor3<> out = unit.runLayer(spec, t, in, k);
         // Keep the optimizer honest about the result.
         volatile Fixed16 sink = out.at(0, 0, 0);
         (void)sink;
     };
+
+    // A fault plan with no datapath faults (serving-level events
+    // only): the conv unit must take the zero-fault fast path, so
+    // this bench is gated against the *same* flexflow_c3 baseline.
+    fault::FaultPlan benign_plan;
+    benign_plan.accelEvents.push_back(
+        {fault::AccelEvent::Kind::FailStop, 0, 1000, 1.0});
 
     std::cerr << "bench_report: timing flexflow_c3...\n";
     entries.push_back(
@@ -114,6 +125,14 @@ runBenches()
                                    flexflow(c3, c3_t, c3_in, c3_k, 4);
                                },
                                20, 0.25)});
+    std::cerr << "bench_report: timing flexflow_c3_faultplan...\n";
+    entries.push_back({"flexflow_c3_faultplan",
+                       timeBench(
+                           [&] {
+                               flexflow(c3, c3_t, c3_in, c3_k, 1,
+                                        &benign_plan);
+                           },
+                           20, 0.25)});
     std::cerr << "bench_report: timing flexflow_conv5...\n";
     entries.push_back(
         {"flexflow_conv5", timeBench(
@@ -257,21 +276,31 @@ main(int argc, char **argv)
     }
 
     bool ok = true;
-    for (const BenchEntry &base : baseline) {
+    const auto gate = [&](const std::string &cur_name,
+                          const BenchEntry &base) {
         const BenchEntry *cur = nullptr;
         for (const BenchEntry &e : entries)
-            if (e.name == base.name)
+            if (e.name == cur_name)
                 cur = &e;
         if (cur == nullptr)
-            continue;
+            return;
         const bool fail = cur->nsPerIter > base.nsPerIter * factor;
-        std::cout << (fail ? "FAIL " : "ok   ") << base.name << ": "
+        std::cout << (fail ? "FAIL " : "ok   ") << cur_name << ": "
                   << static_cast<std::uint64_t>(cur->nsPerIter)
                   << " ns/iter vs baseline "
-                  << static_cast<std::uint64_t>(base.nsPerIter)
-                  << " (limit " << factor << "x)\n";
+                  << static_cast<std::uint64_t>(base.nsPerIter);
+        if (cur_name != base.name)
+            std::cout << " (" << base.name << ")";
+        std::cout << " (limit " << factor << "x)\n";
         if (fail)
             ok = false;
+    };
+    for (const BenchEntry &base : baseline) {
+        gate(base.name, base);
+        // The zero-fault hot path (benign plan attached) must not
+        // regress against the committed no-plan C3 baseline.
+        if (base.name == "flexflow_c3")
+            gate("flexflow_c3_faultplan", base);
     }
     return ok ? 0 : 1;
 }

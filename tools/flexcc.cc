@@ -8,8 +8,14 @@
  *
  * Usage:
  *     flexcc <workload> [-d D] [-o out.s] [-b out.bin] [--report]
- *            [--explain]
+ *            [--explain] [--faults SPEC]
  *     flexcc --layers M,N,S,K,stride[,P] ... [options]
+ *
+ * --faults compiles for the array surviving the fault plan's dead
+ * rows/columns/PEs (fault::degradeLineCover): the factor search is
+ * bounded by the surviving geometry while utilization stays priced
+ * against the full fabric, so --report shows the remapping cost and
+ * the emitted program runs cleanly under the same plan in flexrun.
  *
  * Examples:
  *     flexcc LeNet-5 --report --explain
@@ -26,6 +32,8 @@
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "compiler/compiler.hh"
+#include "fault/degrade.hh"
+#include "fault/fault_plan.hh"
 #include "flexflow/schedule.hh"
 #include "nn/workloads.hh"
 
@@ -38,7 +46,7 @@ usage()
 {
     std::cerr
         << "usage: flexcc <workload> [-d D] [-o out.s] [-b out.bin] "
-           "[--report] [--explain]\n"
+           "[--report] [--explain] [--faults SPEC]\n"
            "       flexcc --layers M,N,S,K,stride[,P] ... [options]\n"
            "workloads: PV FR LeNet-5 HG AlexNet VGG-11 LeNet-5+FC\n";
     return 2;
@@ -86,11 +94,16 @@ main(int argc, char **argv)
     unsigned d = 16;
     bool report = false;
     bool explain = false;
+    std::string fault_spec;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "-d" && i + 1 < argc) {
             d = std::stoul(argv[++i]);
+        } else if (arg == "--faults" && i + 1 < argc) {
+            fault_spec = argv[++i];
+        } else if (startsWith(arg, "--faults=")) {
+            fault_spec = arg.substr(9);
         } else if (arg == "-o" && i + 1 < argc) {
             out_path = argv[++i];
         } else if (arg == "-b" && i + 1 < argc) {
@@ -131,7 +144,27 @@ main(int argc, char **argv)
         return usage();
     }
 
-    FlexFlowCompiler compiler(FlexFlowConfig::forScale(d));
+    FlexFlowConfig config = FlexFlowConfig::forScale(d);
+    if (!fault_spec.empty()) {
+        const fault::FaultPlan plan = fault::parseFaultSpec(fault_spec);
+        plan.validate(static_cast<int>(d));
+        if (plan.affectsGeometry()) {
+            const fault::DegradedGeometry geom = fault::degradeLineCover(
+                fault::ArrayAvailability::fromPlan(
+                    plan, static_cast<int>(d)));
+            if (geom.pes() == 0) {
+                std::cerr << "flexcc: the fault plan leaves no "
+                             "usable PEs\n";
+                return 1;
+            }
+            config.availRows = geom.rows;
+            config.availCols = geom.cols;
+            std::cout << "flexcc: compiling for the degraded array ("
+                      << geom.rows << "x" << geom.cols << " of " << d
+                      << "x" << d << " PEs survive the fault plan)\n";
+        }
+    }
+    FlexFlowCompiler compiler(config);
     const CompilationResult result = compiler.compile(net);
 
     if (!out_path.empty()) {
@@ -159,7 +192,6 @@ main(int argc, char **argv)
         table.setHeader({"Layer", "Batches", "Steps", "Passes",
                          "Kernel slice/PE", "Band words/col",
                          "Retention", "Style"});
-        const FlexFlowConfig config = FlexFlowConfig::forScale(d);
         for (const LayerPlan &plan : result.layers) {
             const FlexFlowSchedule sched =
                 planSchedule(plan.spec, plan.factors, config);

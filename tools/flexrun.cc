@@ -10,7 +10,13 @@
  *
  * Usage:
  *     flexrun <program.s> [-d D] [--seed S] [--stats]
- *             [--dram-wpc BW]
+ *             [--dram-wpc BW] [--faults SPEC]
+ *
+ * --faults injects a deterministic fault plan (see
+ * fault::parseFaultSpec for the grammar).  Corrupting faults (stuck
+ * or flipping MACs, unprotected buffer flips) make the output
+ * legitimately diverge from the golden reference; flexrun reports the
+ * divergence as expected and still exits 0.
  */
 
 #include <fstream>
@@ -22,6 +28,8 @@
 #include "arch/system_timing.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "fault/degrade.hh"
+#include "fault/fault_plan.hh"
 #include "flexflow/accelerator.hh"
 #include "nn/golden.hh"
 #include "nn/tensor_init.hh"
@@ -34,7 +42,7 @@ int
 usage()
 {
     std::cerr << "usage: flexrun <program.s> [-d D] [--seed S] "
-                 "[--stats] [--dram-wpc BW]\n";
+                 "[--stats] [--dram-wpc BW] [--faults SPEC]\n";
     return 2;
 }
 
@@ -96,6 +104,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 2017;
     bool dump_stats = false;
     double dram_wpc = 4.0;
+    std::string fault_spec;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "-d" && i + 1 < argc)
@@ -106,6 +115,10 @@ main(int argc, char **argv)
             dump_stats = true;
         else if (arg == "--dram-wpc" && i + 1 < argc)
             dram_wpc = std::stod(argv[++i]);
+        else if (arg == "--faults" && i + 1 < argc)
+            fault_spec = argv[++i];
+        else if (startsWith(arg, "--faults="))
+            fault_spec = arg.substr(9);
         else if (!startsWith(arg, "-") && path.empty())
             path = arg;
         else
@@ -148,7 +161,48 @@ main(int argc, char **argv)
     for (const ConvLayerSpec &spec : shape.convs)
         kernels.push_back(makeRandomKernels(rng, spec));
 
+    fault::FaultPlan plan;
+    if (!fault_spec.empty()) {
+        plan = fault::parseFaultSpec(fault_spec);
+        plan.validate(static_cast<int>(d));
+    }
+    if (plan.affectsGeometry()) {
+        // The program's factors were fixed at compile time; check
+        // them against the surviving geometry up front so a mismatch
+        // is a clean diagnostic, not a mid-run panic.
+        const fault::DegradedGeometry geom = fault::degradeLineCover(
+            fault::ArrayAvailability::fromPlan(plan,
+                                               static_cast<int>(d)));
+        for (const Instruction &inst : program.instructions) {
+            if (inst.op != Opcode::CfgFactors)
+                continue;
+            const int rows = static_cast<int>(inst.args[0] *
+                                              inst.args[2] *
+                                              inst.args[3]);
+            const int cols = static_cast<int>(inst.args[1] *
+                                              inst.args[4] *
+                                              inst.args[5]);
+            if (rows > geom.rows || cols > geom.cols) {
+                std::cerr << "flexrun: the program needs " << rows
+                          << "x" << cols
+                          << " PEs but the fault plan leaves only "
+                          << geom.rows << "x" << geom.cols
+                          << "; recompile for the plan with "
+                             "`flexcc ... --faults '"
+                          << fault_spec << "'`\n";
+                return 2;
+            }
+        }
+    }
+    // Corrupting faults legitimately change the computed output; the
+    // golden mismatch is then the expected result, not a failure.
+    const bool corrupting =
+        plan.affectsMacs() ||
+        (plan.affectsBuffers() && !plan.parityDetect);
+
     FlexFlowAccelerator accelerator(FlexFlowConfig::forScale(d));
+    if (!plan.empty())
+        accelerator.setFaultPlan(&plan);
     accelerator.bindInput(input);
     accelerator.bindKernels(kernels);
     NetworkResult result;
@@ -162,11 +216,29 @@ main(int argc, char **argv)
         if (shape.pools[i])
             golden = goldenPool(golden, *shape.pools[i]);
     }
-    const bool ok = output == golden;
+    const bool matches = output == golden;
+    const bool ok = corrupting || matches;
     std::cout << "flexrun: " << shape.convs.size()
-              << " CONV layer(s), output "
-              << (ok ? "matches" : "DOES NOT match")
-              << " the golden reference\n\n";
+              << " CONV layer(s), output ";
+    if (matches)
+        std::cout << "matches the golden reference";
+    else if (corrupting)
+        std::cout << "diverges from the golden reference "
+                     "(expected under the injected faults)";
+    else
+        std::cout << "DOES NOT match the golden reference";
+    std::cout << "\n\n";
+
+    if (!plan.empty()) {
+        const fault::FaultDiagnostics &fd =
+            accelerator.faultDiagnostics();
+        std::cout << "Injected faults: " << fd.stuckMacs
+                  << " stuck MACs, " << fd.flippedMacs
+                  << " flipped MACs, " << fd.corruptedWords
+                  << " corrupted words, " << fd.paritiesDetected
+                  << " parity hits (" << fd.scrubbedWords
+                  << " words scrubbed)\n\n";
+    }
 
     TextTable table;
     table.setHeader(
@@ -180,16 +252,18 @@ main(int argc, char **argv)
 
     if (dump_stats) {
         // System roofline: the same per-layer decomposition the
-        // serving runtime (src/serve/) prices batches with.
+        // serving runtime (src/serve/) prices batches with.  An
+        // injected DRAM slowdown divides the channel bandwidth.
+        const double effective_wpc = dram_wpc / plan.dramSlowdown;
         std::cout << "\nSystem roofline ("
-                  << formatDouble(dram_wpc, 1)
+                  << formatDouble(effective_wpc, 1)
                   << " DRAM words/cycle, double-buffered):\n";
         TextTable roofline;
         roofline.setHeader({"Layer", "ComputeCycles", "DramCycles",
                             "TotalCycles", "Bound"});
         for (const LayerResult &layer : result.layers) {
             const SystemTiming timing =
-                overlapTiming(layer, dram_wpc);
+                overlapTiming(layer, effective_wpc);
             roofline.addRow(
                 {layer.layerName, formatCount(timing.computeCycles),
                  formatCount(timing.dramCycles),

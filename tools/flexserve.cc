@@ -8,10 +8,19 @@
  *     flexserve [--arch A] [--pool N] [--rps R] [--traffic M]
  *               [--duration T] [--seed S] [--workload W[,W...]]
  *               [--scale D] [--batch B] [--queue Q] [--window-ms W]
- *               [--slo-ms L] [--dram-wpc BW] [--trace FILE]
+ *               [--slo-ms L] [--deadline-ms L] [--dram-wpc BW]
+ *               [--trace FILE] [--faults SPEC] [--fault-trace FILE]
  *
  * Runs are deterministic: the same seed and configuration print a
- * byte-identical report.
+ * byte-identical report — including runs with injected faults.
+ *
+ * --faults takes a fault::parseFaultSpec plan.  Its failstop /
+ * slowdown / recover events drive the pool's health state machine,
+ * and when the plan degrades the PE array geometry (dead rows /
+ * columns) the flexflow architecture builds a second service-time
+ * table compiled for the surviving sub-array — degraded instances
+ * reroute to it instead of shedding.  --fault-trace appends events
+ * from a file ("<time> failstop|slowdown|recover <accel> [factor]").
  */
 
 #include <fstream>
@@ -24,6 +33,8 @@
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "fault/degrade.hh"
+#include "fault/fault_plan.hh"
 #include "flexflow/flexflow_model.hh"
 #include "mapping2d/mapping2d_model.hh"
 #include "nn/workloads.hh"
@@ -60,7 +71,13 @@ usage()
            "(default 256)\n"
            "  --window-ms W    batching window (default 2)\n"
            "  --slo-ms L       latency SLO (default 50)\n"
+           "  --deadline-ms L  queue deadline; 0 disables "
+           "(default 0)\n"
            "  --dram-wpc BW    DRAM words/cycle (default 4)\n"
+           "  --faults SPEC    fault plan (see fault_plan.hh "
+           "grammar)\n"
+           "  --fault-trace F  accelerator event file: \"<time> "
+           "failstop|slowdown|recover <accel> [factor]\"\n"
            "  --sim-threads N  host threads for the flexflow cycle "
            "simulator (default 1; results are identical for any "
            "value)\n"
@@ -165,8 +182,11 @@ main(int argc, char **argv)
     ServeConfig config;
     double window_ms = 2.0;
     double slo_ms = 50.0;
+    double deadline_ms = 0.0;
     double dram_wpc = 4.0;
     int sim_threads = 1;
+    std::string fault_spec;
+    std::string fault_trace_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -206,6 +226,12 @@ main(int argc, char **argv)
                 window_ms = std::stod(next());
             } else if (arg == "--slo-ms") {
                 slo_ms = std::stod(next());
+            } else if (arg == "--deadline-ms") {
+                deadline_ms = std::stod(next());
+            } else if (arg == "--faults") {
+                fault_spec = next();
+            } else if (arg == "--fault-trace") {
+                fault_trace_path = next();
             } else if (arg == "--dram-wpc") {
                 dram_wpc = std::stod(next());
             } else if (arg == "--sim-threads") {
@@ -255,6 +281,28 @@ main(int argc, char **argv)
     config.poolSize = pool;
     config.batchWindowNs = static_cast<TimeNs>(window_ms * 1e6);
     config.sloNs = static_cast<TimeNs>(slo_ms * 1e6);
+    if (deadline_ms > 0.0)
+        config.deadlineNs = static_cast<TimeNs>(deadline_ms * 1e6);
+
+    fault::FaultPlan plan;
+    if (!fault_spec.empty()) {
+        plan = fault::parseFaultSpec(fault_spec);
+        plan.validate(static_cast<int>(scale));
+    }
+    std::vector<fault::AccelEvent> events = plan.accelEvents;
+    if (!fault_trace_path.empty()) {
+        std::ifstream in(fault_trace_path);
+        if (!in) {
+            std::cerr << "flexserve: cannot read " << fault_trace_path
+                      << "\n";
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        const std::vector<fault::AccelEvent> traced =
+            fault::parseFaultTrace(text.str());
+        events.insert(events.end(), traced.begin(), traced.end());
+    }
 
     TrafficConfig traffic;
     traffic.model = *traffic_model;
@@ -283,7 +331,28 @@ main(int argc, char **argv)
     const std::vector<InferenceRequest> requests =
         generateTraffic(traffic);
 
-    ServeRuntime runtime(service, config);
+    // When the fault plan degrades the PE array, price Degraded
+    // instances with a service table compiled for the surviving
+    // sub-array (flexflow remaps its unroll factors; the other
+    // architectures have no equivalent flexibility and keep the
+    // healthy table).
+    std::unique_ptr<AcceleratorModel> degraded_model;
+    std::unique_ptr<ServiceTimeModel> degraded_service;
+    if (plan.affectsGeometry() && toLower(arch) == "flexflow") {
+        const fault::DegradedGeometry geom = fault::degradeLineCover(
+            fault::ArrayAvailability::fromPlan(
+                plan, static_cast<int>(scale)));
+        FlexFlowConfig cfg = FlexFlowConfig::forScale(scale);
+        cfg.threads = sim_threads;
+        cfg.availRows = geom.rows;
+        cfg.availCols = geom.cols;
+        degraded_model = std::make_unique<FlexFlowModel>(cfg);
+        degraded_service = std::make_unique<ServiceTimeModel>(
+            *degraded_model, nets, dram_wpc);
+    }
+
+    ServeRuntime runtime(service, config, events,
+                         degraded_service.get());
     const ServeReport report = runtime.run(requests);
 
     std::cout << "flexserve: " << service.archName() << " x " << pool
@@ -304,7 +373,22 @@ main(int argc, char **argv)
                          3)
                   << " ms/frame)";
     }
-    std::cout << "\n\n";
+    std::cout << "\n";
+    if (!plan.empty() || !events.empty()) {
+        std::cout << "faults: " << events.size()
+                  << " accelerator event(s)";
+        if (degraded_service) {
+            std::cout << "; degraded instances serve at "
+                      << formatDouble(
+                             static_cast<double>(
+                                 degraded_service->frameServiceNs(0)) /
+                                 1e6,
+                             3)
+                      << " ms/frame";
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\n";
 
     TextTable table;
     table.setHeader({"Metric", "Value"});
@@ -313,6 +397,18 @@ main(int argc, char **argv)
     table.addRow({"requests completed",
                   formatCount(report.completed)});
     table.addRow({"requests shed", formatCount(report.shed)});
+    if (!events.empty() || config.deadlineNs > 0) {
+        table.addRow({"requests timed out",
+                      formatCount(report.timedOut)});
+        table.addRow({"requests failed",
+                      formatCount(report.failed)});
+        table.addRow({"retries", formatCount(report.retries)});
+        table.addRow({"ejections", formatCount(report.ejections)});
+        table.addRow({"readmissions",
+                      formatCount(report.readmissions)});
+        table.addRow({"degraded reroutes",
+                      formatCount(report.degradedReroutes)});
+    }
     table.addRow({"throughput",
                   formatDouble(report.throughputRps, 1) + " rps"});
     table.addRow({"latency p50",
