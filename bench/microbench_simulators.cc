@@ -8,10 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "compiler/compiler.hh"
 #include "flexflow/conv_unit.hh"
 #include "flexflow/flexflow_model.hh"
 #include "mapping2d/mapping2d_array.hh"
+#include "nn/mac_kernels.hh"
 #include "nn/tensor_init.hh"
 #include "nn/workloads.hh"
 #include "systolic/systolic_array.hh"
@@ -43,10 +47,13 @@ layerData()
     return data;
 }
 
+// The Arg on every cycle-sim bench is the host worker-thread count
+// fed to the shared sim::ThreadPool (1 = inline, no pool traffic).
 void
 BM_SystolicCycleSim(benchmark::State &state)
 {
     SystolicConfig cfg;
+    cfg.threads = static_cast<int>(state.range(0));
     SystolicArraySim sim(cfg);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
@@ -55,12 +62,17 @@ BM_SystolicCycleSim(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * kLayer.macs());
 }
-BENCHMARK(BM_SystolicCycleSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SystolicCycleSim)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_Mapping2DCycleSim(benchmark::State &state)
 {
-    Mapping2DArraySim sim;
+    Mapping2DConfig cfg;
+    cfg.threads = static_cast<int>(state.range(0));
+    Mapping2DArraySim sim(cfg);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             sim.runLayer(kLayer, layerData().input,
@@ -68,12 +80,17 @@ BM_Mapping2DCycleSim(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * kLayer.macs());
 }
-BENCHMARK(BM_Mapping2DCycleSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Mapping2DCycleSim)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_TilingCycleSim(benchmark::State &state)
 {
-    TilingArraySim sim;
+    TilingConfig cfg;
+    cfg.threads = static_cast<int>(state.range(0));
+    TilingArraySim sim(cfg);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             sim.runLayer(kLayer, layerData().input,
@@ -81,7 +98,10 @@ BM_TilingCycleSim(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * kLayer.macs());
 }
-BENCHMARK(BM_TilingCycleSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TilingCycleSim)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_FlexFlowCycleSim(benchmark::State &state)
@@ -147,6 +167,41 @@ BENCHMARK(BM_FlexFlowCycleSimThreads)
     ->Arg(2)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+// Contiguous-span MAC kernels: the vectorizable unit every inner
+// loop above compiles down to.  The Arg is the span length.
+void
+BM_DotSpan(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    std::vector<Fixed16> a(n), b(n);
+    Rng rng(91);
+    for (int i = 0; i < n; ++i) {
+        a[i] = Fixed16::fromRaw(static_cast<std::int16_t>(rng.next()));
+        b[i] = Fixed16::fromRaw(static_cast<std::int16_t>(rng.next()));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dotSpan(a.data(), b.data(), n));
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DotSpan)->Arg(16)->Arg(256)->Arg(4096);
+
+void
+BM_ScaleAccumSpan(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    std::vector<Fixed16> b(n);
+    std::vector<Acc> accs(n);
+    Rng rng(92);
+    for (int i = 0; i < n; ++i)
+        b[i] = Fixed16::fromRaw(static_cast<std::int16_t>(rng.next()));
+    for (auto _ : state) {
+        scaleAccumSpan(accs.data(), 3, b.data(), n);
+        benchmark::DoNotOptimize(accs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScaleAccumSpan)->Arg(16)->Arg(256)->Arg(4096);
 
 void
 BM_FlexFlowAnalyticModel(benchmark::State &state)

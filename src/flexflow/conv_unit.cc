@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <limits>
 #include <map>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -14,6 +13,8 @@
 #include "fault/degrade.hh"
 #include "flexflow/mapping.hh"
 #include "flexflow/schedule.hh"
+#include "nn/mac_kernels.hh"
+#include "sim/thread_pool.hh"
 
 namespace flexsim {
 
@@ -23,12 +24,31 @@ namespace {
  * One MAC obligation of a (PE row, PE column) pair, reduced to the two
  * operand offsets the compute loop needs: inRel addresses the input
  * word relative to the batch's window origin, kRel addresses the
- * synapse relative to the row's output map.
+ * synapse relative to the row's output map.  Only materialized when a
+ * fault plan needs per-task injection sites; the zero-fault path runs
+ * on the span form below.
  */
 struct HotTask
 {
     std::int32_t inRel;
     std::int32_t kRel;
+};
+
+/**
+ * A maximal run of a row's tasks whose input and kernel operands are
+ * both contiguous in memory.  The (n, i, j) task order makes every
+ * j-run a span of length `kernel`; adjacent spans merge further when
+ * the operand strides happen to continue (e.g. 1x1-output FC-style
+ * layers collapse a whole row into a single dot product).  The span
+ * form feeds dotSpan(), which the compiler auto-vectorizes — the
+ * fixed-point sum is exactly associative, so the result is
+ * bit-identical to the task-at-a-time loop.
+ */
+struct TaskSpan
+{
+    std::int32_t inRel;
+    std::int32_t kRel;
+    std::int32_t len;
 };
 
 /**
@@ -56,26 +76,27 @@ struct DeliveryWord
 struct BatchSchedule
 {
     std::vector<std::uint8_t> rowValid;
-    /** All tasks, grouped contiguously by row (column order is
-     * irrelevant to the summed result; see the determinism note in
-     * docs/DESIGN notes on the conv unit). */
+    /** Contiguous-operand task spans, grouped by row (column order is
+     * irrelevant to the summed result; see DESIGN.md §3.6). */
+    std::vector<TaskSpan> spans;
+    std::vector<std::int32_t> rowSpanBegin; ///< rows + 1 offsets
+    /** Task counts by row (rows + 1 prefix offsets); the per-task
+     * vectors below exist only when MAC faults need per-task sites. */
+    std::vector<std::int32_t> rowTaskBegin;
     std::vector<HotTask> tasks;
-    std::vector<std::int32_t> rowTaskBegin; ///< rows + 1 offsets
+    std::vector<std::int32_t> taskCol; ///< per-task logical column
     /** Distinct words per column, grouped contiguously by column. */
     std::vector<DeliveryWord> words;
     std::vector<std::int32_t> colWordBegin; ///< cols + 1 offsets
     /** Largest per-(row, column) task queue — the RS step count. */
     std::size_t maxTasksPerPe = 0;
-    /** Per-task logical column, filled only when MAC faults need it
-     * (empty on the zero-fault path: HotTask stays two words). */
-    std::vector<std::int32_t> taskCol;
 };
 
 BatchSchedule
 buildBatchSchedule(const ConvLayerSpec &spec, const LaneMapping &map,
                    const SchedulePass &pass, int m_valid, int r_valid,
                    int c_valid, int x_phase, int y_phase, int in_h,
-                   int in_w, bool record_cols)
+                   int in_w, bool record_tasks)
 {
     const UnrollFactors &t = map.factors();
     const int rows = map.usedRows();
@@ -89,8 +110,11 @@ buildBatchSchedule(const ConvLayerSpec &spec, const LaneMapping &map,
     BatchSchedule sched;
     sched.rowValid.resize(rows);
     sched.rowTaskBegin.assign(rows + 1, 0);
-    sched.tasks.reserve(static_cast<std::size_t>(rows) * n_range * k *
-                        k);
+    sched.rowSpanBegin.assign(rows + 1, 0);
+    if (record_tasks) {
+        sched.tasks.reserve(static_cast<std::size_t>(rows) * n_range *
+                            k * k);
+    }
 
     std::vector<std::int32_t> queue_len(
         static_cast<std::size_t>(rows) * cols, 0);
@@ -98,9 +122,11 @@ buildBatchSchedule(const ConvLayerSpec &spec, const LaneMapping &map,
         static_cast<std::size_t>(n_range) * span_x * span_y, 0);
     std::vector<std::vector<DeliveryWord>> col_words(cols);
 
+    std::int32_t task_count = 0;
     for (int row = 0; row < rows; ++row) {
-        sched.rowTaskBegin[row] =
-            static_cast<std::int32_t>(sched.tasks.size());
+        sched.rowTaskBegin[row] = task_count;
+        sched.rowSpanBegin[row] =
+            static_cast<std::int32_t>(sched.spans.size());
         const RowLane lane = map.rowLane(row);
         const bool valid = lane.mOff < m_valid && lane.rOff < r_valid &&
                            lane.cOff < c_valid;
@@ -119,11 +145,31 @@ buildBatchSchedule(const ConvLayerSpec &spec, const LaneMapping &map,
                                 col];
                     const std::int32_t in_rel =
                         (n * in_h + dx) * in_w + dy;
-                    sched.tasks.push_back(HotTask{
-                        in_rel,
-                        static_cast<std::int32_t>((n * k + i) * k + j)});
-                    if (record_cols)
+                    const std::int32_t k_rel =
+                        static_cast<std::int32_t>((n * k + i) * k + j);
+                    ++task_count;
+                    if (record_tasks) {
+                        sched.tasks.push_back(HotTask{in_rel, k_rel});
                         sched.taskCol.push_back(col);
+                    }
+                    // Extend the current span while both operand
+                    // streams stay contiguous; start a new one
+                    // otherwise.
+                    bool extended = false;
+                    if (static_cast<std::size_t>(
+                            sched.rowSpanBegin[row]) <
+                        sched.spans.size()) {
+                        TaskSpan &last = sched.spans.back();
+                        if (last.inRel + last.len == in_rel &&
+                            last.kRel + last.len == k_rel) {
+                            ++last.len;
+                            extended = true;
+                        }
+                    }
+                    if (!extended) {
+                        sched.spans.push_back(
+                            TaskSpan{in_rel, k_rel, 1});
+                    }
                     const std::size_t word =
                         (static_cast<std::size_t>(n - pass.nBegin) *
                              span_x +
@@ -139,8 +185,9 @@ buildBatchSchedule(const ConvLayerSpec &spec, const LaneMapping &map,
             }
         }
     }
-    sched.rowTaskBegin[rows] =
-        static_cast<std::int32_t>(sched.tasks.size());
+    sched.rowTaskBegin[rows] = task_count;
+    sched.rowSpanBegin[rows] =
+        static_cast<std::int32_t>(sched.spans.size());
 
     sched.colWordBegin.assign(cols + 1, 0);
     for (int col = 0; col < cols; ++col) {
@@ -168,27 +215,25 @@ buildBatchSchedule(const ConvLayerSpec &spec, const LaneMapping &map,
 }
 
 /**
- * Per-thread simulation state: the flat window store plus the private
- * counter records that are merged deterministically after the
- * output-map blocks complete.
+ * The flat generation-stamped window store driving the delivery
+ * analysis: one slot per input word (the columns partition the words,
+ * so one flat array serves all columns).  A word is resident iff its
+ * stamp equals the current epoch; "clear" is an epoch bump, and the
+ * sliding-window prunes only adjust the per-column occupancy
+ * histograms — no per-word erase work and no hashing anywhere.
  *
- * The window store replaces the per-column hash maps of the original
- * implementation with one generation-stamped slot per input word (the
- * columns partition the words, so one flat array serves all columns).
- * A word is resident iff its stamp equals the current epoch; "clear"
- * is an epoch bump, and the sliding-window prunes only adjust the
- * per-column occupancy histograms — no per-word erase work and no
- * hashing anywhere on the per-MAC path.
+ * Residency depends only on (pass, m-boundary class) and the
+ * sequential (rb, cb) batch walk — never on which output-map block is
+ * computing — so the store now lives in the once-per-class delivery
+ * analysis instead of being replicated per worker thread.
  */
-struct WorkerState
+struct WindowStore
 {
     std::vector<std::uint32_t> gen;
     std::uint32_t epoch = 0;
     std::vector<std::int32_t> colSize; ///< resident words per column
     std::vector<std::int32_t> hist;    ///< per-column occupancy by x or y
     int histBins = 0;
-    LayerResult record;
-    ConvUnitDiagnostics diag;
 
     void
     init(std::size_t input_words, int cols, int hist_bins)
@@ -229,6 +274,27 @@ struct WorkerState
             }
         }
     }
+};
+
+/** Delivery-phase totals of one (pass, m-class) batch walk; applied
+ * once per output-map block of that class. */
+struct DeliveryStats
+{
+    WordCount neuronIn = 0;
+    std::uint64_t stallCycles = 0;
+    std::size_t peakColumnStoreWords = 0;
+};
+
+/**
+ * Per-lane compute-phase state: the private counter records merged
+ * deterministically (in lane order, all sums or maxes) after the tile
+ * queue drains.  Tiles own disjoint accumulator slices, so lanes
+ * share no mutable data at all.
+ */
+struct WorkerState
+{
+    LayerResult record;
+    ConvUnitDiagnostics diag;
 };
 
 } // namespace
@@ -282,7 +348,7 @@ FlexFlowConvUnit::runLayer(const ConvLayerSpec &spec,
     // ---- fault-plan setup -----------------------------------------
     // An absent or empty plan keeps every code path below identical
     // to the healthy unit: no allocation, no per-task column record,
-    // and the single-branch compute loop.
+    // and the span-form compute loop.
     const fault::FaultPlan *plan =
         (faults_ != nullptr && !faults_->empty()) ? faults_ : nullptr;
     std::vector<std::uint8_t> stuck;
@@ -482,235 +548,284 @@ FlexFlowConvUnit::runLayer(const ConvLayerSpec &spec,
         }
     }
 
-    // ---- the hot loop ---------------------------------------------
     const std::size_t kernel_map_stride =
         static_cast<std::size_t>(spec.inMaps) * k * k;
     const bool band = sched.bandRetention;
     const int hist_bins = band ? in_h : in_w;
 
-    const auto run_block = [&](int mb, WorkerState &ws) {
-        const int mc = m_class[mb];
+    // ---- delivery analysis (sequential) ---------------------------
+    // Vertical-CDB delivery and window-store residency depend only on
+    // the pass and the m-boundary class — never on which output-map
+    // block is computing — so the former per-thread replay of the
+    // window store collapses to one sequential (rb, cb) walk per
+    // (pass, m-class), applied once per block of that class.  For a
+    // layer like conv5 (12 interior output-map blocks) this removes
+    // ~11/12 of all delivery work before any thread even starts.
+    std::vector<DeliveryStats> delivery(
+        static_cast<std::size_t>(splits) * n_mc);
+    {
+        WindowStore store;
+        store.init(input.size(), cols_used, hist_bins);
         for (int pass = 0; pass < splits; ++pass) {
             const SchedulePass &p = sched.passes[pass];
-            const long long steps = p.steps;
-
-            // This (block, pass)'s kernels are broadcast once per
-            // logical group and latched by the group's rows (IPDR).
-            const WordCount kernel_words =
-                static_cast<WordCount>(m_class_valid[mc]) *
-                (p.nEnd - p.nBegin) * k * k;
-            ws.record.traffic.kernelIn += kernel_words;
-            ws.record.localStoreWrites += kernel_words * group_rows;
-
-            // A new (block, pass) brings a fresh n-chunk: the neuron
-            // stores restart.
-            ws.restartStores();
-            int pruned_to = 0;
-
-            for (int rb = 0; rb < r_blocks; ++rb) {
-                const int x_base = rb * t.tr * stride;
-                if (band) {
-                    // Retain the window; drop rows that slid out.
-                    ws.prune(pruned_to, x_base);
-                    pruned_to = x_base;
-                } else {
-                    ws.restartStores();
-                    pruned_to = 0;
-                }
-                for (int cb = 0; cb < c_blocks; ++cb) {
-                    ++ws.diag.batches;
-                    const int y_base = cb * t.tc * stride;
-                    const std::int32_t in_base =
-                        x_base * in_w + y_base;
-                    const BatchSchedule &bs = schedules[schedule_index(
-                        pass, mc, r_class[rb], c_class[cb])];
-
-                    // Vertical-CDB delivery: each new word reaches
-                    // its column once; PEs latch what they will use.
-                    std::int32_t max_new = 0;
-                    for (int col = 0; col < cols_used; ++col) {
-                        std::int32_t new_words = 0;
-                        std::int32_t *bins =
-                            ws.hist.data() +
-                            static_cast<std::size_t>(col) *
-                                ws.histBins;
-                        for (std::int32_t w = bs.colWordBegin[col];
-                             w < bs.colWordBegin[col + 1]; ++w) {
-                            const DeliveryWord &word = bs.words[w];
-                            const std::size_t slot =
-                                static_cast<std::size_t>(in_base) +
-                                word.inRel;
-                            if (ws.gen[slot] != ws.epoch) {
-                                ws.gen[slot] = ws.epoch;
-                                ++new_words;
-                                ++bins[band ? x_base + word.dx
-                                            : y_base + word.dy];
-                            }
-                        }
-                        ws.colSize[col] += new_words;
-                        ws.record.traffic.neuronIn +=
-                            static_cast<WordCount>(new_words);
-                        max_new = std::max(max_new, new_words);
-                        ws.diag.peakColumnStoreWords = std::max(
-                            ws.diag.peakColumnStoreWords,
-                            static_cast<std::size_t>(
-                                ws.colSize[col]));
+            for (int mc = 0; mc < n_mc; ++mc) {
+                DeliveryStats &stats =
+                    delivery[static_cast<std::size_t>(pass) * n_mc +
+                             mc];
+                store.restartStores();
+                int pruned_to = 0;
+                for (int rb = 0; rb < r_blocks; ++rb) {
+                    const int x_base = rb * t.tr * stride;
+                    if (band) {
+                        // Retain the window; drop rows that slid out.
+                        store.prune(pruned_to, x_base);
+                        pruned_to = x_base;
+                    } else {
+                        store.restartStores();
+                        pruned_to = 0;
                     }
-                    if (max_new > steps) {
-                        ws.diag.deliveryStallCycles +=
-                            static_cast<std::uint64_t>(max_new -
-                                                       steps);
-                    }
-                    ws.diag.maxTasksPerPe = std::max(
-                        ws.diag.maxTasksPerPe, bs.maxTasksPerPe);
+                    for (int cb = 0; cb < c_blocks; ++cb) {
+                        const int y_base = cb * t.tc * stride;
+                        const std::int32_t in_base =
+                            x_base * in_w + y_base;
+                        const BatchSchedule &bs =
+                            schedules[schedule_index(
+                                pass, mc, r_class[rb], c_class[cb])];
 
-                    // Compute phase: `steps` cycles of asynchronous
-                    // (RS) per-PE task execution with row-tree
-                    // folding.  The fixed-point accumulation is
-                    // order-independent, so each row's tasks run
-                    // contiguously instead of cycle-interleaved.
-                    for (int row = 0; row < rows_used; ++row) {
-                        if (!bs.rowValid[row])
-                            continue;
-                        const std::int32_t begin =
-                            bs.rowTaskBegin[row];
-                        const std::int32_t end =
-                            bs.rowTaskBegin[row + 1];
-                        const std::size_t k_base =
-                            static_cast<std::size_t>(mb * t.tm +
-                                                     lanes[row].mOff) *
-                            kernel_map_stride;
-                        Acc row_sum = 0;
-                        if (!mac_faults) {
-                            for (std::int32_t i = begin; i < end;
-                                 ++i) {
-                                const HotTask &task = bs.tasks[i];
-                                // RA self-check: the resident word
-                                // must be the operand this (output,
-                                // synapse) pair needs.
-                                flexsim_paranoid_assert(
-                                    ws.gen[static_cast<std::size_t>(
-                                               in_base) +
-                                           task.inRel] == ws.epoch,
-                                    "FlexFlow column store delivered "
-                                    "a stale operand");
-                                row_sum += mulRaw(
-                                    in_data[in_base + task.inRel],
-                                    k_data[k_base + task.kRel]);
-                            }
-                        } else {
-                            // Faulty datapath: stuck PEs zero their
-                            // product, transient flips XOR it.  The
-                            // draw is a pure hash of the logical site
-                            // (block, pass, band, row, task), so any
-                            // thread partition injects identically.
-                            const std::uint64_t site_prefix =
-                                fault::mixKey(
-                                    fault_seed,
-                                    (((static_cast<std::uint64_t>(
-                                           mb) *
-                                           splits +
-                                       pass) *
-                                          r_blocks +
-                                      rb) *
-                                         c_blocks +
-                                     cb) *
-                                            rows_used +
-                                        row);
-                            const std::uint8_t *stuck_row =
-                                stuck.data() +
-                                static_cast<std::size_t>(row) *
-                                    cols_used;
-                            for (std::int32_t i = begin; i < end;
-                                 ++i) {
-                                const HotTask &task = bs.tasks[i];
-                                Acc prod = mulRaw(
-                                    in_data[in_base + task.inRel],
-                                    k_data[k_base + task.kRel]);
-                                if (stuck_active &&
-                                    stuck_row[bs.taskCol[i]]) {
-                                    prod = 0;
-                                    ++ws.diag.faults.stuckMacs;
-                                } else if (flip_active &&
-                                           fault::transientFires(
-                                               site_prefix,
-                                               static_cast<
-                                                   std::uint64_t>(
-                                                   i - begin),
-                                               flip_rate)) {
-                                    prod ^= flip_mask;
-                                    ++ws.diag.faults.flippedMacs;
+                        // Each new word reaches its column once; PEs
+                        // latch what they will use.
+                        std::int32_t max_new = 0;
+                        for (int col = 0; col < cols_used; ++col) {
+                            std::int32_t new_words = 0;
+                            std::int32_t *bins =
+                                store.hist.data() +
+                                static_cast<std::size_t>(col) *
+                                    store.histBins;
+                            for (std::int32_t w = bs.colWordBegin[col];
+                                 w < bs.colWordBegin[col + 1]; ++w) {
+                                const DeliveryWord &word = bs.words[w];
+                                const std::size_t slot =
+                                    static_cast<std::size_t>(in_base) +
+                                    word.inRel;
+                                if (store.gen[slot] != store.epoch) {
+                                    store.gen[slot] = store.epoch;
+                                    ++new_words;
+                                    ++bins[band ? x_base + word.dx
+                                                : y_base + word.dy];
                                 }
-                                row_sum += prod;
+                            }
+                            store.colSize[col] += new_words;
+                            stats.neuronIn +=
+                                static_cast<WordCount>(new_words);
+                            max_new = std::max(max_new, new_words);
+                            stats.peakColumnStoreWords = std::max(
+                                stats.peakColumnStoreWords,
+                                static_cast<std::size_t>(
+                                    store.colSize[col]));
+                        }
+                        if (max_new > p.steps) {
+                            stats.stallCycles +=
+                                static_cast<std::uint64_t>(max_new -
+                                                           p.steps);
+                        }
+#ifdef FLEXSIM_PARANOID
+                        // RA self-check: every operand the compute
+                        // phase will read for this batch must be
+                        // resident in the column stores right now.
+                        for (int row = 0; row < rows_used; ++row) {
+                            if (!bs.rowValid[row])
+                                continue;
+                            for (std::int32_t sp =
+                                     bs.rowSpanBegin[row];
+                                 sp < bs.rowSpanBegin[row + 1];
+                                 ++sp) {
+                                const TaskSpan &span = bs.spans[sp];
+                                for (std::int32_t o = 0;
+                                     o < span.len; ++o) {
+                                    flexsim_paranoid_assert(
+                                        store.gen
+                                                [static_cast<
+                                                     std::size_t>(
+                                                     in_base) +
+                                                 span.inRel + o] ==
+                                            store.epoch,
+                                        "FlexFlow column store "
+                                        "delivered a stale operand");
+                                }
                             }
                         }
-                        const WordCount n_tasks =
-                            static_cast<WordCount>(end - begin);
-                        ws.record.activeMacCycles += n_tasks;
-                        ws.record.localStoreReads += 2 * n_tasks;
-                        ws.record.localStoreWrites += n_tasks;
-
-                        // Writeback: one partial (or final) neuron
-                        // per valid row, accumulated with the
-                        // buffer-resident partial results of earlier
-                        // passes (Fig. 13(f)).  The acc regions of
-                        // distinct output-map blocks are disjoint, so
-                        // blocks can run on different threads.
-                        acc[(static_cast<std::size_t>(mb * t.tm +
-                                                      lanes[row].mOff) *
-                                 s +
-                             (rb * t.tr + lanes[row].rOff)) *
-                                s +
-                            (cb * t.tc + lanes[row].cOff)] += row_sum;
-                        if (pass > 0)
-                            ++ws.record.traffic.psumRead;
-                        if (pass + 1 < splits)
-                            ++ws.record.traffic.psumWrite;
-                        else
-                            ++ws.record.traffic.neuronOut;
-                    }
-                    ws.record.cycles += static_cast<Cycle>(steps);
-
-                    if (!band) {
-                        // RS retention: prune window columns that
-                        // slid out.
-                        const int next_y_base =
-                            (cb + 1) * t.tc * stride;
-                        ws.prune(pruned_to, next_y_base);
-                        pruned_to = next_y_base;
+#endif
+                        if (!band) {
+                            // RS retention: prune window columns that
+                            // slid out.
+                            const int next_y_base =
+                                (cb + 1) * t.tc * stride;
+                            store.prune(pruned_to, next_y_base);
+                            pruned_to = next_y_base;
+                        }
                     }
                 }
             }
         }
-    };
-
-    const int threads = std::max(
-        1, std::min<int>(config_.threads, m_blocks));
-    std::vector<WorkerState> states(threads);
-    for (WorkerState &ws : states)
-        ws.init(input.size(), cols_used, hist_bins);
-
-    if (threads == 1) {
-        for (int mb = 0; mb < m_blocks; ++mb)
-            run_block(mb, states[0]);
-    } else {
-        // Output-map blocks interleave across the pool round-robin;
-        // acc writes are disjoint per block and all bookkeeping is
-        // thread-private, so the partition is race-free by
-        // construction (TSan-clean without atomics).
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (int tid = 0; tid < threads; ++tid) {
-            pool.emplace_back([&, tid] {
-                for (int mb = tid; mb < m_blocks; mb += threads)
-                    run_block(mb, states[tid]);
-            });
-        }
-        for (std::thread &worker : pool)
-            worker.join();
     }
 
-    // Deterministic merge in thread order: every field is a sum or a
+    // Per-(block, pass) aggregates: broadcast kernels latched by each
+    // logical group's rows (IPDR), the class's delivery totals, and
+    // the batch step cycles — all independent of the compute phase.
+    for (int mb = 0; mb < m_blocks; ++mb) {
+        const int mc = m_class[mb];
+        for (int pass = 0; pass < splits; ++pass) {
+            const SchedulePass &p = sched.passes[pass];
+            const WordCount kernel_words =
+                static_cast<WordCount>(m_class_valid[mc]) *
+                (p.nEnd - p.nBegin) * k * k;
+            record.traffic.kernelIn += kernel_words;
+            record.localStoreWrites += kernel_words * group_rows;
+            const DeliveryStats &stats =
+                delivery[static_cast<std::size_t>(pass) * n_mc + mc];
+            record.traffic.neuronIn += stats.neuronIn;
+            diagnostics.deliveryStallCycles += stats.stallCycles;
+            diagnostics.peakColumnStoreWords =
+                std::max(diagnostics.peakColumnStoreWords,
+                         stats.peakColumnStoreWords);
+            record.cycles += static_cast<Cycle>(p.steps) * r_blocks *
+                             c_blocks;
+            diagnostics.batches +=
+                static_cast<std::uint64_t>(r_blocks) * c_blocks;
+        }
+    }
+
+    // ---- compute phase (parallel over flat tiles) -----------------
+    // One tile per (mb, rb, cb) batch position; a tile runs all of
+    // its passes back to back so the accumulator slice it owns is
+    // touched by exactly one lane.  Tiles are claimed from the shared
+    // pool's atomic queue, so the lane-to-tile assignment is
+    // nondeterministic — but every per-lane counter below is a sum or
+    // max merged in lane order, and the fault draws hash only logical
+    // sites, so results are bit-identical at any thread count.
+    const auto run_tile = [&](int mb, int rb, int cb,
+                              WorkerState &ws) {
+        const int mc = m_class[mb];
+        const int x_base = rb * t.tr * stride;
+        const int y_base = cb * t.tc * stride;
+        const std::int32_t in_base = x_base * in_w + y_base;
+        for (int pass = 0; pass < splits; ++pass) {
+            const BatchSchedule &bs = schedules[schedule_index(
+                pass, mc, r_class[rb], c_class[cb])];
+            ws.diag.maxTasksPerPe = std::max(ws.diag.maxTasksPerPe,
+                                             bs.maxTasksPerPe);
+
+            // `steps` cycles of asynchronous (RS) per-PE task
+            // execution with row-tree folding.  The fixed-point
+            // accumulation is order-independent, so each row's tasks
+            // run contiguously as vectorizable operand spans instead
+            // of cycle-interleaved.
+            for (int row = 0; row < rows_used; ++row) {
+                if (!bs.rowValid[row])
+                    continue;
+                const std::int32_t begin = bs.rowTaskBegin[row];
+                const std::int32_t end = bs.rowTaskBegin[row + 1];
+                const std::size_t k_base =
+                    static_cast<std::size_t>(mb * t.tm +
+                                             lanes[row].mOff) *
+                    kernel_map_stride;
+                Acc row_sum = 0;
+                if (!mac_faults) {
+                    for (std::int32_t sp = bs.rowSpanBegin[row];
+                         sp < bs.rowSpanBegin[row + 1]; ++sp) {
+                        const TaskSpan &span = bs.spans[sp];
+                        row_sum += dotSpan(
+                            in_data + in_base + span.inRel,
+                            k_data + k_base + span.kRel, span.len);
+                    }
+                } else {
+                    // Faulty datapath: stuck PEs zero their product,
+                    // transient flips XOR it.  The draw is a pure
+                    // hash of the logical site (block, pass, band,
+                    // row, task), so any thread partition injects
+                    // identically.
+                    const std::uint64_t site_prefix = fault::mixKey(
+                        fault_seed,
+                        (((static_cast<std::uint64_t>(mb) * splits +
+                           pass) *
+                              r_blocks +
+                          rb) *
+                             c_blocks +
+                         cb) *
+                                rows_used +
+                            row);
+                    const std::uint8_t *stuck_row =
+                        stuck.data() +
+                        static_cast<std::size_t>(row) * cols_used;
+                    for (std::int32_t i = begin; i < end; ++i) {
+                        const HotTask &task = bs.tasks[i];
+                        Acc prod =
+                            mulRaw(in_data[in_base + task.inRel],
+                                   k_data[k_base + task.kRel]);
+                        if (stuck_active &&
+                            stuck_row[bs.taskCol[i]]) {
+                            prod = 0;
+                            ++ws.diag.faults.stuckMacs;
+                        } else if (flip_active &&
+                                   fault::transientFires(
+                                       site_prefix,
+                                       static_cast<std::uint64_t>(
+                                           i - begin),
+                                       flip_rate)) {
+                            prod ^= flip_mask;
+                            ++ws.diag.faults.flippedMacs;
+                        }
+                        row_sum += prod;
+                    }
+                }
+                const WordCount n_tasks =
+                    static_cast<WordCount>(end - begin);
+                ws.record.activeMacCycles += n_tasks;
+                ws.record.localStoreReads += 2 * n_tasks;
+                ws.record.localStoreWrites += n_tasks;
+
+                // Writeback: one partial (or final) neuron per valid
+                // row, accumulated with the buffer-resident partial
+                // results of earlier passes (Fig. 13(f)).  The acc
+                // slice of a (mb, rb, cb) tile is disjoint from every
+                // other tile's, so tiles can run on different lanes.
+                acc[(static_cast<std::size_t>(mb * t.tm +
+                                              lanes[row].mOff) *
+                         s +
+                     (rb * t.tr + lanes[row].rOff)) *
+                        s +
+                    (cb * t.tc + lanes[row].cOff)] += row_sum;
+                if (pass > 0)
+                    ++ws.record.traffic.psumRead;
+                if (pass + 1 < splits)
+                    ++ws.record.traffic.psumWrite;
+                else
+                    ++ws.record.traffic.neuronOut;
+            }
+        }
+    };
+
+    // Tiles flatten the whole (mb, rb, cb) space, so a layer with a
+    // single output-map block still spreads its (rb, cb) batches
+    // across every lane (the former min(threads, m_blocks) cap is
+    // gone).
+    const int threads = std::max(1, config_.threads);
+    const std::int64_t tiles =
+        static_cast<std::int64_t>(m_blocks) * r_blocks * c_blocks;
+    std::vector<WorkerState> states(
+        std::min<std::int64_t>(threads, std::max<std::int64_t>(
+                                            tiles, 1)));
+    sim::ThreadPool::shared().parallelFor(
+        tiles, threads, [&](int lane, std::int64_t tile) {
+            const int mb =
+                static_cast<int>(tile / (r_blocks * c_blocks));
+            const int rem =
+                static_cast<int>(tile % (r_blocks * c_blocks));
+            run_tile(mb, rem / c_blocks, rem % c_blocks,
+                     states[lane]);
+        });
+
+    // Deterministic merge in lane order: every field is a sum or a
     // max, so the totals are independent of the actual interleaving.
     for (const WorkerState &ws : states) {
         record.cycles += ws.record.cycles;

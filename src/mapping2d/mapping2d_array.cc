@@ -6,6 +6,7 @@
 #include "arch/dram_planner.hh"
 #include "arch/unroll.hh"
 #include "common/logging.hh"
+#include "sim/thread_pool.hh"
 
 namespace flexsim {
 
@@ -59,28 +60,42 @@ Mapping2DArraySim::runLayer(const ConvLayerSpec &spec,
     const int k = spec.kernel;
     const int stride = spec.stride;
 
-    LayerResult record;
-    record.layerName = spec.name;
-    record.peCount = config_.peCount();
-    record.macs = spec.macs();
+    LayerResult total;
+    total.layerName = spec.name;
+    total.peCount = config_.peCount();
+    total.macs = spec.macs();
 
     faultDiag_ = fault::FaultDiagnostics{};
 
     Tensor3<> output(spec.outMaps, s, s);
 
-    // Per-PE state for the current block.
-    std::vector<Fixed16> regs(static_cast<std::size_t>(tr) * tc);
-    std::vector<Fixed16> row_start(regs.size());
-    std::vector<Acc> accs(regs.size());
+    // Each (output block, output map) tile owns a disjoint output
+    // slice and fully private PE state, so tiles spread freely over
+    // the shared pool; every counter below is a lane-private sum
+    // merged in lane order, keeping results bit-identical at any
+    // thread count.
+    struct LaneState
+    {
+        std::vector<Fixed16> regs;
+        std::vector<Fixed16> rowStart;
+        std::vector<Acc> accs;
+        LayerResult rec;
+        fault::FaultDiagnostics diag;
+    };
     auto idx = [tc](int r, int c) {
         return static_cast<std::size_t>(r) * tc + c;
     };
 
-    for (int r0 = 0; r0 < s; r0 += tr) {
+    const auto run_tile = [&](int r0, int c0, int m, LaneState &ls) {
         const int rows = std::min(tr, s - r0);
-        for (int c0 = 0; c0 < s; c0 += tc) {
-            const int cols = std::min(tc, s - c0);
-            for (int m = 0; m < spec.outMaps; ++m) {
+        const int cols = std::min(tc, s - c0);
+        std::vector<Fixed16> &regs = ls.regs;
+        std::vector<Fixed16> &row_start = ls.rowStart;
+        std::vector<Acc> &accs = ls.accs;
+        LayerResult &record = ls.rec;
+        fault::FaultDiagnostics &fault_diag = ls.diag;
+        {
+            {
                 std::fill(accs.begin(), accs.end(), Acc{0});
                 // Initial-window fill cycles for the first input map
                 // (later windows preload behind the computation).
@@ -178,7 +193,7 @@ Mapping2DArraySim::runLayer(const ConvLayerSpec &spec,
                                         if (!stuckMap_.empty() &&
                                             stuckMap_[idx(r, c)]) {
                                             prod = 0;
-                                            ++faultDiag_.stuckMacs;
+                                            ++fault_diag.stuckMacs;
                                         } else if (
                                             fault::transientFires(
                                                 site_prefix,
@@ -190,7 +205,7 @@ Mapping2DArraySim::runLayer(const ConvLayerSpec &spec,
                                                 faults_->flipRate)) {
                                             prod ^= static_cast<Acc>(
                                                 faults_->flipMask);
-                                            ++faultDiag_.flippedMacs;
+                                            ++fault_diag.flippedMacs;
                                         }
                                     }
                                     accs[idx(r, c)] += prod;
@@ -213,14 +228,45 @@ Mapping2DArraySim::runLayer(const ConvLayerSpec &spec,
                 }
             }
         }
+    };
+
+    const int r_blocks = ceilDiv(s, tr);
+    const int c_blocks = ceilDiv(s, tc);
+    const std::int64_t tiles = static_cast<std::int64_t>(r_blocks) *
+                               c_blocks * spec.outMaps;
+    const int threads = std::max(1, config_.threads);
+    std::vector<LaneState> lanes(std::max<std::int64_t>(
+        1, std::min<std::int64_t>(threads, tiles)));
+    for (LaneState &ls : lanes) {
+        ls.regs.resize(static_cast<std::size_t>(tr) * tc);
+        ls.rowStart.resize(ls.regs.size());
+        ls.accs.resize(ls.regs.size());
+    }
+    sim::ThreadPool::shared().parallelFor(
+        tiles, threads, [&](int lane, std::int64_t tile) {
+            const int m = static_cast<int>(tile % spec.outMaps);
+            const std::int64_t blk = tile / spec.outMaps;
+            const int c0_blk = static_cast<int>(blk % c_blocks);
+            const int r0_blk = static_cast<int>(blk / c_blocks);
+            run_tile(r0_blk * tr, c0_blk * tc, m, lanes[lane]);
+        });
+
+    for (const LaneState &ls : lanes) {
+        total.cycles += ls.rec.cycles;
+        total.fillCycles += ls.rec.fillCycles;
+        total.activeMacCycles += ls.rec.activeMacCycles;
+        total.traffic += ls.rec.traffic;
+        total.localStoreReads += ls.rec.localStoreReads;
+        total.localStoreWrites += ls.rec.localStoreWrites;
+        faultDiag_ += ls.diag;
     }
 
-    record.dram = planDramTraffic(spec, config_.neuronBufWords,
-                                  config_.kernelBufWords)
-                      .traffic;
+    total.dram = planDramTraffic(spec, config_.neuronBufWords,
+                                 config_.kernelBufWords)
+                     .traffic;
 
     if (result != nullptr)
-        *result = record;
+        *result = total;
     return output;
 }
 

@@ -21,6 +21,10 @@ struct Mapping2DConfig
     int cols = 16; ///< Tc
     std::size_t neuronBufWords = 16 * 1024; ///< 32 KiB
     std::size_t kernelBufWords = 16 * 1024; ///< 32 KiB
+    /** Host worker threads simulating (block, map) tiles in parallel
+     * on the shared sim::ThreadPool (simulation throughput only —
+     * results are bit-identical for any value). */
+    int threads = 1;
 
     unsigned
     peCount() const

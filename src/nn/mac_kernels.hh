@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Contiguous-span MAC kernels shared by the cycle simulators.
+ *
+ * The inner loops of all four simulators reduce, on their zero-fault
+ * fast paths, to multiply-accumulate sweeps over contiguous runs of
+ * Q7.8 operands.  Expressed as tight loops over raw int16 payloads
+ * with no per-element branches, the compiler auto-vectorizes them
+ * (SSE2 pmaddwd-style: 16-bit products widened and summed in wide
+ * lanes) — this is where the remaining single-thread headroom lives.
+ *
+ * Every kernel accumulates through the same `(Acc)a * b` widening as
+ * mulRaw(), so results stay bit-identical to the scalar reference:
+ * integer addition is exactly associative, reordering is free.
+ */
+
+#ifndef FLEXSIM_NN_MAC_KERNELS_HH
+#define FLEXSIM_NN_MAC_KERNELS_HH
+
+#include <cstdint>
+
+#include "nn/fixed_point.hh"
+
+namespace flexsim {
+
+/**
+ * Dot product of two contiguous spans of n Q7.8 values, returned as a
+ * raw Q14.16 accumulator contribution.
+ *
+ * The i32 intermediate keeps the per-element work in one 32-bit
+ * multiply (a 16x16 product cannot overflow int32), which is what the
+ * vectorizer wants; the running sum is still the full-width Acc.
+ */
+inline Acc
+dotSpan(const Fixed16 *a, const Fixed16 *b, int n)
+{
+    Acc sum = 0;
+    for (int i = 0; i < n; ++i) {
+        sum += static_cast<std::int32_t>(a[i].raw()) *
+               static_cast<std::int32_t>(b[i].raw());
+    }
+    return sum;
+}
+
+/**
+ * Broadcast-scale accumulate: acc[i] += s_raw * b[i] over a
+ * contiguous span (the tiling baseline's one-neuron-to-all-lanes
+ * broadcast step, and the systolic chain's per-cycle column update).
+ */
+inline void
+scaleAccumSpan(Acc *acc, std::int32_t s_raw, const Fixed16 *b, int n)
+{
+    for (int i = 0; i < n; ++i)
+        acc[i] += static_cast<Acc>(s_raw * static_cast<std::int32_t>(
+                                               b[i].raw()));
+}
+
+/**
+ * Sum a contiguous span of 0/1 occupancy bytes (the systolic chain's
+ * valid-slot tally that rides alongside the unconditional accumulate
+ * in scaleAccumSpan).
+ */
+inline std::uint64_t
+sumBytes(const std::uint8_t *v, int n)
+{
+    std::uint64_t sum = 0;
+    for (int i = 0; i < n; ++i)
+        sum += v[i];
+    return sum;
+}
+
+} // namespace flexsim
+
+#endif // FLEXSIM_NN_MAC_KERNELS_HH

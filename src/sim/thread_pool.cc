@@ -1,0 +1,166 @@
+#include "sim/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace flexsim {
+namespace sim {
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::parallelFor(std::int64_t tiles, int maxLanes,
+                        const TileFn &fn)
+{
+    if (tiles <= 0)
+        return;
+    int lanes = maxLanes;
+    if (lanes > tiles)
+        lanes = static_cast<int>(tiles);
+    if (lanes <= 1) {
+        // Inline fast path: a threads=1 run never touches the pool
+        // (no atomics, no locks), so single-thread timing and the
+        // serving runtime's own worker threads see zero overhead.
+        for (std::int64_t tile = 0; tile < tiles; ++tile)
+            fn(0, tile);
+        return;
+    }
+
+    // One client at a time; a second threaded caller (e.g. another
+    // serve worker) queues up here rather than interleaving jobs.
+    std::lock_guard<std::mutex> client(clientMutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ensureWorkersLocked(lanes - 1);
+        fn_ = &fn;
+        tiles_ = tiles;
+        next_.store(0, std::memory_order_relaxed);
+        lanes_ = lanes - 1;
+        finished_ = 0;
+        ++generation_;
+        ++jobs_;
+    }
+    wake_.notify_all();
+
+    // The caller is lane 0 and competes for tiles like any worker.
+    for (;;) {
+        const std::int64_t tile =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (tile >= tiles)
+            break;
+        fn(0, tile);
+        pooledTiles_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return finished_ == lanes_; });
+    fn_ = nullptr;
+}
+
+void
+ThreadPool::ensureWorkersLocked(int needed)
+{
+    while (static_cast<int>(workers_.size()) < needed) {
+        const int index = static_cast<int>(workers_.size());
+        workers_.emplace_back([this, index] { workerLoop(index); });
+    }
+}
+
+void
+ThreadPool::workerLoop(int index)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const TileFn *fn = nullptr;
+        std::int64_t tiles = 0;
+        bool participating = false;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this, seen] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            // Lanes beyond this job's width still have to advance
+            // their generation and report in, or a later wider job
+            // could be miscounted against the stale one.
+            participating = index < lanes_;
+            fn = fn_;
+            tiles = tiles_;
+        }
+        if (participating) {
+            for (;;) {
+                const std::int64_t tile =
+                    next_.fetch_add(1, std::memory_order_relaxed);
+                if (tile >= tiles)
+                    break;
+                (*fn)(index + 1, tile);
+                pooledTiles_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        bool last = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (participating)
+                last = ++finished_ == lanes_;
+        }
+        if (last)
+            done_.notify_one();
+    }
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    const char *env = std::getenv("FLEXSIM_THREADS");
+    if (!env || !*env)
+        return 1;
+    try {
+        const int threads = std::stoi(env);
+        if (threads >= 1)
+            return threads;
+    } catch (...) {
+        // fall through: malformed values mean "default"
+    }
+    return 1;
+}
+
+int
+ThreadPool::spawnedWorkers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(workers_.size());
+}
+
+std::uint64_t
+ThreadPool::pooledJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_;
+}
+
+std::uint64_t
+ThreadPool::pooledTiles() const
+{
+    return pooledTiles_.load(std::memory_order_relaxed);
+}
+
+} // namespace sim
+} // namespace flexsim

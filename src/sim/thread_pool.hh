@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The shared host-side simulation thread pool.
+ *
+ * Every cycle simulator decomposes a layer into independent tiles
+ * (disjoint output regions with thread-private bookkeeping) and runs
+ * them through one process-wide pool of persistent workers.  Workers
+ * are spawned once, on first use, and reused across runLayer() calls,
+ * benches, flexrun, and flexserve — the former per-call
+ * std::thread spawn/join is gone from the hot path.
+ *
+ * Tiles are claimed from a shared atomic counter (a degenerate but
+ * contention-free work-stealing queue): whichever lane is free next
+ * takes the next tile index, so load imbalance between boundary and
+ * interior tiles self-corrects.  Because the tile-to-lane assignment
+ * is therefore nondeterministic, callers must keep all per-tile state
+ * either tile-private (disjoint output slices) or lane-private and
+ * merged with commutative/associative reductions (sums, maxes) — the
+ * determinism contract is spelled out in DESIGN.md §3.6.
+ */
+
+#ifndef FLEXSIM_SIM_THREAD_POOL_HH
+#define FLEXSIM_SIM_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flexsim {
+namespace sim {
+
+class ThreadPool
+{
+  public:
+    /** Callback for one tile; lane is in [0, lanes), lane 0 is the
+     * calling thread. */
+    using TileFn = std::function<void(int lane, std::int64_t tile)>;
+
+    ThreadPool() = default;
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Run fn(lane, tile) for every tile in [0, tiles) on up to
+     * @p maxLanes lanes (the caller participates as lane 0; workers
+     * are lanes 1..).  Blocks until every tile completed.
+     *
+     * With maxLanes <= 1 (or a single tile) the loop runs inline on
+     * the calling thread: no atomics, no pool machinery, so a
+     * threads=1 configuration behaves exactly like a simulator that
+     * never heard of the pool.
+     *
+     * Concurrent parallelFor() calls from different client threads
+     * (e.g. serving workers each running a threaded simulator) are
+     * serialized: the second caller blocks until the pool is free.
+     */
+    void parallelFor(std::int64_t tiles, int maxLanes, const TileFn &fn);
+
+    /** The process-wide pool every simulator shares. */
+    static ThreadPool &shared();
+
+    /**
+     * Default host worker-thread count for tools and benches: the
+     * FLEXSIM_THREADS environment variable when set to an integer
+     * >= 1, else 1.  Purely a simulation-throughput knob — modelled
+     * results are bit-identical at any value.
+     */
+    static int defaultThreads();
+
+    /** Workers spawned so far (grows on demand, never shrinks). */
+    int spawnedWorkers() const;
+
+    /** Parallel sections dispatched through the pool (telemetry;
+     * inline single-lane runs are not counted). */
+    std::uint64_t pooledJobs() const;
+
+    /** Tiles executed by pool workers or a pooled caller lane. */
+    std::uint64_t pooledTiles() const;
+
+  private:
+    void ensureWorkersLocked(int needed);
+    void workerLoop(int index);
+
+    mutable std::mutex mutex_; ///< guards job state + worker spawning
+    std::condition_variable wake_; ///< workers wait for a job
+    std::condition_variable done_; ///< caller waits for completion
+    std::mutex clientMutex_;       ///< serializes client sections
+    std::vector<std::thread> workers_;
+
+    // Current job, published under mutex_.
+    const TileFn *fn_ = nullptr;
+    std::int64_t tiles_ = 0;
+    std::atomic<std::int64_t> next_{0};
+    std::atomic<std::uint64_t> pooledTiles_{0};
+    int lanes_ = 0;    ///< worker lanes participating in this job
+    int finished_ = 0; ///< worker lanes done with this job
+    std::uint64_t generation_ = 0;
+    std::uint64_t jobs_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace sim
+} // namespace flexsim
+
+#endif // FLEXSIM_SIM_THREAD_POOL_HH

@@ -6,6 +6,8 @@
 #include "arch/dram_planner.hh"
 #include "arch/unroll.hh"
 #include "common/logging.hh"
+#include "nn/mac_kernels.hh"
+#include "sim/thread_pool.hh"
 
 namespace flexsim {
 
@@ -44,7 +46,8 @@ SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
                                const Tensor3<> &input,
                                const Tensor4<> &kernels, int m, int n,
                                int i0, int j0, std::vector<Acc> &accs,
-                               std::vector<Token> &chain)
+                               Chain &chain,
+                               fault::FaultDiagnostics &diag) const
 {
     const int ka = config_.arrayEdge;
     const int w = input.width();
@@ -62,7 +65,7 @@ SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
 
     // The PE chain is modelled as a ring buffer: the per-cycle chain
     // shift becomes a head decrement instead of moving `depth` tokens.
-    chain.assign(depth, Token{});
+    chain.reset(depth);
     int head = 0;
     const int stream = h * w;
 
@@ -77,6 +80,10 @@ SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
         j0;
     Acc *out_map = accs.data() + static_cast<std::size_t>(m) * s * s;
 
+    std::uint8_t *valid = chain.valid.data();
+    std::int32_t *out_pos = chain.outPos.data();
+    Acc *acc = chain.acc.data();
+
     for (int t = 0; t < stream + depth; ++t) {
         const bool have_input = t < stream;
 
@@ -86,14 +93,13 @@ SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
             int tail = head + depth - 1;
             if (tail >= depth)
                 tail -= depth;
-            const Token &leaving = chain[tail];
-            if (leaving.valid) {
-                out_map[leaving.outR * s + leaving.outC] += leaving.acc;
+            if (valid[tail]) {
+                out_map[out_pos[tail]] += acc[tail];
                 ++stats.validEmissions;
             }
         }
         head = head == 0 ? depth - 1 : head - 1;
-        chain[head] = Token{};
+        valid[head] = 0;
         if (have_input) {
             const int a = t / w;
             const int b = t % w;
@@ -102,9 +108,10 @@ SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
             if (orig_r >= 0 && orig_c >= 0 && orig_r % stride == 0 &&
                 orig_c % stride == 0 && orig_r / stride < s &&
                 orig_c / stride < s) {
-                chain[head].valid = true;
-                chain[head].outR = orig_r / stride;
-                chain[head].outC = orig_c / stride;
+                valid[head] = 1;
+                out_pos[head] =
+                    (orig_r / stride) * s + orig_c / stride;
+                acc[head] = 0;
             }
         }
 
@@ -112,25 +119,54 @@ SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
         // neuron by its resident synapse and accumulates into the
         // token currently in its stage.
         if (have_input && !macFaultsActive_) {
+#ifdef FLEXSIM_PARANOID
+            // Checked scalar variant: walk tokens one by one so the
+            // alignment self-check can fire per operand.
             const Fixed16 broadcast = in_map[t];
             for (int i = 0; i < ti_span; ++i) {
                 for (int j = 0; j < tj_span; ++j) {
                     int stage = head + i * w + j;
                     if (stage >= depth)
                         stage -= depth;
-                    Token &token = chain[stage];
-                    if (!token.valid)
+                    if (!valid[stage])
                         continue;
                     // Self-check: the broadcast must be the operand
                     // this token needs at this stage.
                     flexsim_paranoid_assert(
-                        t / w == token.outR * stride + i0 + i &&
-                            t % w == token.outC * stride + j0 + j,
+                        t / w == (out_pos[stage] / s) * stride + i0 +
+                                     i &&
+                            t % w ==
+                                (out_pos[stage] % s) * stride + j0 + j,
                         "systolic pipeline misalignment at cycle ", t);
-                    token.acc += mulRaw(broadcast, k_tile[i * k + j]);
+                    acc[stage] += mulRaw(broadcast, k_tile[i * k + j]);
                     ++stats.activeMacs;
                 }
             }
+#else
+            // Vectorized variant: accumulate unconditionally over the
+            // (at most two, on ring wrap) contiguous stage runs each
+            // kernel row touches, and tally active MACs from the
+            // valid bytes separately.  An invalid slot's acc is never
+            // read (it is zeroed when the slot is next injected
+            // valid), and the garbage it collects meanwhile is
+            // bounded by ~2^41 — far below Acc's range — so outputs
+            // and counters stay bit-identical to the checked loop.
+            const std::int32_t braw = in_map[t].raw();
+            for (int i = 0; i < ti_span; ++i) {
+                int base = head + i * w;
+                if (base >= depth)
+                    base -= depth;
+                const Fixed16 *k_row = k_tile + i * k;
+                const int first = std::min(tj_span, depth - base);
+                scaleAccumSpan(acc + base, braw, k_row, first);
+                stats.activeMacs += sumBytes(valid + base, first);
+                const int rest = tj_span - first;
+                if (rest > 0) {
+                    scaleAccumSpan(acc, braw, k_row + first, rest);
+                    stats.activeMacs += sumBytes(valid, rest);
+                }
+            }
+#endif
         } else if (have_input) {
             // Faulty datapath variant: the draw depends only on the
             // logical site (pass, cycle, PE), never on iteration
@@ -148,15 +184,14 @@ SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
                     int stage = head + i * w + j;
                     if (stage >= depth)
                         stage -= depth;
-                    Token &token = chain[stage];
-                    if (!token.valid)
+                    if (!valid[stage])
                         continue;
                     Acc prod =
                         mulRaw(broadcast, k_tile[i * k + j]);
                     if (stuckMap_[static_cast<std::size_t>(i) * ka +
                                   j]) {
                         prod = 0;
-                        ++faultDiag_.stuckMacs;
+                        ++diag.stuckMacs;
                     } else if (fault::transientFires(
                                    pass_prefix,
                                    (static_cast<std::uint64_t>(t) *
@@ -166,9 +201,9 @@ SystolicArraySim::simulatePass(const ConvLayerSpec &spec,
                                        j,
                                    faults_->flipRate)) {
                         prod ^= static_cast<Acc>(faults_->flipMask);
-                        ++faultDiag_.flippedMacs;
+                        ++diag.flippedMacs;
                     }
-                    token.acc += prod;
+                    acc[stage] += prod;
                     ++stats.activeMacs;
                 }
             }
@@ -206,8 +241,6 @@ SystolicArraySim::runLayer(const ConvLayerSpec &spec,
 
     std::vector<Acc> accs(
         static_cast<std::size_t>(spec.outMaps) * s * s, 0);
-    std::vector<Token> chain;
-    chain.reserve(static_cast<std::size_t>(depth));
 
     LayerResult record;
     record.layerName = spec.name;
@@ -215,40 +248,66 @@ SystolicArraySim::runLayer(const ConvLayerSpec &spec,
     record.macs = spec.macs();
 
     const long long slots = ceilDiv(spec.outMaps, arrays);
-    std::uint64_t emissions = 0;
+    const long long sub_tiles =
+        static_cast<long long>(ceilDiv(spec.kernel, ka)) *
+        ceilDiv(spec.kernel, ka);
 
-    for (long long slot = 0; slot < slots; ++slot) {
-        for (int n = 0; n < spec.inMaps; ++n) {
-            for (int i0 = 0; i0 < spec.kernel; i0 += ka) {
-                for (int j0 = 0; j0 < spec.kernel; j0 += ka) {
-                    // All arrays run this pass concurrently on their
-                    // assigned output maps, sharing the broadcast.
-                    for (unsigned a = 0; a < arrays; ++a) {
-                        const long long m = slot * arrays + a;
-                        if (m >= spec.outMaps)
-                            break;
+    // Broadcast-group timing is independent of which maps compute:
+    // every (slot, n, sub-tile) group streams the input once and
+    // drains the pipeline, whether or not all arrays have a map.
+    const long long groups = slots * spec.inMaps * sub_tiles;
+    record.cycles += static_cast<Cycle>(groups) *
+                     (static_cast<Cycle>(stream) + depth);
+    record.fillCycles += static_cast<Cycle>(groups) * depth;
+    record.traffic.neuronIn +=
+        static_cast<WordCount>(groups) * stream;
+
+    // Output maps are independent tiles: each lane owns a disjoint
+    // accs slice and private counters, merged in lane order below.
+    struct LaneState
+    {
+        LayerResult rec;
+        std::uint64_t emissions = 0;
+        fault::FaultDiagnostics diag;
+        Chain chain;
+    };
+    const int threads = std::max(1, config_.threads);
+    std::vector<LaneState> lanes(std::max(
+        1, std::min<int>(threads, std::max(spec.outMaps, 1))));
+    sim::ThreadPool::shared().parallelFor(
+        spec.outMaps, threads, [&](int lane, std::int64_t tile) {
+            LaneState &ls = lanes[lane];
+            const int m = static_cast<int>(tile);
+            for (int n = 0; n < spec.inMaps; ++n) {
+                for (int i0 = 0; i0 < spec.kernel; i0 += ka) {
+                    for (int j0 = 0; j0 < spec.kernel; j0 += ka) {
                         const PassStats stats = simulatePass(
-                            spec, input, kernels,
-                            static_cast<int>(m), n, i0, j0, accs,
-                            chain);
-                        record.activeMacCycles += stats.activeMacs;
-                        record.traffic.kernelIn += stats.kernelLoads;
-                        emissions += stats.validEmissions;
-                        record.localStoreReads += 2 * stats.activeMacs;
-                        record.localStoreWrites += stats.activeMacs;
-                        record.localStoreReads +=
+                            spec, input, kernels, m, n, i0, j0, accs,
+                            ls.chain, ls.diag);
+                        ls.rec.activeMacCycles += stats.activeMacs;
+                        ls.rec.traffic.kernelIn += stats.kernelLoads;
+                        ls.emissions += stats.validEmissions;
+                        ls.rec.localStoreReads += 2 * stats.activeMacs;
+                        ls.rec.localStoreWrites += stats.activeMacs;
+                        ls.rec.localStoreReads +=
                             static_cast<WordCount>(ka - 1) *
                             (stream + depth);
-                        record.localStoreWrites +=
+                        ls.rec.localStoreWrites +=
                             static_cast<WordCount>(ka - 1) *
                             (stream + depth);
                     }
-                    record.cycles += stream + depth;
-                    record.fillCycles += depth;
-                    record.traffic.neuronIn += stream;
                 }
             }
-        }
+        });
+
+    std::uint64_t emissions = 0;
+    for (const LaneState &ls : lanes) {
+        record.activeMacCycles += ls.rec.activeMacCycles;
+        record.traffic += ls.rec.traffic;
+        record.localStoreReads += ls.rec.localStoreReads;
+        record.localStoreWrites += ls.rec.localStoreWrites;
+        emissions += ls.emissions;
+        faultDiag_ += ls.diag;
     }
 
     // Partial-sum accounting: every emission lands in the output

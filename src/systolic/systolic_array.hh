@@ -8,6 +8,12 @@
  * emerge from the last stage after the pipeline depth.  Outputs are
  * bit-exact against goldenConv(); cycle counts and traffic match
  * SystolicModel exactly (asserted by the integration tests).
+ *
+ * Output maps are independent (DC-CNN assigns one array per map), so
+ * `SystolicConfig::threads` spreads them over the shared
+ * sim::ThreadPool; all per-map state is lane-private and the merge is
+ * a sum/max in lane order, keeping results bit-identical at any
+ * thread count.
  */
 
 #ifndef FLEXSIM_SYSTOLIC_SYSTOLIC_ARRAY_HH
@@ -58,13 +64,25 @@ class SystolicArraySim
     }
 
   private:
-    /** One token flowing through the pipeline. */
-    struct Token
+    /**
+     * The PE chain as a struct-of-arrays ring buffer: the per-cycle
+     * chain shift is a head decrement, and the combinational MAC
+     * phase updates contiguous acc runs the compiler can vectorize
+     * (outPos = outR * outSize + outC is precomputed at injection).
+     */
+    struct Chain
     {
-        bool valid = false;
-        int outR = 0;
-        int outC = 0;
-        Acc acc = 0;
+        std::vector<std::uint8_t> valid;
+        std::vector<std::int32_t> outPos;
+        std::vector<Acc> acc;
+
+        void
+        reset(int depth)
+        {
+            valid.assign(depth, 0);
+            outPos.assign(depth, 0);
+            acc.assign(depth, 0);
+        }
     };
 
     /** Counters from one (m, n, sub-tile) pass of a single array. */
@@ -75,11 +93,14 @@ class SystolicArraySim
         WordCount kernelLoads = 0;
     };
 
+    /** Pure function of its arguments plus const fault state — safe
+     * to call concurrently for distinct output maps m. */
     PassStats simulatePass(const ConvLayerSpec &spec,
                            const Tensor3<> &input,
                            const Tensor4<> &kernels, int m, int n,
                            int i0, int j0, std::vector<Acc> &accs,
-                           std::vector<Token> &chain);
+                           Chain &chain,
+                           fault::FaultDiagnostics &diag) const;
 
     SystolicConfig config_;
 

@@ -26,6 +26,10 @@ struct SystolicConfig
     std::size_t neuronBufWords = 16 * 1024;
     /** Kernel buffer, in words (32 KiB). */
     std::size_t kernelBufWords = 16 * 1024;
+    /** Host worker threads simulating output maps in parallel on the
+     * shared sim::ThreadPool (simulation throughput only — results
+     * are bit-identical for any value). */
+    int threads = 1;
 
     unsigned
     peCount() const

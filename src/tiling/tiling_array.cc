@@ -4,7 +4,10 @@
 #include <vector>
 
 #include "arch/dram_planner.hh"
+#include "arch/unroll.hh"
 #include "common/logging.hh"
+#include "nn/mac_kernels.hh"
+#include "sim/thread_pool.hh"
 
 namespace flexsim {
 
@@ -57,50 +60,101 @@ TilingArraySim::runLayer(const ConvLayerSpec &spec,
     const int k = spec.kernel;
     const int stride = spec.stride;
 
-    LayerResult record;
-    record.layerName = spec.name;
-    record.peCount = config_.peCount();
-    record.macs = spec.macs();
+    LayerResult total;
+    total.layerName = spec.name;
+    total.peCount = config_.peCount();
+    total.macs = spec.macs();
 
     faultDiag_ = fault::FaultDiagnostics{};
 
     Tensor3<> output(spec.outMaps, s, s);
-    std::vector<Acc> accs(tm);
-    // The n_valid broadcast neurons of one cycle, loaded once and
-    // shared by every output-map lane (they do not depend on mo).
-    std::vector<Fixed16> neurons(tn);
 
     const Fixed16 *in_data = input.data();
     const Fixed16 *k_data = kernels.data();
     const int in_w = spec.inSize;
     const int n_maps = spec.inMaps;
+    const int n_blocks = static_cast<int>(ceilDiv(spec.inMaps, tn));
+    const std::size_t in_step = static_cast<std::size_t>(in_w) * in_w;
+    const std::size_t k_step = static_cast<std::size_t>(k) * k;
 
-    for (int m0 = 0; m0 < spec.outMaps; m0 += tm) {
+    // Per-(r, c) counter totals are data-independent: every cycle,
+    // traffic word, and local-store access below follows from the
+    // loop trip counts alone, so they collapse to closed forms shared
+    // by the healthy and faulted paths (identical sums, just not
+    // re-counted one increment at a time).
+    struct LaneState
+    {
+        std::vector<Acc> accs;
+        std::vector<Fixed16> neurons;
+        LayerResult rec;
+        fault::FaultDiagnostics diag;
+    };
+
+    // One tile per (output-map block, output row): tiles own disjoint
+    // output slices and fully private accumulators, so they spread
+    // freely over the shared pool; the merge below is sum-only and in
+    // lane order, keeping results bit-identical at any thread count.
+    const auto run_tile = [&](int m0, int r, LaneState &ls) {
         const int m_valid = std::min(tm, spec.outMaps - m0);
-        for (int r = 0; r < s; ++r) {
-            for (int c = 0; c < s; ++c) {
-                std::fill(accs.begin(), accs.begin() + m_valid, Acc{0});
+        std::vector<Acc> &accs = ls.accs;
+        std::vector<Fixed16> &neurons = ls.neurons;
+        for (int c = 0; c < s; ++c) {
+            std::fill(accs.begin(), accs.begin() + m_valid, Acc{0});
+            if (!macFaultsActive_) {
+                // Healthy fast path: for each (lane, input map) the
+                // kernel row and the input row under it are both
+                // contiguous in j, so the innermost k MACs run as one
+                // vectorizable dot product.
+                for (int n0 = 0; n0 < spec.inMaps; n0 += tn) {
+                    const int n_valid =
+                        std::min(tn, spec.inMaps - n0);
+                    for (int mo = 0; mo < m_valid; ++mo) {
+                        Acc lane_sum = 0;
+                        for (int no = 0; no < n_valid; ++no) {
+                            const Fixed16 *in_row =
+                                in_data +
+                                static_cast<std::size_t>(n0 + no) *
+                                    in_step +
+                                static_cast<std::size_t>(r * stride) *
+                                    in_w +
+                                c * stride;
+                            const Fixed16 *k_lane =
+                                k_data +
+                                (static_cast<std::size_t>(m0 + mo) *
+                                     n_maps +
+                                 n0 + no) *
+                                    k_step;
+                            for (int i = 0; i < k; ++i) {
+                                lane_sum +=
+                                    dotSpan(in_row +
+                                                static_cast<
+                                                    std::size_t>(i) *
+                                                    in_w,
+                                            k_lane + i * k, k);
+                            }
+                        }
+                        accs[mo] += lane_sum;
+                    }
+                }
+            } else {
+                // Faulty datapath: the original broadcast-order walk,
+                // so each draw hashes the same logical site (m, n, i,
+                // j, output neuron) as ever — iteration order and
+                // thread partition never reach the hash.
                 for (int n0 = 0; n0 < spec.inMaps; n0 += tn) {
                     const int n_valid =
                         std::min(tn, spec.inMaps - n0);
                     for (int i = 0; i < k; ++i) {
                         for (int j = 0; j < k; ++j) {
-                            // Broadcast the n_valid input neurons,
-                            // shared by all PEs.
-                            record.traffic.neuronIn += n_valid;
                             const std::size_t in_off =
                                 (static_cast<std::size_t>(n0) * in_w +
                                  r * stride + i) *
                                     in_w +
                                 c * stride + j;
-                            const std::size_t in_step =
-                                static_cast<std::size_t>(in_w) * in_w;
                             for (int no = 0; no < n_valid; ++no)
                                 neurons[no] =
                                     in_data[in_off + no * in_step];
                             for (int mo = 0; mo < m_valid; ++mo) {
-                                // The PE's adder tree reduces its
-                                // n_valid lane products in one cycle.
                                 const Fixed16 *k_lane =
                                     k_data +
                                     ((static_cast<std::size_t>(m0 +
@@ -111,87 +165,108 @@ TilingArraySim::runLayer(const ConvLayerSpec &spec,
                                      i) *
                                         k +
                                     j;
-                                const std::size_t k_step =
-                                    static_cast<std::size_t>(k) * k;
+                                const std::uint64_t site_prefix =
+                                    fault::mixKey(
+                                        faults_->seed,
+                                        (static_cast<
+                                             std::uint64_t>(m0 + mo) *
+                                             k +
+                                         i) *
+                                                k +
+                                            j);
                                 Acc lane_sum = 0;
-                                if (!macFaultsActive_) {
-                                    for (int no = 0; no < n_valid;
-                                         ++no) {
-                                        lane_sum += mulRaw(
-                                            neurons[no],
-                                            k_lane[no * k_step]);
-                                    }
-                                } else {
-                                    // The draw depends only on the
-                                    // logical site (m, n, i, j,
-                                    // output neuron), never on tile
-                                    // iteration order, so injection
-                                    // is replay-identical.
-                                    const std::uint64_t site_prefix =
-                                        fault::mixKey(
-                                            faults_->seed,
+                                for (int no = 0; no < n_valid;
+                                     ++no) {
+                                    Acc prod = mulRaw(
+                                        neurons[no],
+                                        k_lane[no * k_step]);
+                                    if (stuckMap_
+                                            [static_cast<
+                                                 std::size_t>(mo) *
+                                                 tn +
+                                             no]) {
+                                        prod = 0;
+                                        ++ls.diag.stuckMacs;
+                                    } else if (
+                                        fault::transientFires(
+                                            site_prefix,
                                             (static_cast<
-                                                 std::uint64_t>(m0 +
-                                                                mo) *
-                                                 k +
-                                             i) *
-                                                    k +
-                                                j);
-                                    for (int no = 0; no < n_valid;
-                                         ++no) {
-                                        Acc prod = mulRaw(
-                                            neurons[no],
-                                            k_lane[no * k_step]);
-                                        if (stuckMap_
-                                                [static_cast<
-                                                     std::size_t>(
-                                                     mo) *
-                                                     tn +
-                                                 no]) {
-                                            prod = 0;
-                                            ++faultDiag_.stuckMacs;
-                                        } else if (
-                                            fault::transientFires(
-                                                site_prefix,
-                                                (static_cast<
-                                                     std::uint64_t>(
-                                                     n0 + no) *
-                                                     s +
-                                                 r) *
-                                                        s +
-                                                    c,
-                                                faults_->flipRate)) {
-                                            prod ^= static_cast<Acc>(
-                                                faults_->flipMask);
-                                            ++faultDiag_.flippedMacs;
-                                        }
-                                        lane_sum += prod;
+                                                 std::uint64_t>(n0 +
+                                                                no) *
+                                                 s +
+                                             r) *
+                                                    s +
+                                                c,
+                                            faults_->flipRate)) {
+                                        prod ^= static_cast<Acc>(
+                                            faults_->flipMask);
+                                        ++ls.diag.flippedMacs;
                                     }
+                                    lane_sum += prod;
                                 }
-                                record.traffic.kernelIn += n_valid;
-                                record.activeMacCycles += n_valid;
                                 accs[mo] += lane_sum;
-                                ++record.localStoreReads;
-                                ++record.localStoreWrites;
                             }
-                            ++record.cycles;
                         }
                     }
                 }
-                for (int mo = 0; mo < m_valid; ++mo) {
-                    output.at(m0 + mo, r, c) = quantizeAcc(accs[mo]);
-                    ++record.traffic.neuronOut;
-                }
             }
+
+            // Counter closed forms for this (r, c) position: one
+            // broadcast of n_valid neurons and one cycle per (input
+            // block, synapse), each lane latching n_valid kernel
+            // words and folding n_valid products per cycle.
+            ls.rec.traffic.neuronIn +=
+                static_cast<WordCount>(spec.inMaps) * k * k;
+            ls.rec.cycles += static_cast<Cycle>(n_blocks) * k * k;
+            ls.rec.traffic.kernelIn +=
+                static_cast<WordCount>(m_valid) * spec.inMaps * k * k;
+            ls.rec.activeMacCycles +=
+                static_cast<WordCount>(m_valid) * spec.inMaps * k * k;
+            ls.rec.localStoreReads +=
+                static_cast<WordCount>(m_valid) * n_blocks * k * k;
+            ls.rec.localStoreWrites +=
+                static_cast<WordCount>(m_valid) * n_blocks * k * k;
+
+            for (int mo = 0; mo < m_valid; ++mo) {
+                output.at(m0 + mo, r, c) = quantizeAcc(accs[mo]);
+            }
+            ls.rec.traffic.neuronOut +=
+                static_cast<WordCount>(m_valid);
         }
+    };
+
+    const int m_blocks = static_cast<int>(ceilDiv(spec.outMaps, tm));
+    const std::int64_t tiles =
+        static_cast<std::int64_t>(m_blocks) * s;
+    const int threads = std::max(1, config_.threads);
+    std::vector<LaneState> lanes(std::max<std::int64_t>(
+        1, std::min<std::int64_t>(threads, tiles)));
+    for (LaneState &ls : lanes) {
+        ls.accs.resize(tm);
+        ls.neurons.resize(tn);
+    }
+    sim::ThreadPool::shared().parallelFor(
+        tiles, threads, [&](int lane, std::int64_t tile) {
+            const int r = static_cast<int>(tile % s);
+            const int m0 = static_cast<int>(tile / s) * tm;
+            run_tile(m0, r, lanes[lane]);
+        });
+
+    for (const LaneState &ls : lanes) {
+        total.cycles += ls.rec.cycles;
+        total.activeMacCycles += ls.rec.activeMacCycles;
+        total.traffic += ls.rec.traffic;
+        total.localStoreReads += ls.rec.localStoreReads;
+        total.localStoreWrites += ls.rec.localStoreWrites;
+        faultDiag_ += ls.diag;
     }
 
-    record.dram = planDramTraffic(spec, config_.neuronBufWords,
-                                  config_.kernelBufWords)
-                      .traffic;
+    total.dram = planDramTraffic(spec, config_.neuronBufWords,
+                                 config_.kernelBufWords)
+                     .traffic;
 
     if (result != nullptr)
-        *result = record;
+        *result = total;
     return output;
 }
 

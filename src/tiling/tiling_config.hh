@@ -21,6 +21,10 @@ struct TilingConfig
     int tn = 16; ///< input feature maps in parallel
     std::size_t neuronBufWords = 16 * 1024; ///< 32 KiB
     std::size_t kernelBufWords = 16 * 1024; ///< 32 KiB
+    /** Host worker threads simulating (map-block, output-row) tiles
+     * in parallel on the shared sim::ThreadPool (simulation
+     * throughput only — results are bit-identical for any value). */
+    int threads = 1;
 
     unsigned
     peCount() const

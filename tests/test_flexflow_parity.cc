@@ -20,11 +20,16 @@
 #include <vector>
 
 #include "arch/factor_search.hh"
+#include "fault/fault_plan.hh"
 #include "flexflow/conv_unit.hh"
 #include "flexflow/flexflow_model.hh"
+#include "mapping2d/mapping2d_array.hh"
 #include "nn/golden.hh"
 #include "nn/tensor_init.hh"
 #include "nn/workloads.hh"
+#include "sim/thread_pool.hh"
+#include "systolic/systolic_array.hh"
+#include "tiling/tiling_array.hh"
 
 namespace flexsim {
 namespace {
@@ -203,6 +208,228 @@ TEST(FlexFlowParityTest, HealthyFaultPlanIsBitIdentical)
             EXPECT_EQ(diag.faults, fault::FaultDiagnostics{});
         }
     }
+}
+
+/*
+ * Cross-architecture parity: every cycle simulator dispatches its
+ * tiles through the shared sim::ThreadPool, so each one must produce
+ * bit-identical outputs, LayerResult counters, and fault diagnostics
+ * at 1 vs 4 host threads -- with and without a seeded FaultPlan.
+ */
+
+enum class Arch { FlexFlow, Systolic, Mapping2D, Tiling };
+
+struct ArchOutcome
+{
+    Tensor3<> out;
+    LayerResult rec;
+    ConvUnitDiagnostics ffDiag;
+    fault::FaultDiagnostics faults;
+};
+
+ArchOutcome
+runArch(Arch arch, const ConvLayerSpec &spec, const Tensor3<> &input,
+        const Tensor4<> &kernels, int threads,
+        const fault::FaultPlan *plan)
+{
+    ArchOutcome o;
+    switch (arch) {
+      case Arch::FlexFlow: {
+        FlexFlowConfig cfg;
+        cfg.threads = threads;
+        const UnrollFactors t = searchBestFactors(spec, cfg.d).factors;
+        FlexFlowConvUnit unit(cfg);
+        if (plan != nullptr)
+            unit.setFaultPlan(plan);
+        o.out =
+            unit.runLayer(spec, t, input, kernels, &o.rec, &o.ffDiag);
+        o.faults = o.ffDiag.faults;
+        break;
+      }
+      case Arch::Systolic: {
+        SystolicConfig cfg;
+        cfg.threads = threads;
+        SystolicArraySim sim(cfg);
+        if (plan != nullptr)
+            sim.setFaultPlan(plan);
+        o.out = sim.runLayer(spec, input, kernels, &o.rec);
+        o.faults = sim.faultDiagnostics();
+        break;
+      }
+      case Arch::Mapping2D: {
+        Mapping2DConfig cfg;
+        cfg.threads = threads;
+        Mapping2DArraySim sim(cfg);
+        if (plan != nullptr)
+            sim.setFaultPlan(plan);
+        o.out = sim.runLayer(spec, input, kernels, &o.rec);
+        o.faults = sim.faultDiagnostics();
+        break;
+      }
+      case Arch::Tiling: {
+        TilingConfig cfg;
+        cfg.threads = threads;
+        TilingArraySim sim(cfg);
+        if (plan != nullptr)
+            sim.setFaultPlan(plan);
+        o.out = sim.runLayer(spec, input, kernels, &o.rec);
+        o.faults = sim.faultDiagnostics();
+        break;
+      }
+    }
+    return o;
+}
+
+void
+runCrossArchParity(Arch arch, const NetworkSpec &net,
+                   std::uint64_t seed_base, std::size_t stage_begin = 0,
+                   std::size_t stage_end = SIZE_MAX)
+{
+    if (stage_end > net.stages.size())
+        stage_end = net.stages.size();
+
+    // Stuck PEs at in-grid coordinates plus a low transient flip
+    // rate: datapath faults only, valid in every architecture's
+    // geometry (no dead rows/columns, so the FlexFlow factor fit is
+    // untouched).
+    fault::FaultPlan plan;
+    plan.seed = 0xfee1fee1ull;
+    plan.stuckPes.push_back(fault::PeCoord{0, 0});
+    plan.stuckPes.push_back(fault::PeCoord{1, 2});
+    plan.flipRate = 1e-4;
+    plan.flipMask = 0x40;
+
+    for (std::size_t si = stage_begin; si < stage_end; ++si) {
+        const ConvLayerSpec &spec = net.stages[si].conv;
+        SCOPED_TRACE(net.name + "/" + spec.name);
+        Rng rng(seed_base + si * 7919);
+        const Tensor3<> input = makeRandomInput(rng, spec);
+        const Tensor4<> kernels = makeRandomKernels(rng, spec);
+
+        for (const fault::FaultPlan *p :
+             {static_cast<const fault::FaultPlan *>(nullptr),
+              static_cast<const fault::FaultPlan *>(&plan)}) {
+            SCOPED_TRACE(p != nullptr ? "seeded-fault-plan"
+                                      : "zero-fault");
+            const ArchOutcome ref =
+                runArch(arch, spec, input, kernels, 1, p);
+            const ArchOutcome mt =
+                runArch(arch, spec, input, kernels, 4, p);
+            EXPECT_EQ(mt.out, ref.out);
+            expectSameRecord(mt.rec, ref.rec);
+            expectSameDiagnostics(mt.ffDiag, ref.ffDiag);
+            EXPECT_EQ(mt.faults, ref.faults);
+            if (p != nullptr) {
+                // PE (0, 0) takes part in every layer here, so the
+                // plan must actually have bitten.
+                EXPECT_GT(ref.faults.stuckMacs, 0u);
+            }
+        }
+    }
+}
+
+const std::uint64_t kCrossSeed = 0xc0551234ull;
+
+TEST(CrossArchParityTest, FlexFlowSmallNets)
+{
+    runCrossArchParity(Arch::FlexFlow, workloads::pv(), kCrossSeed);
+    runCrossArchParity(Arch::FlexFlow, workloads::fr(), kCrossSeed);
+    runCrossArchParity(Arch::FlexFlow, workloads::lenet5(),
+                       kCrossSeed);
+    runCrossArchParity(Arch::FlexFlow, workloads::hg(), kCrossSeed);
+}
+
+TEST(CrossArchParityTest, SystolicSmallNets)
+{
+    runCrossArchParity(Arch::Systolic, workloads::pv(), kCrossSeed);
+    runCrossArchParity(Arch::Systolic, workloads::fr(), kCrossSeed);
+    runCrossArchParity(Arch::Systolic, workloads::lenet5(),
+                       kCrossSeed);
+    runCrossArchParity(Arch::Systolic, workloads::hg(), kCrossSeed);
+}
+
+TEST(CrossArchParityTest, Mapping2DSmallNets)
+{
+    runCrossArchParity(Arch::Mapping2D, workloads::pv(), kCrossSeed);
+    runCrossArchParity(Arch::Mapping2D, workloads::fr(), kCrossSeed);
+    runCrossArchParity(Arch::Mapping2D, workloads::lenet5(),
+                       kCrossSeed);
+    runCrossArchParity(Arch::Mapping2D, workloads::hg(), kCrossSeed);
+}
+
+TEST(CrossArchParityTest, TilingSmallNets)
+{
+    runCrossArchParity(Arch::Tiling, workloads::pv(), kCrossSeed);
+    runCrossArchParity(Arch::Tiling, workloads::fr(), kCrossSeed);
+    runCrossArchParity(Arch::Tiling, workloads::lenet5(), kCrossSeed);
+    runCrossArchParity(Arch::Tiling, workloads::hg(), kCrossSeed);
+}
+
+// One big layer per architecture (VGG-11 C1): enough MAC volume that
+// the 1e-4 transient rate draws thousands of flips across thread
+// partitions.
+TEST(CrossArchParityTest, FlexFlowVgg11C1)
+{
+    runCrossArchParity(Arch::FlexFlow, workloads::vgg11(), kCrossSeed,
+                       0, 1);
+}
+
+TEST(CrossArchParityTest, SystolicVgg11C1)
+{
+    runCrossArchParity(Arch::Systolic, workloads::vgg11(), kCrossSeed,
+                       0, 1);
+}
+
+TEST(CrossArchParityTest, Mapping2DVgg11C1)
+{
+    runCrossArchParity(Arch::Mapping2D, workloads::vgg11(),
+                       kCrossSeed, 0, 1);
+}
+
+TEST(CrossArchParityTest, TilingVgg11C1)
+{
+    runCrossArchParity(Arch::Tiling, workloads::vgg11(), kCrossSeed, 0,
+                       1);
+}
+
+/**
+ * Regression for the old `threads = min(threads, m_blocks)` cap: a
+ * layer with a single output-map block (outMaps <= tm) used to fall
+ * back to one worker.  The flat (mb, rb, cb) decomposition still has
+ * r_blocks * c_blocks tiles to spread, so a 4-thread run must go
+ * through the shared pool (pooledTiles() advances) and stay
+ * bit-identical to the single-threaded run.
+ */
+TEST(CrossArchParityTest, OneMapBlockLayerStillSpreads)
+{
+    const ConvLayerSpec spec = ConvLayerSpec::make("C3", 6, 16, 10, 5);
+    const UnrollFactors t{16, 3, 1, 1, 1, 5}; // tm = 16 => one mb block
+    Rng rng(0xbead8008);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+
+    FlexFlowConfig cfg;
+    cfg.threads = 1;
+    LayerResult ref_result;
+    ConvUnitDiagnostics ref_diag;
+    const Tensor3<> ref_out = FlexFlowConvUnit(cfg).runLayer(
+        spec, t, input, kernels, &ref_result, &ref_diag);
+
+    const std::uint64_t tiles_before =
+        sim::ThreadPool::shared().pooledTiles();
+    cfg.threads = 4;
+    LayerResult mt_result;
+    ConvUnitDiagnostics mt_diag;
+    const Tensor3<> mt_out = FlexFlowConvUnit(cfg).runLayer(
+        spec, t, input, kernels, &mt_result, &mt_diag);
+    const std::uint64_t tiles_after =
+        sim::ThreadPool::shared().pooledTiles();
+
+    EXPECT_GT(tiles_after, tiles_before)
+        << "a one-mb-block layer must still reach the shared pool";
+    EXPECT_EQ(mt_out, ref_out);
+    expectSameRecord(mt_result, ref_result);
+    expectSameDiagnostics(mt_diag, ref_diag);
 }
 
 } // namespace

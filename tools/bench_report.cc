@@ -4,16 +4,30 @@
  *
  * Times the cycle-level simulators on fixed Table-1 layers and writes
  * BENCH_flexsim.json (ns per runLayer call, minimum over the timed
- * iterations).  With --check BASELINE it instead compares the fresh
- * measurements against a committed baseline and exits non-zero when
- * any shared entry regressed by more than --factor (default 3x) --
- * this backs the perf-labelled ctest, so the gate is deliberately
- * loose: it catches accidental de-optimization of a hot path, not
- * machine-to-machine noise.
+ * iterations).  Each simulator is timed at 1 and 4 host threads; the
+ * report also carries derived "*_scaling" ratio entries (t1/t4
+ * speedup) and microbenches of the contiguous-span MAC kernels.
+ *
+ * With --check BASELINE it compares the fresh measurements against a
+ * committed baseline and exits non-zero when any shared timing entry
+ * regressed by more than --factor (default 3x) -- this backs the
+ * perf-labelled ctest, so the gate is deliberately loose: it catches
+ * accidental de-optimization of a hot path, not machine-to-machine
+ * noise.  Entries present on only one side (a freshly added bench, or
+ * an old baseline) produce a warning, never a failure, so the schema
+ * can grow without invalidating stored baselines.  Ratio entries are
+ * reported but not factor-gated: thread scaling is a property of the
+ * host, not of the code alone.
+ *
+ * With --scaling-gate it times only the thread sweeps and enforces
+ * minimum t1/t4 speedups (conv5 >= 2.5x, the C3-sized layers >=
+ * 1.2x).  On hosts with fewer than 4 hardware threads the gate is
+ * meaningless and exits 77 (the ctest skip code).
  *
  * Usage:
  *   bench_report [--out FILE]
  *   bench_report --check BASELINE [--factor F] [--out FILE]
+ *   bench_report --scaling-gate
  */
 
 #include <chrono>
@@ -23,11 +37,13 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/fault_plan.hh"
 #include "flexflow/conv_unit.hh"
 #include "mapping2d/mapping2d_array.hh"
+#include "nn/mac_kernels.hh"
 #include "nn/tensor_init.hh"
 #include "systolic/systolic_array.hh"
 #include "tiling/tiling_array.hh"
@@ -39,7 +55,8 @@ using namespace flexsim;
 struct BenchEntry
 {
     std::string name;
-    double nsPerIter = 0.0;
+    double value = 0.0;    ///< ns/iter, or the ratio itself
+    bool isRatio = false;  ///< derived t1/t4 speedup, not a timing
 };
 
 /**
@@ -70,8 +87,27 @@ timeBench(Fn &&fn, int min_iters, double min_seconds)
     return best_ns;
 }
 
+double
+findNs(const std::vector<BenchEntry> &entries, const std::string &name)
+{
+    for (const BenchEntry &e : entries)
+        if (e.name == name)
+            return e.value;
+    return 0.0;
+}
+
+/** Append a derived t1/t4 speedup entry when both timings exist. */
+void
+addScaling(std::vector<BenchEntry> &entries, const std::string &base)
+{
+    const double t1 = findNs(entries, base);
+    const double t4 = findNs(entries, base + "_t4");
+    if (t1 > 0.0 && t4 > 0.0)
+        entries.push_back({base + "_scaling", t1 / t4, true});
+}
+
 std::vector<BenchEntry>
-runBenches()
+runBenches(bool scaling_only)
 {
     std::vector<BenchEntry> entries;
 
@@ -103,6 +139,29 @@ runBenches()
         volatile Fixed16 sink = out.at(0, 0, 0);
         (void)sink;
     };
+    const auto systolic = [&](int threads) {
+        SystolicConfig cfg;
+        cfg.threads = threads;
+        SystolicArraySim sim(cfg);
+        sim.runLayer(c3, c3_in, c3_k);
+    };
+    const auto mapping2d = [&](int threads) {
+        Mapping2DConfig cfg;
+        cfg.threads = threads;
+        Mapping2DArraySim sim(cfg);
+        sim.runLayer(c3, c3_in, c3_k);
+    };
+    const auto tiling = [&](int threads) {
+        TilingConfig cfg;
+        cfg.threads = threads;
+        TilingArraySim sim(cfg);
+        sim.runLayer(c3, c3_in, c3_k);
+    };
+    const auto run = [&](const std::string &name, auto &&fn,
+                         int min_iters) {
+        std::cerr << "bench_report: timing " << name << "...\n";
+        entries.push_back({name, timeBench(fn, min_iters, 0.25)});
+    };
 
     // A fault plan with no datapath faults (serving-level events
     // only): the conv unit must take the zero-fault fast path, so
@@ -111,88 +170,89 @@ runBenches()
     benign_plan.accelEvents.push_back(
         {fault::AccelEvent::Kind::FailStop, 0, 1000, 1.0});
 
-    std::cerr << "bench_report: timing flexflow_c3...\n";
-    entries.push_back(
-        {"flexflow_c3", timeBench(
-                            [&] {
-                                flexflow(c3, c3_t, c3_in, c3_k, 1);
-                            },
-                            20, 0.25)});
-    std::cerr << "bench_report: timing flexflow_c3_t4...\n";
-    entries.push_back(
-        {"flexflow_c3_t4", timeBench(
-                               [&] {
-                                   flexflow(c3, c3_t, c3_in, c3_k, 4);
-                               },
-                               20, 0.25)});
-    std::cerr << "bench_report: timing flexflow_c3_faultplan...\n";
-    entries.push_back({"flexflow_c3_faultplan",
-                       timeBench(
-                           [&] {
-                               flexflow(c3, c3_t, c3_in, c3_k, 1,
-                                        &benign_plan);
-                           },
-                           20, 0.25)});
-    std::cerr << "bench_report: timing flexflow_conv5...\n";
-    entries.push_back(
-        {"flexflow_conv5", timeBench(
-                               [&] {
-                                   flexflow(conv5, c5_t, c5_in, c5_k,
-                                            1);
-                               },
-                               3, 0.25)});
-    std::cerr << "bench_report: timing flexflow_conv5_t4...\n";
-    entries.push_back(
-        {"flexflow_conv5_t4", timeBench(
-                                  [&] {
-                                      flexflow(conv5, c5_t, c5_in,
-                                               c5_k, 4);
-                                  },
-                                  3, 0.25)});
+    run("flexflow_c3",
+        [&] { flexflow(c3, c3_t, c3_in, c3_k, 1); }, 20);
+    run("flexflow_c3_t4",
+        [&] { flexflow(c3, c3_t, c3_in, c3_k, 4); }, 20);
+    if (!scaling_only) {
+        run("flexflow_c3_faultplan",
+            [&] { flexflow(c3, c3_t, c3_in, c3_k, 1, &benign_plan); },
+            20);
+    }
+    run("flexflow_conv5",
+        [&] { flexflow(conv5, c5_t, c5_in, c5_k, 1); }, 3);
+    run("flexflow_conv5_t4",
+        [&] { flexflow(conv5, c5_t, c5_in, c5_k, 4); }, 3);
 
-    std::cerr << "bench_report: timing systolic_c3...\n";
-    entries.push_back({"systolic_c3", timeBench(
-                                          [&] {
-                                              SystolicArraySim sim;
-                                              sim.runLayer(c3, c3_in,
-                                                           c3_k);
-                                          },
-                                          10, 0.25)});
-    std::cerr << "bench_report: timing mapping2d_c3...\n";
-    entries.push_back({"mapping2d_c3", timeBench(
-                                           [&] {
-                                               Mapping2DArraySim sim;
-                                               sim.runLayer(c3, c3_in,
-                                                            c3_k);
-                                           },
-                                           10, 0.25)});
-    std::cerr << "bench_report: timing tiling_c3...\n";
-    entries.push_back({"tiling_c3", timeBench(
-                                        [&] {
-                                            TilingArraySim sim;
-                                            sim.runLayer(c3, c3_in,
-                                                         c3_k);
-                                        },
-                                        10, 0.25)});
+    run("systolic_c3", [&] { systolic(1); }, 10);
+    run("systolic_c3_t4", [&] { systolic(4); }, 10);
+    run("mapping2d_c3", [&] { mapping2d(1); }, 10);
+    run("mapping2d_c3_t4", [&] { mapping2d(4); }, 10);
+    run("tiling_c3", [&] { tiling(1); }, 10);
+    run("tiling_c3_t4", [&] { tiling(4); }, 10);
+
+    if (!scaling_only) {
+        // Contiguous-span MAC kernels over a 4K-element operand pair:
+        // the unit all four vectorized inner loops are built from.
+        constexpr int kSpan = 4096;
+        std::vector<Fixed16> a(kSpan), b(kSpan);
+        std::vector<Acc> accs(kSpan);
+        Rng rng_span(91);
+        for (int i = 0; i < kSpan; ++i) {
+            a[i] = Fixed16::fromRaw(
+                static_cast<std::int16_t>(rng_span.next()));
+            b[i] = Fixed16::fromRaw(
+                static_cast<std::int16_t>(rng_span.next()));
+        }
+        run("dot_span_4k",
+            [&] {
+                volatile Acc sink =
+                    dotSpan(a.data(), b.data(), kSpan);
+                (void)sink;
+            },
+            1000);
+        run("scale_accum_span_4k",
+            [&] {
+                scaleAccumSpan(accs.data(), 3, b.data(), kSpan);
+                volatile Acc sink = accs[0];
+                (void)sink;
+            },
+            1000);
+    }
+
+    addScaling(entries, "flexflow_c3");
+    addScaling(entries, "flexflow_conv5");
+    addScaling(entries, "systolic_c3");
+    addScaling(entries, "mapping2d_c3");
+    addScaling(entries, "tiling_c3");
     return entries;
 }
 
 void
 writeJson(const std::vector<BenchEntry> &entries, std::ostream &os)
 {
-    os << "{\n  \"schema\": \"flexsim-bench-v1\",\n  \"benches\": [\n";
+    os << "{\n  \"schema\": \"flexsim-bench-v2\",\n  \"benches\": [\n";
     for (std::size_t i = 0; i < entries.size(); ++i) {
-        os << "    {\"name\": \"" << entries[i].name
-           << "\", \"ns_per_iter\": "
-           << static_cast<std::uint64_t>(entries[i].nsPerIter) << "}"
-           << (i + 1 < entries.size() ? "," : "") << "\n";
+        os << "    {\"name\": \"" << entries[i].name << "\", ";
+        if (entries[i].isRatio) {
+            std::ostringstream ratio;
+            ratio.precision(3);
+            ratio << std::fixed << entries[i].value;
+            os << "\"ratio\": " << ratio.str();
+        } else {
+            os << "\"ns_per_iter\": "
+               << static_cast<std::uint64_t>(entries[i].value);
+        }
+        os << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
 }
 
 /**
  * Minimal parser for the JSON this tool itself writes: scans for
- * "name"/"ns_per_iter" pairs.  Not a general JSON parser.
+ * "name" followed by either "ns_per_iter" (a timing) or "ratio" (a
+ * derived scaling entry).  Accepts both the v1 and v2 schema.  Not a
+ * general JSON parser.
  */
 std::vector<BenchEntry>
 parseJson(const std::string &text)
@@ -205,18 +265,136 @@ parseJson(const std::string &text)
             break;
         const std::size_t q0 = text.find('"', text.find(':', n));
         const std::size_t q1 = text.find('"', q0 + 1);
-        const std::size_t v = text.find("\"ns_per_iter\"", q1);
-        if (q0 == std::string::npos || q1 == std::string::npos ||
-            v == std::string::npos)
+        if (q0 == std::string::npos || q1 == std::string::npos)
             break;
+        const std::size_t next_n = text.find("\"name\"", q1);
+        const std::size_t ns = text.find("\"ns_per_iter\"", q1);
+        const std::size_t ratio = text.find("\"ratio\"", q1);
         BenchEntry e;
         e.name = text.substr(q0 + 1, q1 - q0 - 1);
-        e.nsPerIter =
+        std::size_t v = std::string::npos;
+        if (ns < next_n)
+            v = ns;
+        else if (ratio < next_n) {
+            v = ratio;
+            e.isRatio = true;
+        }
+        if (v == std::string::npos)
+            break;
+        e.value =
             std::strtod(text.c_str() + text.find(':', v) + 1, nullptr);
         entries.push_back(e);
         pos = v;
     }
     return entries;
+}
+
+int
+checkAgainstBaseline(const std::vector<BenchEntry> &entries,
+                     const std::vector<BenchEntry> &baseline,
+                     double factor)
+{
+    bool ok = true;
+    const auto find = [](const std::vector<BenchEntry> &in,
+                         const std::string &name) -> const BenchEntry * {
+        for (const BenchEntry &e : in)
+            if (e.name == name)
+                return &e;
+        return nullptr;
+    };
+    const auto gate = [&](const std::string &cur_name,
+                          const BenchEntry &base) {
+        const BenchEntry *cur = find(entries, cur_name);
+        if (cur == nullptr) {
+            std::cout << "warn " << cur_name
+                      << ": in baseline but not measured here "
+                         "(schema drift, not a failure)\n";
+            return;
+        }
+        if (base.isRatio || cur->isRatio) {
+            // Thread scaling is a host property; report, don't gate
+            // (the dedicated --scaling-gate mode enforces it).
+            std::ostringstream fmt;
+            fmt.precision(2);
+            fmt << std::fixed << cur->value << "x vs baseline "
+                << base.value << "x";
+            std::cout << "info " << cur_name << ": " << fmt.str()
+                      << " (not gated)\n";
+            return;
+        }
+        const bool fail = cur->value > base.value * factor;
+        std::cout << (fail ? "FAIL " : "ok   ") << cur_name << ": "
+                  << static_cast<std::uint64_t>(cur->value)
+                  << " ns/iter vs baseline "
+                  << static_cast<std::uint64_t>(base.value);
+        if (cur_name != base.name)
+            std::cout << " (" << base.name << ")";
+        std::cout << " (limit " << factor << "x)\n";
+        if (fail)
+            ok = false;
+    };
+    for (const BenchEntry &base : baseline) {
+        gate(base.name, base);
+        // The zero-fault hot path (benign plan attached) must not
+        // regress against the committed no-plan C3 baseline.
+        if (base.name == "flexflow_c3")
+            gate("flexflow_c3_faultplan", base);
+    }
+    for (const BenchEntry &e : entries) {
+        if (e.name == "flexflow_c3_faultplan")
+            continue; // gated above against flexflow_c3
+        if (find(baseline, e.name) == nullptr)
+            std::cout << "warn " << e.name
+                      << ": not in the stored baseline (new bench; "
+                         "regenerate with --out to adopt it)\n";
+    }
+    return ok ? 0 : 1;
+}
+
+/**
+ * Thread-sweep gate: the tile decomposition must actually scale.
+ * conv5 has thousands of (mb, rb, cb) tiles and a sequential share
+ * under 10%, so 4 threads must buy >= 2.5x; the C3-sized layers have
+ * tens of tiles and real per-call fixed costs, so only a loose 1.2x
+ * floor applies.  Skipped (exit 77) without >= 4 hardware threads.
+ */
+int
+runScalingGate(const std::vector<BenchEntry> &entries)
+{
+    struct Gate
+    {
+        const char *name;
+        double minRatio;
+    };
+    const Gate gates[] = {
+        {"flexflow_conv5_scaling", 2.5},
+        {"flexflow_c3_scaling", 1.2},
+        {"systolic_c3_scaling", 1.2},
+        {"mapping2d_c3_scaling", 1.2},
+        {"tiling_c3_scaling", 1.2},
+    };
+    bool ok = true;
+    for (const Gate &g : gates) {
+        const BenchEntry *cur = nullptr;
+        for (const BenchEntry &e : entries)
+            if (e.name == g.name)
+                cur = &e;
+        if (cur == nullptr) {
+            std::cout << "FAIL " << g.name << ": not measured\n";
+            ok = false;
+            continue;
+        }
+        const bool fail = cur->value < g.minRatio;
+        std::ostringstream fmt;
+        fmt.precision(2);
+        fmt << std::fixed << cur->value << "x (want >= " << g.minRatio
+            << "x)";
+        std::cout << (fail ? "FAIL " : "ok   ") << g.name << ": "
+                  << fmt.str() << "\n";
+        if (fail)
+            ok = false;
+    }
+    return ok ? 0 : 1;
 }
 
 } // namespace
@@ -226,6 +404,7 @@ main(int argc, char **argv)
 {
     std::string out_path;
     std::string baseline_path;
+    bool scaling_gate = false;
     double factor = 3.0;
 
     for (int i = 1; i < argc; ++i) {
@@ -236,14 +415,26 @@ main(int argc, char **argv)
             baseline_path = argv[++i];
         } else if (arg == "--factor" && i + 1 < argc) {
             factor = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--scaling-gate") {
+            scaling_gate = true;
         } else {
             std::cerr << "usage: bench_report [--out FILE] "
-                         "[--check BASELINE [--factor F]]\n";
+                         "[--check BASELINE [--factor F]] "
+                         "[--scaling-gate]\n";
             return 2;
         }
     }
 
-    const std::vector<BenchEntry> entries = runBenches();
+    if (scaling_gate &&
+        std::thread::hardware_concurrency() < 4) {
+        std::cout << "bench_report: host has "
+                  << std::thread::hardware_concurrency()
+                  << " hardware thread(s); the scaling gate needs 4 "
+                     "-- skipping\n";
+        return 77;
+    }
+
+    const std::vector<BenchEntry> entries = runBenches(scaling_gate);
 
     if (!out_path.empty()) {
         std::ofstream os(out_path);
@@ -253,9 +444,12 @@ main(int argc, char **argv)
             return 2;
         }
         writeJson(entries, os);
-    } else if (baseline_path.empty()) {
+    } else if (baseline_path.empty() && !scaling_gate) {
         writeJson(entries, std::cout);
     }
+
+    if (scaling_gate)
+        return runScalingGate(entries);
 
     if (baseline_path.empty())
         return 0;
@@ -274,33 +468,5 @@ main(int argc, char **argv)
                   << "\n";
         return 2;
     }
-
-    bool ok = true;
-    const auto gate = [&](const std::string &cur_name,
-                          const BenchEntry &base) {
-        const BenchEntry *cur = nullptr;
-        for (const BenchEntry &e : entries)
-            if (e.name == cur_name)
-                cur = &e;
-        if (cur == nullptr)
-            return;
-        const bool fail = cur->nsPerIter > base.nsPerIter * factor;
-        std::cout << (fail ? "FAIL " : "ok   ") << cur_name << ": "
-                  << static_cast<std::uint64_t>(cur->nsPerIter)
-                  << " ns/iter vs baseline "
-                  << static_cast<std::uint64_t>(base.nsPerIter);
-        if (cur_name != base.name)
-            std::cout << " (" << base.name << ")";
-        std::cout << " (limit " << factor << "x)\n";
-        if (fail)
-            ok = false;
-    };
-    for (const BenchEntry &base : baseline) {
-        gate(base.name, base);
-        // The zero-fault hot path (benign plan attached) must not
-        // regress against the committed no-plan C3 baseline.
-        if (base.name == "flexflow_c3")
-            gate("flexflow_c3_faultplan", base);
-    }
-    return ok ? 0 : 1;
+    return checkAgainstBaseline(entries, baseline, factor);
 }

@@ -10,13 +10,17 @@
  *
  * Usage:
  *     flexrun <program.s> [-d D] [--seed S] [--stats]
- *             [--dram-wpc BW] [--faults SPEC]
+ *             [--dram-wpc BW] [--faults SPEC] [--threads N]
  *
  * --faults injects a deterministic fault plan (see
  * fault::parseFaultSpec for the grammar).  Corrupting faults (stuck
  * or flipping MACs, unprotected buffer flips) make the output
  * legitimately diverge from the golden reference; flexrun reports the
  * divergence as expected and still exits 0.
+ *
+ * --threads spreads the cycle simulation over the shared host thread
+ * pool (default: the FLEXSIM_THREADS environment variable, else 1).
+ * Results are bit-identical at any value.
  */
 
 #include <fstream>
@@ -33,6 +37,7 @@
 #include "flexflow/accelerator.hh"
 #include "nn/golden.hh"
 #include "nn/tensor_init.hh"
+#include "sim/thread_pool.hh"
 
 using namespace flexsim;
 
@@ -42,7 +47,8 @@ int
 usage()
 {
     std::cerr << "usage: flexrun <program.s> [-d D] [--seed S] "
-                 "[--stats] [--dram-wpc BW] [--faults SPEC]\n";
+                 "[--stats] [--dram-wpc BW] [--faults SPEC] "
+                 "[--threads N]\n";
     return 2;
 }
 
@@ -104,6 +110,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 2017;
     bool dump_stats = false;
     double dram_wpc = 4.0;
+    int threads = sim::ThreadPool::defaultThreads();
     std::string fault_spec;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -115,6 +122,8 @@ main(int argc, char **argv)
             dump_stats = true;
         else if (arg == "--dram-wpc" && i + 1 < argc)
             dram_wpc = std::stod(argv[++i]);
+        else if (arg == "--threads" && i + 1 < argc)
+            threads = std::stoi(argv[++i]);
         else if (arg == "--faults" && i + 1 < argc)
             fault_spec = argv[++i];
         else if (startsWith(arg, "--faults="))
@@ -128,6 +137,10 @@ main(int argc, char **argv)
         return usage();
     if (dram_wpc <= 0.0) {
         std::cerr << "flexrun: --dram-wpc must be positive\n";
+        return usage();
+    }
+    if (threads < 1) {
+        std::cerr << "flexrun: --threads must be >= 1\n";
         return usage();
     }
 
@@ -200,7 +213,9 @@ main(int argc, char **argv)
         plan.affectsMacs() ||
         (plan.affectsBuffers() && !plan.parityDetect);
 
-    FlexFlowAccelerator accelerator(FlexFlowConfig::forScale(d));
+    FlexFlowConfig cfg = FlexFlowConfig::forScale(d);
+    cfg.threads = threads;
+    FlexFlowAccelerator accelerator(cfg);
     if (!plan.empty())
         accelerator.setFaultPlan(&plan);
     accelerator.bindInput(input);

@@ -42,6 +42,7 @@
 #include "serve/runtime.hh"
 #include "serve/service_model.hh"
 #include "serve/traffic.hh"
+#include "sim/thread_pool.hh"
 #include "systolic/systolic_model.hh"
 #include "tiling/tiling_model.hh"
 
@@ -78,9 +79,9 @@ usage()
            "grammar)\n"
            "  --fault-trace F  accelerator event file: \"<time> "
            "failstop|slowdown|recover <accel> [factor]\"\n"
-           "  --sim-threads N  host threads for the flexflow cycle "
-           "simulator (default 1; results are identical for any "
-           "value)\n"
+           "  --sim-threads N  host threads for the cycle "
+           "simulators (default $FLEXSIM_THREADS or 1; results are "
+           "identical for any value)\n"
            "  --trace FILE     replay trace, one arrival us per "
            "line\n";
     return 2;
@@ -125,16 +126,19 @@ makeModel(const std::string &arch, unsigned scale, int sim_threads)
         return std::make_unique<FlexFlowModel>(cfg);
     }
     if (lower == "systolic") {
-        return std::make_unique<SystolicModel>(
-            SystolicConfig::forScale(scale));
+        SystolicConfig cfg = SystolicConfig::forScale(scale);
+        cfg.threads = sim_threads;
+        return std::make_unique<SystolicModel>(cfg);
     }
     if (lower == "mapping2d") {
-        return std::make_unique<Mapping2DModel>(
-            Mapping2DConfig::forScale(scale));
+        Mapping2DConfig cfg = Mapping2DConfig::forScale(scale);
+        cfg.threads = sim_threads;
+        return std::make_unique<Mapping2DModel>(cfg);
     }
     if (lower == "tiling") {
-        return std::make_unique<TilingModel>(
-            TilingConfig::forScale(scale));
+        TilingConfig cfg = TilingConfig::forScale(scale);
+        cfg.threads = sim_threads;
+        return std::make_unique<TilingModel>(cfg);
     }
     if (lower == "rowstationary") {
         return std::make_unique<RowStationaryModel>(
@@ -184,7 +188,7 @@ main(int argc, char **argv)
     double slo_ms = 50.0;
     double deadline_ms = 0.0;
     double dram_wpc = 4.0;
-    int sim_threads = 1;
+    int sim_threads = sim::ThreadPool::defaultThreads();
     std::string fault_spec;
     std::string fault_trace_path;
 
