@@ -57,34 +57,68 @@ FaultPlan::empty() const
 void
 FaultPlan::validate(int d) const
 {
-    flexsim_assert(d >= 1, "fault plan needs a positive array edge");
-    for (int r : deadRows)
-        flexsim_assert(r >= 0 && r < d, "dead row ", r,
-                       " outside array edge ", d);
-    for (int c : deadCols)
-        flexsim_assert(c >= 0 && c < d, "dead column ", c,
-                       " outside array edge ", d);
-    for (const PeCoord &pe : deadPes)
-        flexsim_assert(pe.row >= 0 && pe.row < d && pe.col >= 0 &&
-                           pe.col < d,
-                       "dead PE (", pe.row, ",", pe.col,
-                       ") outside array edge ", d);
-    for (const PeCoord &pe : stuckPes)
-        flexsim_assert(pe.row >= 0 && pe.row < d && pe.col >= 0 &&
-                           pe.col < d,
-                       "stuck PE (", pe.row, ",", pe.col,
-                       ") outside array edge ", d);
-    flexsim_assert(flipRate >= 0.0 && flipRate <= 1.0,
-                   "flip rate ", flipRate, " outside [0, 1]");
-    for (const BufferFault &f : bufferFaults)
-        flexsim_assert(f.bit >= 0 && f.bit < 16, "buffer fault bit ",
-                       f.bit, " outside a 16-bit word");
-    flexsim_assert(dramSlowdown >= 1.0, "DRAM slowdown ", dramSlowdown,
-                   " must be >= 1");
-    for (const AccelEvent &e : accelEvents)
-        flexsim_assert(e.kind != AccelEvent::Kind::Slowdown ||
-                           e.factor >= 1.0,
-                       "slowdown factor ", e.factor, " must be >= 1");
+    if (auto valid = check(d); !valid)
+        fatal(valid.error().str());
+}
+
+guard::Expected<void>
+FaultPlan::check(int d) const
+{
+    using guard::Category;
+    const auto reject = [](Category category, const auto &...parts) {
+        return guard::makeError(category, "fault.plan", parts...);
+    };
+    if (d < 1) {
+        return reject(Category::InvalidArgument,
+                      "fault plan needs a positive array edge, got ",
+                      d);
+    }
+    for (int r : deadRows) {
+        if (r < 0 || r >= d) {
+            return reject(Category::OutOfRange, "dead row ", r,
+                          " outside array edge ", d);
+        }
+    }
+    for (int c : deadCols) {
+        if (c < 0 || c >= d) {
+            return reject(Category::OutOfRange, "dead column ", c,
+                          " outside array edge ", d);
+        }
+    }
+    for (const PeCoord &pe : deadPes) {
+        if (pe.row < 0 || pe.row >= d || pe.col < 0 || pe.col >= d) {
+            return reject(Category::OutOfRange, "dead PE (", pe.row,
+                          ",", pe.col, ") outside array edge ", d);
+        }
+    }
+    for (const PeCoord &pe : stuckPes) {
+        if (pe.row < 0 || pe.row >= d || pe.col < 0 || pe.col >= d) {
+            return reject(Category::OutOfRange, "stuck PE (", pe.row,
+                          ",", pe.col, ") outside array edge ", d);
+        }
+    }
+    if (!(flipRate >= 0.0 && flipRate <= 1.0)) {
+        return reject(Category::InvalidArgument, "flip rate ",
+                      flipRate, " outside [0, 1]");
+    }
+    for (const BufferFault &f : bufferFaults) {
+        if (f.bit < 0 || f.bit >= 16) {
+            return reject(Category::OutOfRange, "buffer fault bit ",
+                          f.bit, " outside a 16-bit word");
+        }
+    }
+    if (!(dramSlowdown >= 1.0)) {
+        return reject(Category::InvalidArgument, "DRAM slowdown ",
+                      dramSlowdown, " must be >= 1");
+    }
+    for (const AccelEvent &e : accelEvents) {
+        if (e.kind == AccelEvent::Kind::Slowdown && !(e.factor >= 1.0)) {
+            return reject(Category::InvalidArgument,
+                          "slowdown factor ", e.factor,
+                          " must be >= 1");
+        }
+    }
+    return guard::ok();
 }
 
 std::uint64_t
@@ -147,18 +181,33 @@ parseTimeNs(const std::string &text)
 
 namespace {
 
+// The parse helpers below throw GuardException rather than return
+// Expected so the clause-dispatch code stays linear; tryParseFaultSpec
+// and tryParseFaultTrace convert the exception back into a typed
+// error at the boundary (guard::invoke), and the legacy entry points
+// into a fatal().
+
+[[noreturn]] void
+rejectSyntax(const std::string &message)
+{
+    throw guard::GuardException(guard::makeError(
+        guard::Category::Parse, "fault.parse", message));
+}
+
 int
 parseInt(const std::string &text, const char *what)
 {
     try {
         std::size_t used = 0;
         const int value = std::stoi(text, &used);
-        if (used != text.size())
-            fatal("fault spec: bad ", what, " '", text, "'");
-        return value;
+        if (used == text.size())
+            return value;
+    } catch (const guard::GuardException &) {
+        throw;
     } catch (...) {
-        fatal("fault spec: bad ", what, " '", text, "'");
     }
+    rejectSyntax("fault spec: bad " + std::string(what) + " '" + text +
+                 "'");
 }
 
 double
@@ -167,20 +216,24 @@ parseDouble(const std::string &text, const char *what)
     try {
         std::size_t used = 0;
         const double value = std::stod(text, &used);
-        if (used != text.size())
-            fatal("fault spec: bad ", what, " '", text, "'");
-        return value;
+        if (used == text.size())
+            return value;
+    } catch (const guard::GuardException &) {
+        throw;
     } catch (...) {
-        fatal("fault spec: bad ", what, " '", text, "'");
     }
+    rejectSyntax("fault spec: bad " + std::string(what) + " '" + text +
+                 "'");
 }
 
 PeCoord
 parsePe(const std::string &text, const char *what)
 {
     const auto dot = text.find('.');
-    if (dot == std::string::npos)
-        fatal("fault spec: ", what, " wants ROW.COL, got '", text, "'");
+    if (dot == std::string::npos) {
+        rejectSyntax("fault spec: " + std::string(what) +
+                     " wants ROW.COL, got '" + text + "'");
+    }
     PeCoord pe;
     pe.row = parseInt(text.substr(0, dot), what);
     pe.col = parseInt(text.substr(dot + 1), what);
@@ -191,8 +244,10 @@ TimeNs
 parseEventTime(const std::string &text, const char *what)
 {
     const auto parsed = parseTimeNs(text);
-    if (!parsed)
-        fatal("fault spec: bad ", what, " time '", text, "'");
+    if (!parsed) {
+        rejectSyntax("fault spec: bad " + std::string(what) +
+                     " time '" + text + "'");
+    }
     return *parsed;
 }
 
@@ -204,18 +259,20 @@ parseEvent(const std::string &text, AccelEvent::Kind kind,
     AccelEvent event;
     event.kind = kind;
     const auto at = text.find('@');
-    if (at == std::string::npos)
-        fatal("fault spec: ", what, " wants ACCEL@TIME, got '", text,
-              "'");
+    if (at == std::string::npos) {
+        rejectSyntax("fault spec: " + std::string(what) +
+                     " wants ACCEL@TIME, got '" + text + "'");
+    }
     event.accel = static_cast<unsigned>(
         parseInt(text.substr(0, at), what));
     std::string when = text.substr(at + 1);
     if (kind == AccelEvent::Kind::Slowdown) {
         const auto star = when.find('*');
-        if (star == std::string::npos)
-            fatal("fault spec: slowdown wants ACCEL@TIME*FACTOR, "
-                  "got '",
-                  text, "'");
+        if (star == std::string::npos) {
+            rejectSyntax("fault spec: slowdown wants "
+                         "ACCEL@TIME*FACTOR, got '" +
+                         text + "'");
+        }
         event.factor = parseDouble(when.substr(star + 1), what);
         when = when.substr(0, star);
     }
@@ -225,8 +282,11 @@ parseEvent(const std::string &text, AccelEvent::Kind kind,
 
 } // namespace
 
+namespace {
+
+/** Core of the spec grammar; throws GuardException on bad syntax. */
 FaultPlan
-parseFaultSpec(const std::string &spec)
+parseFaultSpecImpl(const std::string &spec)
 {
     FaultPlan plan;
     for (const std::string &raw : split(spec, ';')) {
@@ -264,10 +324,11 @@ parseFaultSpec(const std::string &spec)
             }
         } else if (key == "bufflip") {
             const auto parts = split(value, ':');
-            if (parts.size() != 3)
-                fatal("fault spec: bufflip wants "
-                      "neuron|kernel:WORD:BIT, got '",
-                      value, "'");
+            if (parts.size() != 3) {
+                rejectSyntax("fault spec: bufflip wants "
+                             "neuron|kernel:WORD:BIT, got '" +
+                             value + "'");
+            }
             BufferFault f;
             const std::string target = toLower(trim(parts[0]));
             if (target == "neuron") {
@@ -275,9 +336,9 @@ parseFaultSpec(const std::string &spec)
             } else if (target == "kernel") {
                 f.target = BufferFault::Target::Kernel;
             } else {
-                fatal("fault spec: bufflip target must be neuron or "
-                      "kernel, got '",
-                      parts[0], "'");
+                rejectSyntax("fault spec: bufflip target must be "
+                             "neuron or kernel, got '" +
+                             parts[0] + "'");
             }
             f.word = static_cast<std::uint64_t>(
                 parseDouble(trim(parts[1]), "bufflip word"));
@@ -297,14 +358,16 @@ parseFaultSpec(const std::string &spec)
             plan.accelEvents.push_back(parseEvent(
                 value, AccelEvent::Kind::Recover, "recover"));
         } else {
-            fatal("fault spec: unknown clause '", clause, "'");
+            rejectSyntax("fault spec: unknown clause '" + clause +
+                         "'");
         }
     }
     return plan;
 }
 
+/** Core of the trace grammar; throws GuardException on bad syntax. */
 std::vector<AccelEvent>
-parseFaultTrace(const std::string &text)
+parseFaultTraceImpl(const std::string &text)
 {
     std::vector<AccelEvent> events;
     int line_no = 0;
@@ -317,9 +380,12 @@ parseFaultTrace(const std::string &text)
         if (line.empty())
             continue;
         const std::vector<std::string> fields = splitWhitespace(line);
-        if (fields.size() < 3)
-            fatal("fault trace line ", line_no,
-                  ": want '<time> <event> <accel> [factor]'");
+        const std::string where =
+            "fault trace line " + std::to_string(line_no);
+        if (fields.size() < 3) {
+            rejectSyntax(where +
+                         ": want '<time> <event> <accel> [factor]'");
+        }
         AccelEvent event;
         event.atNs = parseEventTime(fields[0], "trace");
         const std::string kind = toLower(fields[1]);
@@ -328,14 +394,13 @@ parseFaultTrace(const std::string &text)
         } else if (kind == "slowdown") {
             event.kind = AccelEvent::Kind::Slowdown;
             if (fields.size() < 4)
-                fatal("fault trace line ", line_no,
-                      ": slowdown needs a factor");
+                rejectSyntax(where + ": slowdown needs a factor");
             event.factor = parseDouble(fields[3], "trace factor");
         } else if (kind == "recover") {
             event.kind = AccelEvent::Kind::Recover;
         } else {
-            fatal("fault trace line ", line_no, ": unknown event '",
-                  fields[1], "'");
+            rejectSyntax(where + ": unknown event '" + fields[1] +
+                         "'");
         }
         event.accel =
             static_cast<unsigned>(parseInt(fields[2], "trace accel"));
@@ -346,6 +411,38 @@ parseFaultTrace(const std::string &text)
                          return a.atNs < b.atNs;
                      });
     return events;
+}
+
+} // namespace
+
+FaultPlan
+parseFaultSpec(const std::string &spec)
+{
+    auto plan = tryParseFaultSpec(spec);
+    if (!plan)
+        fatal(plan.error().str());
+    return plan.value();
+}
+
+guard::Expected<FaultPlan>
+tryParseFaultSpec(const std::string &spec)
+{
+    return guard::invoke([&] { return parseFaultSpecImpl(spec); });
+}
+
+std::vector<AccelEvent>
+parseFaultTrace(const std::string &text)
+{
+    auto events = tryParseFaultTrace(text);
+    if (!events)
+        fatal(events.error().str());
+    return events.value();
+}
+
+guard::Expected<std::vector<AccelEvent>>
+tryParseFaultTrace(const std::string &text)
+{
+    return guard::invoke([&] { return parseFaultTraceImpl(text); });
 }
 
 } // namespace fault

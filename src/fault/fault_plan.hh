@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "guard/error.hh"
+
 namespace flexsim {
 namespace fault {
 
@@ -113,6 +115,10 @@ struct FaultPlan
     /** Abort with a diagnostic if the plan is out of range for a
      * D x D array or internally inconsistent. */
     void validate(int d) const;
+
+    /** Typed validation against a D x D array: the guarded form of
+     * validate() for plans built from untrusted specifications. */
+    guard::Expected<void> check(int d) const;
 };
 
 /** Fault-activity counters, merged deterministically across threads. */
@@ -178,11 +184,18 @@ std::optional<TimeNs> parseTimeNs(const std::string &text);
  */
 FaultPlan parseFaultSpec(const std::string &spec);
 
+/** Guarded parseFaultSpec: a typed Parse error instead of fatal(). */
+guard::Expected<FaultPlan> tryParseFaultSpec(const std::string &spec);
+
 /**
  * Parse a --fault-trace file: one event per line,
  * "<time> failstop|slowdown|recover <accel> [factor]", '#' comments.
  */
 std::vector<AccelEvent> parseFaultTrace(const std::string &text);
+
+/** Guarded parseFaultTrace: a typed Parse error instead of fatal(). */
+guard::Expected<std::vector<AccelEvent>>
+tryParseFaultTrace(const std::string &text);
 
 } // namespace fault
 } // namespace flexsim

@@ -1,5 +1,8 @@
 #include "flexflow/accelerator.hh"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "nn/golden.hh"
@@ -170,6 +173,19 @@ FlexFlowAccelerator::run(const Program &program, NetworkResult *result)
                            activation.width(),
                            ") smaller than layer ", spec.name,
                            " input (", spec.inSize, ")");
+            if (!wdBudget_.unlimited()) {
+                // Arm per layer so each CONV gets the full budget,
+                // and fast-fail on the ideal-utilization cycle bound
+                // (the data simulator can only be slower).
+                watchdog_.arm(wdBudget_);
+                const std::uint64_t ideal =
+                    static_cast<std::uint64_t>(spec.macs()) /
+                    std::max<std::uint64_t>(1, config_.peCount());
+                auto fits = watchdog_.checkPredictedCycles(
+                    ideal, "flexflow.conv");
+                if (!fits)
+                    throw guard::GuardException(fits.error());
+            }
             LayerResult layer;
             ConvUnitDiagnostics conv_diag;
             activation = convUnit_.runLayer(
@@ -249,6 +265,21 @@ FlexFlowAccelerator::run(const Program &program, NetworkResult *result)
     if (result != nullptr)
         *result = record;
     return activation;
+}
+
+guard::Expected<Tensor3<>>
+FlexFlowAccelerator::tryRun(const Program &program,
+                            NetworkResult *result)
+{
+    return guard::invoke([&] { return run(program, result); });
+}
+
+void
+FlexFlowAccelerator::setWatchdogBudget(
+    const guard::Watchdog::Budget &budget)
+{
+    wdBudget_ = budget;
+    convUnit_.setWatchdog(budget.unlimited() ? nullptr : &watchdog_);
 }
 
 } // namespace flexsim

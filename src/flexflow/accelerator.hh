@@ -22,6 +22,7 @@
 #include "flexflow/flexflow_config.hh"
 #include "flexflow/isa.hh"
 #include "flexflow/pooling_unit.hh"
+#include "guard/watchdog.hh"
 #include "mem/external_memory.hh"
 #include "nn/layer_spec.hh"
 #include "nn/tensor.hh"
@@ -50,6 +51,16 @@ class FlexFlowAccelerator
      */
     Tensor3<> run(const Program &program,
                   NetworkResult *result = nullptr);
+
+    /**
+     * Guarded run(): a watchdog trip mid-program surfaces as a typed
+     * Timeout error instead of an exception unwinding through the
+     * caller.  Program-structure faults (conv without cfg_layer, no
+     * bound kernels) still fatal() — decode validated the words, and
+     * sequencing bugs in compiler output are internal errors.
+     */
+    guard::Expected<Tensor3<>> tryRun(const Program &program,
+                                      NetworkResult *result = nullptr);
 
     /** DRAM words moved by the last run(). */
     const DramTraffic &dramTraffic() const { return dram_.traffic(); }
@@ -85,6 +96,17 @@ class FlexFlowAccelerator
         return faultDiag_;
     }
 
+    /**
+     * Per-CONV-layer watchdog budget: every CONV instruction arms the
+     * accelerator's watchdog with it before entering the cycle
+     * simulator (an ideal-utilization cycle bound fast-fails layers
+     * that cannot fit).  Zero budgets disable the watchdog.
+     */
+    void setWatchdogBudget(const guard::Watchdog::Budget &budget);
+
+    /** The accelerator's watchdog (for an external cancel()). */
+    guard::Watchdog &watchdog() { return watchdog_; }
+
   private:
     statistics::StatGroup statGroup_{"flexflow"};
     statistics::Scalar statProgramsRun_;
@@ -119,6 +141,9 @@ class FlexFlowAccelerator
 
     const fault::FaultPlan *faultPlan_ = nullptr;
     fault::FaultDiagnostics faultDiag_;
+
+    guard::Watchdog watchdog_;
+    guard::Watchdog::Budget wdBudget_{};
 };
 
 } // namespace flexsim

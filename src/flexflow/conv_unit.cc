@@ -815,15 +815,34 @@ FlexFlowConvUnit::runLayer(const ConvLayerSpec &spec,
     std::vector<WorkerState> states(
         std::min<std::int64_t>(threads, std::max<std::int64_t>(
                                             tiles, 1)));
+    sim::ThreadPool::CancelFn cancel;
+    if (watchdog_) {
+        cancel = [wd = watchdog_] { return wd->expired(); };
+    }
+    // Modelled batch-step cycles live on the outer record (the
+    // analytic per-(block, pass) aggregate above), not on the
+    // per-lane records, so the watchdog is charged the same per-tile
+    // quantum: every (mb, rb, cb) tile runs all passes back to back.
+    Cycle tile_cycles = 0;
+    for (int pass = 0; pass < splits; ++pass)
+        tile_cycles += static_cast<Cycle>(sched.passes[pass].steps);
     sim::ThreadPool::shared().parallelFor(
-        tiles, threads, [&](int lane, std::int64_t tile) {
+        tiles, threads,
+        [&](int lane, std::int64_t tile) {
             const int mb =
                 static_cast<int>(tile / (r_blocks * c_blocks));
             const int rem =
                 static_cast<int>(tile % (r_blocks * c_blocks));
             run_tile(mb, rem / c_blocks, rem % c_blocks,
                      states[lane]);
-        });
+            if (watchdog_)
+                watchdog_->chargeCycles(
+                    static_cast<std::uint64_t>(tile_cycles));
+        },
+        cancel);
+    if (watchdog_ && watchdog_->expired())
+        throw guard::GuardException(
+            watchdog_->tripError("flexflow.conv"));
 
     // Deterministic merge in lane order: every field is a sum or a
     // max, so the totals are independent of the actual interleaving.

@@ -31,6 +31,7 @@
 #include "arch/unroll.hh"
 #include "fault/fault_plan.hh"
 #include "flexflow/flexflow_config.hh"
+#include "guard/watchdog.hh"
 #include "nn/layer_spec.hh"
 #include "nn/tensor.hh"
 
@@ -79,9 +80,17 @@ class FlexFlowConvUnit
      */
     void setFaultPlan(const fault::FaultPlan *plan) { faults_ = plan; }
 
+    /** Attach a per-layer execution watchdog; see
+     * SystolicArraySim::setWatchdog (DESIGN.md §3.7). */
+    void setWatchdog(const guard::Watchdog *watchdog)
+    {
+        watchdog_ = watchdog;
+    }
+
   private:
     FlexFlowConfig config_;
     const fault::FaultPlan *faults_ = nullptr;
+    const guard::Watchdog *watchdog_ = nullptr;
 };
 
 } // namespace flexsim

@@ -51,9 +51,14 @@ opcodeName(Opcode op)
     return layoutOf(op).mnemonic;
 }
 
-std::uint64_t
-encode(const Instruction &inst)
+guard::Expected<std::uint64_t>
+tryEncode(const Instruction &inst)
 {
+    const auto op_index = static_cast<std::size_t>(inst.op);
+    if (op_index >= static_cast<std::size_t>(Opcode::NumOpcodes)) {
+        return guard::makeError(guard::Category::Parse, "isa.encode",
+                                "unknown opcode ", op_index);
+    }
     const OpLayout &layout = layoutOf(inst.op);
     std::uint64_t word = static_cast<std::uint64_t>(inst.op) << 56;
     int shift = 0;
@@ -61,8 +66,10 @@ encode(const Instruction &inst)
         const int width = layout.widths[a];
         const std::uint32_t value = inst.args[a];
         if (width < 32 && value >= (1u << width)) {
-            fatal("operand ", a, " of ", layout.mnemonic, " (", value,
-                  ") exceeds its ", width, "-bit field");
+            return guard::makeError(
+                guard::Category::OutOfRange, "isa.encode", "operand ",
+                a, " of ", layout.mnemonic, " (", value,
+                ") exceeds its ", width, "-bit field");
         }
         word |= static_cast<std::uint64_t>(value) << shift;
         shift += width;
@@ -72,12 +79,24 @@ encode(const Instruction &inst)
     return word;
 }
 
-Instruction
-decode(std::uint64_t word)
+std::uint64_t
+encode(const Instruction &inst)
+{
+    auto word = tryEncode(inst);
+    if (!word)
+        fatal(word.error().str());
+    return word.value();
+}
+
+guard::Expected<Instruction>
+tryDecode(std::uint64_t word)
 {
     const auto op_index = static_cast<std::size_t>(word >> 56);
-    if (op_index >= static_cast<std::size_t>(Opcode::NumOpcodes))
-        fatal("cannot decode unknown opcode ", op_index);
+    if (op_index >= static_cast<std::size_t>(Opcode::NumOpcodes)) {
+        return guard::makeError(guard::Category::Parse, "isa.decode",
+                                "cannot decode unknown opcode ",
+                                op_index);
+    }
     Instruction inst;
     inst.op = static_cast<Opcode>(op_index);
     const OpLayout &layout = layoutOf(inst.op);
@@ -89,6 +108,15 @@ decode(std::uint64_t word)
         shift += width;
     }
     return inst;
+}
+
+Instruction
+decode(std::uint64_t word)
+{
+    auto inst = tryDecode(word);
+    if (!inst)
+        fatal(inst.error().str());
+    return inst.value();
 }
 
 std::vector<std::uint64_t>
@@ -150,18 +178,21 @@ writeLe64(std::ostream &os, std::uint64_t value)
         os.put(static_cast<char>((value >> (8 * b)) & 0xff));
 }
 
+/** Little-endian 64-bit read from an in-memory image (bounds are the
+ * caller's job). */
 std::uint64_t
-readLe64(std::istream &is)
+readLe64(const std::string &bytes, std::size_t offset)
 {
     std::uint64_t value = 0;
     for (int b = 0; b < 8; ++b) {
-        const int byte = is.get();
-        if (byte == std::char_traits<char>::eof())
-            fatal("truncated FlexFlow binary program");
-        value |= static_cast<std::uint64_t>(byte & 0xff) << (8 * b);
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes[offset + b]))
+                 << (8 * b);
     }
     return value;
 }
+
+constexpr std::size_t kHeaderBytes = 4 + 1 + 8; // magic, version, count
 
 } // namespace
 
@@ -180,30 +211,89 @@ saveBinary(const Program &program, const std::string &path)
         fatal("I/O error writing program binary ", path);
 }
 
-Program
-loadBinary(const std::string &path)
+guard::Expected<Program>
+tryParseBinary(const std::string &bytes, const std::string &origin)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        fatal("cannot read program binary ", path);
-    char magic[4] = {};
-    in.read(magic, 4);
-    if (!in || std::memcmp(magic, kMagic, 4) != 0)
-        fatal(path, " is not a FlexFlow binary program");
-    const int version = in.get();
-    if (version != kBinaryVersion)
-        fatal(path, " has unsupported binary version ", version);
-    const std::uint64_t count = readLe64(in);
+    if (bytes.size() < kHeaderBytes ||
+        std::memcmp(bytes.data(), kMagic, 4) != 0) {
+        return guard::makeError(guard::Category::Parse, "isa.binary",
+                                origin,
+                                " is not a FlexFlow binary program");
+    }
+    const int version = static_cast<unsigned char>(bytes[4]);
+    if (version != kBinaryVersion) {
+        return guard::makeError(guard::Category::Unsupported,
+                                "isa.binary", origin,
+                                " has unsupported binary version ",
+                                version);
+    }
+    const std::uint64_t count = readLe64(bytes, 5);
+    // Check the claimed count against the bytes actually present
+    // before reserving anything: a hostile header saying "2^61
+    // instructions" must not drive a huge allocation.
+    const std::uint64_t available = (bytes.size() - kHeaderBytes) / 8;
+    if (count > available) {
+        return guard::makeError(
+            guard::Category::Parse, "isa.binary", origin, " claims ",
+            count, " instructions but only has bytes for ", available,
+            " (truncated or corrupt)");
+    }
+    if (bytes.size() != kHeaderBytes + count * 8) {
+        return guard::makeError(guard::Category::Parse, "isa.binary",
+                                origin, " has ",
+                                bytes.size() - kHeaderBytes - count * 8,
+                                " trailing bytes after ", count,
+                                " instructions");
+    }
     Program program;
     program.instructions.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i)
-        program.instructions.push_back(decode(readLe64(in)));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        auto inst = tryDecode(readLe64(bytes, kHeaderBytes + i * 8));
+        if (!inst) {
+            return guard::makeError(guard::Category::Parse,
+                                    "isa.binary", origin,
+                                    ", instruction ", i, ": ",
+                                    inst.error().message);
+        }
+        program.instructions.push_back(inst.value());
+    }
     return program;
 }
 
-Program
-assemble(const std::string &source)
+guard::Expected<Program>
+tryLoadBinary(const std::string &path)
 {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return guard::makeError(guard::Category::Io, "isa.binary",
+                                "cannot read program binary ", path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+        return guard::makeError(guard::Category::Io, "isa.binary",
+                                "I/O error reading program binary ",
+                                path);
+    }
+    return tryParseBinary(buffer.str(), path);
+}
+
+Program
+loadBinary(const std::string &path)
+{
+    auto program = tryLoadBinary(path);
+    if (!program)
+        fatal(program.error().str());
+    return program.value();
+}
+
+guard::Expected<Program>
+tryAssemble(const std::string &source)
+{
+    const auto syntaxError = [](int line_no, const auto &...parts) {
+        return guard::makeError(guard::Category::Parse, "isa.assemble",
+                                "line ", line_no, ": ", parts...);
+    };
     Program program;
     std::istringstream iss(source);
     std::string line;
@@ -228,28 +318,31 @@ assemble(const std::string &source)
                 break;
             }
         }
-        if (!found)
-            fatal("line ", line_no, ": unknown mnemonic '", mnemonic,
-                  "'");
+        if (!found) {
+            return syntaxError(line_no, "unknown mnemonic '", mnemonic,
+                               "'");
+        }
 
         const OpLayout &layout = layoutOf(inst.op);
         if (static_cast<int>(fields.size()) - 1 != layout.numArgs) {
-            fatal("line ", line_no, ": ", mnemonic, " expects ",
-                  layout.numArgs, " operands, got ",
-                  fields.size() - 1);
+            return syntaxError(line_no, mnemonic, " expects ",
+                               layout.numArgs, " operands, got ",
+                               fields.size() - 1);
         }
         for (int a = 0; a < layout.numArgs; ++a) {
             const std::string &field = fields[a + 1];
             if (inst.op == Opcode::Pool && a == 2) {
                 const std::string op_name = toLower(field);
-                if (op_name == "max")
+                if (op_name == "max") {
                     inst.args[a] = 0;
-                else if (op_name == "avg")
+                } else if (op_name == "avg") {
                     inst.args[a] = 1;
-                else
-                    fatal("line ", line_no,
-                          ": pool op must be max or avg, got '", field,
-                          "'");
+                } else {
+                    return syntaxError(line_no,
+                                       "pool op must be max or avg, "
+                                       "got '",
+                                       field, "'");
+                }
                 continue;
             }
             try {
@@ -259,15 +352,27 @@ assemble(const std::string &source)
                     throw std::invalid_argument(field);
                 inst.args[a] = static_cast<std::uint32_t>(value);
             } catch (const std::exception &) {
-                fatal("line ", line_no, ": bad operand '", field,
-                      "' for ", mnemonic);
+                return syntaxError(line_no, "bad operand '", field,
+                                   "' for ", mnemonic);
             }
         }
         // Round-trip through the binary encoding so field overflows
         // are caught at assembly time.
-        program.instructions.push_back(decode(encode(inst)));
+        auto word = tryEncode(inst);
+        if (!word)
+            return syntaxError(line_no, word.error().message);
+        program.instructions.push_back(decode(word.value()));
     }
     return program;
+}
+
+Program
+assemble(const std::string &source)
+{
+    auto program = tryAssemble(source);
+    if (!program)
+        fatal(program.error().str());
+    return program.value();
 }
 
 } // namespace flexsim

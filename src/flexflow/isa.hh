@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "guard/error.hh"
+
 namespace flexsim {
 
 enum class Opcode : std::uint8_t
@@ -72,6 +74,15 @@ std::uint64_t encode(const Instruction &inst);
 /** Decode from the 64-bit binary format (fatal() on bad opcode). */
 Instruction decode(std::uint64_t word);
 
+/**
+ * Guarded encode for untrusted instructions: a typed Parse error
+ * instead of aborting when an operand exceeds its bit field.
+ */
+guard::Expected<std::uint64_t> tryEncode(const Instruction &inst);
+
+/** Guarded decode: rejects unknown opcodes with a typed error. */
+guard::Expected<Instruction> tryDecode(std::uint64_t word);
+
 /** Encode a whole program. */
 std::vector<std::uint64_t> encode(const Program &program);
 
@@ -91,6 +102,12 @@ std::string disassemble(const Program &program);
 Program assemble(const std::string &source);
 
 /**
+ * Guarded assembler for untrusted text: returns the program or a
+ * line-numbered Parse error instead of aborting the process.
+ */
+guard::Expected<Program> tryAssemble(const std::string &source);
+
+/**
  * Write the binary encoding to a file ("FFSM" magic, version byte,
  * little-endian instruction count, then one 64-bit word per
  * instruction).  fatal()s on I/O errors.
@@ -99,6 +116,19 @@ void saveBinary(const Program &program, const std::string &path);
 
 /** Read a program written by saveBinary (fatal() on bad files). */
 Program loadBinary(const std::string &path);
+
+/**
+ * Guarded decode of an in-memory binary image (the saveBinary byte
+ * layout).  Validates magic, version, and that the claimed
+ * instruction count matches the bytes actually present — a hostile
+ * header cannot trigger a huge allocation.  @p origin names the
+ * input in error messages (a path or "<memory>").
+ */
+guard::Expected<Program> tryParseBinary(const std::string &bytes,
+                                        const std::string &origin);
+
+/** Guarded loadBinary: Io/Parse errors instead of fatal(). */
+guard::Expected<Program> tryLoadBinary(const std::string &path);
 
 } // namespace flexsim
 

@@ -1,0 +1,41 @@
+#include "guard/error.hh"
+
+namespace flexsim {
+namespace guard {
+
+const char *
+categoryName(Category category)
+{
+    switch (category) {
+      case Category::InvalidArgument:
+        return "invalid-argument";
+      case Category::Parse:
+        return "parse";
+      case Category::OutOfRange:
+        return "out-of-range";
+      case Category::Unsupported:
+        return "unsupported";
+      case Category::Io:
+        return "io";
+      case Category::Timeout:
+        return "timeout";
+      case Category::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Error::str() const
+{
+    std::string out = site;
+    out += ": ";
+    out += message;
+    out += " [";
+    out += categoryName(category);
+    out += "]";
+    return out;
+}
+
+} // namespace guard
+} // namespace flexsim

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Typed, recoverable errors for untrusted-input boundaries.
+ *
+ * The simulator historically treated every bad input as a programmer
+ * error: flexsim_assert / fatal() abort the process.  That is the
+ * right contract for internal invariants, but the boundaries that
+ * ingest *external* data — workload/LayerSpec descriptions, flexcc
+ * program text and binaries, fault/traffic specifications, serve
+ * request admission — must instead return a typed error the caller
+ * can report, count, or route around without dying.
+ *
+ * guard::Error is the taxonomy (category + site + message) and
+ * guard::Expected<T> the carrier: a boundary either yields its value
+ * or an Error, never a crash.  The conventions:
+ *
+ *  - functions named "try..." or "check..." return Expected and
+ *    never abort on bad input;
+ *  - their legacy fatal()-ing counterparts remain as thin wrappers
+ *    for internal callers that already validated their input;
+ *  - flexsim_assert stays reserved for genuine internal invariants
+ *    ("the simulator itself is broken"), not for input validation.
+ *
+ * GuardException bridges deep call stacks that cannot thread an
+ * Expected return through (the cycle simulators' watchdog aborts):
+ * guard::invoke() converts it back into an Expected at the boundary.
+ */
+
+#ifndef FLEXSIM_GUARD_ERROR_HH
+#define FLEXSIM_GUARD_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.hh"
+
+namespace flexsim {
+namespace guard {
+
+/** What kind of failure a boundary rejected. */
+enum class Category
+{
+    /** A value is of the right shape but semantically invalid
+     * (negative dimension, zero rate, factor out of range). */
+    InvalidArgument,
+    /** Text or binary input that does not parse (bad mnemonic,
+     * malformed clause, truncated file). */
+    Parse,
+    /** A structurally valid value outside the configured bounds
+     * (PE coordinate beyond the array, workload index past the
+     * table). */
+    OutOfRange,
+    /** Input the implementation recognizes but does not support
+     * (unknown architecture, unsupported binary version). */
+    Unsupported,
+    /** Host I/O failed (unreadable or unwritable file). */
+    Io,
+    /** A runtime guard tripped: watchdog wall-clock or cycle budget
+     * exceeded, or the run was cancelled. */
+    Timeout,
+    /** An internal invariant observed at a guarded boundary (kept
+     * distinct so accounting can tell "bad input" from "bug"). */
+    Internal,
+};
+
+/** Stable lower-case name, e.g. "parse" or "timeout". */
+const char *categoryName(Category category);
+
+/** One typed, recoverable error from a guarded boundary. */
+struct Error
+{
+    Category category = Category::InvalidArgument;
+    /** The boundary that rejected the input, e.g. "isa.assemble". */
+    std::string site;
+    /** Human-readable diagnostic (no trailing newline). */
+    std::string message;
+
+    /** "site: message [category]" — the canonical rendering. */
+    std::string str() const;
+
+    bool operator==(const Error &) const = default;
+};
+
+/** Build an Error by streaming the message parts together. */
+template <typename... Args>
+Error
+makeError(Category category, std::string site, Args &&...parts)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(parts));
+    return Error{category, std::move(site), oss.str()};
+}
+
+/**
+ * Either a value or a typed Error.  A deliberately small subset of
+ * std::expected (the toolchain baseline is C++20): ok(), value(),
+ * error(), and valueOr() cover every boundary in the tree.
+ *
+ * Accessing value() on an error (or error() on a value) is itself an
+ * internal invariant violation and asserts — a caller must branch on
+ * ok() first.
+ */
+template <typename T>
+class [[nodiscard]] Expected
+{
+  public:
+    Expected(T value) : state_(std::move(value)) {}
+    Expected(Error error) : state_(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(state_); }
+    explicit operator bool() const { return ok(); }
+
+    T &
+    value()
+    {
+        flexsim_assert(ok(), "value() on an error Expected");
+        return std::get<T>(state_);
+    }
+
+    const T &
+    value() const
+    {
+        flexsim_assert(ok(), "value() on an error Expected");
+        return std::get<T>(state_);
+    }
+
+    const Error &
+    error() const
+    {
+        flexsim_assert(!ok(), "error() on a value Expected");
+        return std::get<Error>(state_);
+    }
+
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? std::get<T>(state_) : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, Error> state_;
+};
+
+/** The no-value case: a validation that either passes or explains. */
+template <>
+class [[nodiscard]] Expected<void>
+{
+  public:
+    Expected() = default;
+    Expected(Error error) : error_(std::move(error)), failed_(true) {}
+
+    bool ok() const { return !failed_; }
+    explicit operator bool() const { return ok(); }
+
+    const Error &
+    error() const
+    {
+        flexsim_assert(failed_, "error() on a value Expected");
+        return error_;
+    }
+
+  private:
+    Error error_{};
+    bool failed_ = false;
+};
+
+/** Success value for Expected<void> returns. */
+inline Expected<void>
+ok()
+{
+    return Expected<void>{};
+}
+
+/**
+ * Carrier for guard errors across stacks that return values by
+ * reference (the cycle simulators).  Thrown when a watchdog trips
+ * mid-layer; guard::invoke() turns it back into an Expected.
+ */
+class GuardException : public std::runtime_error
+{
+  public:
+    explicit GuardException(Error error)
+        : std::runtime_error(error.str()), error_(std::move(error))
+    {
+    }
+
+    const Error &error() const { return error_; }
+
+  private:
+    Error error_;
+};
+
+/**
+ * Run @p fn and capture a thrown GuardException as a typed error:
+ * the bridge from exception-style guards (watchdogs deep inside a
+ * simulator) back to Expected-style boundaries.
+ *
+ * Only GuardException is translated; any other exception still
+ * propagates, because it is a bug, not a guarded failure.
+ */
+template <typename Fn>
+auto
+invoke(Fn &&fn) -> Expected<decltype(fn())>
+{
+    using R = decltype(fn());
+    try {
+        if constexpr (std::is_void_v<R>) {
+            fn();
+            return ok();
+        } else {
+            return Expected<R>(fn());
+        }
+    } catch (const GuardException &e) {
+        return e.error();
+    }
+}
+
+} // namespace guard
+} // namespace flexsim
+
+#endif // FLEXSIM_GUARD_ERROR_HH

@@ -1,0 +1,114 @@
+#include "guard/watchdog.hh"
+
+namespace flexsim {
+namespace guard {
+
+void
+Watchdog::arm(const Budget &budget)
+{
+    budget_ = budget;
+    armed_ = !budget.unlimited() ||
+             cancelled_.load(std::memory_order_relaxed);
+    chargedCycles_.store(0, std::memory_order_relaxed);
+    trip_.store(0, std::memory_order_relaxed);
+    if (budget_.wallNs > 0) {
+        deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::nanoseconds(budget_.wallNs);
+    }
+}
+
+void
+Watchdog::disarm()
+{
+    armed_ = false;
+    budget_ = Budget{};
+    trip_.store(0, std::memory_order_relaxed);
+}
+
+void
+Watchdog::cancel()
+{
+    cancelled_.store(true, std::memory_order_relaxed);
+    armed_ = true;
+    tryTrip(Trip::Cancelled);
+}
+
+bool
+Watchdog::tryTrip(Trip reason) const
+{
+    int expected = 0;
+    trip_.compare_exchange_strong(expected,
+                                  static_cast<int>(reason),
+                                  std::memory_order_relaxed);
+    return trip_.load(std::memory_order_relaxed) != 0;
+}
+
+bool
+Watchdog::expired() const
+{
+    if (!armed_)
+        return false;
+    if (trip_.load(std::memory_order_relaxed) != 0)
+        return true;
+    if (cancelled_.load(std::memory_order_relaxed))
+        return tryTrip(Trip::Cancelled);
+    if (budget_.wallNs > 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+        return tryTrip(Trip::WallClock);
+    }
+    return false;
+}
+
+void
+Watchdog::chargeCycles(std::uint64_t cycles) const
+{
+    if (!armed_ || budget_.cycles == 0)
+        return;
+    const std::uint64_t total =
+        chargedCycles_.fetch_add(cycles, std::memory_order_relaxed) +
+        cycles;
+    if (total > budget_.cycles)
+        tryTrip(Trip::Cycles);
+}
+
+Expected<void>
+Watchdog::checkPredictedCycles(std::uint64_t predicted,
+                               const std::string &site) const
+{
+    if (!armed_ || budget_.cycles == 0 || predicted <= budget_.cycles)
+        return ok();
+    tryTrip(Trip::Cycles);
+    return makeError(Category::Timeout, site, "layer needs ",
+                     predicted, " modelled cycles, over the ",
+                     budget_.cycles, "-cycle watchdog budget");
+}
+
+Watchdog::Trip
+Watchdog::trip() const
+{
+    return static_cast<Trip>(trip_.load(std::memory_order_relaxed));
+}
+
+Error
+Watchdog::tripError(const std::string &site) const
+{
+    switch (trip()) {
+      case Trip::WallClock:
+        return makeError(Category::Timeout, site,
+                         "layer exceeded its ", budget_.wallNs,
+                         " ns wall-clock watchdog budget");
+      case Trip::Cycles:
+        return makeError(Category::Timeout, site,
+                         "layer exceeded its ", budget_.cycles,
+                         "-cycle watchdog budget");
+      case Trip::Cancelled:
+        return makeError(Category::Timeout, site, "run cancelled");
+      case Trip::None:
+        break;
+    }
+    return makeError(Category::Internal, site,
+                     "tripError() on a healthy watchdog");
+}
+
+} // namespace guard
+} // namespace flexsim

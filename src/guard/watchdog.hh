@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Per-layer execution watchdog for the cycle simulators.
+ *
+ * A hung or fault-slowed layer must return guard::Error (category
+ * Timeout) instead of wedging the worker that runs it.  The watchdog
+ * is cooperative: a simulator arms it before a layer, checks
+ * expired() at every tile boundary of its sim::ThreadPool
+ * decomposition (workers stop claiming tiles once it fires), and
+ * raises GuardException afterwards, which guard::invoke() converts
+ * back into an Expected at the boundary.
+ *
+ * Two budgets, both optional (0 = unlimited):
+ *
+ *  - a wall-clock budget in host nanoseconds, enforced against
+ *    std::chrono::steady_clock — the backstop against runaway host
+ *    time, whatever its cause;
+ *  - a modelled-cycle budget, charged by the simulator as it retires
+ *    work (chargeCycles) and checkable up front against an analytic
+ *    prediction (checkPredictedCycles) since the analytic models are
+ *    cycle-exact vs the data simulators — the fast-fail against
+ *    layers that are legitimately too big for their slot.
+ *
+ * cancel() is the external kill switch (e.g. an operator draining a
+ * server).  All checks are lock-free and safe from any pool lane;
+ * arm()/disarm() must not race a running layer.
+ */
+
+#ifndef FLEXSIM_GUARD_WATCHDOG_HH
+#define FLEXSIM_GUARD_WATCHDOG_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "guard/error.hh"
+
+namespace flexsim {
+namespace guard {
+
+class Watchdog
+{
+  public:
+    /** Why an expired watchdog fired. */
+    enum class Trip
+    {
+        None = 0,
+        WallClock, ///< host wall-clock budget exhausted
+        Cycles,    ///< modelled-cycle budget exhausted
+        Cancelled, ///< external cancel()
+    };
+
+    /** Per-layer budgets; 0 disables that limit. */
+    struct Budget
+    {
+        std::uint64_t wallNs = 0; ///< host wall-clock nanoseconds
+        std::uint64_t cycles = 0; ///< modelled engine cycles
+
+        bool
+        unlimited() const
+        {
+            return wallNs == 0 && cycles == 0;
+        }
+    };
+
+    Watchdog() = default;
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /** Start a fresh layer: reset charges and trips, start the wall
+     * clock.  An earlier cancel() survives re-arming (a drained
+     * simulator stays drained). */
+    void arm(const Budget &budget);
+
+    /** Stop guarding (expired() returns false until re-armed). */
+    void disarm();
+
+    /** External kill switch; trips every armed check from now on. */
+    void cancel();
+
+    /** True once any budget tripped; cheap enough for every tile
+     * boundary (one relaxed load on the fast path; the wall clock is
+     * only read while still healthy). */
+    bool expired() const;
+
+    /** Account @p cycles of modelled work (called per tile); trips
+     * the cycle budget when the running sum crosses it. */
+    void chargeCycles(std::uint64_t cycles) const;
+
+    /**
+     * Fast-fail a layer whose analytically predicted cycle count
+     * already exceeds the armed cycle budget — no host time is spent
+     * simulating a layer that cannot fit.  Ok when unarmed or within
+     * budget.
+     */
+    Expected<void> checkPredictedCycles(std::uint64_t predicted,
+                                        const std::string &site) const;
+
+    Trip trip() const;
+
+    /** The typed Timeout error describing why the watchdog fired
+     * (expired() must be true). */
+    Error tripError(const std::string &site) const;
+
+  private:
+    bool tryTrip(Trip reason) const;
+
+    Budget budget_{};
+    bool armed_ = false;
+    std::chrono::steady_clock::time_point deadline_{};
+    std::atomic<bool> cancelled_{false};
+    mutable std::atomic<std::uint64_t> chargedCycles_{0};
+    mutable std::atomic<int> trip_{0};
+};
+
+} // namespace guard
+} // namespace flexsim
+
+#endif // FLEXSIM_GUARD_WATCHDOG_HH

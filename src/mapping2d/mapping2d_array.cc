@@ -242,14 +242,28 @@ Mapping2DArraySim::runLayer(const ConvLayerSpec &spec,
         ls.rowStart.resize(ls.regs.size());
         ls.accs.resize(ls.regs.size());
     }
+    sim::ThreadPool::CancelFn cancel;
+    if (watchdog_) {
+        cancel = [wd = watchdog_] { return wd->expired(); };
+    }
     sim::ThreadPool::shared().parallelFor(
-        tiles, threads, [&](int lane, std::int64_t tile) {
+        tiles, threads,
+        [&](int lane, std::int64_t tile) {
             const int m = static_cast<int>(tile % spec.outMaps);
             const std::int64_t blk = tile / spec.outMaps;
             const int c0_blk = static_cast<int>(blk % c_blocks);
             const int r0_blk = static_cast<int>(blk / c_blocks);
+            const Cycle before = lanes[lane].rec.cycles;
             run_tile(r0_blk * tr, c0_blk * tc, m, lanes[lane]);
-        });
+            if (watchdog_) {
+                watchdog_->chargeCycles(lanes[lane].rec.cycles -
+                                        before);
+            }
+        },
+        cancel);
+    if (watchdog_ && watchdog_->expired())
+        throw guard::GuardException(
+            watchdog_->tripError("sim.mapping2d"));
 
     for (const LaneState &ls : lanes) {
         total.cycles += ls.rec.cycles;

@@ -17,6 +17,7 @@
 
 #include "arch/result.hh"
 #include "fault/fault_plan.hh"
+#include "guard/watchdog.hh"
 #include "nn/layer_spec.hh"
 #include "nn/tensor.hh"
 #include "mapping2d/mapping2d_config.hh"
@@ -45,6 +46,13 @@ class Mapping2DArraySim
      */
     void setFaultPlan(const fault::FaultPlan *plan);
 
+    /** Attach a per-layer execution watchdog; see
+     * SystolicArraySim::setWatchdog (DESIGN.md §3.7). */
+    void setWatchdog(const guard::Watchdog *watchdog)
+    {
+        watchdog_ = watchdog;
+    }
+
     /** Fault activity of the last runLayer(). */
     const fault::FaultDiagnostics &faultDiagnostics() const
     {
@@ -59,6 +67,7 @@ class Mapping2DArraySim
     std::vector<std::uint8_t> stuckMap_;
     bool macFaultsActive_ = false;
     fault::FaultDiagnostics faultDiag_;
+    const guard::Watchdog *watchdog_ = nullptr;
 };
 
 } // namespace flexsim

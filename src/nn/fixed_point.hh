@@ -17,6 +17,7 @@
 #ifndef FLEXSIM_NN_FIXED_POINT_HH
 #define FLEXSIM_NN_FIXED_POINT_HH
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -46,12 +47,21 @@ class Fixed16
         return v;
     }
 
-    /** Quantize a double to the nearest representable value. */
+    /** Quantize a double to the nearest representable value.  NaN
+     * maps to zero; anything beyond the Q7.8 range (including
+     * infinities) saturates — casting such a double straight to an
+     * integer would be undefined behavior. */
     static Fixed16
     fromDouble(double value)
     {
+        if (std::isnan(value))
+            return fromRaw(0);
         double scaled = value * scale;
         scaled += scaled >= 0.0 ? 0.5 : -0.5; // round half away from zero
+        if (scaled >= 32767.0)
+            return fromRaw(std::numeric_limits<std::int16_t>::max());
+        if (scaled <= -32768.0)
+            return fromRaw(std::numeric_limits<std::int16_t>::min());
         auto wide = static_cast<std::int64_t>(scaled);
         return fromRaw(saturate16(wide));
     }
@@ -115,6 +125,13 @@ inline Fixed16
 quantizeAcc(Acc acc)
 {
     const Acc half = Acc{1} << (Fixed16::fracBits - 1);
+    // Accumulators within half a quantum of the int64 extremes would
+    // overflow the rounding adjust (or the negation, for INT64_MIN);
+    // anything that large saturates regardless.
+    if (acc >= std::numeric_limits<Acc>::max() - half)
+        return Fixed16::fromRaw(std::numeric_limits<std::int16_t>::max());
+    if (acc <= std::numeric_limits<Acc>::min() + half)
+        return Fixed16::fromRaw(std::numeric_limits<std::int16_t>::min());
     const Acc rounded =
         acc >= 0 ? (acc + half) >> Fixed16::fracBits
                  : -((-acc + half) >> Fixed16::fracBits);

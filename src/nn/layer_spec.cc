@@ -1,12 +1,72 @@
 #include "nn/layer_spec.hh"
 
+#include <cstdint>
+
 #include "common/logging.hh"
 
 namespace flexsim {
 
+namespace {
+
+/**
+ * Per-dimension cap for externally supplied layers.  Generous (a
+ * million maps / million-pixel edges are far beyond any CNN) while
+ * keeping every derived product well inside 64 bits.
+ */
+constexpr std::int64_t kMaxDim = 1 << 20;
+
+/** Cap on derived word/MAC counts (2^50 ~ one quadrillion). */
+constexpr std::int64_t kMaxCount = std::int64_t{1} << 50;
+
+/** a * b, or kMaxCount + 1 if the product would exceed the cap. */
+std::int64_t
+cappedMul(std::int64_t a, std::int64_t b)
+{
+    if (b != 0 && a > kMaxCount / b)
+        return kMaxCount + 1;
+    return a * b;
+}
+
+} // namespace
+
+guard::Expected<void>
+PoolLayerSpec::checked() const
+{
+    if (window < 1 || stride < 1) {
+        return guard::makeError(
+            guard::Category::InvalidArgument, "nn.pool",
+            "pooling window ", window, " and stride ", stride,
+            " must be positive");
+    }
+    if (window > kMaxDim || stride > kMaxDim) {
+        return guard::makeError(guard::Category::OutOfRange, "nn.pool",
+                                "pooling window ", window,
+                                " or stride ", stride,
+                                " exceeds the supported maximum ",
+                                kMaxDim);
+    }
+    if (op != PoolOp::Max && op != PoolOp::Average) {
+        return guard::makeError(guard::Category::InvalidArgument,
+                                "nn.pool", "unknown pooling operator ",
+                                static_cast<int>(op));
+    }
+    return guard::ok();
+}
+
 ConvLayerSpec
 ConvLayerSpec::make(std::string name, int in_maps, int out_maps,
                     int out_size, int kernel_size, int stride)
+{
+    auto spec = tryMake(std::move(name), in_maps, out_maps, out_size,
+                        kernel_size, stride);
+    if (!spec)
+        fatal(spec.error().str());
+    return spec.value();
+}
+
+guard::Expected<ConvLayerSpec>
+ConvLayerSpec::tryMake(std::string name, int in_maps, int out_maps,
+                       int out_size, int kernel_size, int stride)
 {
     ConvLayerSpec spec;
     spec.name = std::move(name);
@@ -15,8 +75,17 @@ ConvLayerSpec::make(std::string name, int in_maps, int out_maps,
     spec.outSize = out_size;
     spec.kernel = kernel_size;
     spec.stride = stride;
-    spec.inSize = (out_size - 1) * stride + kernel_size;
-    spec.validate();
+    // Derive inSize in 64-bit and range-check before narrowing so a
+    // hostile out_size/stride pair cannot overflow the int field.
+    const std::int64_t in_size =
+        (static_cast<std::int64_t>(out_size) - 1) * stride +
+        kernel_size;
+    if (out_size >= 1 && stride >= 1 && in_size > 0 &&
+        in_size <= 2 * kMaxDim) {
+        spec.inSize = static_cast<int>(in_size);
+    }
+    if (auto valid = spec.checked(); !valid)
+        return valid.error();
     return spec;
 }
 
@@ -54,15 +123,54 @@ ConvLayerSpec::outputWords() const
 void
 ConvLayerSpec::validate() const
 {
-    if (inMaps < 1 || outMaps < 1)
-        fatal("layer ", name, ": feature map counts must be positive");
-    if (outSize < 1 || kernel < 1 || stride < 1)
-        fatal("layer ", name, ": sizes and stride must be positive");
-    if (inSize < (outSize - 1) * stride + kernel) {
-        fatal("layer ", name, ": input size ", inSize,
-              " too small for ", outSize, " outputs of a ", kernel, "x",
-              kernel, " kernel at stride ", stride);
+    if (auto valid = checked(); !valid)
+        fatal(valid.error().str());
+}
+
+guard::Expected<void>
+ConvLayerSpec::checked() const
+{
+    const auto reject = [this](guard::Category category,
+                               const std::string &what) {
+        return guard::makeError(category, "nn.layer", "layer ", name,
+                                ": ", what);
+    };
+    if (inMaps < 1 || outMaps < 1) {
+        return reject(guard::Category::InvalidArgument,
+                      "feature map counts must be positive");
     }
+    if (outSize < 1 || kernel < 1 || stride < 1) {
+        return reject(guard::Category::InvalidArgument,
+                      "sizes and stride must be positive");
+    }
+    if (inMaps > kMaxDim || outMaps > kMaxDim || outSize > kMaxDim ||
+        kernel > kMaxDim || stride > kMaxDim ||
+        inSize > 2 * kMaxDim) {
+        return reject(guard::Category::OutOfRange,
+                      "a dimension exceeds the supported maximum " +
+                          std::to_string(kMaxDim));
+    }
+    if (static_cast<std::int64_t>(inSize) <
+        (static_cast<std::int64_t>(outSize) - 1) * stride + kernel) {
+        std::ostringstream oss;
+        oss << "input size " << inSize << " too small for " << outSize
+            << " outputs of a " << kernel << "x" << kernel
+            << " kernel at stride " << stride;
+        return reject(guard::Category::InvalidArgument, oss.str());
+    }
+    // With individual dimensions capped, only the full MAC product
+    // (and the kernel stack) can still overflow a useful range.
+    std::int64_t macs = cappedMul(outMaps, inMaps);
+    macs = cappedMul(macs, cappedMul(outSize, outSize));
+    macs = cappedMul(macs, cappedMul(kernel, kernel));
+    const std::int64_t input_words = cappedMul(
+        inMaps, cappedMul(inSize, inSize));
+    if (macs > kMaxCount || input_words > kMaxCount) {
+        return reject(guard::Category::OutOfRange,
+                      "tensor/MAC counts overflow the supported "
+                      "range (overflow-sized layer)");
+    }
+    return guard::ok();
 }
 
 MacCount
@@ -93,10 +201,27 @@ NetworkSpec::poolWindowAfter(std::size_t stage_index) const
 void
 NetworkSpec::validate() const
 {
-    if (stages.empty())
-        fatal("network ", name, " has no layers");
-    for (const Stage &stage : stages)
-        stage.conv.validate();
+    if (auto valid = checked(); !valid)
+        fatal(valid.error().str());
+}
+
+guard::Expected<void>
+NetworkSpec::checked() const
+{
+    if (stages.empty()) {
+        return guard::makeError(guard::Category::InvalidArgument,
+                                "nn.network", "network ", name,
+                                " has no layers");
+    }
+    for (const Stage &stage : stages) {
+        if (auto valid = stage.conv.checked(); !valid)
+            return valid.error();
+        if (stage.poolAfter) {
+            if (auto valid = stage.poolAfter->checked(); !valid)
+                return valid.error();
+        }
+    }
+    return guard::ok();
 }
 
 } // namespace flexsim

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "guard/error.hh"
 
 namespace flexsim {
 
@@ -33,6 +34,9 @@ struct PoolLayerSpec
     int window = 2; ///< pooling window edge (P in the paper)
     int stride = 2; ///< subsampling stride
     PoolOp op = PoolOp::Max;
+
+    /** Typed validation of an externally supplied pooling layer. */
+    guard::Expected<void> checked() const;
 };
 
 /**
@@ -53,10 +57,23 @@ struct ConvLayerSpec
     int kernel = 1;    ///< K
     int stride = 1;
 
-    /** Construct with inSize derived for a valid convolution. */
+    /** Construct with inSize derived for a valid convolution.
+     * fatal()s on a bad spec — for trusted (internal) layer tables;
+     * untrusted input goes through tryMake(). */
     static ConvLayerSpec make(std::string name, int in_maps, int out_maps,
                               int out_size, int kernel_size,
                               int stride = 1);
+
+    /**
+     * The guarded form of make() for externally supplied layer
+     * descriptions (flexcc --layers, decoded cfg_layer programs):
+     * returns the spec or a typed guard::Error instead of aborting.
+     * Rejects non-positive and overflow-sized dimensions (see
+     * checked()).
+     */
+    static guard::Expected<ConvLayerSpec>
+    tryMake(std::string name, int in_maps, int out_maps, int out_size,
+            int kernel_size, int stride = 1);
 
     /**
      * A fully-connected (classifier) layer expressed as a CONV layer
@@ -86,6 +103,14 @@ struct ConvLayerSpec
 
     /** Check internal consistency; calls fatal() on bad specs. */
     void validate() const;
+
+    /**
+     * Typed validation: positive dimensions, consistent geometry,
+     * and tensors/MAC counts that fit comfortably in 64-bit
+     * arithmetic (an overflow-sized layer is rejected here instead
+     * of wrapping a WordCount downstream).
+     */
+    guard::Expected<void> checked() const;
 };
 
 /**
@@ -115,6 +140,9 @@ struct NetworkSpec
 
     /** Validate every stage. */
     void validate() const;
+
+    /** Typed validation of the whole network (layers and pooling). */
+    guard::Expected<void> checked() const;
 };
 
 } // namespace flexsim

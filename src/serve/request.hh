@@ -20,6 +20,13 @@ namespace serve {
 /** Virtual time in nanoseconds. */
 using TimeNs = std::uint64_t;
 
+/**
+ * The workload index traffic generators use for deliberately invalid
+ * ("poison") requests.  Admission validation rejects it — and any
+ * other index outside the runtime's workload set — into quarantine.
+ */
+constexpr int kPoisonWorkload = -1;
+
 /** One inference request in flight. */
 struct InferenceRequest
 {
@@ -34,8 +41,9 @@ struct InferenceRequest
 /** Terminal state of a request. */
 enum class RequestOutcome
 {
-    Completed, ///< served and finished
-    Shed,      ///< rejected by admission control (queue full)
+    Completed,   ///< served and finished
+    Shed,        ///< rejected by admission control (queue full)
+    Quarantined, ///< poisoned: invalid or repeatedly tripping guards
 };
 
 } // namespace serve

@@ -52,6 +52,8 @@ ServeRuntime::ServeRuntime(const ServiceTimeModel &service,
                        config_.retryBackoffCapNs >=
                            config_.retryBackoffNs,
                    "retry backoff schedule is inconsistent");
+    flexsim_assert(config_.quarantineStrikes > 0,
+                   "quarantine needs at least one strike");
     for (const fault::AccelEvent &event : events_) {
         flexsim_assert(event.accel < config_.poolSize,
                        "fault event targets accelerator ", event.accel,
@@ -95,6 +97,10 @@ ServeRuntime::ServeRuntime(const ServiceTimeModel &service,
     degradedReroutes_.init(
         &stats_, "degradedReroutes",
         "requests served by degraded/probation instances");
+    quarantined_.init(&stats_, "requestsQuarantined",
+                      "poison requests routed to quarantine");
+    watchdogTrips_.init(&stats_, "watchdogTrips",
+                        "batches killed by the service-time watchdog");
     makespanStat_.init(&stats_, "makespanNs",
                        "first arrival to last completion");
     throughput_.init(&stats_, "throughputRps",
@@ -149,6 +155,9 @@ ServeRuntime::run(const std::vector<InferenceRequest> &requests)
         std::uint64_t seq = 0;
         unsigned accel = 0;
         TimeNs dispatchNs = 0;
+        /** Watchdog kill: the batch is aborted at timeNs instead of
+         * completing (its requests strike or quarantine). */
+        bool wdKilled = false;
         std::vector<QueuedRequest> batch;
     };
 
@@ -192,6 +201,15 @@ ServeRuntime::run(const std::vector<InferenceRequest> &requests)
 
     auto admit = [&](const InferenceRequest &request) {
         ++arrived_;
+        // Admission validation: a workload index outside the service
+        // table is poison and goes straight to quarantine — it must
+        // never reach a service-model lookup.
+        if (request.workload < 0 ||
+            static_cast<std::size_t>(request.workload) >=
+                service_.numWorkloads()) {
+            ++quarantined_;
+            return;
+        }
         if (queue_.size() >= config_.queueCapacity) {
             ++shed_;
             return;
@@ -205,6 +223,29 @@ ServeRuntime::run(const std::vector<InferenceRequest> &requests)
                                : kNever;
         queue_.push_back(entry);
         queueDepth_.sample(static_cast<double>(queue_.size()));
+    };
+
+    // A batch the watchdog killed at its budget: the instance is
+    // free again (having earned only the budget as busy time) and
+    // every request either takes a strike and retries with backoff,
+    // or — at the strike limit — is quarantined.  Requeueing in
+    // reverse keeps queue order deterministic (same as fail-stops).
+    auto finish_killed = [&](const Completion &completion) {
+        AccelInstance &accel = *accels_[completion.accel];
+        accel.busy = false;
+        ++watchdogTrips_;
+        for (auto rit = completion.batch.rbegin();
+             rit != completion.batch.rend(); ++rit) {
+            QueuedRequest entry = *rit;
+            ++entry.wdStrikes;
+            if (entry.wdStrikes >= config_.quarantineStrikes) {
+                ++quarantined_;
+                continue;
+            }
+            entry.readyNs =
+                completion.timeNs + backoff(entry.wdStrikes);
+            queue_.push_front(entry);
+        }
     };
 
     auto finish = [&](const Completion &completion) {
@@ -376,11 +417,19 @@ ServeRuntime::run(const std::vector<InferenceRequest> &requests)
                     static_cast<double>(service) * pending.slow);
             }
             Completion completion;
-            completion.timeNs = now + service;
             completion.seq = seq++;
             completion.accel = pending.accel;
             completion.dispatchNs = now;
             completion.batch = std::move(pending.batch);
+            // The watchdog caps how long an instance may be held by
+            // one batch: a budget overrun is killed at the budget,
+            // not served to completion.
+            if (config_.watchdogNs > 0 &&
+                service > config_.watchdogNs) {
+                completion.wdKilled = true;
+                service = config_.watchdogNs;
+            }
+            completion.timeNs = now + service;
 
             AccelInstance &accel = *accels_[completion.accel];
             accel.busyNs += static_cast<double>(service);
@@ -450,7 +499,10 @@ ServeRuntime::run(const std::vector<InferenceRequest> &requests)
                 });
             if (due->timeNs > now)
                 break;
-            finish(*due);
+            if (due->wdKilled)
+                finish_killed(*due);
+            else
+                finish(*due);
             inflight.erase(due);
         }
         while (next_event < events_.size() &&
@@ -487,7 +539,8 @@ ServeRuntime::run(const std::vector<InferenceRequest> &requests)
     // Every offered request reached exactly one terminal state.
     flexsim_assert(arrived_.value() ==
                        completed_.value() + shed_.value() +
-                           timeouts_.value() + failures_.value(),
+                           timeouts_.value() + failures_.value() +
+                           quarantined_.value(),
                    "request accounting out of balance");
 
     makespanNs_ = std::max(last_completion, now);
@@ -511,6 +564,10 @@ ServeRuntime::run(const std::vector<InferenceRequest> &requests)
         static_cast<std::uint64_t>(readmissions_.value());
     report.degradedReroutes =
         static_cast<std::uint64_t>(degradedReroutes_.value());
+    report.quarantined =
+        static_cast<std::uint64_t>(quarantined_.value());
+    report.watchdogTrips =
+        static_cast<std::uint64_t>(watchdogTrips_.value());
     report.makespanNs = makespanNs_;
     report.p50LatencyMs = latencyMs_.percentile(0.50);
     report.p95LatencyMs = latencyMs_.percentile(0.95);

@@ -32,6 +32,13 @@
  *
  * and the dispatcher routes to the healthiest free instance instead
  * of shedding, so capacity degrades gracefully.
+ *
+ * Guarded execution: admission validates the workload index, and a
+ * per-batch service-time watchdog (ServeConfig::watchdogNs) kills
+ * batches that exceed their budget.  A request that fails validation,
+ * or takes quarantineStrikes watchdog strikes, reaches the
+ * Quarantined terminal state — one poison request cannot wedge an
+ * instance or starve healthy traffic (DESIGN.md §3.7).
  */
 
 #ifndef FLEXSIM_SERVE_RUNTIME_HH
@@ -83,6 +90,21 @@ struct ServeConfig
     TimeNs probationNs = 100'000'000;
     /** Batches a probation instance must finish to be Healthy. */
     unsigned probationSuccesses = 3;
+    /**
+     * Per-batch service-time watchdog: a batch whose (slowdown-
+     * adjusted) service time exceeds this budget is killed at
+     * dispatch + watchdogNs — the instance only earns the budget as
+     * busy time, and every request in the batch takes a watchdog
+     * strike.  0 disables the watchdog.
+     */
+    TimeNs watchdogNs = 0;
+    /**
+     * Strikes before a request is quarantined: a request that trips
+     * the watchdog this many times (or fails admission validation
+     * outright) reaches the Quarantined terminal state instead of
+     * being retried forever.
+     */
+    unsigned quarantineStrikes = 3;
 };
 
 /** Health of one accelerator instance (see file comment). */
@@ -115,6 +137,11 @@ struct ServeReport
     std::uint64_t readmissions = 0;
     /** Requests served by a degraded or probation instance. */
     std::uint64_t degradedReroutes = 0;
+    /** Requests quarantined: invalid at admission or repeatedly
+     * tripping the service-time watchdog. */
+    std::uint64_t quarantined = 0;
+    /** Batches killed by the service-time watchdog. */
+    std::uint64_t watchdogTrips = 0;
     /** First arrival to last completion. */
     TimeNs makespanNs = 0;
     double p50LatencyMs = 0.0;
@@ -202,6 +229,8 @@ class ServeRuntime
         TimeNs readyNs = 0;
         /** Absolute drop-dead time (kNever when disabled). */
         TimeNs deadlineNs = 0;
+        /** Service-time watchdog trips charged to this request. */
+        unsigned wdStrikes = 0;
     };
 
     const ServiceTimeModel &service_;
@@ -231,6 +260,8 @@ class ServeRuntime
     statistics::Scalar ejections_;
     statistics::Scalar readmissions_;
     statistics::Scalar degradedReroutes_;
+    statistics::Scalar quarantined_;
+    statistics::Scalar watchdogTrips_;
     statistics::Scalar makespanStat_;
     statistics::Formula throughput_;
     statistics::Formula shedRate_;

@@ -73,28 +73,69 @@ burstyRate(const TrafficConfig &config, TimeNs now)
 
 } // namespace
 
+guard::Expected<void>
+TrafficConfig::check() const
+{
+    using guard::Category;
+    const auto reject = [](Category category, const auto &...parts) {
+        return guard::makeError(category, "serve.traffic", parts...);
+    };
+    if (!(rps > 0.0)) {
+        return reject(Category::InvalidArgument,
+                      "traffic needs a positive rate, got ", rps);
+    }
+    if (durationNs == 0)
+        return reject(Category::InvalidArgument,
+                      "traffic needs a positive duration");
+    if (numWorkloads < 1) {
+        return reject(Category::InvalidArgument,
+                      "traffic needs at least one workload, got ",
+                      numWorkloads);
+    }
+    if (model == TrafficModel::Bursty) {
+        if (!(burstFraction > 0.0 && burstFraction < 1.0)) {
+            return reject(Category::InvalidArgument,
+                          "burst fraction ", burstFraction,
+                          " outside (0, 1)");
+        }
+        if (burstPeriodNs == 0) {
+            return reject(Category::InvalidArgument,
+                          "burst period must be positive");
+        }
+        if (!(burstFactor >= 1.0)) {
+            return reject(Category::InvalidArgument, "burst factor ",
+                          burstFactor, " must be >= 1");
+        }
+    }
+    if (!(poisonRate >= 0.0 && poisonRate <= 1.0)) {
+        return reject(Category::InvalidArgument, "poison rate ",
+                      poisonRate, " outside [0, 1]");
+    }
+    return guard::ok();
+}
+
 std::vector<InferenceRequest>
 generateTraffic(const TrafficConfig &config)
 {
-    flexsim_assert(config.rps > 0.0, "traffic needs a positive rate");
-    flexsim_assert(config.durationNs > 0, "traffic needs a duration");
-    flexsim_assert(config.numWorkloads > 0,
-                   "traffic needs at least one workload");
-    if (config.model == TrafficModel::Bursty) {
-        flexsim_assert(config.burstFraction > 0.0 &&
-                           config.burstFraction < 1.0,
-                       "burst fraction must be in (0, 1)");
-        flexsim_assert(config.burstPeriodNs > 0,
-                       "burst period must be positive");
-    }
+    if (auto valid = config.check(); !valid)
+        fatal(valid.error().str());
 
     Rng rng(config.seed);
     std::vector<InferenceRequest> requests;
     auto draw_workload = [&] {
-        return config.numWorkloads == 1
-                   ? 0
-                   : static_cast<int>(rng.uniformInt(
-                         0, config.numWorkloads - 1));
+        const int workload =
+            config.numWorkloads == 1
+                ? 0
+                : static_cast<int>(rng.uniformInt(
+                      0, config.numWorkloads - 1));
+        // The poison draw only happens at a non-zero rate, so a
+        // poison-free stream consumes exactly the historical draw
+        // sequence and stays bit-identical.
+        if (config.poisonRate > 0.0 &&
+            rng.uniformReal() < config.poisonRate) {
+            return kPoisonWorkload;
+        }
+        return workload;
     };
 
     if (config.model == TrafficModel::Replay) {
@@ -135,14 +176,40 @@ generateTraffic(const TrafficConfig &config)
 std::vector<TimeNs>
 parseReplayTrace(const std::string &text)
 {
+    auto offsets = tryParseReplayTrace(text);
+    if (!offsets)
+        fatal(offsets.error().str());
+    return offsets.value();
+}
+
+guard::Expected<std::vector<TimeNs>>
+tryParseReplayTrace(const std::string &text)
+{
     std::vector<TimeNs> offsets;
+    int line_no = 0;
     for (const std::string &line : split(text, '\n')) {
+        ++line_no;
         const std::string body = trim(split(line, '#').front());
         if (body.empty())
             continue;
-        const double micros = std::stod(body);
-        if (micros < 0.0)
-            fatal("replay trace has a negative arrival offset");
+        double micros = 0.0;
+        try {
+            std::size_t used = 0;
+            micros = std::stod(body, &used);
+            if (used != body.size())
+                throw std::invalid_argument(body);
+        } catch (...) {
+            return guard::makeError(guard::Category::Parse,
+                                    "serve.replay", "trace line ",
+                                    line_no, ": bad arrival offset '",
+                                    body, "'");
+        }
+        if (micros < 0.0 || !std::isfinite(micros)) {
+            return guard::makeError(
+                guard::Category::InvalidArgument, "serve.replay",
+                "trace line ", line_no,
+                ": arrival offset must be finite and non-negative");
+        }
         offsets.push_back(
             static_cast<TimeNs>(std::llround(micros * 1e3)));
     }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "guard/error.hh"
 #include "serve/request.hh"
 
 namespace flexsim {
@@ -55,6 +56,14 @@ struct TrafficConfig
     /** Replay: arrival offsets (ns) replayed in order; offsets past
      *  durationNs are dropped. */
     std::vector<TimeNs> replayNs;
+    /** Fraction of requests emitted as poison (workload = -1): they
+     *  fail admission validation and exercise the quarantine path.
+     *  Drawn deterministically from the stream seed; 0 leaves the
+     *  generated stream bit-identical to a pre-poison run. */
+    double poisonRate = 0.0;
+
+    /** Typed validation of an externally supplied configuration. */
+    guard::Expected<void> check() const;
 };
 
 /**
@@ -68,6 +77,11 @@ std::vector<InferenceRequest> generateTraffic(const TrafficConfig &config);
  * (comments with '#' and blank lines skipped).
  */
 std::vector<TimeNs> parseReplayTrace(const std::string &text);
+
+/** Guarded parseReplayTrace: a typed Parse error instead of dying on
+ * garbage lines or negative offsets. */
+guard::Expected<std::vector<TimeNs>>
+tryParseReplayTrace(const std::string &text);
 
 } // namespace serve
 } // namespace flexsim

@@ -21,6 +21,13 @@ void
 ThreadPool::parallelFor(std::int64_t tiles, int maxLanes,
                         const TileFn &fn)
 {
+    parallelFor(tiles, maxLanes, fn, CancelFn{});
+}
+
+void
+ThreadPool::parallelFor(std::int64_t tiles, int maxLanes,
+                        const TileFn &fn, const CancelFn &cancelled)
+{
     if (tiles <= 0)
         return;
     int lanes = maxLanes;
@@ -30,8 +37,11 @@ ThreadPool::parallelFor(std::int64_t tiles, int maxLanes,
         // Inline fast path: a threads=1 run never touches the pool
         // (no atomics, no locks), so single-thread timing and the
         // serving runtime's own worker threads see zero overhead.
-        for (std::int64_t tile = 0; tile < tiles; ++tile)
+        for (std::int64_t tile = 0; tile < tiles; ++tile) {
+            if (cancelled && cancelled())
+                return;
             fn(0, tile);
+        }
         return;
     }
 
@@ -42,6 +52,7 @@ ThreadPool::parallelFor(std::int64_t tiles, int maxLanes,
         std::lock_guard<std::mutex> lock(mutex_);
         ensureWorkersLocked(lanes - 1);
         fn_ = &fn;
+        cancel_ = cancelled ? &cancelled : nullptr;
         tiles_ = tiles;
         next_.store(0, std::memory_order_relaxed);
         lanes_ = lanes - 1;
@@ -53,6 +64,8 @@ ThreadPool::parallelFor(std::int64_t tiles, int maxLanes,
 
     // The caller is lane 0 and competes for tiles like any worker.
     for (;;) {
+        if (cancelled && cancelled())
+            break;
         const std::int64_t tile =
             next_.fetch_add(1, std::memory_order_relaxed);
         if (tile >= tiles)
@@ -64,6 +77,7 @@ ThreadPool::parallelFor(std::int64_t tiles, int maxLanes,
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [this] { return finished_ == lanes_; });
     fn_ = nullptr;
+    cancel_ = nullptr;
 }
 
 void
@@ -81,6 +95,7 @@ ThreadPool::workerLoop(int index)
     std::uint64_t seen = 0;
     for (;;) {
         const TileFn *fn = nullptr;
+        const CancelFn *cancel = nullptr;
         std::int64_t tiles = 0;
         bool participating = false;
         {
@@ -96,10 +111,13 @@ ThreadPool::workerLoop(int index)
             // could be miscounted against the stale one.
             participating = index < lanes_;
             fn = fn_;
+            cancel = cancel_;
             tiles = tiles_;
         }
         if (participating) {
             for (;;) {
+                if (cancel && (*cancel)())
+                    break;
                 const std::int64_t tile =
                     next_.fetch_add(1, std::memory_order_relaxed);
                 if (tile >= tiles)

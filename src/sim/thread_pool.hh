@@ -40,6 +40,11 @@ class ThreadPool
      * calling thread. */
     using TileFn = std::function<void(int lane, std::int64_t tile)>;
 
+    /** Cooperative-cancellation probe, polled between tile claims;
+     * returning true stops further tiles from being claimed (tiles
+     * already running finish normally).  Must be thread-safe. */
+    using CancelFn = std::function<bool()>;
+
     ThreadPool() = default;
     ~ThreadPool();
 
@@ -59,8 +64,16 @@ class ThreadPool
      * Concurrent parallelFor() calls from different client threads
      * (e.g. serving workers each running a threaded simulator) are
      * serialized: the second caller blocks until the pool is free.
+     *
+     * The four-argument form polls @p cancelled before every tile
+     * claim on every lane: once it returns true the section drains
+     * without starting new tiles and parallelFor returns early.
+     * This is how the guard::Watchdog aborts a runaway layer without
+     * wedging its worker (DESIGN.md §3.7).
      */
     void parallelFor(std::int64_t tiles, int maxLanes, const TileFn &fn);
+    void parallelFor(std::int64_t tiles, int maxLanes, const TileFn &fn,
+                     const CancelFn &cancelled);
 
     /** The process-wide pool every simulator shares. */
     static ThreadPool &shared();
@@ -95,6 +108,7 @@ class ThreadPool
 
     // Current job, published under mutex_.
     const TileFn *fn_ = nullptr;
+    const CancelFn *cancel_ = nullptr; ///< nullptr = not cancellable
     std::int64_t tiles_ = 0;
     std::atomic<std::int64_t> next_{0};
     std::atomic<std::uint64_t> pooledTiles_{0};

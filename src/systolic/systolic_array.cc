@@ -262,6 +262,12 @@ SystolicArraySim::runLayer(const ConvLayerSpec &spec,
     record.traffic.neuronIn +=
         static_cast<WordCount>(groups) * stream;
 
+    // The layer's modelled cycle count is fully analytic up front, so
+    // the cycle budget is charged in one step before any host work;
+    // the wall-clock budget is polled at tile boundaries below.
+    if (watchdog_)
+        watchdog_->chargeCycles(record.cycles);
+
     // Output maps are independent tiles: each lane owns a disjoint
     // accs slice and private counters, merged in lane order below.
     struct LaneState
@@ -274,8 +280,13 @@ SystolicArraySim::runLayer(const ConvLayerSpec &spec,
     const int threads = std::max(1, config_.threads);
     std::vector<LaneState> lanes(std::max(
         1, std::min<int>(threads, std::max(spec.outMaps, 1))));
+    sim::ThreadPool::CancelFn cancel;
+    if (watchdog_) {
+        cancel = [wd = watchdog_] { return wd->expired(); };
+    }
     sim::ThreadPool::shared().parallelFor(
-        spec.outMaps, threads, [&](int lane, std::int64_t tile) {
+        spec.outMaps, threads,
+        [&](int lane, std::int64_t tile) {
             LaneState &ls = lanes[lane];
             const int m = static_cast<int>(tile);
             for (int n = 0; n < spec.inMaps; ++n) {
@@ -298,7 +309,11 @@ SystolicArraySim::runLayer(const ConvLayerSpec &spec,
                     }
                 }
             }
-        });
+        },
+        cancel);
+    if (watchdog_ && watchdog_->expired())
+        throw guard::GuardException(
+            watchdog_->tripError("sim.systolic"));
 
     std::uint64_t emissions = 0;
     for (const LaneState &ls : lanes) {

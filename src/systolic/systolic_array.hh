@@ -21,6 +21,7 @@
 
 #include "arch/result.hh"
 #include "fault/fault_plan.hh"
+#include "guard/watchdog.hh"
 #include "nn/layer_spec.hh"
 #include "nn/tensor.hh"
 #include "systolic/systolic_config.hh"
@@ -56,6 +57,18 @@ class SystolicArraySim
      * not by this data simulator.
      */
     void setFaultPlan(const fault::FaultPlan *plan);
+
+    /**
+     * Attach a per-layer execution watchdog (must outlive the
+     * simulator; nullptr detaches).  runLayer() charges its modelled
+     * cycles, polls expired() at tile boundaries, and throws
+     * guard::GuardException (category Timeout) once a budget trips —
+     * see DESIGN.md §3.7.  Arming is the caller's job.
+     */
+    void setWatchdog(const guard::Watchdog *watchdog)
+    {
+        watchdog_ = watchdog;
+    }
 
     /** Fault activity of the last runLayer(). */
     const fault::FaultDiagnostics &faultDiagnostics() const
@@ -109,6 +122,7 @@ class SystolicArraySim
     std::vector<std::uint8_t> stuckMap_;
     bool macFaultsActive_ = false;
     fault::FaultDiagnostics faultDiag_;
+    const guard::Watchdog *watchdog_ = nullptr;
 };
 
 } // namespace flexsim

@@ -245,12 +245,25 @@ TilingArraySim::runLayer(const ConvLayerSpec &spec,
         ls.accs.resize(tm);
         ls.neurons.resize(tn);
     }
+    sim::ThreadPool::CancelFn cancel;
+    if (watchdog_) {
+        cancel = [wd = watchdog_] { return wd->expired(); };
+    }
     sim::ThreadPool::shared().parallelFor(
-        tiles, threads, [&](int lane, std::int64_t tile) {
+        tiles, threads,
+        [&](int lane, std::int64_t tile) {
             const int r = static_cast<int>(tile % s);
             const int m0 = static_cast<int>(tile / s) * tm;
+            const Cycle before = lanes[lane].rec.cycles;
             run_tile(m0, r, lanes[lane]);
-        });
+            if (watchdog_) {
+                watchdog_->chargeCycles(lanes[lane].rec.cycles -
+                                        before);
+            }
+        },
+        cancel);
+    if (watchdog_ && watchdog_->expired())
+        throw guard::GuardException(watchdog_->tripError("sim.tiling"));
 
     for (const LaneState &ls : lanes) {
         total.cycles += ls.rec.cycles;

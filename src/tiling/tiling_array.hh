@@ -14,6 +14,7 @@
 
 #include "arch/result.hh"
 #include "fault/fault_plan.hh"
+#include "guard/watchdog.hh"
 #include "nn/layer_spec.hh"
 #include "nn/tensor.hh"
 #include "tiling/tiling_config.hh"
@@ -42,6 +43,13 @@ class TilingArraySim
      */
     void setFaultPlan(const fault::FaultPlan *plan);
 
+    /** Attach a per-layer execution watchdog; see
+     * SystolicArraySim::setWatchdog (DESIGN.md §3.7). */
+    void setWatchdog(const guard::Watchdog *watchdog)
+    {
+        watchdog_ = watchdog;
+    }
+
     /** Fault activity of the last runLayer(). */
     const fault::FaultDiagnostics &faultDiagnostics() const
     {
@@ -56,6 +64,7 @@ class TilingArraySim
     std::vector<std::uint8_t> stuckMap_;
     bool macFaultsActive_ = false;
     fault::FaultDiagnostics faultDiag_;
+    const guard::Watchdog *watchdog_ = nullptr;
 };
 
 } // namespace flexsim

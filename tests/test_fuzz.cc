@@ -9,9 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <optional>
+
 #include "common/random.hh"
+#include "fault/fault_plan.hh"
 #include "flexflow/conv_unit.hh"
 #include "flexflow/flexflow_model.hh"
+#include "flexflow/isa.hh"
+#include "guard/error.hh"
+#include "serve/traffic.hh"
 #include "mapping2d/mapping2d_array.hh"
 #include "mapping2d/mapping2d_model.hh"
 #include "nn/golden.hh"
@@ -250,6 +257,235 @@ TEST(FuzzInvariantTest, ModelMacsAlwaysMatchSpec)
         EXPECT_EQ(TilingModel().runLayer(spec).macs, spec.macs());
         EXPECT_EQ(Mapping2DModel().runLayer(spec).macs, spec.macs());
     }
+}
+
+// ===================================================================
+// Malformed-input corpus: every untrusted-input boundary, fed
+// hostile data through its try*/check* entry point, must hand back
+// a typed guard::Error.  This suite runs WITHOUT setThrowOnError, so
+// any code path that still fatal()s on these inputs aborts the test
+// process — passing is the proof that nothing does.
+// ===================================================================
+
+struct MalformedCase
+{
+    const char *name;
+    std::function<std::optional<guard::Error>()> run;
+};
+
+/** Adapt an Expected<T> to "the error, if rejected". */
+template <typename T>
+std::optional<guard::Error>
+errorOf(const guard::Expected<T> &result)
+{
+    if (result)
+        return std::nullopt;
+    return result.error();
+}
+
+/** A "FFSM" binary image with an arbitrary version/count/payload. */
+std::string
+binaryImage(std::uint8_t version, std::uint64_t count,
+            const std::vector<std::uint64_t> &words)
+{
+    std::string bytes = "FFSM";
+    bytes.push_back(static_cast<char>(version));
+    for (int b = 0; b < 8; ++b)
+        bytes.push_back(static_cast<char>((count >> (8 * b)) & 0xff));
+    for (std::uint64_t w : words)
+        for (int b = 0; b < 8; ++b)
+            bytes.push_back(static_cast<char>((w >> (8 * b)) & 0xff));
+    return bytes;
+}
+
+std::vector<MalformedCase>
+malformedCorpus()
+{
+    using fault::tryParseFaultSpec;
+    using fault::tryParseFaultTrace;
+    using serve::TrafficConfig;
+    using serve::tryParseReplayTrace;
+
+    auto layer = [](int n, int m, int s, int k, int stride) {
+        return ConvLayerSpec::tryMake("hostile", n, m, s, k, stride);
+    };
+    auto pool = [](int window, int stride) {
+        PoolLayerSpec p;
+        p.window = window;
+        p.stride = stride;
+        return p.checked();
+    };
+    auto spec = [](const std::string &text) {
+        return tryParseFaultSpec(text);
+    };
+    auto checkedSpec = [](const std::string &text, int d) {
+        auto plan = fault::tryParseFaultSpec(text);
+        if (!plan)
+            return guard::Expected<void>(plan.error());
+        return plan.value().check(d);
+    };
+    auto traffic = [](auto mutate) {
+        TrafficConfig config;
+        mutate(config);
+        return config.check();
+    };
+    const int big = 1 << 20; // nn::kMaxDim
+
+    return {
+        // --- layer/network ingestion ---------------------------------
+        {"conv zero input maps", [=] { return errorOf(layer(0, 4, 8, 3, 1)); }},
+        {"conv negative output maps", [=] { return errorOf(layer(3, -2, 8, 3, 1)); }},
+        {"conv zero output size", [=] { return errorOf(layer(3, 4, 0, 3, 1)); }},
+        {"conv zero kernel", [=] { return errorOf(layer(3, 4, 8, 0, 1)); }},
+        {"conv zero stride", [=] { return errorOf(layer(3, 4, 8, 3, 0)); }},
+        {"conv negative stride", [=] { return errorOf(layer(3, 4, 8, 3, -1)); }},
+        {"conv dimension past cap", [=] { return errorOf(layer(3, 4, big + 1, 3, 1)); }},
+        {"conv overflow-sized tensor", [=] { return errorOf(layer(big, big, big, big, 1)); }},
+        {"pool zero window", [=] { return errorOf(pool(0, 1)); }},
+        {"pool negative stride", [=] { return errorOf(pool(2, -1)); }},
+        {"pool window past cap", [=] { return errorOf(pool(big + 1, 1)); }},
+        {"network with no stages", [] {
+             NetworkSpec net;
+             net.name = "empty";
+             return errorOf(net.checked());
+         }},
+        {"network with corrupt stage", [] {
+             NetworkSpec net;
+             net.name = "corrupt";
+             NetworkSpec::Stage stage;
+             stage.conv.name = "bad";
+             stage.conv.inMaps = -1;
+             net.stages.push_back(stage);
+             return errorOf(net.checked());
+         }},
+
+        // --- flexcc program text -------------------------------------
+        {"asm unknown mnemonic", [] { return errorOf(tryAssemble("frobnicate 1 2 3\n")); }},
+        {"asm missing operands", [] { return errorOf(tryAssemble("cfg_layer 1 2\n")); }},
+        {"asm excess operands", [] { return errorOf(tryAssemble("halt 1\n")); }},
+        {"asm non-numeric operand", [] { return errorOf(tryAssemble("load_input banana\n")); }},
+        {"asm operand overflow", [] {
+             return errorOf(
+                 tryAssemble("cfg_layer 99999999 1 1 1 1\n"));
+         }},
+
+        // --- flexcc binary programs ----------------------------------
+        {"binary empty image", [] { return errorOf(tryParseBinary("", "fuzz")); }},
+        {"binary bad magic", [] {
+             return errorOf(tryParseBinary(
+                 std::string("XXSM\x01") + std::string(16, '\0'),
+                 "fuzz"));
+         }},
+        {"binary truncated header", [] { return errorOf(tryParseBinary("FFSM", "fuzz")); }},
+        {"binary unsupported version", [] { return errorOf(tryParseBinary(binaryImage(9, 0, {}), "fuzz")); }},
+        {"binary hostile instruction count", [] {
+             // Claims 2^61 instructions in a 21-byte file; must be
+             // rejected before any allocation is attempted.
+             return errorOf(tryParseBinary(
+                 binaryImage(1, std::uint64_t{1} << 61, {0}), "fuzz"));
+         }},
+        {"binary trailing bytes", [] {
+             return errorOf(tryParseBinary(
+                 binaryImage(1, 0, {}) + "junk", "fuzz"));
+         }},
+        {"binary undecodable opcode", [] {
+             return errorOf(tryParseBinary(
+                 binaryImage(1, 1, {~std::uint64_t{0}}), "fuzz"));
+         }},
+
+        // --- fault plans and traces ----------------------------------
+        {"fault spec garbage clause", [=] { return errorOf(spec("garbage")); }},
+        {"fault spec unknown key", [=] { return errorOf(spec("bananas=3")); }},
+        {"fault spec bad number", [=] { return errorOf(spec("flip=abc")); }},
+        {"fault spec bad pe coordinate", [=] { return errorOf(spec("stuck=1")); }},
+        {"fault spec malformed bufflip", [=] { return errorOf(spec("bufflip=neuron")); }},
+        {"fault spec flip rate above one", [=] { return errorOf(checkedSpec("flip=2.0", 16)); }},
+        {"fault spec pe outside array", [=] { return errorOf(checkedSpec("stuck=99.99", 16)); }},
+        {"fault trace bad time", [=] { return errorOf(tryParseFaultTrace("banana failstop 0\n")); }},
+        {"fault trace unknown event", [=] { return errorOf(tryParseFaultTrace("1ms frobnicate 0\n")); }},
+
+        // --- traffic configuration and traces ------------------------
+        {"traffic zero rate", [=] {
+             return errorOf(
+                 traffic([](TrafficConfig &c) { c.rps = 0.0; }));
+         }},
+        {"traffic zero duration", [=] {
+             return errorOf(
+                 traffic([](TrafficConfig &c) { c.durationNs = 0; }));
+         }},
+        {"traffic no workloads", [=] {
+             return errorOf(
+                 traffic([](TrafficConfig &c) { c.numWorkloads = 0; }));
+         }},
+        {"traffic burst fraction over one", [=] {
+             return errorOf(traffic([](TrafficConfig &c) {
+                 c.model = serve::TrafficModel::Bursty;
+                 c.burstFraction = 1.5;
+             }));
+         }},
+        {"traffic burst factor below one", [=] {
+             return errorOf(traffic([](TrafficConfig &c) {
+                 c.model = serve::TrafficModel::Bursty;
+                 c.burstFactor = 0.5;
+             }));
+         }},
+        {"traffic poison rate above one", [=] {
+             return errorOf(
+                 traffic([](TrafficConfig &c) { c.poisonRate = 1.5; }));
+         }},
+        {"traffic negative poison rate", [=] {
+             return errorOf(traffic(
+                 [](TrafficConfig &c) { c.poisonRate = -0.25; }));
+         }},
+        {"replay trace garbage line", [=] { return errorOf(tryParseReplayTrace("12.5\nbanana\n")); }},
+        {"replay trace negative offset", [=] { return errorOf(tryParseReplayTrace("-40\n")); }},
+    };
+}
+
+TEST(MalformedInputCorpus, EveryCaseYieldsTypedErrorWithoutAborting)
+{
+    const std::vector<MalformedCase> corpus = malformedCorpus();
+    ASSERT_GE(corpus.size(), 30u);
+    for (const MalformedCase &c : corpus) {
+        // Running at all is half the test: a boundary that still
+        // fatal()s on this input kills the process here.
+        const std::optional<guard::Error> err = c.run();
+        ASSERT_TRUE(err.has_value())
+            << "'" << c.name << "' was accepted instead of rejected";
+        EXPECT_FALSE(err->message.empty()) << c.name;
+        EXPECT_FALSE(err->site.empty()) << c.name;
+        // str() is the operator-facing rendering; it must carry the
+        // site and a category tag.
+        const std::string rendered = err->str();
+        EXPECT_NE(rendered.find(err->site), std::string::npos)
+            << c.name;
+        EXPECT_NE(rendered.find('['), std::string::npos) << c.name;
+    }
+}
+
+TEST(MalformedInputCorpus, WellFormedCounterpartsStillParse)
+{
+    // The guarded parsers must not have become trigger-happy: one
+    // healthy exemplar per boundary still parses cleanly.
+    EXPECT_TRUE(ConvLayerSpec::tryMake("ok", 3, 4, 8, 3, 1));
+    PoolLayerSpec pool;
+    pool.window = 2;
+    pool.stride = 2;
+    EXPECT_TRUE(pool.checked());
+    EXPECT_TRUE(tryAssemble("cfg_layer 4 3 8 3 1\nconv\nhalt\n"));
+    const Program round_trip =
+        assemble("cfg_layer 4 3 8 3 1\nconv\nhalt\n");
+    std::vector<std::uint64_t> words;
+    for (const Instruction &inst : round_trip.instructions)
+        words.push_back(encode(inst));
+    EXPECT_TRUE(tryParseBinary(
+        binaryImage(1, words.size(), words), "fuzz"));
+    EXPECT_TRUE(fault::tryParseFaultSpec("seed=7;stuck=1.2;flip=0.01"));
+    EXPECT_TRUE(fault::tryParseFaultTrace("1ms failstop 0\n"));
+    serve::TrafficConfig traffic;
+    traffic.poisonRate = 0.25;
+    EXPECT_TRUE(traffic.check());
+    EXPECT_TRUE(serve::tryParseReplayTrace("0\n12.5\n100\n"));
 }
 
 } // namespace

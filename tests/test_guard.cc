@@ -1,0 +1,692 @@
+/**
+ * @file
+ * Guarded-execution suite (ctest -L guard): the guard::Error
+ * taxonomy and Expected plumbing, the per-layer execution watchdog
+ * across all four cycle simulators and the accelerator top, thread-
+ * pool cooperative cancellation, poison-request quarantine in the
+ * serving runtime, and the shared tools/cli.hh argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "arch/factor_search.hh"
+#include "arch/result.hh"
+#include "common/random.hh"
+#include "flexflow/accelerator.hh"
+#include "flexflow/conv_unit.hh"
+#include "flexflow/flexflow_model.hh"
+#include "flexflow/isa.hh"
+#include "guard/error.hh"
+#include "guard/watchdog.hh"
+#include "mapping2d/mapping2d_array.hh"
+#include "nn/fixed_point.hh"
+#include "nn/tensor_init.hh"
+#include "nn/workloads.hh"
+#include "serve/runtime.hh"
+#include "serve/service_model.hh"
+#include "serve/traffic.hh"
+#include "sim/thread_pool.hh"
+#include "systolic/systolic_array.hh"
+#include "tiling/tiling_array.hh"
+
+#include "../tools/cli.hh"
+
+namespace flexsim {
+namespace {
+
+using guard::Category;
+using guard::Error;
+using guard::Expected;
+using guard::GuardException;
+using guard::Watchdog;
+
+// ----------------------------------------------------------------
+// Error taxonomy and Expected plumbing
+// ----------------------------------------------------------------
+
+TEST(GuardErrorTest, MakeErrorStreamsPartsAndRenders)
+{
+    const Error err = guard::makeError(Category::OutOfRange,
+                                       "test.site", "index ", 42,
+                                       " past end ", 7);
+    EXPECT_EQ(err.category, Category::OutOfRange);
+    EXPECT_EQ(err.site, "test.site");
+    EXPECT_EQ(err.message, "index 42 past end 7");
+    const std::string rendered = err.str();
+    EXPECT_NE(rendered.find("test.site"), std::string::npos);
+    EXPECT_NE(rendered.find("index 42 past end 7"),
+              std::string::npos);
+    EXPECT_NE(rendered.find('['), std::string::npos);
+}
+
+TEST(GuardErrorTest, ExpectedCarriesValueOrError)
+{
+    Expected<int> good(7);
+    ASSERT_TRUE(good);
+    EXPECT_EQ(good.value(), 7);
+
+    Expected<int> bad(guard::makeError(Category::Parse, "s", "m"));
+    ASSERT_FALSE(bad);
+    EXPECT_EQ(bad.error().category, Category::Parse);
+
+    Expected<void> ok = guard::ok();
+    EXPECT_TRUE(ok);
+    Expected<void> failed(guard::makeError(Category::Io, "s", "m"));
+    EXPECT_FALSE(failed);
+}
+
+TEST(GuardErrorTest, InvokeConvertsGuardExceptionOnly)
+{
+    const auto caught = guard::invoke([]() -> int {
+        throw GuardException(
+            guard::makeError(Category::Timeout, "s", "slow"));
+    });
+    ASSERT_FALSE(caught);
+    EXPECT_EQ(caught.error().category, Category::Timeout);
+
+    const auto passed = guard::invoke([] { return 3; });
+    ASSERT_TRUE(passed);
+    EXPECT_EQ(passed.value(), 3);
+
+    const auto void_ok = guard::invoke([] {});
+    EXPECT_TRUE(void_ok);
+
+    // Non-guard exceptions keep propagating: they are internal bugs,
+    // not recoverable input errors.
+    EXPECT_THROW(
+        (void)guard::invoke([] { throw std::logic_error("bug"); }),
+        std::logic_error);
+}
+
+// ----------------------------------------------------------------
+// Watchdog budgets
+// ----------------------------------------------------------------
+
+TEST(WatchdogTest, CycleBudgetTripsOnceChargesCross)
+{
+    Watchdog wd;
+    wd.arm({0, 100});
+    EXPECT_FALSE(wd.expired());
+    wd.chargeCycles(60);
+    EXPECT_FALSE(wd.expired());
+    wd.chargeCycles(60);
+    EXPECT_TRUE(wd.expired());
+    EXPECT_EQ(wd.trip(), Watchdog::Trip::Cycles);
+    const Error err = wd.tripError("unit.test");
+    EXPECT_EQ(err.category, Category::Timeout);
+    EXPECT_EQ(err.site, "unit.test");
+}
+
+TEST(WatchdogTest, PredictedCyclesFastFails)
+{
+    Watchdog wd;
+    wd.arm({0, 1000});
+    EXPECT_TRUE(wd.checkPredictedCycles(1000, "unit.test"));
+    const auto over = wd.checkPredictedCycles(1001, "unit.test");
+    ASSERT_FALSE(over);
+    EXPECT_EQ(over.error().category, Category::Timeout);
+
+    // Unarmed and unlimited budgets never fast-fail.
+    wd.disarm();
+    EXPECT_TRUE(wd.checkPredictedCycles(1u << 30, "unit.test"));
+    Watchdog unlimited;
+    unlimited.arm({});
+    EXPECT_TRUE(
+        unlimited.checkPredictedCycles(1u << 30, "unit.test"));
+}
+
+TEST(WatchdogTest, WallClockBudgetTrips)
+{
+    Watchdog wd;
+    wd.arm({1, 0}); // one host nanosecond
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_TRUE(wd.expired());
+    EXPECT_EQ(wd.trip(), Watchdog::Trip::WallClock);
+}
+
+TEST(WatchdogTest, CancelSurvivesRearm)
+{
+    Watchdog wd;
+    wd.arm({0, 1000});
+    EXPECT_FALSE(wd.expired());
+    wd.cancel();
+    EXPECT_TRUE(wd.expired());
+    EXPECT_EQ(wd.trip(), Watchdog::Trip::Cancelled);
+    // A drained simulator stays drained across the next layer.
+    wd.arm({0, 1000});
+    EXPECT_TRUE(wd.expired());
+    EXPECT_EQ(wd.trip(), Watchdog::Trip::Cancelled);
+}
+
+TEST(WatchdogTest, DisarmedWatchdogNeverExpires)
+{
+    Watchdog wd;
+    EXPECT_FALSE(wd.expired());
+    wd.chargeCycles(1u << 30);
+    EXPECT_FALSE(wd.expired());
+    wd.arm({0, 10});
+    wd.disarm();
+    wd.chargeCycles(1u << 30);
+    EXPECT_FALSE(wd.expired());
+}
+
+// ----------------------------------------------------------------
+// Thread-pool cooperative cancellation
+// ----------------------------------------------------------------
+
+TEST(ThreadPoolCancelTest, CancelledPoolStopsClaimingTiles)
+{
+    std::atomic<std::int64_t> executed{0};
+    std::atomic<bool> stop{false};
+    sim::ThreadPool::shared().parallelFor(
+        10'000, 4,
+        [&](int, std::int64_t) {
+            if (executed.fetch_add(1) >= 50)
+                stop.store(true);
+        },
+        [&] { return stop.load(); });
+    // Workers poll the cancel hook before every tile claim, so only
+    // a small overshoot past the trip point is possible.
+    EXPECT_LT(executed.load(), 10'000);
+    EXPECT_GE(executed.load(), 50);
+}
+
+TEST(ThreadPoolCancelTest, EmptyCancelRunsEverything)
+{
+    std::atomic<std::int64_t> executed{0};
+    sim::ThreadPool::shared().parallelFor(
+        1000, 4, [&](int, std::int64_t) { ++executed; },
+        sim::ThreadPool::CancelFn{});
+    EXPECT_EQ(executed.load(), 1000);
+}
+
+// ----------------------------------------------------------------
+// Watchdog wired through the cycle simulators
+// ----------------------------------------------------------------
+
+ConvLayerSpec
+guardLayer()
+{
+    return ConvLayerSpec::make("wd", 3, 4, 8, 3, 1);
+}
+
+template <typename RunFn>
+void
+expectTimeout(RunFn &&run, const std::string &site)
+{
+    try {
+        run();
+        FAIL() << "expected a watchdog GuardException from " << site;
+    } catch (const GuardException &e) {
+        EXPECT_EQ(e.error().category, Category::Timeout);
+        EXPECT_EQ(e.error().site, site);
+    }
+}
+
+TEST(SimWatchdogTest, SystolicTripsOnCycleBudget)
+{
+    const ConvLayerSpec spec = guardLayer();
+    Rng rng(11);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    SystolicConfig cfg;
+    cfg.arrayEdge = 4;
+    SystolicArraySim sim(cfg);
+    Watchdog wd;
+    wd.arm({0, 1});
+    sim.setWatchdog(&wd);
+    expectTimeout([&] { sim.runLayer(spec, input, kernels); },
+                  "sim.systolic");
+}
+
+TEST(SimWatchdogTest, TilingTripsOnCycleBudget)
+{
+    const ConvLayerSpec spec = guardLayer();
+    Rng rng(12);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    TilingArraySim sim;
+    Watchdog wd;
+    wd.arm({0, 1});
+    sim.setWatchdog(&wd);
+    expectTimeout([&] { sim.runLayer(spec, input, kernels); },
+                  "sim.tiling");
+}
+
+TEST(SimWatchdogTest, Mapping2DTripsOnCycleBudget)
+{
+    const ConvLayerSpec spec = guardLayer();
+    Rng rng(13);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    Mapping2DArraySim sim;
+    Watchdog wd;
+    wd.arm({0, 1});
+    sim.setWatchdog(&wd);
+    expectTimeout([&] { sim.runLayer(spec, input, kernels); },
+                  "sim.mapping2d");
+}
+
+TEST(SimWatchdogTest, FlexFlowConvUnitTripsOnCycleBudget)
+{
+    const ConvLayerSpec spec = guardLayer();
+    Rng rng(14);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    FlexFlowConfig cfg;
+    cfg.d = 8;
+    const FactorChoice choice = searchBestFactors(spec, cfg.d);
+    FlexFlowConvUnit unit(cfg);
+    Watchdog wd;
+    wd.arm({0, 1});
+    unit.setWatchdog(&wd);
+    expectTimeout(
+        [&] {
+            unit.runLayer(spec, choice.factors, input, kernels);
+        },
+        "flexflow.conv");
+}
+
+TEST(SimWatchdogTest, ResultsIdenticalWithGenerousBudget)
+{
+    // An armed watchdog that never trips must not perturb the
+    // simulation: bit-identical output against an unguarded run.
+    const ConvLayerSpec spec = guardLayer();
+    Rng rng(15);
+    const Tensor3<> input = makeRandomInput(rng, spec);
+    const Tensor4<> kernels = makeRandomKernels(rng, spec);
+    SystolicConfig cfg;
+    cfg.arrayEdge = 4;
+
+    SystolicArraySim plain(cfg);
+    LayerResult plain_result;
+    const Tensor3<> expected =
+        plain.runLayer(spec, input, kernels, &plain_result);
+
+    SystolicArraySim guarded(cfg);
+    Watchdog wd;
+    wd.arm({0, std::uint64_t{1} << 40});
+    guarded.setWatchdog(&wd);
+    LayerResult guarded_result;
+    EXPECT_EQ(guarded.runLayer(spec, input, kernels, &guarded_result),
+              expected);
+    EXPECT_EQ(guarded_result.cycles, plain_result.cycles);
+    EXPECT_EQ(guarded_result.traffic, plain_result.traffic);
+    EXPECT_FALSE(wd.expired());
+}
+
+// ----------------------------------------------------------------
+// Watchdog through the accelerator top (tryRun)
+// ----------------------------------------------------------------
+
+struct AcceleratorFixture
+{
+    Program program;
+    Tensor3<> input;
+    std::vector<Tensor4<>> kernels;
+
+    AcceleratorFixture()
+    {
+        program = assemble("cfg_layer 4 3 8 3 1\n"
+                           "cfg_factors 2 2 2 2 1 1\n"
+                           "conv\n"
+                           "halt\n");
+        const ConvLayerSpec spec = guardLayer();
+        Rng rng(16);
+        input = makeRandomInput(rng, spec);
+        kernels.push_back(makeRandomKernels(rng, spec));
+    }
+};
+
+TEST(AcceleratorWatchdogTest, TryRunFastFailsOnImpossibleBudget)
+{
+    AcceleratorFixture fx;
+    FlexFlowAccelerator accel;
+    accel.bindInput(fx.input);
+    accel.bindKernels(fx.kernels);
+    // One cycle cannot cover the layer's ideal-utilization bound;
+    // the predicted-cycles check rejects before simulating.
+    accel.setWatchdogBudget({0, 1});
+    const auto result = accel.tryRun(fx.program);
+    ASSERT_FALSE(result);
+    EXPECT_EQ(result.error().category, Category::Timeout);
+    EXPECT_EQ(result.error().site, "flexflow.conv");
+}
+
+TEST(AcceleratorWatchdogTest, TryRunTripsMidLayer)
+{
+    AcceleratorFixture fx;
+    const ConvLayerSpec spec = guardLayer();
+    FlexFlowAccelerator accel;
+    accel.bindInput(fx.input);
+    accel.bindKernels(fx.kernels);
+    // Budget above the ideal bound (macs / PEs) but far below the
+    // actual modelled cycle count: passes the fast-fail, then trips
+    // cooperatively as tiles charge cycles.
+    const std::uint64_t ideal =
+        static_cast<std::uint64_t>(spec.macs()) /
+        accel.config().peCount();
+    accel.setWatchdogBudget({0, ideal + 1});
+    const auto result = accel.tryRun(fx.program);
+    ASSERT_FALSE(result);
+    EXPECT_EQ(result.error().category, Category::Timeout);
+}
+
+TEST(AcceleratorWatchdogTest, UnlimitedBudgetRunsNormally)
+{
+    AcceleratorFixture fx;
+    FlexFlowAccelerator guarded;
+    guarded.bindInput(fx.input);
+    guarded.bindKernels(fx.kernels);
+    guarded.setWatchdogBudget({0, std::uint64_t{1} << 40});
+    const auto result = guarded.tryRun(fx.program);
+    ASSERT_TRUE(result);
+
+    FlexFlowAccelerator plain;
+    plain.bindInput(fx.input);
+    plain.bindKernels(fx.kernels);
+    EXPECT_EQ(result.value(), plain.run(fx.program));
+
+    // Disabling the budget restores the unguarded path.
+    guarded.setWatchdogBudget({});
+    EXPECT_TRUE(guarded.tryRun(fx.program));
+}
+
+// ----------------------------------------------------------------
+// Poison-request quarantine and the serve watchdog
+// ----------------------------------------------------------------
+
+serve::TrafficConfig
+guardTraffic(double rps, serve::TimeNs duration_ns)
+{
+    serve::TrafficConfig config;
+    config.rps = rps;
+    config.durationNs = duration_ns;
+    config.seed = 21;
+    return config;
+}
+
+TEST(ServeGuardTest, PoisonTrafficDrawsMarkedRequests)
+{
+    auto config = guardTraffic(4000.0, 500'000'000);
+    config.poisonRate = 0.25;
+    const auto requests = generateTraffic(config);
+    std::size_t poisoned = 0;
+    for (const auto &request : requests)
+        if (request.workload == serve::kPoisonWorkload)
+            ++poisoned;
+    ASSERT_GT(requests.size(), 0u);
+    EXPECT_GT(poisoned, 0u);
+    const double rate = static_cast<double>(poisoned) /
+                        static_cast<double>(requests.size());
+    EXPECT_NEAR(rate, 0.25, 0.05);
+}
+
+TEST(ServeGuardTest, PoisonRequestsAreQuarantinedNotServed)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const serve::ServiceTimeModel service(
+        model, {workloads::lenet5()}, 4.0);
+    auto traffic = guardTraffic(2000.0, 200'000'000);
+    traffic.poisonRate = 0.2;
+    const auto requests = generateTraffic(traffic);
+
+    serve::ServeConfig config;
+    config.poolSize = 2;
+    serve::ServeRuntime runtime(service, config);
+    const serve::ServeReport report = runtime.run(requests);
+
+    std::size_t poisoned = 0;
+    for (const auto &request : requests)
+        if (request.workload == serve::kPoisonWorkload)
+            ++poisoned;
+    EXPECT_EQ(report.quarantined, poisoned);
+    EXPECT_GT(report.quarantined, 0u);
+    // The accounting invariant, extended with the quarantine bucket.
+    EXPECT_EQ(report.arrived, report.completed + report.shed +
+                                  report.timedOut + report.failed +
+                                  report.quarantined);
+    // Healthy requests are unaffected by the poison alongside them.
+    EXPECT_EQ(report.completed, report.admitted);
+}
+
+TEST(ServeGuardTest, OutOfRangeWorkloadIsQuarantined)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const serve::ServiceTimeModel service(
+        model, {workloads::lenet5()}, 4.0);
+    std::vector<serve::InferenceRequest> requests;
+    serve::InferenceRequest good;
+    good.id = 0;
+    good.arrivalNs = 0;
+    good.workload = 0;
+    serve::InferenceRequest beyond = good;
+    beyond.id = 1;
+    beyond.arrivalNs = 1;
+    beyond.workload = 7; // only workload 0 exists
+    requests.push_back(good);
+    requests.push_back(beyond);
+
+    serve::ServeConfig config;
+    config.poolSize = 1;
+    serve::ServeRuntime runtime(service, config);
+    const serve::ServeReport report = runtime.run(requests);
+    EXPECT_EQ(report.completed, 1u);
+    EXPECT_EQ(report.quarantined, 1u);
+}
+
+TEST(ServeGuardTest, WatchdogKillsAndQuarantinesAfterStrikes)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const serve::ServiceTimeModel service(
+        model, {workloads::lenet5()}, 4.0);
+    const auto requests =
+        generateTraffic(guardTraffic(1000.0, 100'000'000));
+    ASSERT_GT(requests.size(), 0u);
+
+    serve::ServeConfig config;
+    config.poolSize = 2;
+    // Below even a single frame's service time: every dispatch is
+    // killed, so every request strikes out and is quarantined.  The
+    // run still terminates and the books still balance.
+    config.watchdogNs = service.frameServiceNs(0) / 2;
+    config.quarantineStrikes = 2;
+    serve::ServeRuntime runtime(service, config);
+    const serve::ServeReport report = runtime.run(requests);
+
+    EXPECT_EQ(report.completed, 0u);
+    EXPECT_GT(report.quarantined, 0u);
+    EXPECT_EQ(report.quarantined + report.shed, report.arrived);
+    EXPECT_GT(report.watchdogTrips, 0u);
+    EXPECT_EQ(report.arrived, report.completed + report.shed +
+                                  report.timedOut + report.failed +
+                                  report.quarantined);
+}
+
+TEST(ServeGuardTest, GenerousWatchdogNeverTrips)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const serve::ServiceTimeModel service(
+        model, {workloads::lenet5()}, 4.0);
+    const auto requests =
+        generateTraffic(guardTraffic(1000.0, 100'000'000));
+
+    serve::ServeConfig plain_config;
+    plain_config.poolSize = 2;
+    serve::ServeRuntime plain(service, plain_config);
+    const serve::ServeReport expected = plain.run(requests);
+
+    serve::ServeConfig guarded_config = plain_config;
+    guarded_config.watchdogNs = 1'000'000'000;
+    serve::ServeRuntime guarded(service, guarded_config);
+    const serve::ServeReport report = guarded.run(requests);
+
+    EXPECT_EQ(report.watchdogTrips, 0u);
+    EXPECT_EQ(report.quarantined, 0u);
+    EXPECT_EQ(report.completed, expected.completed);
+    EXPECT_EQ(report.p99LatencyMs, expected.p99LatencyMs);
+}
+
+// ----------------------------------------------------------------
+// tools/cli.hh
+// ----------------------------------------------------------------
+
+struct Argv
+{
+    std::vector<std::string> storage;
+    std::vector<char *> pointers;
+
+    explicit Argv(std::vector<std::string> argv)
+        : storage(std::move(argv))
+    {
+        for (std::string &arg : storage)
+            pointers.push_back(arg.data());
+    }
+
+    int argc() const { return static_cast<int>(pointers.size()); }
+    char **data() { return pointers.data(); }
+};
+
+TEST(CliArgStreamTest, ParsesBothValueSpellings)
+{
+    Argv argv({"tool", "--rate", "2.5", "--seed=42", "--flagged",
+               "input.txt"});
+    cli::ArgStream args("tool", argv.argc(), argv.data());
+    double rate = 0.0;
+    std::uint64_t seed = 0;
+    bool flagged = false;
+    std::string path;
+    while (args.next()) {
+        if (args.value("--rate", rate)) {
+        } else if (args.value("--seed", seed)) {
+        } else if (args.flag("--flagged")) {
+            flagged = true;
+        } else if (args.positional(path)) {
+        } else {
+            FAIL() << "unmatched arg " << args.arg();
+        }
+    }
+    EXPECT_FALSE(args.failed());
+    EXPECT_EQ(rate, 2.5);
+    EXPECT_EQ(seed, 42u);
+    EXPECT_TRUE(flagged);
+    EXPECT_EQ(path, "input.txt");
+}
+
+TEST(CliArgStreamTest, GarbageValueLatchesFailedInsteadOfThrowing)
+{
+    Argv argv({"tool", "--seed", "banana"});
+    cli::ArgStream args("tool", argv.argc(), argv.data());
+    std::uint64_t seed = 0;
+    while (args.next()) {
+        if (args.value("--seed", seed)) {
+        }
+    }
+    EXPECT_TRUE(args.failed());
+}
+
+TEST(CliArgStreamTest, BoundsAreEnforced)
+{
+    Argv argv({"tool", "--threads", "0"});
+    cli::ArgStream args("tool", argv.argc(), argv.data());
+    int threads = 4;
+    while (args.next()) {
+        if (args.value("--threads", threads, 1)) {
+        }
+    }
+    EXPECT_TRUE(args.failed());
+    EXPECT_EQ(threads, 4); // rejected values never overwrite
+}
+
+TEST(CliArgStreamTest, MissingValueLatchesFailed)
+{
+    Argv argv({"tool", "--rate"});
+    cli::ArgStream args("tool", argv.argc(), argv.data());
+    double rate = 1.0;
+    while (args.next()) {
+        if (args.value("--rate", rate)) {
+        }
+    }
+    EXPECT_TRUE(args.failed());
+}
+
+TEST(CliArgStreamTest, SecondPositionalIsRejected)
+{
+    Argv argv({"tool", "first", "second"});
+    cli::ArgStream args("tool", argv.argc(), argv.data());
+    std::string path;
+    bool rejected = false;
+    while (args.next()) {
+        if (args.positional(path)) {
+        } else {
+            rejected = true;
+        }
+    }
+    EXPECT_EQ(path, "first");
+    EXPECT_TRUE(rejected);
+}
+
+// ----------------------------------------------------------------
+// Fixed-point boundary behavior (satellite: overflow audit)
+// ----------------------------------------------------------------
+
+TEST(FixedPointGuardTest, FromDoubleSaturatesAtInt16Boundaries)
+{
+    EXPECT_EQ(Fixed16::fromDouble(127.99609375).raw(), 32767);
+    EXPECT_EQ(Fixed16::fromDouble(128.0).raw(), 32767);
+    EXPECT_EQ(Fixed16::fromDouble(1e30).raw(), 32767);
+    EXPECT_EQ(Fixed16::fromDouble(
+                  std::numeric_limits<double>::infinity())
+                  .raw(),
+              32767);
+    EXPECT_EQ(Fixed16::fromDouble(-128.0).raw(), -32768);
+    EXPECT_EQ(Fixed16::fromDouble(-1e30).raw(), -32768);
+    EXPECT_EQ(Fixed16::fromDouble(
+                  -std::numeric_limits<double>::infinity())
+                  .raw(),
+              -32768);
+    EXPECT_EQ(Fixed16::fromDouble(
+                  std::numeric_limits<double>::quiet_NaN())
+                  .raw(),
+              0);
+}
+
+TEST(FixedPointGuardTest, FromDoubleUnchangedInRange)
+{
+    // The saturation guards must not move any representable value.
+    EXPECT_EQ(Fixed16::fromDouble(0.0).raw(), 0);
+    EXPECT_EQ(Fixed16::fromDouble(1.0).raw(), 256);
+    EXPECT_EQ(Fixed16::fromDouble(-1.0).raw(), -256);
+    EXPECT_EQ(Fixed16::fromDouble(127.99609375 - 1.0 / 256.0).raw(),
+              32766);
+    EXPECT_EQ(Fixed16::fromDouble(-127.99999).raw(), -32768);
+    for (int raw = -300; raw <= 300; ++raw) {
+        const double value = static_cast<double>(raw) / 256.0;
+        EXPECT_EQ(Fixed16::fromDouble(value).raw(), raw);
+    }
+}
+
+TEST(FixedPointGuardTest, QuantizeAccSaturatesAtInt64Extremes)
+{
+    EXPECT_EQ(quantizeAcc(std::numeric_limits<Acc>::max()).raw(),
+              32767);
+    EXPECT_EQ(quantizeAcc(std::numeric_limits<Acc>::min()).raw(),
+              -32768);
+    // Ordinary saturation and in-range rounding are unchanged.
+    EXPECT_EQ(quantizeAcc(Acc{32767} << 8).raw(), 32767);
+    EXPECT_EQ(quantizeAcc((Acc{32768} << 8)).raw(), 32767);
+    EXPECT_EQ(quantizeAcc(-(Acc{32769} << 8)).raw(), -32768);
+    EXPECT_EQ(quantizeAcc(256).raw(), 1);
+    EXPECT_EQ(quantizeAcc(127).raw(), 0);
+    EXPECT_EQ(quantizeAcc(128).raw(), 1);
+    EXPECT_EQ(quantizeAcc(-128).raw(), -1);
+    EXPECT_EQ(quantizeAcc(0).raw(), 0);
+}
+
+} // namespace
+} // namespace flexsim

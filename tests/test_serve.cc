@@ -364,6 +364,106 @@ TEST(ServeRuntimeTest, ByteIdenticalAcrossSimThreadsUnderFaults)
     EXPECT_EQ(single, threaded);
 }
 
+TEST(ServeRuntimeTest, PoisonRateZeroLeavesStreamBitIdentical)
+{
+    // The poison draw must not consume entropy when disabled: a
+    // poisonRate=0 stream is bit-identical to one generated before
+    // the field existed.
+    const auto plain = generateTraffic(smallTraffic());
+    auto config = smallTraffic();
+    config.poisonRate = 0.0;
+    const auto zero = generateTraffic(config);
+    ASSERT_EQ(plain.size(), zero.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].arrivalNs, zero[i].arrivalNs);
+        EXPECT_EQ(plain[i].workload, zero[i].workload);
+    }
+}
+
+TEST(ServeRuntimeTest, PoisonRequestsQuarantinedWithBalancedBooks)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::lenet5()}, 4.0);
+    auto traffic = smallTraffic(3000.0, 200'000'000);
+    traffic.poisonRate = 0.1;
+    const auto requests = generateTraffic(traffic);
+
+    ServeConfig config;
+    config.poolSize = 2;
+    ServeRuntime runtime(service, config);
+    const ServeReport report = runtime.run(requests);
+
+    std::size_t poisoned = 0;
+    for (const auto &request : requests)
+        poisoned += request.workload == kPoisonWorkload ? 1 : 0;
+    EXPECT_GT(poisoned, 0u);
+    EXPECT_EQ(report.quarantined, poisoned);
+    EXPECT_EQ(report.completed, report.admitted);
+    EXPECT_EQ(report.arrived, report.completed + report.shed +
+                                  report.timedOut + report.failed +
+                                  report.quarantined);
+}
+
+TEST(ServeRuntimeTest, WatchdogStrikesQuarantineRepeatOffenders)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(model, {workloads::lenet5()}, 4.0);
+    const auto requests =
+        generateTraffic(smallTraffic(1000.0, 100'000'000));
+
+    ServeConfig config;
+    config.poolSize = 2;
+    // Below a single frame's service time: every dispatch trips the
+    // batch watchdog, so every request strikes out.  The run must
+    // still drain and balance its books.
+    config.watchdogNs = service.frameServiceNs(0) / 2;
+    config.quarantineStrikes = 2;
+    ServeRuntime runtime(service, config);
+    const ServeReport report = runtime.run(requests);
+
+    EXPECT_EQ(report.completed, 0u);
+    EXPECT_GT(report.watchdogTrips, 0u);
+    EXPECT_GT(report.quarantined, 0u);
+    EXPECT_EQ(report.arrived, report.completed + report.shed +
+                                  report.timedOut + report.failed +
+                                  report.quarantined);
+}
+
+/** The poison + watchdog soak: hostile traffic against a guarded
+ * runtime must stay deterministic across repeated runs with real
+ * worker-thread pools. */
+TEST(ServeRuntimeTest, GuardedSoakIsByteIdentical)
+{
+    const FlexFlowModel model(FlexFlowConfig::forScale(16));
+    const ServiceTimeModel service(
+        model, {workloads::alexnet(), workloads::lenet5()}, 4.0);
+
+    auto render = [&] {
+        auto traffic = smallTraffic(2000.0, 300'000'000);
+        traffic.numWorkloads = 2;
+        traffic.poisonRate = 0.05;
+        ServeConfig config;
+        config.poolSize = 4;
+        config.queueCapacity = 64;
+        config.watchdogNs = 40'000'000; // kills slow batches only
+        config.quarantineStrikes = 2;
+        ServeRuntime runtime(service, config);
+        const ServeReport report =
+            runtime.run(generateTraffic(traffic));
+        EXPECT_GT(report.quarantined, 0u);
+        EXPECT_EQ(report.arrived,
+                  report.completed + report.shed + report.timedOut +
+                      report.failed + report.quarantined);
+        std::ostringstream out;
+        runtime.dumpStats(out);
+        return out.str();
+    };
+    const std::string first = render();
+    const std::string second = render();
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
 TEST(ServeRuntimeTest, StatsTreeExposesServingCounters)
 {
     const FlexFlowModel model(FlexFlowConfig::forScale(16));

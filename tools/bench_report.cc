@@ -48,6 +48,8 @@
 #include "systolic/systolic_array.hh"
 #include "tiling/tiling_array.hh"
 
+#include "cli.hh"
+
 namespace {
 
 using namespace flexsim;
@@ -407,22 +409,24 @@ main(int argc, char **argv)
     bool scaling_gate = false;
     double factor = 3.0;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--out" && i + 1 < argc) {
-            out_path = argv[++i];
-        } else if (arg == "--check" && i + 1 < argc) {
-            baseline_path = argv[++i];
-        } else if (arg == "--factor" && i + 1 < argc) {
-            factor = std::strtod(argv[++i], nullptr);
-        } else if (arg == "--scaling-gate") {
+    cli::ArgStream args("bench_report", argc, argv);
+    bool bad = false;
+    while (args.next()) {
+        if (args.value("--out", out_path)) {
+        } else if (args.value("--check", baseline_path)) {
+        } else if (args.value("--factor", factor, 1e-9)) {
+        } else if (args.flag("--scaling-gate")) {
             scaling_gate = true;
         } else {
-            std::cerr << "usage: bench_report [--out FILE] "
-                         "[--check BASELINE [--factor F]] "
-                         "[--scaling-gate]\n";
-            return 2;
+            bad = true;
+            break;
         }
+    }
+    if (bad || args.failed()) {
+        std::cerr << "usage: bench_report [--out FILE] "
+                     "[--check BASELINE [--factor F]] "
+                     "[--scaling-gate]\n";
+        return cli::kExitUsage;
     }
 
     if (scaling_gate &&
@@ -431,7 +435,7 @@ main(int argc, char **argv)
                   << std::thread::hardware_concurrency()
                   << " hardware thread(s); the scaling gate needs 4 "
                      "-- skipping\n";
-        return 77;
+        return cli::kExitSkip;
     }
 
     const std::vector<BenchEntry> entries = runBenches(scaling_gate);
@@ -441,7 +445,7 @@ main(int argc, char **argv)
         if (!os) {
             std::cerr << "bench_report: cannot write " << out_path
                       << "\n";
-            return 2;
+            return cli::kExitRuntime;
         }
         writeJson(entries, os);
     } else if (baseline_path.empty() && !scaling_gate) {
@@ -452,13 +456,13 @@ main(int argc, char **argv)
         return runScalingGate(entries);
 
     if (baseline_path.empty())
-        return 0;
+        return cli::kExitOk;
 
     std::ifstream is(baseline_path);
     if (!is) {
         std::cerr << "bench_report: cannot read " << baseline_path
                   << "\n";
-        return 2;
+        return cli::kExitRuntime;
     }
     std::stringstream buf;
     buf << is.rdbuf();
@@ -466,7 +470,7 @@ main(int argc, char **argv)
     if (baseline.empty()) {
         std::cerr << "bench_report: no benches in " << baseline_path
                   << "\n";
-        return 2;
+        return cli::kExitRuntime;
     }
     return checkAgainstBaseline(entries, baseline, factor);
 }

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Shared command-line parsing for the flexsim tools (flexrun,
+ * flexserve, flexcc, bench_report).
+ *
+ * Every tool historically hand-rolled its argv loop around std::stoul
+ * and friends, which throw on garbage ("--seed banana" aborted the
+ * process with an uncaught exception).  ArgStream centralizes the
+ * idiom: a cursor over argv where each option either matches (and
+ * parses its value with bounds checking) or does not, and any parse
+ * failure prints a one-line diagnostic and latches failed() instead
+ * of throwing.  Both "--flag value" and "--flag=value" spellings are
+ * accepted for every valued option.
+ *
+ * Exit codes, shared by all tools (see DESIGN.md §3.7):
+ *
+ *   kExitOk      (0)  success
+ *   kExitRuntime (1)  valid invocation that failed at runtime: host
+ *                     I/O errors, golden-reference mismatch,
+ *                     perf-gate regression, watchdog timeout
+ *   kExitUsage   (2)  rejected input: unknown/malformed flags, value
+ *                     out of range, or an input file that failed
+ *                     typed validation (guard::Error)
+ *   kExitSkip    (77) the environment cannot support the run (ctest's
+ *                     skip convention, e.g. too few hardware threads)
+ */
+
+#ifndef FLEXSIM_TOOLS_CLI_HH
+#define FLEXSIM_TOOLS_CLI_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <string>
+
+namespace flexsim {
+namespace cli {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitSkip = 77;
+
+class ArgStream
+{
+  public:
+    ArgStream(std::string tool, int argc, char **argv)
+        : tool_(std::move(tool)), argc_(argc), argv_(argv)
+    {
+    }
+
+    /** Advance to the next token; false once argv is exhausted. */
+    bool
+    next()
+    {
+        if (index_ + 1 >= argc_)
+            return false;
+        arg_ = argv_[++index_];
+        return true;
+    }
+
+    /** The current token (unsplit, as given on the command line). */
+    const std::string &arg() const { return arg_; }
+
+    /** True once any option value failed to parse; the tool should
+     * print its usage and exit kExitUsage. */
+    bool failed() const { return failed_; }
+
+    /** Boolean flag: exact match, consumes nothing else. */
+    bool
+    flag(const std::string &name)
+    {
+        return arg_ == name;
+    }
+
+    /** Free-form string option ("--x v" or "--x=v"). */
+    bool
+    value(const std::string &name, std::string &out)
+    {
+        std::string raw;
+        if (!take(name, raw))
+            return false;
+        out = raw;
+        return true;
+    }
+
+    /** Floating-point option with inclusive bounds. */
+    bool
+    value(const std::string &name, double &out,
+          double min = std::numeric_limits<double>::lowest(),
+          double max = std::numeric_limits<double>::max())
+    {
+        std::string raw;
+        if (!take(name, raw))
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        const double parsed = std::strtod(raw.c_str(), &end);
+        if (raw.empty() || end == nullptr || *end != '\0' ||
+            errno == ERANGE) {
+            reject(name, raw, "not a number");
+        } else if (parsed < min || parsed > max) {
+            reject(name, raw, "out of range");
+        } else {
+            out = parsed;
+        }
+        return true;
+    }
+
+    /** Signed integer option with inclusive bounds. */
+    bool
+    value(const std::string &name, std::int64_t &out,
+          std::int64_t min = std::numeric_limits<std::int64_t>::min(),
+          std::int64_t max = std::numeric_limits<std::int64_t>::max())
+    {
+        std::string raw;
+        if (!take(name, raw))
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        const long long parsed = std::strtoll(raw.c_str(), &end, 10);
+        if (raw.empty() || end == nullptr || *end != '\0' ||
+            errno == ERANGE) {
+            reject(name, raw, "not an integer");
+        } else if (parsed < min || parsed > max) {
+            reject(name, raw, "out of range");
+        } else {
+            out = parsed;
+        }
+        return true;
+    }
+
+    bool
+    value(const std::string &name, int &out,
+          int min = std::numeric_limits<int>::min(),
+          int max = std::numeric_limits<int>::max())
+    {
+        std::int64_t wide = out;
+        if (!value(name, wide, min, max))
+            return false;
+        if (!failed_)
+            out = static_cast<int>(wide);
+        return true;
+    }
+
+    bool
+    value(const std::string &name, unsigned &out, unsigned min = 0,
+          unsigned max = std::numeric_limits<unsigned>::max())
+    {
+        std::int64_t wide = out;
+        if (!value(name, wide, static_cast<std::int64_t>(min),
+                   static_cast<std::int64_t>(max)))
+            return false;
+        if (!failed_)
+            out = static_cast<unsigned>(wide);
+        return true;
+    }
+
+    /** Unsigned 64-bit option (seeds, cycle budgets). */
+    bool
+    value(const std::string &name, std::uint64_t &out)
+    {
+        std::string raw;
+        if (!take(name, raw))
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(raw.c_str(), &end, 10);
+        if (raw.empty() || end == nullptr || *end != '\0' ||
+            errno == ERANGE || raw[0] == '-') {
+            reject(name, raw, "not an unsigned integer");
+        } else {
+            out = parsed;
+        }
+        return true;
+    }
+
+    /** Bare (non-option) token; claims it into @p out if @p out is
+     * still empty. */
+    bool
+    positional(std::string &out)
+    {
+        if (!arg_.empty() && arg_[0] == '-')
+            return false;
+        if (!out.empty())
+            return false;
+        out = arg_;
+        return true;
+    }
+
+  private:
+    /** Match a valued option: "--x v" (value in the next token) or
+     * "--x=v".  A matched option missing its value latches failed(). */
+    bool
+    take(const std::string &name, std::string &raw)
+    {
+        if (arg_ == name) {
+            if (index_ + 1 >= argc_) {
+                std::cerr << tool_ << ": " << name
+                          << " needs a value\n";
+                failed_ = true;
+                raw.clear();
+                return true;
+            }
+            raw = argv_[++index_];
+            return true;
+        }
+        if (arg_.size() > name.size() + 1 &&
+            arg_.compare(0, name.size(), name) == 0 &&
+            arg_[name.size()] == '=') {
+            raw = arg_.substr(name.size() + 1);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    reject(const std::string &name, const std::string &raw,
+           const char *why)
+    {
+        std::cerr << tool_ << ": invalid value for " << name << ": '"
+                  << raw << "' (" << why << ")\n";
+        failed_ = true;
+    }
+
+    std::string tool_;
+    int argc_;
+    char **argv_;
+    int index_ = 0;
+    std::string arg_;
+    bool failed_ = false;
+};
+
+} // namespace cli
+} // namespace flexsim
+
+#endif // FLEXSIM_TOOLS_CLI_HH

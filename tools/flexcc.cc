@@ -37,6 +37,8 @@
 #include "flexflow/schedule.hh"
 #include "nn/workloads.hh"
 
+#include "cli.hh"
+
 using namespace flexsim;
 
 namespace {
@@ -49,33 +51,52 @@ usage()
            "[--report] [--explain] [--faults SPEC]\n"
            "       flexcc --layers M,N,S,K,stride[,P] ... [options]\n"
            "workloads: PV FR LeNet-5 HG AlexNet VGG-11 LeNet-5+FC\n";
-    return 2;
+    return cli::kExitUsage;
 }
 
+/** Parse one --layers clause through the typed LayerSpec validators;
+ * on failure the guard::Error (or field-count complaint) is printed
+ * and false returned — never an abort. */
 bool
 parseLayer(const std::string &text, NetworkSpec &net)
 {
     const std::vector<std::string> fields = split(text, ',');
-    if (fields.size() != 5 && fields.size() != 6)
-        return false;
-    try {
-        NetworkSpec::Stage stage;
-        stage.conv = ConvLayerSpec::make(
-            "L" + std::to_string(net.stages.size()),
-            std::stoi(fields[1]), std::stoi(fields[0]),
-            std::stoi(fields[2]), std::stoi(fields[3]),
-            std::stoi(fields[4]));
-        if (fields.size() == 6) {
-            PoolLayerSpec pool;
-            pool.window = std::stoi(fields[5]);
-            pool.stride = pool.window;
-            stage.poolAfter = pool;
-        }
-        net.stages.push_back(stage);
-        return true;
-    } catch (const std::exception &) {
+    if (fields.size() != 5 && fields.size() != 6) {
+        std::cerr << "flexcc: --layers needs 5 or 6 comma-separated "
+                     "fields (M,N,S,K,stride[,P])\n";
         return false;
     }
+    std::vector<int> values;
+    for (const std::string &field : fields) {
+        try {
+            values.push_back(std::stoi(field));
+        } catch (const std::exception &) {
+            std::cerr << "flexcc: bad --layers field '" << field
+                      << "' (not an integer)\n";
+            return false;
+        }
+    }
+    NetworkSpec::Stage stage;
+    auto conv = ConvLayerSpec::tryMake(
+        "L" + std::to_string(net.stages.size()), values[1], values[0],
+        values[2], values[3], values[4]);
+    if (!conv) {
+        std::cerr << "flexcc: " << conv.error().str() << "\n";
+        return false;
+    }
+    stage.conv = std::move(conv.value());
+    if (values.size() == 6) {
+        PoolLayerSpec pool;
+        pool.window = values[5];
+        pool.stride = pool.window;
+        if (auto valid = pool.checked(); !valid) {
+            std::cerr << "flexcc: " << valid.error().str() << "\n";
+            return false;
+        }
+        stage.poolAfter = pool;
+    }
+    net.stages.push_back(stage);
+    return true;
 }
 
 } // namespace
@@ -96,34 +117,27 @@ main(int argc, char **argv)
     bool explain = false;
     std::string fault_spec;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "-d" && i + 1 < argc) {
-            d = std::stoul(argv[++i]);
-        } else if (arg == "--faults" && i + 1 < argc) {
-            fault_spec = argv[++i];
-        } else if (startsWith(arg, "--faults=")) {
-            fault_spec = arg.substr(9);
-        } else if (arg == "-o" && i + 1 < argc) {
-            out_path = argv[++i];
-        } else if (arg == "-b" && i + 1 < argc) {
-            bin_path = argv[++i];
-        } else if (arg == "--report") {
+    cli::ArgStream args("flexcc", argc, argv);
+    while (args.next()) {
+        std::string layer_spec;
+        if (args.value("-d", d, 1u)) {
+        } else if (args.value("--faults", fault_spec)) {
+        } else if (args.value("-o", out_path)) {
+        } else if (args.value("-b", bin_path)) {
+        } else if (args.flag("--report")) {
             report = true;
-        } else if (arg == "--explain") {
+        } else if (args.flag("--explain")) {
             explain = true;
-        } else if (arg == "--layers" && i + 1 < argc) {
-            if (!parseLayer(argv[++i], net)) {
-                std::cerr << "flexcc: bad --layers spec '" << argv[i]
-                          << "'\n";
-                return 2;
-            }
-        } else if (!startsWith(arg, "-") && workload_name.empty()) {
-            workload_name = arg;
+        } else if (args.value("--layers", layer_spec)) {
+            if (!parseLayer(layer_spec, net))
+                return cli::kExitUsage;
+        } else if (args.positional(workload_name)) {
         } else {
             return usage();
         }
     }
+    if (args.failed())
+        return usage();
 
     if (!workload_name.empty()) {
         bool found = false;
@@ -146,8 +160,16 @@ main(int argc, char **argv)
 
     FlexFlowConfig config = FlexFlowConfig::forScale(d);
     if (!fault_spec.empty()) {
-        const fault::FaultPlan plan = fault::parseFaultSpec(fault_spec);
-        plan.validate(static_cast<int>(d));
+        auto parsed = fault::tryParseFaultSpec(fault_spec);
+        if (!parsed) {
+            std::cerr << "flexcc: " << parsed.error().str() << "\n";
+            return cli::kExitUsage;
+        }
+        const fault::FaultPlan plan = std::move(parsed.value());
+        if (auto valid = plan.check(static_cast<int>(d)); !valid) {
+            std::cerr << "flexcc: " << valid.error().str() << "\n";
+            return cli::kExitUsage;
+        }
         if (plan.affectsGeometry()) {
             const fault::DegradedGeometry geom = fault::degradeLineCover(
                 fault::ArrayAvailability::fromPlan(
@@ -155,7 +177,7 @@ main(int argc, char **argv)
             if (geom.pes() == 0) {
                 std::cerr << "flexcc: the fault plan leaves no "
                              "usable PEs\n";
-                return 1;
+                return cli::kExitRuntime;
             }
             config.availRows = geom.rows;
             config.availCols = geom.cols;
@@ -171,7 +193,7 @@ main(int argc, char **argv)
         std::ofstream out(out_path);
         if (!out) {
             std::cerr << "flexcc: cannot write " << out_path << "\n";
-            return 1;
+            return cli::kExitRuntime;
         }
         out << result.assembly;
         std::cout << "flexcc: wrote "
@@ -232,5 +254,5 @@ main(int argc, char **argv)
                          4)
                   << " Acc/Op)\n";
     }
-    return 0;
+    return cli::kExitOk;
 }

@@ -11,6 +11,7 @@
  * Usage:
  *     flexrun <program.s> [-d D] [--seed S] [--stats]
  *             [--dram-wpc BW] [--faults SPEC] [--threads N]
+ *             [--watchdog-ms MS] [--cycle-budget C]
  *
  * --faults injects a deterministic fault plan (see
  * fault::parseFaultSpec for the grammar).  Corrupting faults (stuck
@@ -21,6 +22,12 @@
  * --threads spreads the cycle simulation over the shared host thread
  * pool (default: the FLEXSIM_THREADS environment variable, else 1).
  * Results are bit-identical at any value.
+ *
+ * --watchdog-ms / --cycle-budget arm the per-CONV-layer execution
+ * watchdog (guard::Watchdog): a layer that exceeds the host
+ * wall-clock or modelled-cycle budget is abandoned at the next tile
+ * boundary and flexrun exits kExitRuntime with the typed Timeout
+ * error instead of hanging.  Exit codes follow tools/cli.hh.
  */
 
 #include <fstream>
@@ -39,6 +46,8 @@
 #include "nn/tensor_init.hh"
 #include "sim/thread_pool.hh"
 
+#include "cli.hh"
+
 using namespace flexsim;
 
 namespace {
@@ -48,8 +57,9 @@ usage()
 {
     std::cerr << "usage: flexrun <program.s> [-d D] [--seed S] "
                  "[--stats] [--dram-wpc BW] [--faults SPEC] "
-                 "[--threads N]\n";
-    return 2;
+                 "[--threads N] [--watchdog-ms MS] "
+                 "[--cycle-budget C]\n";
+    return cli::kExitUsage;
 }
 
 /** Layer chain implied by a program's cfg_layer/pool instructions. */
@@ -112,58 +122,54 @@ main(int argc, char **argv)
     double dram_wpc = 4.0;
     int threads = sim::ThreadPool::defaultThreads();
     std::string fault_spec;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "-d" && i + 1 < argc)
-            d = std::stoul(argv[++i]);
-        else if (arg == "--seed" && i + 1 < argc)
-            seed = std::stoull(argv[++i]);
-        else if (arg == "--stats")
+    double watchdog_ms = 0.0;
+    std::uint64_t cycle_budget = 0;
+    cli::ArgStream args("flexrun", argc, argv);
+    while (args.next()) {
+        if (args.value("-d", d, 1u)) {
+        } else if (args.value("--seed", seed)) {
+        } else if (args.flag("--stats")) {
             dump_stats = true;
-        else if (arg == "--dram-wpc" && i + 1 < argc)
-            dram_wpc = std::stod(argv[++i]);
-        else if (arg == "--threads" && i + 1 < argc)
-            threads = std::stoi(argv[++i]);
-        else if (arg == "--faults" && i + 1 < argc)
-            fault_spec = argv[++i];
-        else if (startsWith(arg, "--faults="))
-            fault_spec = arg.substr(9);
-        else if (!startsWith(arg, "-") && path.empty())
-            path = arg;
-        else
+        } else if (args.value("--dram-wpc", dram_wpc, 1e-9)) {
+        } else if (args.value("--threads", threads, 1)) {
+        } else if (args.value("--faults", fault_spec)) {
+        } else if (args.value("--watchdog-ms", watchdog_ms, 0.0)) {
+        } else if (args.value("--cycle-budget", cycle_budget)) {
+        } else if (args.positional(path)) {
+        } else {
             return usage();
+        }
     }
-    if (path.empty())
+    if (args.failed() || path.empty())
         return usage();
-    if (dram_wpc <= 0.0) {
-        std::cerr << "flexrun: --dram-wpc must be positive\n";
-        return usage();
-    }
-    if (threads < 1) {
-        std::cerr << "flexrun: --threads must be >= 1\n";
-        return usage();
-    }
 
     // Binary programs (written by `flexcc -b`) start with the "FFSM"
-    // magic; anything else is treated as assembly text.
+    // magic; anything else is treated as assembly text.  Both decode
+    // through the typed parsers, so corrupt input is a diagnostic and
+    // kExitUsage, never an abort.
     Program program;
     {
         std::ifstream probe(path, std::ios::binary);
         if (!probe) {
             std::cerr << "flexrun: cannot read " << path << "\n";
-            return 1;
+            return cli::kExitRuntime;
         }
         char magic[4] = {};
         probe.read(magic, 4);
         probe.close();
-        if (std::string(magic, 4) == "FFSM") {
-            program = loadBinary(path);
-        } else {
+        guard::Expected<Program> parsed = [&] {
+            if (std::string(magic, 4) == "FFSM")
+                return tryLoadBinary(path);
             std::ifstream in(path);
             std::ostringstream source;
             source << in.rdbuf();
-            program = assemble(source.str());
+            return tryAssemble(source.str());
+        }();
+        if (!parsed) {
+            std::cerr << "flexrun: " << parsed.error().str() << "\n";
+            return cli::kExitUsage;
         }
+        program = std::move(parsed.value());
     }
     const ProgramShape shape = extractShape(program);
 
@@ -176,8 +182,16 @@ main(int argc, char **argv)
 
     fault::FaultPlan plan;
     if (!fault_spec.empty()) {
-        plan = fault::parseFaultSpec(fault_spec);
-        plan.validate(static_cast<int>(d));
+        auto parsed = fault::tryParseFaultSpec(fault_spec);
+        if (!parsed) {
+            std::cerr << "flexrun: " << parsed.error().str() << "\n";
+            return cli::kExitUsage;
+        }
+        plan = std::move(parsed.value());
+        if (auto valid = plan.check(static_cast<int>(d)); !valid) {
+            std::cerr << "flexrun: " << valid.error().str() << "\n";
+            return cli::kExitUsage;
+        }
     }
     if (plan.affectsGeometry()) {
         // The program's factors were fixed at compile time; check
@@ -203,7 +217,7 @@ main(int argc, char **argv)
                           << "; recompile for the plan with "
                              "`flexcc ... --faults '"
                           << fault_spec << "'`\n";
-                return 2;
+                return cli::kExitUsage;
             }
         }
     }
@@ -220,8 +234,18 @@ main(int argc, char **argv)
         accelerator.setFaultPlan(&plan);
     accelerator.bindInput(input);
     accelerator.bindKernels(kernels);
+    guard::Watchdog::Budget budget;
+    budget.wallNs = static_cast<std::uint64_t>(watchdog_ms * 1e6);
+    budget.cycles = cycle_budget;
+    if (!budget.unlimited())
+        accelerator.setWatchdogBudget(budget);
     NetworkResult result;
-    const Tensor3<> output = accelerator.run(program, &result);
+    auto ran = accelerator.tryRun(program, &result);
+    if (!ran) {
+        std::cerr << "flexrun: " << ran.error().str() << "\n";
+        return cli::kExitRuntime;
+    }
+    const Tensor3<> output = std::move(ran.value());
 
     // Golden verification of the same chain (with border cropping).
     Tensor3<> golden = input;
@@ -290,5 +314,5 @@ main(int argc, char **argv)
         std::cout << "\n";
         accelerator.dumpStats(std::cout);
     }
-    return ok ? 0 : 1;
+    return ok ? cli::kExitOk : cli::kExitRuntime;
 }

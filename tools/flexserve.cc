@@ -10,6 +10,14 @@
  *               [--scale D] [--batch B] [--queue Q] [--window-ms W]
  *               [--slo-ms L] [--deadline-ms L] [--dram-wpc BW]
  *               [--trace FILE] [--faults SPEC] [--fault-trace FILE]
+ *               [--watchdog-ms W] [--quarantine-strikes N]
+ *               [--poison-rate P]
+ *
+ * --poison-rate injects malformed (unserviceable) requests into the
+ * synthetic traffic; admission control quarantines them instead of
+ * queueing.  --watchdog-ms kills batches whose service time exceeds
+ * the budget; a request killed --quarantine-strikes times is
+ * quarantined.  See DESIGN.md §3.7.
  *
  * Runs are deterministic: the same seed and configuration print a
  * byte-identical report — including runs with injected faults.
@@ -45,6 +53,8 @@
 #include "sim/thread_pool.hh"
 #include "systolic/systolic_model.hh"
 #include "tiling/tiling_model.hh"
+
+#include "cli.hh"
 
 using namespace flexsim;
 using namespace flexsim::serve;
@@ -83,8 +93,14 @@ usage()
            "simulators (default $FLEXSIM_THREADS or 1; results are "
            "identical for any value)\n"
            "  --trace FILE     replay trace, one arrival us per "
-           "line\n";
-    return 2;
+           "line\n"
+           "  --watchdog-ms W  per-batch service-time budget; "
+           "0 disables (default 0)\n"
+           "  --quarantine-strikes N  watchdog kills before a "
+           "request is quarantined (default 3)\n"
+           "  --poison-rate P  fraction of malformed requests in "
+           "synthetic traffic (default 0)\n";
+    return cli::kExitUsage;
 }
 
 /** Parse "10s" / "500ms" / "250us" into nanoseconds. */
@@ -191,73 +207,52 @@ main(int argc, char **argv)
     int sim_threads = sim::ThreadPool::defaultThreads();
     std::string fault_spec;
     std::string fault_trace_path;
+    double watchdog_ms = 0.0;
+    double poison_rate = 0.0;
+    unsigned quarantine_strikes = 3;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::cerr << "flexserve: " << arg
-                          << " needs a value\n";
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        try {
-            if (arg == "--arch") {
-                arch = next();
-            } else if (arg == "--pool") {
-                pool = std::stoul(next());
-            } else if (arg == "--rps") {
-                rps = std::stod(next());
-            } else if (arg == "--traffic") {
-                traffic_name = next();
-            } else if (arg == "--duration") {
-                const auto parsed = parseDuration(next());
-                if (!parsed)
-                    return usage();
-                duration_ns = *parsed;
-            } else if (arg == "--seed") {
-                seed = std::stoull(next());
-            } else if (arg == "--workload") {
-                workload_list = next();
-            } else if (arg == "--scale") {
-                scale = std::stoul(next());
-            } else if (arg == "--batch") {
-                config.maxBatch = std::stoul(next());
-            } else if (arg == "--queue") {
-                config.queueCapacity = std::stoul(next());
-            } else if (arg == "--window-ms") {
-                window_ms = std::stod(next());
-            } else if (arg == "--slo-ms") {
-                slo_ms = std::stod(next());
-            } else if (arg == "--deadline-ms") {
-                deadline_ms = std::stod(next());
-            } else if (arg == "--faults") {
-                fault_spec = next();
-            } else if (arg == "--fault-trace") {
-                fault_trace_path = next();
-            } else if (arg == "--dram-wpc") {
-                dram_wpc = std::stod(next());
-            } else if (arg == "--sim-threads") {
-                sim_threads = std::stoi(next());
-            } else if (arg == "--trace") {
-                trace_path = next();
-            } else {
+    unsigned queue_capacity =
+        static_cast<unsigned>(config.queueCapacity);
+    cli::ArgStream args("flexserve", argc, argv);
+    while (args.next()) {
+        std::string duration_text;
+        if (args.value("--arch", arch)) {
+        } else if (args.value("--pool", pool, 1u)) {
+        } else if (args.value("--rps", rps, 1e-9)) {
+        } else if (args.value("--traffic", traffic_name)) {
+        } else if (args.value("--duration", duration_text)) {
+            const auto parsed = parseDuration(duration_text);
+            if (!parsed) {
+                std::cerr << "flexserve: invalid value for "
+                             "--duration: '"
+                          << duration_text << "'\n";
                 return usage();
             }
-        } catch (...) {
+            duration_ns = *parsed;
+        } else if (args.value("--seed", seed)) {
+        } else if (args.value("--workload", workload_list)) {
+        } else if (args.value("--scale", scale, 1u)) {
+        } else if (args.value("--batch", config.maxBatch, 1u)) {
+        } else if (args.value("--queue", queue_capacity, 1u)) {
+        } else if (args.value("--window-ms", window_ms, 0.0)) {
+        } else if (args.value("--slo-ms", slo_ms, 0.0)) {
+        } else if (args.value("--deadline-ms", deadline_ms, 0.0)) {
+        } else if (args.value("--faults", fault_spec)) {
+        } else if (args.value("--fault-trace", fault_trace_path)) {
+        } else if (args.value("--dram-wpc", dram_wpc, 1e-9)) {
+        } else if (args.value("--sim-threads", sim_threads, 1)) {
+        } else if (args.value("--trace", trace_path)) {
+        } else if (args.value("--watchdog-ms", watchdog_ms, 0.0)) {
+        } else if (args.value("--quarantine-strikes",
+                              quarantine_strikes, 1u)) {
+        } else if (args.value("--poison-rate", poison_rate, 0.0,
+                              1.0)) {
+        } else {
             return usage();
         }
     }
-
-    if (rps <= 0.0 || pool == 0 || scale == 0 ||
-        config.maxBatch == 0 || config.queueCapacity == 0 ||
-        dram_wpc <= 0.0 || sim_threads < 1) {
-        std::cerr << "flexserve: --rps, --pool, --scale, --batch, "
-                     "--queue, --dram-wpc and --sim-threads must be "
-                     "positive\n";
+    if (args.failed())
         return usage();
-    }
     const auto traffic_model = parseTrafficModel(traffic_name);
     if (!traffic_model) {
         std::cerr << "flexserve: unknown traffic model '"
@@ -283,15 +278,28 @@ main(int argc, char **argv)
     }
 
     config.poolSize = pool;
+    config.queueCapacity = queue_capacity;
     config.batchWindowNs = static_cast<TimeNs>(window_ms * 1e6);
     config.sloNs = static_cast<TimeNs>(slo_ms * 1e6);
     if (deadline_ms > 0.0)
         config.deadlineNs = static_cast<TimeNs>(deadline_ms * 1e6);
+    config.watchdogNs = static_cast<TimeNs>(watchdog_ms * 1e6);
+    config.quarantineStrikes = quarantine_strikes;
 
     fault::FaultPlan plan;
     if (!fault_spec.empty()) {
-        plan = fault::parseFaultSpec(fault_spec);
-        plan.validate(static_cast<int>(scale));
+        auto parsed = fault::tryParseFaultSpec(fault_spec);
+        if (!parsed) {
+            std::cerr << "flexserve: " << parsed.error().str()
+                      << "\n";
+            return cli::kExitUsage;
+        }
+        plan = std::move(parsed.value());
+        if (auto valid = plan.check(static_cast<int>(scale));
+            !valid) {
+            std::cerr << "flexserve: " << valid.error().str() << "\n";
+            return cli::kExitUsage;
+        }
     }
     std::vector<fault::AccelEvent> events = plan.accelEvents;
     if (!fault_trace_path.empty()) {
@@ -299,13 +307,18 @@ main(int argc, char **argv)
         if (!in) {
             std::cerr << "flexserve: cannot read " << fault_trace_path
                       << "\n";
-            return 1;
+            return cli::kExitRuntime;
         }
         std::ostringstream text;
         text << in.rdbuf();
-        const std::vector<fault::AccelEvent> traced =
-            fault::parseFaultTrace(text.str());
-        events.insert(events.end(), traced.begin(), traced.end());
+        auto traced = fault::tryParseFaultTrace(text.str());
+        if (!traced) {
+            std::cerr << "flexserve: " << traced.error().str()
+                      << "\n";
+            return cli::kExitUsage;
+        }
+        events.insert(events.end(), traced.value().begin(),
+                      traced.value().end());
     }
 
     TrafficConfig traffic;
@@ -314,6 +327,7 @@ main(int argc, char **argv)
     traffic.durationNs = duration_ns;
     traffic.seed = seed;
     traffic.numWorkloads = static_cast<int>(nets.size());
+    traffic.poisonRate = poison_rate;
     if (traffic.model == TrafficModel::Replay) {
         if (trace_path.empty()) {
             std::cerr
@@ -324,11 +338,17 @@ main(int argc, char **argv)
         if (!in) {
             std::cerr << "flexserve: cannot read " << trace_path
                       << "\n";
-            return 1;
+            return cli::kExitRuntime;
         }
         std::ostringstream text;
         text << in.rdbuf();
-        traffic.replayNs = parseReplayTrace(text.str());
+        auto replay = tryParseReplayTrace(text.str());
+        if (!replay) {
+            std::cerr << "flexserve: " << replay.error().str()
+                      << "\n";
+            return cli::kExitUsage;
+        }
+        traffic.replayNs = std::move(replay.value());
     }
 
     const ServiceTimeModel service(*model, nets, dram_wpc);
@@ -413,6 +433,13 @@ main(int argc, char **argv)
         table.addRow({"degraded reroutes",
                       formatCount(report.degradedReroutes)});
     }
+    if (poison_rate > 0.0 || config.watchdogNs > 0 ||
+        report.quarantined > 0) {
+        table.addRow({"requests quarantined",
+                      formatCount(report.quarantined)});
+        table.addRow({"watchdog trips",
+                      formatCount(report.watchdogTrips)});
+    }
     table.addRow({"throughput",
                   formatDouble(report.throughputRps, 1) + " rps"});
     table.addRow({"latency p50",
@@ -433,5 +460,5 @@ main(int argc, char **argv)
 
     std::cout << "\n";
     runtime.dumpStats(std::cout);
-    return 0;
+    return cli::kExitOk;
 }
